@@ -1,0 +1,40 @@
+#include "bench_common.hpp"
+
+#include <cstring>
+#include <iostream>
+#include <thread>
+
+namespace sea::bench {
+
+BenchOptions ParseArgs(int argc, char** argv) {
+  BenchOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      opts.quick = true;
+    } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      opts.csv_path = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--quick] [--csv <path>]\n";
+      std::exit(2);
+    }
+  }
+  return opts;
+}
+
+void PrintHeader(const std::string& title, const std::string& protocol) {
+  std::cout << "==========================================================\n"
+            << title << '\n'
+            << protocol << '\n'
+            << "host threads: " << std::thread::hardware_concurrency()
+            << "  (paper testbed: IBM 3090-600E, VS FORTRAN opt(3))\n"
+            << "==========================================================\n";
+}
+
+void Finish(const ExperimentLog& log, const BenchOptions& opts) {
+  std::cout << '\n';
+  log.Print(std::cout);
+  if (!opts.csv_path.empty()) log.AppendCsv(opts.csv_path);
+  std::cout.flush();
+}
+
+}  // namespace sea::bench

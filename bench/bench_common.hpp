@@ -1,0 +1,29 @@
+// Shared harness for the table/figure benches.
+//
+// Every bench binary accepts:
+//   --quick        scaled-down sizes (CI smoke run; full paper sizes default)
+//   --csv <path>   append paper-vs-measured records to a CSV
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "io/experiment_record.hpp"
+
+namespace sea::bench {
+
+struct BenchOptions {
+  bool quick = false;
+  std::string csv_path;
+};
+
+BenchOptions ParseArgs(int argc, char** argv);
+
+// Prints the bench banner: which paper table/figure this regenerates, the
+// protocol line, and the host context.
+void PrintHeader(const std::string& title, const std::string& protocol);
+
+// Prints the log's paper-vs-measured table and appends the CSV if requested.
+void Finish(const ExperimentLog& log, const BenchOptions& opts);
+
+}  // namespace sea::bench

@@ -1,0 +1,90 @@
+// google-benchmark microbenchmarks for the library's hot kernels: the exact
+// equilibration market solver (both sort paths), full row/column sweeps,
+// and the dense matvec that dominates the general algorithms' projection
+// step. These are the quantities behind the paper's per-iteration cost model
+// N = T n^2 (9 + log n).
+#include <benchmark/benchmark.h>
+
+#include "equilibration/breakpoint_solver.hpp"
+#include "equilibration/equilibrator.hpp"
+#include "linalg/kernels.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace sea;
+
+void FillArcs(BreakpointWorkspace& ws, std::size_t n, Rng& rng) {
+  ws.arcs().resize(n);
+  for (auto& a : ws.arcs())
+    a = {rng.Uniform(-100.0, 100.0), rng.Uniform(0.01, 5.0)};
+}
+
+void BM_MarketSolveHeapsort(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  BreakpointWorkspace ws;
+  for (auto _ : state) {
+    state.PauseTiming();
+    FillArcs(ws, n, rng);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        SolveMarket(ws, 100.0, 0.0, SortPolicy::kHeapsort));
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_MarketSolveHeapsort)->RangeMultiplier(4)->Range(64, 4096)
+    ->Complexity(benchmark::oNLogN);
+
+void BM_MarketSolveInsertion(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  BreakpointWorkspace ws;
+  for (auto _ : state) {
+    state.PauseTiming();
+    FillArcs(ws, n, rng);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        SolveMarket(ws, 100.0, 0.0, SortPolicy::kInsertion));
+  }
+}
+BENCHMARK(BM_MarketSolveInsertion)->DenseRange(16, 128, 28);
+
+void BM_RowSweep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  DenseMatrix centers(n, n), weights(n, n);
+  for (double& v : centers.Flat()) v = rng.Uniform(0.1, 100.0);
+  for (double& v : weights.Flat()) v = rng.Uniform(0.01, 1.0);
+  Vector mu(n, 0.0), mult(n);
+  Vector s0 = centers.RowSums();
+  MarketSide side;
+  side.mode = TotalsMode::kFixed;
+  side.t0 = s0;
+  SweepOptions opts;
+  for (auto _ : state) {
+    EquilibrateSide(centers, weights, mu, side, mult, nullptr, opts);
+    benchmark::DoNotOptimize(mult.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_RowSweep)->Arg(128)->Arg(512)->Arg(1024);
+
+void BM_DenseGemv(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  DenseMatrix a(n, n);
+  for (double& v : a.Flat()) v = rng.Uniform(-1.0, 1.0);
+  Vector x = rng.UniformVector(n, -1.0, 1.0), y(n);
+  for (auto _ : state) {
+    Gemv(a, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n) *
+                          static_cast<int64_t>(n) * 8);
+}
+BENCHMARK(BM_DenseGemv)->Arg(512)->Arg(2304)->Arg(4096);
+
+}  // namespace

@@ -1,0 +1,79 @@
+// Updating an input/output table (the paper's Table 2 application).
+//
+// Scenario: a 60-sector I/O table from a base year must be updated to new
+// sectoral output totals (10% average growth, sector-specific). We compare
+// the SEA least-squares update against the classical RAS biproportional
+// update — including a support pattern where RAS fails outright while the
+// quadratic estimate still exists (Mohr, Crown & Polenske 1987).
+#include <iostream>
+
+#include "baselines/ras.hpp"
+#include "core/diagonal_sea.hpp"
+#include "datasets/io_tables.hpp"
+#include "datasets/weights.hpp"
+#include "problems/feasibility.hpp"
+
+int main() {
+  using namespace sea;
+
+  datasets::IoTableSpec spec;
+  spec.name = "demo-io";
+  spec.size = 60;
+  spec.density = 0.55;
+  spec.protocol = 'a';  // 0-10% growth in every total
+  spec.growth_hi = 0.10;
+  const auto problem = datasets::MakeIoTable(spec, 0);
+
+  std::cout << "I/O update: " << spec.size << " sectors, "
+            << int(spec.density * 100) << "% dense, grown totals\n\n";
+
+  // --- SEA (weighted least squares with nonnegativity).
+  SeaOptions opts;
+  opts.epsilon = 1e-6;
+  opts.criterion = StopCriterion::kResidualRel;
+  const auto run = SolveDiagonal(problem, opts);
+  const auto rep = CheckFeasibility(problem, run.solution);
+  std::cout << "SEA: converged=" << std::boolalpha << run.result.converged
+            << " iterations=" << run.result.iterations
+            << " max-rel-residual=" << rep.MaxRel() << '\n';
+
+  // How far did the update move the table?
+  double max_rel_change = 0.0, moved_cells = 0.0, support = 0.0;
+  for (std::size_t k = 0; k < problem.x0().size(); ++k) {
+    const double base = problem.x0().Flat()[k];
+    if (base <= 0.0) continue;
+    support += 1.0;
+    const double rel =
+        std::abs(run.solution.x.Flat()[k] - base) / base;
+    max_rel_change = std::max(max_rel_change, rel);
+    if (rel > 1e-6) moved_cells += 1.0;
+  }
+  std::cout << "     " << int(100.0 * moved_cells / support)
+            << "% of cells adjusted; max relative adjustment "
+            << max_rel_change << "\n\n";
+
+  // --- RAS on the same instance (it solves the biproportional objective).
+  const auto ras = SolveRas(problem.x0(), problem.s0(), problem.d0());
+  std::cout << "RAS: status=" << ToString(ras.status)
+            << " iterations=" << ras.iterations << '\n';
+
+  // --- A support where RAS has no answer but least squares does.
+  DenseMatrix bad(2, 2, 0.0);
+  bad(0, 0) = 1.0;
+  bad(0, 1) = 1.0;
+  bad(1, 1) = 1.0;  // structural zero at (1,0)
+  const Vector s_bad{2.0, 5.0}, d_bad{5.0, 2.0};
+  const auto ras_bad = SolveRas(bad, s_bad, d_bad, {.max_iterations = 1000});
+  std::cout << "\nstructural-zero instance: RAS status="
+            << ToString(ras_bad.status) << '\n';
+  const auto p_bad = DiagonalProblem::MakeFixed(
+      bad, DenseMatrix(2, 2, 1.0), s_bad, d_bad);
+  SeaOptions tight;
+  tight.epsilon = 1e-9;
+  tight.criterion = StopCriterion::kResidualAbs;
+  const auto run_bad = SolveDiagonal(p_bad, tight);
+  std::cout << "SEA solves it: x = [[" << run_bad.solution.x(0, 0) << ", "
+            << run_bad.solution.x(0, 1) << "], [" << run_bad.solution.x(1, 0)
+            << ", " << run_bad.solution.x(1, 1) << "]]\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// The Bachem–Korte (1978) baseline: quadratic optimization over
+// transportation polytopes, the "much-cited" comparator of the paper's
+// Table 7.
+//
+// RECONSTRUCTION NOTE (see DESIGN.md §2.3). The original two-page report
+// (ZAMM 58, T459–T461) is not redistributable; following the paper's
+// description and the single-constraint dual-relaxation lineage it cites
+// (Hildreth 1957; Ohuchi & Kaji 1984; Cottle, Duvall & Zikan 1986), we
+// implement B-K as Hildreth-style cyclic dual coordinate ascent on the full
+// constraint system of
+//
+//   min  1/2 x^T Q x + q^T x    (Q = 2G, q = cx)
+//   s.t. row totals (m equalities), column totals (n equalities),
+//        x >= 0 (mn inequalities),
+//
+// updating ONE multiplier per step with an exact one-dimensional dual
+// maximization and an immediate O(mn) primal refresh. This preserves the
+// relevant behaviour for the reproduction: identical fixed points (the KKT
+// points of the same QP), but per-sweep cost Θ((mn)^2) with slow linear
+// convergence — versus SEA's block-exact equilibration — reproducing the
+// roughly two-orders-of-magnitude gap and the "prohibitively expensive
+// beyond G = 900×900" cutoff of Table 7.
+//
+// The method materializes Q^{-1} (via dense Cholesky), so it is only
+// applicable at B-K-scale problems — exactly how the paper used it.
+#pragma once
+
+#include "core/result.hpp"
+#include "problems/general_problem.hpp"
+#include "problems/solution.hpp"
+
+namespace sea {
+
+struct BachemKorteOptions {
+  // Stop when all constraint residuals (relative row/column residuals and
+  // the most negative x entry) are within epsilon.
+  double epsilon = 1e-3;
+  std::size_t max_sweeps = 20000;
+};
+
+struct BachemKorteResult {
+  bool converged = false;
+  std::size_t sweeps = 0;
+  double final_residual = 0.0;
+  double objective = 0.0;
+  double wall_seconds = 0.0;
+  double cpu_seconds = 0.0;
+};
+
+struct BachemKorteRun {
+  Solution solution;
+  BachemKorteResult result;
+};
+
+// Requires problem.mode() == TotalsMode::kFixed and G positive definite.
+BachemKorteRun SolveBachemKorte(const GeneralProblem& problem,
+                                const BachemKorteOptions& opts);
+
+}  // namespace sea

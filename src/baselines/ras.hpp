@@ -1,0 +1,51 @@
+// RAS / iterative proportional fitting (Deming & Stephan 1940; Bacharach
+// 1970) — the classical method the paper's introduction identifies as "the
+// most widely applied computational method in practice", along with its
+// known failure modes (nonconvergence on infeasible supports, Mohr, Crown &
+// Polenske 1987) that motivate SEA.
+//
+// RAS alternately scales rows and columns of X0 to match the fixed totals:
+//   x_ij <- x_ij * s0_i / rowsum_i,   then   x_ij <- x_ij * d0_j / colsum_j.
+// It solves a *different* objective than SEA (minimum cross-entropy /
+// biproportional fit rather than weighted least squares); it is provided as
+// a baseline for the library's users and for the nonconvergence
+// demonstrations, not as an optimizer of objective (13).
+#pragma once
+
+#include "linalg/dense_matrix.hpp"
+
+namespace sea {
+
+struct RasOptions {
+  double epsilon = 1e-8;  // max relative total mismatch to declare converged
+  std::size_t max_iterations = 10000;
+};
+
+enum class RasStatus {
+  kConverged,
+  kIterationLimit,
+  // A row/column has zero base-matrix sum but a positive target total: no
+  // biproportional fit exists (the structural-zero infeasibility of the RAS
+  // literature).
+  kInfeasibleSupport,
+  // Targets are inconsistent (sum of row totals != sum of column totals) —
+  // RAS then oscillates and cannot converge.
+  kInconsistentTotals,
+};
+
+const char* ToString(RasStatus s);
+
+struct RasResult {
+  RasStatus status = RasStatus::kIterationLimit;
+  std::size_t iterations = 0;
+  double final_residual = 0.0;
+  DenseMatrix x;
+  Vector row_multipliers;  // r_i: accumulated row scalings
+  Vector col_multipliers;  // c_j
+};
+
+// Requires x0 >= 0 elementwise and s0, d0 >= 0.
+RasResult SolveRas(const DenseMatrix& x0, const Vector& s0, const Vector& d0,
+                   const RasOptions& opts = {});
+
+}  // namespace sea

@@ -1,0 +1,203 @@
+#include "baselines/rc_algorithm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "equilibration/equilibrator.hpp"
+#include "problems/feasibility.hpp"
+#include "support/check.hpp"
+#include "support/stopwatch.hpp"
+
+namespace sea {
+
+namespace {
+
+// Shared state for one RC solve.
+struct RcState {
+  const GeneralProblem* problem = nullptr;
+  const RcOptions* opts = nullptr;
+  std::size_t m = 0, n = 0;
+
+  Vector x;     // current iterate, row-major flat
+  Vector grad;  // scratch gradient of F
+  Vector lambda;  // row-constraint multipliers
+  Vector mu;      // column-constraint multipliers
+
+  DenseMatrix gamma_rm;  // diag(G) reshaped m x n
+  DenseMatrix gamma_cm;  // and its transpose
+  DenseMatrix centers;   // projection-step centers, phase-major layout
+  DenseMatrix xs;        // phase-major allocations scratch
+  Vector mult;           // per-market multipliers scratch (max(m, n))
+
+  RcResult result;
+};
+
+// One phase of RC. The row phase (by_rows = true) runs the projection method
+// to convergence on
+//
+//   min F(x) - sum_j mu_j (sum_i x_ij)   s.t.  sum_j x_ij = s0_i,  x >= 0,
+//
+// exactly the relaxed problem of SEA's Step 1 but with the *general*
+// objective; each projection iteration diagonalizes F at the current iterate
+// and the subproblem separates into per-row exact-equilibration markets (the
+// mu_j relaxation enters as the market's cross multipliers). On return,
+// st.lambda holds the phase's Lagrange multipliers — the market multipliers
+// of the final projection iterate. The column phase is symmetric.
+std::size_t RunPhase(RcState& st, bool by_rows, double projection_epsilon) {
+  const std::size_t markets = by_rows ? st.m : st.n;
+  const std::size_t arcs = by_rows ? st.n : st.m;
+  const GeneralProblem& p = *st.problem;
+  const Vector& cross = by_rows ? st.mu : st.lambda;
+  Vector& own = by_rows ? st.lambda : st.mu;
+
+  MarketSide side;
+  side.mode = TotalsMode::kFixed;
+  side.t0 = by_rows ? p.s0() : p.d0();
+
+  SweepOptions sweep_opts;
+  sweep_opts.sort_policy = st.opts->sort_policy;
+  sweep_opts.pool = st.opts->pool;
+  sweep_opts.record_task_costs = st.opts->record_trace;
+
+  const DenseMatrix& gamma = by_rows ? st.gamma_rm : st.gamma_cm;
+  st.centers = DenseMatrix(markets, arcs);
+  st.xs = DenseMatrix(markets, arcs);
+  st.mult.resize(markets);
+
+  std::size_t iters = 0;
+  for (std::size_t it = 1; it <= st.opts->max_projection_iterations; ++it) {
+    ++iters;
+    // Projection step: centers c_k = x_k - grad_k / (2 G_kk), written
+    // directly in phase-major layout. The relaxation term is linear and is
+    // carried by the markets' cross multipliers instead of the centers.
+    p.GradientX(st.x, st.grad, st.opts->pool);
+    st.result.ops.flops +=
+        2 * static_cast<std::uint64_t>(st.m * st.n) * (st.m * st.n);
+    if (st.opts->record_trace)
+      st.result.trace.AddParallelPhase(
+          by_rows ? "rc-linearize-row" : "rc-linearize-col",
+          std::vector<double>(st.m * st.n,
+                              2.0 * static_cast<double>(st.m * st.n)),
+          /*bandwidth_bound=*/true);
+    for (std::size_t i = 0; i < st.m; ++i) {
+      for (std::size_t j = 0; j < st.n; ++j) {
+        const std::size_t k = i * st.n + j;
+        const double c = st.x[k] - st.grad[k] / (2.0 * st.gamma_rm(i, j));
+        if (by_rows)
+          st.centers(i, j) = c;
+        else
+          st.centers(j, i) = c;
+      }
+    }
+
+    // Parallel equilibration of the phase's markets.
+    SweepStats stats =
+        EquilibrateSide(st.centers, gamma, cross, side,
+                        {st.mult.data(), markets}, &st.xs, sweep_opts);
+    st.result.ops += stats.total_ops;
+    if (st.opts->record_trace)
+      st.result.trace.AddParallelPhase(by_rows ? "rc-row" : "rc-col",
+                                       std::move(stats.task_costs));
+
+    // Serial projection-convergence verification (RC's extra serial stage,
+    // absent from general SEA — cf. Figures 4 and 6).
+    double change = 0.0;
+    for (std::size_t a = 0; a < markets; ++a) {
+      const auto xrow = st.xs.Row(a);
+      for (std::size_t b = 0; b < arcs; ++b) {
+        const std::size_t k = by_rows ? a * st.n + b : b * st.n + a;
+        change = std::max(change, std::abs(xrow[b] - st.x[k]));
+        st.x[k] = xrow[b];
+      }
+    }
+    st.result.ops.flops += static_cast<std::uint64_t>(st.m) * st.n;
+    if (st.opts->record_trace)
+      st.result.trace.AddSerialPhase("rc-projection-check",
+                                     static_cast<double>(st.m * st.n));
+    if (change <= projection_epsilon) break;
+  }
+  std::copy(st.mult.begin(), st.mult.begin() + markets, own.begin());
+  return iters;
+}
+
+}  // namespace
+
+RcRun SolveRc(const GeneralProblem& problem, const RcOptions& opts) {
+  problem.Validate();
+  SEA_CHECK_MSG(problem.mode() == TotalsMode::kFixed,
+                "RC handles the fixed-totals regime");
+  SEA_CHECK(opts.epsilon > 0.0);
+
+  Stopwatch wall;
+  const double cpu0 = ProcessCpuSeconds();
+
+  RcState st;
+  st.problem = &problem;
+  st.opts = &opts;
+  st.m = problem.m();
+  st.n = problem.n();
+  st.lambda.assign(st.m, 0.0);
+  st.mu.assign(st.n, 0.0);
+
+  st.gamma_rm = DenseMatrix(st.m, st.n);
+  for (std::size_t k = 0; k < st.m * st.n; ++k)
+    st.gamma_rm.Flat()[k] = problem.G()(k, k);
+  st.gamma_cm = st.gamma_rm.Transposed();
+
+  // Feasible start: the rank-one transportation plan (paper Step 0).
+  double total = 0.0;
+  for (double v : problem.s0()) total += v;
+  st.x.assign(st.m * st.n, 0.0);
+  if (total > 0.0)
+    for (std::size_t i = 0; i < st.m; ++i)
+      for (std::size_t j = 0; j < st.n; ++j)
+        st.x[i * st.n + j] = problem.s0()[i] * problem.d0()[j] / total;
+
+  const double proj_eps = (opts.projection_epsilon > 0.0)
+                              ? opts.projection_epsilon
+                              : opts.epsilon / 10.0;
+
+  RcRun run;
+  for (std::size_t outer = 1; outer <= opts.max_outer_iterations; ++outer) {
+    st.result.projection_iterations_per_phase.push_back(
+        RunPhase(st, /*by_rows=*/true, proj_eps));
+    st.result.projection_iterations_per_phase.push_back(
+        RunPhase(st, /*by_rows=*/false, proj_eps));
+    st.result.outer_iterations = outer;
+
+    // Overall convergence: after the column phase the column totals hold to
+    // projection accuracy; measure the row residual (serial stage).
+    double max_rel = 0.0;
+    for (std::size_t i = 0; i < st.m; ++i) {
+      double rowsum = 0.0;
+      for (std::size_t j = 0; j < st.n; ++j) rowsum += st.x[i * st.n + j];
+      const double r = std::abs(rowsum - problem.s0()[i]) /
+                       std::max(1.0, std::abs(problem.s0()[i]));
+      max_rel = std::max(max_rel, r);
+    }
+    st.result.ops.flops += static_cast<std::uint64_t>(st.m) * st.n;
+    if (opts.record_trace)
+      st.result.trace.AddSerialPhase("rc-outer-check",
+                                     static_cast<double>(st.m * st.n));
+    st.result.final_residual = max_rel;
+    if (max_rel <= opts.epsilon) {
+      st.result.converged = true;
+      break;
+    }
+  }
+
+  run.solution.x = DenseMatrix(st.m, st.n);
+  std::copy(st.x.begin(), st.x.end(), run.solution.x.Flat().begin());
+  run.solution.s = problem.s0();
+  run.solution.d = problem.d0();
+  run.solution.lambda = st.lambda;
+  run.solution.mu = st.mu;
+
+  st.result.objective = problem.Objective(st.x, {}, {});
+  st.result.wall_seconds = wall.Seconds();
+  st.result.cpu_seconds = ProcessCpuSeconds() - cpu0;
+  run.result = std::move(st.result);
+  return run;
+}
+
+}  // namespace sea

@@ -1,0 +1,346 @@
+#include "baselines/reference_solvers.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/factorizations.hpp"
+#include "support/check.hpp"
+
+namespace sea {
+
+namespace {
+
+// Variable layout of the enumerative KKT system, by mode:
+//   kFixed:   [x (mn), lambda (m), mu (n)]
+//   kElastic: [x (mn), s (m), d (n), lambda (m), mu (n)]
+//   kSam:     [x (nn), s (n), lambda (n), mu (n)]
+struct Layout {
+  std::size_t mn, m, n;
+  std::size_t x0 = 0, s0 = 0, d0 = 0, l0 = 0, u0 = 0, dim = 0;
+};
+
+Layout MakeLayout(const DiagonalProblem& p) {
+  SEA_CHECK_MSG(p.mode() != TotalsMode::kInterval,
+                "the enumerative oracle does not enumerate total-bound "
+                "active sets; use SolveDualGradient for interval problems");
+  Layout L;
+  L.m = p.m();
+  L.n = p.n();
+  L.mn = L.m * L.n;
+  L.x0 = 0;
+  switch (p.mode()) {
+    case TotalsMode::kFixed:
+      L.l0 = L.mn;
+      L.u0 = L.mn + L.m;
+      L.dim = L.mn + L.m + L.n;
+      break;
+    case TotalsMode::kElastic:
+      L.s0 = L.mn;
+      L.d0 = L.mn + L.m;
+      L.l0 = L.mn + L.m + L.n;
+      L.u0 = L.l0 + L.m;
+      L.dim = L.mn + 2 * L.m + 2 * L.n;
+      break;
+    case TotalsMode::kSam:
+      L.s0 = L.mn;
+      L.l0 = L.mn + L.n;
+      L.u0 = L.l0 + L.n;
+      L.dim = L.mn + 3 * L.n;
+      break;
+    case TotalsMode::kInterval:
+      break;  // rejected above
+  }
+  return L;
+}
+
+// Builds and solves the KKT equality system for the given active mask
+// (bit k set => x_k fixed to zero). Returns the solution vector or nullopt
+// if singular.
+std::optional<Vector> SolveCandidate(const DiagonalProblem& p, const Layout& L,
+                                     std::uint64_t mask) {
+  DenseMatrix a(L.dim, L.dim, 0.0);
+  Vector b(L.dim, 0.0);
+  std::size_t row = 0;
+
+  const auto gam = p.gamma().Flat();
+  const auto cen = p.x0().Flat();
+
+  // Stationarity or activity for each x_k.
+  for (std::size_t k = 0; k < L.mn; ++k, ++row) {
+    const std::size_t i = k / L.n, j = k % L.n;
+    if (mask & (1ULL << k)) {
+      a(row, L.x0 + k) = 1.0;  // x_k = 0
+    } else {
+      // 2 gamma_k x_k - lambda_i - mu_j = 2 gamma_k c_k
+      a(row, L.x0 + k) = 2.0 * gam[k];
+      a(row, L.l0 + i) = -1.0;
+      a(row, L.u0 + j) = -1.0;
+      b[row] = 2.0 * gam[k] * cen[k];
+    }
+  }
+
+  // Row constraints.
+  for (std::size_t i = 0; i < L.m; ++i, ++row) {
+    for (std::size_t j = 0; j < L.n; ++j) a(row, L.x0 + i * L.n + j) = 1.0;
+    if (p.mode() == TotalsMode::kFixed) {
+      b[row] = p.s0()[i];
+    } else {
+      a(row, L.s0 + i) = -1.0;  // sum_j x_ij - s_i = 0
+    }
+  }
+
+  // Column constraints. For the fixed and SAM regimes the constraint system
+  // carries one dependency (the sum of the row constraints equals the sum of
+  // the column constraints) and the dual the matching gauge freedom
+  // (lambda + c, mu - c) — the invariance behind the paper's
+  // connected-component modification. Drop the last column constraint and
+  // pin the gauge with mu_{n-1} = 0.
+  const bool gauged = (p.mode() != TotalsMode::kElastic);
+  const std::size_t col_count = gauged ? L.n - 1 : L.n;
+  for (std::size_t j = 0; j < col_count; ++j, ++row) {
+    for (std::size_t i = 0; i < L.m; ++i) a(row, L.x0 + i * L.n + j) = 1.0;
+    switch (p.mode()) {
+      case TotalsMode::kInterval:
+        break;  // rejected by MakeLayout
+      case TotalsMode::kFixed:
+        b[row] = p.d0()[j];
+        break;
+      case TotalsMode::kElastic:
+        a(row, L.d0 + j) = -1.0;
+        break;
+      case TotalsMode::kSam:
+        a(row, L.s0 + j) = -1.0;  // column j total equals s_j
+        break;
+    }
+  }
+  if (gauged) {
+    a(row, L.u0 + L.n - 1) = 1.0;  // gauge: mu_{n-1} = 0
+    ++row;
+  }
+
+  // Totals stationarity.
+  if (p.mode() == TotalsMode::kElastic) {
+    for (std::size_t i = 0; i < L.m; ++i, ++row) {
+      a(row, L.s0 + i) = 2.0 * p.alpha()[i];
+      a(row, L.l0 + i) = 1.0;
+      b[row] = 2.0 * p.alpha()[i] * p.s0()[i];
+    }
+    for (std::size_t j = 0; j < L.n; ++j, ++row) {
+      a(row, L.d0 + j) = 2.0 * p.beta()[j];
+      a(row, L.u0 + j) = 1.0;
+      b[row] = 2.0 * p.beta()[j] * p.d0()[j];
+    }
+  } else if (p.mode() == TotalsMode::kSam) {
+    for (std::size_t i = 0; i < L.n; ++i, ++row) {
+      a(row, L.s0 + i) = 2.0 * p.alpha()[i];
+      a(row, L.l0 + i) = 1.0;
+      a(row, L.u0 + i) = 1.0;
+      b[row] = 2.0 * p.alpha()[i] * p.s0()[i];
+    }
+  }
+  SEA_INTERNAL_CHECK(row == L.dim);
+
+  auto lu = PartialPivLU::Factor(a);
+  if (!lu) return std::nullopt;
+  return lu->Solve(b);
+}
+
+}  // namespace
+
+std::optional<Solution> SolveEnumerativeKkt(const DiagonalProblem& p,
+                                            double tol) {
+  p.Validate();
+  const Layout L = MakeLayout(p);
+  SEA_CHECK_MSG(L.mn <= kEnumerativeLimit,
+                "enumerative oracle is exponential in m*n");
+
+  const auto gam = p.gamma().Flat();
+  const auto cen = p.x0().Flat();
+
+  for (std::uint64_t mask = 0; mask < (1ULL << L.mn); ++mask) {
+    auto sol = SolveCandidate(p, L, mask);
+    if (!sol) continue;
+    const Vector& v = *sol;
+
+    bool ok = true;
+    for (std::size_t k = 0; k < L.mn && ok; ++k) {
+      const std::size_t i = k / L.n, j = k % L.n;
+      if (mask & (1ULL << k)) {
+        // Active: gradient condition 2 gamma (0 - c) - lambda - mu >= 0.
+        const double g =
+            2.0 * gam[k] * (0.0 - cen[k]) - v[L.l0 + i] - v[L.u0 + j];
+        if (g < -tol) ok = false;
+      } else {
+        if (v[L.x0 + k] < -tol) ok = false;
+      }
+    }
+    if (!ok) continue;
+
+    Solution out;
+    out.x = DenseMatrix(L.m, L.n);
+    for (std::size_t k = 0; k < L.mn; ++k)
+      out.x.Flat()[k] = std::max(0.0, v[L.x0 + k]);
+    out.lambda.assign(v.begin() + static_cast<long>(L.l0),
+                      v.begin() + static_cast<long>(L.l0 + L.m));
+    out.mu.assign(v.begin() + static_cast<long>(L.u0),
+                  v.begin() + static_cast<long>(L.u0 + L.n));
+    switch (p.mode()) {
+      case TotalsMode::kInterval:
+        break;  // rejected by MakeLayout
+      case TotalsMode::kFixed:
+        out.s = p.s0();
+        out.d = p.d0();
+        break;
+      case TotalsMode::kElastic:
+        out.s.assign(v.begin() + static_cast<long>(L.s0),
+                     v.begin() + static_cast<long>(L.s0 + L.m));
+        out.d.assign(v.begin() + static_cast<long>(L.d0),
+                     v.begin() + static_cast<long>(L.d0 + L.n));
+        break;
+      case TotalsMode::kSam:
+        out.s.assign(v.begin() + static_cast<long>(L.s0),
+                     v.begin() + static_cast<long>(L.s0 + L.n));
+        out.d = out.s;
+        break;
+    }
+    return out;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+// Gradient of zeta_l at (lambda, mu); returns the max-norm.
+double DualGradient(const DiagonalProblem& p, const Vector& lambda,
+                    const Vector& mu, Vector& glam, Vector& gmu) {
+  const std::size_t m = p.m(), n = p.n();
+  glam.assign(m, 0.0);
+  gmu.assign(n, 0.0);
+
+  // Allocation sums: rowsum_i(X(lambda,mu)), colsum_j(X(lambda,mu)).
+  Vector rowsum(m, 0.0), colsum(n, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto cen = p.x0().Row(i);
+    const auto gam = p.gamma().Row(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double x =
+          cen[j] + (lambda[i] + mu[j]) / (2.0 * gam[j]);
+      if (x > 0.0) {
+        rowsum[i] += x;
+        colsum[j] += x;
+      }
+    }
+  }
+
+  switch (p.mode()) {
+    case TotalsMode::kFixed:
+      for (std::size_t i = 0; i < m; ++i) glam[i] = p.s0()[i] - rowsum[i];
+      for (std::size_t j = 0; j < n; ++j) gmu[j] = p.d0()[j] - colsum[j];
+      break;
+    case TotalsMode::kElastic:
+      for (std::size_t i = 0; i < m; ++i)
+        glam[i] =
+            (p.s0()[i] - lambda[i] / (2.0 * p.alpha()[i])) - rowsum[i];
+      for (std::size_t j = 0; j < n; ++j)
+        gmu[j] = (p.d0()[j] - mu[j] / (2.0 * p.beta()[j])) - colsum[j];
+      break;
+    case TotalsMode::kSam:
+      for (std::size_t i = 0; i < n; ++i) {
+        const double s =
+            p.s0()[i] - (lambda[i] + mu[i]) / (2.0 * p.alpha()[i]);
+        glam[i] = s - rowsum[i];
+        gmu[i] = s - colsum[i];
+      }
+      break;
+    case TotalsMode::kInterval:
+      // Envelope theorem: the gradient uses the clamped responses.
+      for (std::size_t i = 0; i < m; ++i)
+        glam[i] = std::clamp(p.s0()[i] - lambda[i] / (2.0 * p.alpha()[i]),
+                             p.s_lo()[i], p.s_hi()[i]) -
+                  rowsum[i];
+      for (std::size_t j = 0; j < n; ++j)
+        gmu[j] = std::clamp(p.d0()[j] - mu[j] / (2.0 * p.beta()[j]),
+                            p.d_lo()[j], p.d_hi()[j]) -
+                 colsum[j];
+      break;
+  }
+
+  double norm = 0.0;
+  for (double v : glam) norm = std::max(norm, std::abs(v));
+  for (double v : gmu) norm = std::max(norm, std::abs(v));
+  return norm;
+}
+
+}  // namespace
+
+DualGradientResult SolveDualGradient(const DiagonalProblem& p,
+                                     const DualGradientOptions& opts) {
+  p.Validate();
+  const std::size_t m = p.m(), n = p.n();
+  Vector lambda(m, 0.0), mu(n, 0.0);
+  Vector glam, gmu, glam_prev, gmu_prev, lam_try(m), mu_try(n);
+  Vector slam(m, 0.0), smu(n, 0.0);  // iterate differences
+
+  DualGradientResult res;
+  double value = DualValue(p, lambda, mu);
+  double step = 1.0;
+
+  for (std::size_t it = 1; it <= opts.max_iterations; ++it) {
+    res.iterations = it;
+    const double gnorm = DualGradient(p, lambda, mu, glam, gmu);
+    res.final_grad_norm = gnorm;
+    if (gnorm <= opts.grad_tol) {
+      res.converged = true;
+      break;
+    }
+
+    // Barzilai-Borwein spectral step from the previous (s, y) pair; the dual
+    // is concave piecewise quadratic, so BB converges quickly where plain
+    // ascent crawls. Safeguarded by an Armijo backtrack on the dual value.
+    if (it > 1) {
+      double ss = 0.0, sy = 0.0;
+      for (std::size_t i = 0; i < m; ++i) {
+        ss += slam[i] * slam[i];
+        sy += slam[i] * (glam_prev[i] - glam[i]);  // y = -(g - g_prev)
+      }
+      for (std::size_t j = 0; j < n; ++j) {
+        ss += smu[j] * smu[j];
+        sy += smu[j] * (gmu_prev[j] - gmu[j]);
+      }
+      if (sy > 1e-300 && std::isfinite(ss / sy))
+        step = std::min(1e12, std::max(1e-12, ss / sy));
+    }
+
+    // Nonmonotone acceptance: near the optimum the per-step improvement
+    // t*||g||^2 falls below the floating-point resolution of the dual value,
+    // so a strictly monotone Armijo rule stalls; tolerating a scale-aware
+    // slack lets the BB iteration drive the gradient further down.
+    const double slack = 1e-11 * (1.0 + std::abs(value));
+    bool accepted = false;
+    double t = step;
+    for (int bt = 0; bt < 80; ++bt) {
+      for (std::size_t i = 0; i < m; ++i)
+        lam_try[i] = lambda[i] + t * glam[i];
+      for (std::size_t j = 0; j < n; ++j) mu_try[j] = mu[j] + t * gmu[j];
+      const double v_try = DualValue(p, lam_try, mu_try);
+      if (v_try >= value - slack) {
+        for (std::size_t i = 0; i < m; ++i) slam[i] = t * glam[i];
+        for (std::size_t j = 0; j < n; ++j) smu[j] = t * gmu[j];
+        lambda.swap(lam_try);
+        mu.swap(mu_try);
+        value = std::max(value, v_try);
+        accepted = true;
+        break;
+      }
+      t *= 0.5;
+    }
+    glam_prev = glam;
+    gmu_prev = gmu;
+    if (!accepted) break;  // step underflow: numerically converged
+  }
+
+  res.solution = RecoverPrimal(p, std::move(lambda), std::move(mu));
+  return res;
+}
+
+}  // namespace sea

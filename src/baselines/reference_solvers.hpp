@@ -1,0 +1,48 @@
+// Method-independent reference solvers used by the test suite as oracles.
+//
+// Neither is part of the paper's algorithm set; they exist so SEA, RC and
+// B-K can be validated against solutions obtained by entirely different
+// means.
+//
+//  * SolveEnumerativeKkt — exact: enumerates active sets of the
+//    nonnegativity constraints, solves each candidate KKT equality system by
+//    dense LU, and returns the (unique, by strict convexity) candidate that
+//    satisfies all sign conditions. Exponential in m*n; guarded to tiny
+//    problems.
+//  * SolveDualGradient — independent iterative method: plain gradient ascent
+//    with Armijo backtracking on the explicit dual zeta_l(lambda, mu)
+//    (paper eqs. (24)/(41)/(51)), no coordinate maximization involved.
+#pragma once
+
+#include <optional>
+
+#include "problems/diagonal_problem.hpp"
+#include "problems/solution.hpp"
+
+namespace sea {
+
+// Exact solution for problems with m*n <= kEnumerativeLimit.
+inline constexpr std::size_t kEnumerativeLimit = 16;
+
+// Returns std::nullopt only if no active set passes the KKT sign tests at
+// the given tolerance (which would indicate an infeasible or degenerate
+// instance).
+std::optional<Solution> SolveEnumerativeKkt(const DiagonalProblem& p,
+                                            double tol = 1e-9);
+
+struct DualGradientOptions {
+  double grad_tol = 1e-8;       // stop when ||grad zeta||_inf <= grad_tol
+  std::size_t max_iterations = 200000;
+};
+
+struct DualGradientResult {
+  Solution solution;
+  bool converged = false;
+  std::size_t iterations = 0;
+  double final_grad_norm = 0.0;
+};
+
+DualGradientResult SolveDualGradient(const DiagonalProblem& p,
+                                     const DualGradientOptions& opts = {});
+
+}  // namespace sea

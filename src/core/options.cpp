@@ -1,0 +1,17 @@
+#include "core/options.hpp"
+
+namespace sea {
+
+const char* ToString(StopCriterion c) {
+  switch (c) {
+    case StopCriterion::kXChange:
+      return "x-change";
+    case StopCriterion::kResidualAbs:
+      return "residual-abs";
+    case StopCriterion::kResidualRel:
+      return "residual-rel";
+  }
+  return "?";
+}
+
+}  // namespace sea

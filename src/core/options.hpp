@@ -1,0 +1,63 @@
+// Solver configuration.
+#pragma once
+
+#include <cstddef>
+
+#include "equilibration/breakpoint_solver.hpp"
+
+namespace sea {
+
+class ThreadPool;
+
+// Stopping rules used in the paper's experiments.
+enum class StopCriterion {
+  // max_ij |x^t_ij - x^{t-1}_ij| <= epsilon (paper Step 3, Section 3.1.1;
+  // Table 1/5 runs with epsilon = .01). Compared across consecutive checks.
+  kXChange,
+  // max_i |sum_j x_ij - s_i| <= epsilon (absolute constraint residual; by
+  // eq. (27) equivalent to the dual gradient norm).
+  kResidualAbs,
+  // max_i |sum_j x_ij - s_i| / max(1, |s_i|) <= epsilon (paper Step 3,
+  // Section 3.1.2; Table 3 runs with epsilon = .001).
+  kResidualRel,
+};
+
+const char* ToString(StopCriterion c);
+
+struct SeaOptions {
+  double epsilon = 1e-2;
+  StopCriterion criterion = StopCriterion::kResidualRel;
+  std::size_t max_iterations = 200000;
+  // Verify convergence only every k-th iteration. The paper checks every
+  // iteration for the fixed examples and every other iteration for the
+  // elastic ones (Section 4.2) — the check is the serial phase, so spacing
+  // it improves parallel efficiency.
+  std::size_t check_every = 1;
+  SortPolicy sort_policy = SortPolicy::kAuto;
+  // Optional shared-memory pool for the row/column sweeps; null = serial.
+  ThreadPool* pool = nullptr;
+  // Record the phase-by-phase execution trace (per-market operation counts)
+  // for the N-processor schedule simulator.
+  bool record_trace = false;
+  // Record the dual value zeta_l(lambda, mu) after every iteration (used by
+  // the convergence-theory tests; costs one O(mn) pass per iteration).
+  bool record_dual_values = false;
+  // The paper's "Modified Algorithm" (Section 3.1): when positive, and the
+  // regime is kFixed or kSam, multipliers are rebalanced across support-graph
+  // connected components whenever some |lambda_i| exceeds this bound —
+  // keeping the dual iterates in a bounded set without changing the primal
+  // trajectory. 0 disables the modification.
+  double multiplier_bound = 0.0;
+};
+
+struct GeneralSeaOptions {
+  // Outer (projection-method) tolerance on max |x^t - x^{t-1}|.
+  double outer_epsilon = 1e-3;
+  std::size_t max_outer_iterations = 500;
+  // Inner diagonal-SEA settings. The inner stopping rule is residual-based;
+  // inner_epsilon is tightened relative to outer_epsilon if left at 0.
+  SeaOptions inner;
+  double inner_epsilon = 0.0;  // 0 = derive from outer_epsilon
+};
+
+}  // namespace sea

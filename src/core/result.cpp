@@ -1,0 +1,4 @@
+#include "core/result.hpp"
+
+// Result types are aggregates; this translation unit exists so the target
+// layout stays one-.cpp-per-header as the module grows (e.g. serialization).

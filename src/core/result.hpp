@@ -1,0 +1,45 @@
+// Solver run reports.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "parallel/speedup_model.hpp"
+#include "support/op_counter.hpp"
+
+namespace sea {
+
+struct SeaResult {
+  bool converged = false;
+  std::size_t iterations = 0;  // completed row+column iteration pairs
+  double final_residual = 0.0; // value of the active stopping measure
+  double objective = 0.0;      // primal objective at the returned solution
+  double wall_seconds = 0.0;
+  double cpu_seconds = 0.0;
+  // Phase breakdown (the parallel row/column phases vs the serial
+  // convergence-verification phase, paper Section 4.2).
+  double row_phase_seconds = 0.0;
+  double col_phase_seconds = 0.0;
+  double check_phase_seconds = 0.0;
+  OpCounts ops;
+  // Filled when SeaOptions::record_trace is set.
+  ExecutionTrace trace;
+  // Filled when SeaOptions::record_dual_values is set: zeta_l(lambda^{t+1},
+  // mu^{t+1}) after each iteration — nondecreasing by the paper's eq. (71).
+  std::vector<double> dual_values;
+};
+
+struct GeneralSeaResult {
+  bool converged = false;
+  std::size_t outer_iterations = 0;
+  std::size_t total_inner_iterations = 0;
+  double final_outer_change = 0.0;  // max |x^t - x^{t-1}| at termination
+  double objective = 0.0;
+  double wall_seconds = 0.0;
+  double cpu_seconds = 0.0;
+  double linearization_seconds = 0.0;  // dense matvec phases
+  OpCounts ops;
+  ExecutionTrace trace;
+};
+
+}  // namespace sea

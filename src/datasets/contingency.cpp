@@ -1,0 +1,98 @@
+#include "datasets/contingency.hpp"
+
+#include <cmath>
+
+#include "datasets/weights.hpp"
+#include "support/check.hpp"
+
+namespace sea::datasets {
+
+namespace {
+
+// Poisson draw via inversion for small means, normal approximation for
+// large ones (adequate for synthetic sampling).
+double PoissonDraw(double mean, Rng& rng) {
+  if (mean <= 0.0) return 0.0;
+  if (mean < 30.0) {
+    const double limit = std::exp(-mean);
+    double prod = rng.NextDouble();
+    double k = 0.0;
+    while (prod > limit) {
+      prod *= rng.NextDouble();
+      k += 1.0;
+    }
+    return k;
+  }
+  return std::max(0.0, std::round(mean + std::sqrt(mean) * rng.Normal()));
+}
+
+}  // namespace
+
+ContingencyInstance MakeContingency(const ContingencySpec& spec) {
+  SEA_CHECK(spec.rows > 0 && spec.cols > 0);
+  SEA_CHECK(spec.population > 0.0);
+  SEA_CHECK(spec.sample_rate > 0.0 && spec.sample_rate <= 1.0);
+  SEA_CHECK(spec.association >= 0.0 && spec.association <= 1.0);
+  Rng rng(spec.seed);
+
+  // Row/column profiles (Dirichlet-ish via normalized uniforms).
+  Vector r = rng.UniformVector(spec.rows, 0.2, 1.0);
+  Vector c = rng.UniformVector(spec.cols, 0.2, 1.0);
+  double rsum = 0.0, csum = 0.0;
+  for (double v : r) rsum += v;
+  for (double v : c) csum += v;
+
+  ContingencyInstance inst;
+  inst.population = DenseMatrix(spec.rows, spec.cols);
+  for (std::size_t i = 0; i < spec.rows; ++i) {
+    for (std::size_t j = 0; j < spec.cols; ++j) {
+      // Independence baseline times an association tilt that favours cells
+      // near the "diagonal" of the category orderings.
+      const double indep = (r[i] / rsum) * (c[j] / csum);
+      const double fi = double(i) / double(spec.rows);
+      const double fj = double(j) / double(spec.cols);
+      const double tilt =
+          std::exp(-spec.association * 6.0 * (fi - fj) * (fi - fj));
+      inst.population(i, j) = indep * tilt;
+    }
+  }
+  // Normalize to the population size.
+  double total = 0.0;
+  for (double v : inst.population.Flat()) total += v;
+  for (double& v : inst.population.Flat())
+    v = v / total * spec.population;
+
+  inst.row_margins = inst.population.RowSums();
+  inst.col_margins = inst.population.ColSums();
+
+  // Simulated sample: independent Poisson draws with mean rate*cell.
+  inst.sample = DenseMatrix(spec.rows, spec.cols);
+  for (std::size_t i = 0; i < spec.rows; ++i)
+    for (std::size_t j = 0; j < spec.cols; ++j)
+      inst.sample(i, j) =
+          PoissonDraw(spec.sample_rate * inst.population(i, j), rng);
+  return inst;
+}
+
+DiagonalProblem MakeAdjustmentProblem(const ContingencyInstance& instance) {
+  // Scale the population margins to the realized sample size so the target
+  // totals and the sample counts live on the same scale (Deming & Stephan's
+  // setting: margins known as proportions).
+  double sample_total = 0.0;
+  for (double v : instance.sample.Flat()) sample_total += v;
+  SEA_CHECK_MSG(sample_total > 0.0, "empty sample");
+  double pop_total = 0.0;
+  for (double v : instance.row_margins) pop_total += v;
+
+  const double scale = sample_total / pop_total;
+  Vector s0 = instance.row_margins;
+  Vector d0 = instance.col_margins;
+  for (double& v : s0) v *= scale;
+  for (double& v : d0) v *= scale;
+
+  DenseMatrix gamma = ChiSquareWeights(instance.sample);
+  return DiagonalProblem::MakeFixed(instance.sample, std::move(gamma),
+                                    std::move(s0), std::move(d0));
+}
+
+}  // namespace sea::datasets

@@ -1,0 +1,46 @@
+// Synthetic contingency-table adjustment instances — the statistics
+// application in the paper's opening list ("the treatment of census data
+// ... and the estimation of contingency tables in statistics"), and the
+// problem Deming & Stephan (1940) originally posed: adjust a sampled
+// cross-tabulation to known population margins while disturbing the sample
+// proportions as little as possible (their weighting gamma_ij = 1/x0_ij is
+// the paper's chi-square scheme).
+//
+// The generator draws a "population" table from independent-ish row/column
+// profiles with controllable association, then simulates a sample of given
+// size from it. The estimation problem is: given the sample counts and the
+// *population* margins, recover the cell structure.
+#pragma once
+
+#include "linalg/dense_matrix.hpp"
+#include "problems/diagonal_problem.hpp"
+#include "support/rng.hpp"
+
+namespace sea::datasets {
+
+struct ContingencySpec {
+  std::size_t rows = 6;
+  std::size_t cols = 8;
+  double population = 1e6;   // total population count
+  double sample_rate = 0.01; // expected sampling fraction
+  // Association strength: 0 = independent rows/columns, 1 = strongly
+  // associated (block-diagonal-ish affinity).
+  double association = 0.3;
+  std::uint64_t seed = 1940;
+};
+
+struct ContingencyInstance {
+  DenseMatrix population;  // the (unknown-in-practice) population table
+  DenseMatrix sample;      // simulated sample counts (the observed X0)
+  Vector row_margins;      // known population row totals
+  Vector col_margins;      // known population column totals
+};
+
+ContingencyInstance MakeContingency(const ContingencySpec& spec);
+
+// The Deming-Stephan adjustment problem for an instance: chi-square weights
+// on the sample counts, fixed population margins (scaled to the sample size
+// so the adjustment is comparable to the sample).
+DiagonalProblem MakeAdjustmentProblem(const ContingencyInstance& instance);
+
+}  // namespace sea::datasets

@@ -1,0 +1,33 @@
+// Generator for the paper's Table 7 instances: general quadratic constrained
+// matrix problems with 100% dense G, used for the SEA / RC / B-K comparison.
+//
+// Protocol (paper Section 5.1.1): X0 matrices from 10x10 to 120x120 (G from
+// 100x100 to 14400x14400); G symmetric, strictly diagonally dominant, diagonal
+// terms in [500, 800], negative off-diagonal elements allowed (simulating
+// variance-covariance structure); linear term coefficients uniform in
+// [100, 1000]. Row/column totals are taken from a random nonnegative
+// reference plan so the transportation polytope is nonempty.
+#pragma once
+
+#include <vector>
+
+#include "problems/general_problem.hpp"
+#include "support/rng.hpp"
+
+namespace sea::datasets {
+
+struct GeneralDenseOptions {
+  double lin_lo = 100.0;
+  double lin_hi = 1000.0;
+  double plan_lo = 0.1;   // reference plan entries for the totals
+  double plan_hi = 100.0;
+};
+
+GeneralProblem MakeGeneralDense(std::size_t m, std::size_t n, Rng& rng,
+                                const GeneralDenseOptions& opts = {});
+
+// The Table 7 sweep: X0 sizes 10, 20, 30, 50, 70, 100, 120 (G dimensions
+// 100 ... 14400).
+std::vector<std::size_t> Table7Sizes();
+
+}  // namespace sea::datasets

@@ -1,0 +1,76 @@
+#include "datasets/io_tables.hpp"
+
+#include "datasets/weights.hpp"
+#include "support/check.hpp"
+
+namespace sea::datasets {
+
+std::vector<IoTableSpec> Table2Specs() {
+  std::vector<IoTableSpec> specs;
+  auto add = [&specs](std::string name, std::size_t size, double density,
+                      char protocol, double ghi, std::uint64_t seed) {
+    IoTableSpec s;
+    s.name = std::move(name);
+    s.size = size;
+    s.density = density;
+    s.protocol = protocol;
+    s.growth_hi = ghi;
+    if (protocol == 'c') s.replications = 10;
+    s.base_seed = seed;
+    specs.push_back(std::move(s));
+  };
+  add("IOC72a", 205, 0.52, 'a', 0.10, 1972);
+  add("IOC72b", 205, 0.52, 'b', 1.00, 1972);
+  add("IOC72c", 205, 0.52, 'c', 0.0, 1972);
+  add("IOC77a", 205, 0.58, 'a', 0.10, 1977);
+  add("IOC77b", 205, 0.58, 'b', 1.00, 1977);
+  add("IOC77c", 205, 0.58, 'c', 0.0, 1977);
+  add("IO72a", 485, 0.16, 'a', 0.10, 4851972);
+  add("IO72b", 485, 0.16, 'b', 1.00, 4851972);
+  add("IO72c", 485, 0.16, 'c', 0.0, 4851972);
+  return specs;
+}
+
+DenseMatrix MakeIoBase(const IoTableSpec& spec) {
+  SEA_CHECK(spec.size > 0);
+  SEA_CHECK(spec.density > 0.0 && spec.density <= 1.0);
+  Rng rng(spec.base_seed);
+  DenseMatrix x0(spec.size, spec.size, 0.0);
+  for (double& v : x0.Flat())
+    if (rng.Bernoulli(spec.density)) v = rng.Uniform(0.1, 10000.0);
+  return x0;
+}
+
+DiagonalProblem MakeIoTable(const IoTableSpec& spec, std::size_t replication) {
+  DenseMatrix x0 = MakeIoBase(spec);
+  // A distinct stream per replication, independent of the base table.
+  Rng rng(spec.base_seed * 0x9e3779b9ULL + 0xD1CE + replication);
+
+  Vector s0 = x0.RowSums();
+  Vector d0 = x0.ColSums();
+
+  if (spec.protocol == 'a' || spec.protocol == 'b') {
+    // Grow each total by its own factor, then rescale the column totals so
+    // the fixed-totals problem stays consistent (sum s0 == sum d0).
+    for (double& v : s0) v *= 1.0 + rng.Uniform(spec.growth_lo, spec.growth_hi);
+    for (double& v : d0) v *= 1.0 + rng.Uniform(spec.growth_lo, spec.growth_hi);
+    double ssum = 0.0, dsum = 0.0;
+    for (double v : s0) ssum += v;
+    for (double v : d0) dsum += v;
+    const double rescale = ssum / dsum;
+    for (double& v : d0) v *= rescale;
+  } else {
+    SEA_CHECK_MSG(spec.protocol == 'c', "unknown protocol");
+    // Perturb the entries; keep the base totals (the estimation problem is
+    // to pull the perturbed matrix back onto the base margins). Only the
+    // table's support is perturbed — structural zeros stay zero.
+    for (double& v : x0.Flat())
+      if (v > 0.0) v += rng.Uniform(spec.perturb_lo, spec.perturb_hi);
+  }
+
+  DenseMatrix gamma = ChiSquareWeights(x0);
+  return DiagonalProblem::MakeFixed(std::move(x0), std::move(gamma),
+                                    std::move(s0), std::move(d0));
+}
+
+}  // namespace sea::datasets

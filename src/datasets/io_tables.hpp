@@ -1,0 +1,52 @@
+// Synthetic input/output table instances mirroring the paper's Table 2
+// datasets (Section 4.1.2).
+//
+// SUBSTITUTION NOTE. The paper uses the 1972/1977 US construction-activity
+// I/O matrices (205 sectors, 52%/58% dense) and the 485-sector 1972 US I/O
+// matrix (16% dense), provided by Polenske & Rockler — data we cannot
+// redistribute. These generators produce synthetic I/O tables matched on the
+// properties SEA's behaviour depends on: dimension, density, value spread,
+// chi-square weighting, and the a/b/c update protocols. The dataset names
+// keep the paper's labels with their defining parameters:
+//
+//   IOC72a/IOC72b : 205x205, 52% dense; totals grown by per-row/column
+//                   factors drawn from [0, 10%] (a) or [0, 100%] (b).
+//   IOC72c        : average over 10 instances; entries additively perturbed
+//                   by U[1, 10]; totals kept at the base sums.
+//   IOC77*        : as above at 58% density (different base seed).
+//   IO72*         : 485x485 at 16% density.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "problems/diagonal_problem.hpp"
+#include "support/rng.hpp"
+
+namespace sea::datasets {
+
+struct IoTableSpec {
+  std::string name;
+  std::size_t size = 205;
+  double density = 0.52;
+  // Update protocol: 'a'/'b' = grown totals, 'c' = perturbed entries.
+  char protocol = 'a';
+  double growth_lo = 0.0;
+  double growth_hi = 0.10;
+  double perturb_lo = 1.0;  // protocol 'c' additive range
+  double perturb_hi = 10.0;
+  std::size_t replications = 1;  // 'c' averages over 10 in the paper
+  std::uint64_t base_seed = 1972;
+};
+
+// The nine Table 2 rows.
+std::vector<IoTableSpec> Table2Specs();
+
+// Builds one fixed-totals I/O update problem from a spec and a replication
+// index (varies the perturbation stream, not the base table).
+DiagonalProblem MakeIoTable(const IoTableSpec& spec, std::size_t replication);
+
+// The synthetic base table for a spec (shared across replications).
+DenseMatrix MakeIoBase(const IoTableSpec& spec);
+
+}  // namespace sea::datasets

@@ -1,0 +1,30 @@
+#include "datasets/large_diagonal.hpp"
+
+#include "datasets/weights.hpp"
+#include "support/check.hpp"
+
+namespace sea::datasets {
+
+DiagonalProblem MakeLargeDiagonal(std::size_t m, std::size_t n, Rng& rng,
+                                  const LargeDiagonalOptions& opts) {
+  SEA_CHECK(m > 0 && n > 0);
+  SEA_CHECK(opts.value_lo > 0.0 && opts.value_hi >= opts.value_lo);
+  SEA_CHECK(opts.density > 0.0 && opts.density <= 1.0);
+  SEA_CHECK(opts.total_factor > 0.0);
+
+  DenseMatrix x0(m, n, 0.0);
+  for (double& v : x0.Flat())
+    if (opts.density >= 1.0 || rng.Bernoulli(opts.density))
+      v = rng.Uniform(opts.value_lo, opts.value_hi);
+
+  Vector s0 = x0.RowSums();
+  Vector d0 = x0.ColSums();
+  for (double& v : s0) v *= opts.total_factor;
+  for (double& v : d0) v *= opts.total_factor;
+
+  DenseMatrix gamma = ChiSquareWeights(x0);
+  return DiagonalProblem::MakeFixed(std::move(x0), std::move(gamma),
+                                    std::move(s0), std::move(d0));
+}
+
+}  // namespace sea::datasets

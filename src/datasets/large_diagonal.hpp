@@ -1,0 +1,27 @@
+// Generator for the paper's Table 1 instances: very large diagonal quadratic
+// constrained matrix problems with fixed row and column totals.
+//
+// Protocol (paper Section 4.1.1): m x n matrices from 750x750 to 3000x3000,
+// 100% dense, each x0_ij uniform in [.1, 10000] "to simulate the wide spread
+// of the initial data characteristic of both input/output and social
+// accounting matrices"; weights gamma_ij = 1/x0_ij; row totals
+// s0_i = 2 * sum_j x0_ij and column totals d0_j = 2 * sum_i x0_ij (totals are
+// consistent by construction: both sum to twice the grand total).
+#pragma once
+
+#include "problems/diagonal_problem.hpp"
+#include "support/rng.hpp"
+
+namespace sea::datasets {
+
+struct LargeDiagonalOptions {
+  double value_lo = 0.1;
+  double value_hi = 10000.0;
+  double density = 1.0;       // fraction of positive cells
+  double total_factor = 2.0;  // totals = factor * base sums
+};
+
+DiagonalProblem MakeLargeDiagonal(std::size_t m, std::size_t n, Rng& rng,
+                                  const LargeDiagonalOptions& opts = {});
+
+}  // namespace sea::datasets

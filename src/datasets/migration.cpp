@@ -1,0 +1,123 @@
+#include "datasets/migration.hpp"
+
+#include <cmath>
+
+#include "datasets/weights.hpp"
+#include "linalg/spd_generators.hpp"
+#include "support/check.hpp"
+
+namespace sea::datasets {
+
+namespace {
+
+std::vector<MigrationSpec> MakeSpecs(const char* prefix,
+                                     std::initializer_list<char> protocols) {
+  const std::pair<const char*, std::uint64_t> periods[] = {
+      {"5560", 5560}, {"6570", 6570}, {"7580", 7580}};
+  std::vector<MigrationSpec> specs;
+  for (const auto& [label, seed] : periods) {
+    for (char proto : protocols) {
+      MigrationSpec s;
+      s.name = std::string(prefix) + label + proto;
+      s.period_seed = seed;
+      s.protocol = proto;
+      specs.push_back(std::move(s));
+    }
+  }
+  return specs;
+}
+
+}  // namespace
+
+std::vector<MigrationSpec> Table4Specs() {
+  return MakeSpecs("MIG", {'a', 'b', 'c'});
+}
+
+std::vector<MigrationSpec> Table8Specs() {
+  return MakeSpecs("GMIG", {'a', 'b'});
+}
+
+DenseMatrix MakeMigrationBase(std::uint64_t period_seed) {
+  Rng rng(period_seed);
+  // State populations (log-uniform across roughly 0.5M..20M, scaled to the
+  // magnitude of five-year gross migration flows) and planar coordinates.
+  Vector pop(kStates), px(kStates), py(kStates);
+  for (std::size_t i = 0; i < kStates; ++i) {
+    pop[i] = 0.5e6 * std::exp(rng.Uniform(0.0, std::log(40.0)));
+    px[i] = rng.Uniform(0.0, 4000.0);  // km, continental-US scale
+    py[i] = rng.Uniform(0.0, 2500.0);
+  }
+  DenseMatrix x(kStates, kStates, 0.0);
+  for (std::size_t i = 0; i < kStates; ++i) {
+    for (std::size_t j = 0; j < kStates; ++j) {
+      if (j == i) continue;  // stayers are not part of the table
+      const double dx = px[i] - px[j], dy = py[i] - py[j];
+      const double dist2 = std::max(dx * dx + dy * dy, 100.0 * 100.0);
+      // Gravity flow, scaled so typical entries land in the 10^2..10^5
+      // range of the historical state-to-state tables.
+      x(i, j) = 2e-8 * pop[i] * pop[j] / dist2;
+    }
+  }
+  return x;
+}
+
+DiagonalProblem MakeMigration(const MigrationSpec& spec) {
+  DenseMatrix x0 = MakeMigrationBase(spec.period_seed);
+  Rng rng(spec.period_seed * 0x9e3779b9ULL + spec.protocol);
+
+  Vector s0 = x0.RowSums();
+  Vector d0 = x0.ColSums();
+
+  switch (spec.protocol) {
+    case 'a':
+      for (double& v : s0) v *= 1.0 + rng.Uniform(0.0, 0.10);
+      for (double& v : d0) v *= 1.0 + rng.Uniform(0.0, 0.10);
+      break;
+    case 'b':
+      for (double& v : s0) v *= 1.0 + rng.Uniform(0.0, 1.00);
+      for (double& v : d0) v *= 1.0 + rng.Uniform(0.0, 1.00);
+      break;
+    case 'c':
+      for (double& v : x0.Flat())
+        if (v > 0.0) v *= 1.0 + rng.Uniform(0.0, 0.10);
+      break;
+    default:
+      SEA_CHECK_MSG(false, "unknown migration protocol");
+  }
+
+  // Table 4 protocol: all weights equal to one.
+  const std::size_t n = kStates;
+  return DiagonalProblem::MakeElastic(std::move(x0), UnitWeights(n, n),
+                                      std::move(s0), Vector(n, 1.0),
+                                      std::move(d0), Vector(n, 1.0));
+}
+
+GeneralProblem MakeGeneralMigration(const MigrationSpec& spec) {
+  DenseMatrix x0 = MakeMigrationBase(spec.period_seed);
+  Rng rng(spec.period_seed * 0x51ed270bULL + spec.protocol);
+
+  Vector s0 = x0.RowSums();
+  Vector d0 = x0.ColSums();
+  // Fixed-totals regime: grow every total by its own factor in [0, 10%],
+  // then rescale the column totals for consistency.
+  for (double& v : s0) v *= 1.0 + rng.Uniform(0.0, 0.10);
+  for (double& v : d0) v *= 1.0 + rng.Uniform(0.0, 0.10);
+  double ssum = 0.0, dsum = 0.0;
+  for (double v : s0) ssum += v;
+  for (double v : d0) dsum += v;
+  for (double& v : d0) v *= ssum / dsum;
+
+  if (spec.protocol == 'b') {
+    // Additionally perturb each entry by its own factor in [0, 10%].
+    for (double& v : x0.Flat())
+      if (v > 0.0) v *= 1.0 + rng.Uniform(0.0, 0.10);
+  }
+
+  Rng grng = rng.Split();
+  DenseMatrix g =
+      MakeDiagonallyDominantSpd(kStates * kStates, grng, SpdOptions{});
+  return GeneralProblem::MakeFixedFromCenters(x0, std::move(g), std::move(s0),
+                                              std::move(d0));
+}
+
+}  // namespace sea::datasets

@@ -1,0 +1,56 @@
+// Synthetic US state-to-state migration table instances mirroring the
+// paper's Tables 4 (diagonal, elastic totals) and 8 (general, dense G).
+//
+// SUBSTITUTION NOTE. The paper uses Tobler's 1955-60 / 1965-70 / 1975-80
+// state-to-state migration tables (48x48 after removing Alaska, Hawaii and
+// DC). We synthesize 48x48 tables from a gravity model — flows proportional
+// to origin/destination populations over squared distance, zero diagonal
+// (stayers excluded) — with a distinct stream per "period", and apply the
+// paper's exact perturbation protocols:
+//
+//   a: each row/column total grown by its own factor in [0, 10%];
+//      entries unchanged. Totals become inconsistent -> elastic regime.
+//   b: as (a) with growth factors in [0, 100%].
+//   c: totals kept at the base sums; each entry perturbed by [0, 10%].
+//
+// Table 4 uses objective (5) with all weights equal to one (as the paper
+// states). Table 8 wraps the same tables in a general problem with a dense
+// 2304x2304 strictly-diagonally-dominant G ("GMIG*" instances, fixed
+// totals).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "problems/diagonal_problem.hpp"
+#include "problems/general_problem.hpp"
+#include "support/rng.hpp"
+
+namespace sea::datasets {
+
+inline constexpr std::size_t kStates = 48;
+
+struct MigrationSpec {
+  std::string name;
+  std::uint64_t period_seed = 5560;  // one synthetic stream per period
+  char protocol = 'a';               // 'a', 'b', or 'c'
+};
+
+// The nine Table 4 rows (MIG5560a ... MIG7580c).
+std::vector<MigrationSpec> Table4Specs();
+
+// The six Table 8 rows (GMIG5560a/b, GMIG6570a/b, GMIG7580a/b).
+std::vector<MigrationSpec> Table8Specs();
+
+// Gravity-model base table for a period (48x48, zero diagonal).
+DenseMatrix MakeMigrationBase(std::uint64_t period_seed);
+
+// Table 4 instance: elastic diagonal problem, unit weights.
+DiagonalProblem MakeMigration(const MigrationSpec& spec);
+
+// Table 8 instance: fixed-totals general problem with dense G generated per
+// the paper's Section 5.1.1 protocol (diagonal in [500, 800], mixed-sign
+// off-diagonals, strictly diagonally dominant).
+GeneralProblem MakeGeneralMigration(const MigrationSpec& spec);
+
+}  // namespace sea::datasets

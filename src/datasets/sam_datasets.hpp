@@ -1,0 +1,46 @@
+// Synthetic social accounting matrix (SAM) estimation instances mirroring
+// the paper's Table 3 datasets (Section 4.1.2).
+//
+// SUBSTITUTION NOTE. The paper's SAMs (Stone's classic 5-account example,
+// the 1973 Turkish SAM, the 1970 Sri Lanka SAM, the perturbed USDA 1982 US
+// SAM, and three random large SAMs) are not redistributable. These
+// generators match them on the reported structure:
+//
+//   STONE    5 accounts,   12 transactions
+//   TURK     8 accounts,   19 transactions
+//   SRI      6 accounts,   20 transactions
+//   USDA82E  133 accounts, 17,689 transactions (fully dense, "difficult")
+//   S500     500 accounts, fully dense
+//   S750     750 accounts, fully dense
+//   S1000    1000 accounts, fully dense
+//
+// Each instance starts from a *consistent* synthetic SAM (row total i equals
+// column total i exactly), then perturbs the transactions so the observed
+// data are inconsistent — the estimation problem (objective (9), constraints
+// (7)-(8)) must rebalance the accounts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "problems/diagonal_problem.hpp"
+#include "support/rng.hpp"
+
+namespace sea::datasets {
+
+struct SamSpec {
+  std::string name;
+  std::size_t accounts = 5;
+  // Number of nonzero transactions; 0 = fully dense (off-diagonal).
+  std::size_t transactions = 0;
+  double perturbation = 0.10;  // relative entry perturbation magnitude
+  std::uint64_t seed = 1985;
+};
+
+// The seven Table 3 rows.
+std::vector<SamSpec> Table3Specs();
+
+// Builds a SAM estimation problem (TotalsMode::kSam).
+DiagonalProblem MakeSam(const SamSpec& spec);
+
+}  // namespace sea::datasets

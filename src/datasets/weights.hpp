@@ -1,0 +1,48 @@
+// Weighting schemes for constrained matrix objectives (paper Section 2).
+#pragma once
+
+#include <cmath>
+
+#include "linalg/dense_matrix.hpp"
+#include "support/check.hpp"
+
+namespace sea::datasets {
+
+// Chi-square weights gamma_ij = 1 / x0_ij (Deming & Stephan 1940; the
+// weighting used throughout the paper's experiments). Cells with x0_ij = 0
+// get weight 1/zero_value — a stiff spring keeping near-structural zeros
+// near zero while preserving strict convexity.
+inline DenseMatrix ChiSquareWeights(const DenseMatrix& x0,
+                                    double zero_value = 1e-3) {
+  SEA_CHECK(zero_value > 0.0);
+  DenseMatrix g(x0.rows(), x0.cols());
+  auto out = g.Flat();
+  const auto in = x0.Flat();
+  for (std::size_t k = 0; k < in.size(); ++k) {
+    SEA_CHECK_MSG(in[k] >= 0.0, "base matrix must be nonnegative");
+    out[k] = 1.0 / (in[k] > 0.0 ? in[k] : zero_value);
+  }
+  return g;
+}
+
+// Uniform (least-squares) weights (Friedlander 1961).
+inline DenseMatrix UnitWeights(std::size_t m, std::size_t n) {
+  return DenseMatrix(m, n, 1.0);
+}
+
+// Square-root weights gamma_ij = 1 / sqrt(x0_ij) — the paper's alternative
+// mixed scheme.
+inline DenseMatrix SqrtWeights(const DenseMatrix& x0,
+                               double zero_value = 1e-3) {
+  SEA_CHECK(zero_value > 0.0);
+  DenseMatrix g(x0.rows(), x0.cols());
+  auto out = g.Flat();
+  const auto in = x0.Flat();
+  for (std::size_t k = 0; k < in.size(); ++k) {
+    SEA_CHECK_MSG(in[k] >= 0.0, "base matrix must be nonnegative");
+    out[k] = 1.0 / std::sqrt(in[k] > 0.0 ? in[k] : zero_value);
+  }
+  return g;
+}
+
+}  // namespace sea::datasets

@@ -1,0 +1,252 @@
+#include "entropy/entropy_sea.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/check.hpp"
+#include "support/stopwatch.hpp"
+
+namespace sea {
+
+void EntropyProblem::Validate() const {
+  SEA_CHECK_MSG(x0.rows() > 0 && x0.cols() > 0, "empty problem");
+  for (double v : x0.Flat())
+    SEA_CHECK_MSG(v >= 0.0, "base matrix must be nonnegative");
+  SEA_CHECK_MSG(s0.size() == x0.rows() && d0.size() == x0.cols(),
+                "totals size mismatch");
+  double ssum = 0.0, dsum = 0.0;
+  for (double v : s0) {
+    SEA_CHECK_MSG(v >= 0.0, "totals must be nonnegative");
+    ssum += v;
+  }
+  for (double v : d0) {
+    SEA_CHECK_MSG(v >= 0.0, "totals must be nonnegative");
+    dsum += v;
+  }
+  SEA_CHECK_MSG(std::abs(ssum - dsum) <= 1e-8 * std::max({1.0, ssum, dsum}),
+                "totals are inconsistent");
+}
+
+double EntropyObjective(const DenseMatrix& x, const DenseMatrix& x0) {
+  SEA_CHECK(x.SameShape(x0));
+  double obj = 0.0;
+  const auto xf = x.Flat();
+  const auto bf = x0.Flat();
+  for (std::size_t k = 0; k < xf.size(); ++k) {
+    SEA_CHECK_MSG(xf[k] >= 0.0, "estimate must be nonnegative");
+    if (bf[k] == 0.0) {
+      SEA_CHECK_MSG(xf[k] == 0.0,
+                    "estimate must vanish on the base matrix's zeros");
+      continue;
+    }
+    if (xf[k] > 0.0) obj += xf[k] * std::log(xf[k] / bf[k]) - xf[k];
+    obj += bf[k];
+  }
+  return obj;
+}
+
+double EntropyDualValue(const EntropyProblem& p, const Vector& lambda,
+                        const Vector& mu) {
+  const std::size_t m = p.x0.rows(), n = p.x0.cols();
+  SEA_CHECK(lambda.size() == m && mu.size() == n);
+  double val = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto row = p.x0.Row(i);
+    for (std::size_t j = 0; j < n; ++j)
+      if (row[j] > 0.0)
+        val += row[j] * (1.0 - std::exp(lambda[i] + mu[j]));
+  }
+  for (std::size_t i = 0; i < m; ++i) val += lambda[i] * p.s0[i];
+  for (std::size_t j = 0; j < n; ++j) val += mu[j] * p.d0[j];
+  return val;
+}
+
+EntropySeaRun SolveEntropy(const EntropyProblem& p, const SeaOptions& opts) {
+  p.Validate();
+  SEA_CHECK(opts.epsilon > 0.0);
+  SEA_CHECK(opts.check_every >= 1);
+  const std::size_t m = p.x0.rows(), n = p.x0.cols();
+
+  Stopwatch wall;
+  const double cpu0 = ProcessCpuSeconds();
+
+  EntropySeaRun run;
+  run.lambda.assign(m, 0.0);
+  run.mu.assign(n, 0.0);
+  run.x = p.x0;
+  SeaResult& result = run.result;
+
+  // A row (column) with empty support but a positive target makes the
+  // problem infeasible regardless of iteration; detect up front.
+  {
+    const Vector rows = p.x0.RowSums();
+    const Vector cols = p.x0.ColSums();
+    for (std::size_t i = 0; i < m; ++i)
+      if (rows[i] == 0.0 && p.s0[i] > 0.0) return run;
+    for (std::size_t j = 0; j < n; ++j)
+      if (cols[j] == 0.0 && p.d0[j] > 0.0) return run;
+  }
+
+  DenseMatrix x_prev;
+  bool have_prev = false;
+  Vector exp_mu(n), exp_lambda(m);
+
+  for (std::size_t t = 1; t <= opts.max_iterations; ++t) {
+    const bool check_now =
+        (t % opts.check_every == 0) || (t == opts.max_iterations);
+
+    // ---- Row step: exact dual maximization over lambda (a row scaling).
+    for (std::size_t j = 0; j < n; ++j) exp_mu[j] = std::exp(run.mu[j]);
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto row = p.x0.Row(i);
+      double denom = 0.0;
+      for (std::size_t j = 0; j < n; ++j) denom += row[j] * exp_mu[j];
+      if (denom > 0.0) {
+        // s0 == 0 legitimately drives the scaling to -inf; divergent
+        // (infeasible) instances drive it to +inf. Clamp to +-700 so the
+        // iterate stays finite and the residual check reports the failure
+        // instead of silently comparing NaNs.
+        run.lambda[i] =
+            (p.s0[i] > 0.0)
+                ? std::clamp(std::log(p.s0[i] / denom), -700.0, 700.0)
+                : -700.0;
+      }
+      result.ops.flops += 2 * n + 2;
+    }
+
+    // ---- Column step: exact dual maximization over mu (a column scaling),
+    // materializing x for the convergence check.
+    for (std::size_t i = 0; i < m; ++i)
+      exp_lambda[i] = std::exp(run.lambda[i]);
+    for (std::size_t j = 0; j < n; ++j) {
+      double denom = 0.0;
+      for (std::size_t i = 0; i < m; ++i)
+        denom += p.x0(i, j) * exp_lambda[i];
+      if (denom > 0.0)
+        run.mu[j] =
+            (p.d0[j] > 0.0)
+                ? std::clamp(std::log(p.d0[j] / denom), -700.0, 700.0)
+                : -700.0;
+      result.ops.flops += 2 * m + 2;
+    }
+    result.iterations = t;
+
+    if (!check_now) continue;
+
+    for (std::size_t j = 0; j < n; ++j) exp_mu[j] = std::exp(run.mu[j]);
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto base = p.x0.Row(i);
+      auto xi = run.x.Row(i);
+      for (std::size_t j = 0; j < n; ++j)
+        xi[j] = base[j] * exp_lambda[i] * exp_mu[j];
+    }
+
+    double measure = 0.0;
+    if (opts.criterion == StopCriterion::kXChange) {
+      measure = have_prev ? run.x.MaxAbsDiff(x_prev)
+                          : std::numeric_limits<double>::infinity();
+      x_prev = run.x;
+      have_prev = true;
+    } else {
+      // Columns are exact after the column step; measure row residuals.
+      const Vector rows = run.x.RowSums();
+      for (std::size_t i = 0; i < m; ++i) {
+        double r = std::abs(rows[i] - p.s0[i]);
+        if (opts.criterion == StopCriterion::kResidualRel)
+          r /= std::max(1.0, std::abs(p.s0[i]));
+        measure = std::max(measure, r);
+      }
+    }
+    result.ops.flops += 2 * static_cast<std::uint64_t>(m) * n;
+    result.final_residual = measure;
+    if (measure <= opts.epsilon) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // On divergent (infeasible-support) runs the scalings blow up and the
+  // iterate is not a valid estimate; report an infinite objective instead of
+  // tripping the objective's own validation.
+  bool finite = true;
+  for (double v : run.x.Flat())
+    if (!std::isfinite(v) || v < 0.0) finite = false;
+  result.objective = (result.converged && finite)
+                         ? EntropyObjective(run.x, p.x0)
+                         : std::numeric_limits<double>::infinity();
+  result.wall_seconds = wall.Seconds();
+  result.cpu_seconds = ProcessCpuSeconds() - cpu0;
+  return run;
+}
+
+EntropySamRun SolveEntropySam(const DenseMatrix& x0, const SeaOptions& opts) {
+  SEA_CHECK_MSG(x0.rows() == x0.cols(), "SAM balancing needs a square matrix");
+  for (double v : x0.Flat())
+    SEA_CHECK_MSG(v >= 0.0, "base matrix must be nonnegative");
+  SEA_CHECK(opts.epsilon > 0.0);
+  const std::size_t n = x0.rows();
+
+  Stopwatch wall;
+  const double cpu0 = ProcessCpuSeconds();
+
+  EntropySamRun run;
+  run.nu.assign(n, 0.0);
+  run.x = x0;
+  SeaResult& result = run.result;
+
+  Vector expp(n, 1.0), expm(n, 1.0);  // e^{nu}, e^{-nu}
+
+  for (std::size_t t = 1; t <= opts.max_iterations; ++t) {
+    const bool check_now =
+        (t % opts.check_every == 0) || (t == opts.max_iterations);
+
+    // Gauss-Seidel over the potentials with exact coordinate maximization.
+    for (std::size_t i = 0; i < n; ++i) {
+      double receipts = 0.0;   // sum_j x0_ji e^{nu_j}, j != i
+      double expenses = 0.0;   // sum_j x0_ij e^{-nu_j}, j != i
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        receipts += x0(j, i) * expp[j];
+        expenses += x0(i, j) * expm[j];
+      }
+      result.ops.flops += 4 * n;
+      if (receipts > 0.0 && expenses > 0.0) {
+        const double nu =
+            std::clamp(0.5 * std::log(receipts / expenses), -700.0, 700.0);
+        run.nu[i] = nu;
+        expp[i] = std::exp(nu);
+        expm[i] = 1.0 / expp[i];
+      }
+      // An account with one empty off-diagonal side balances trivially
+      // (its flows all vanish or are diagonal); keep nu_i = 0.
+    }
+    result.iterations = t;
+    if (!check_now) continue;
+
+    // Materialize and measure the worst relative account imbalance.
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        run.x(i, j) = x0(i, j) * expp[i] * expm[j];
+    double measure = 0.0;
+    const Vector rows = run.x.RowSums();
+    const Vector cols = run.x.ColSums();
+    for (std::size_t i = 0; i < n; ++i)
+      measure = std::max(measure, std::abs(rows[i] - cols[i]) /
+                                      std::max(1.0, rows[i]));
+    result.ops.flops += 3 * static_cast<std::uint64_t>(n) * n;
+    result.final_residual = measure;
+    if (measure <= opts.epsilon) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.objective = result.converged ? EntropyObjective(run.x, x0)
+                                      : std::numeric_limits<double>::infinity();
+  result.wall_seconds = wall.Seconds();
+  result.cpu_seconds = ProcessCpuSeconds() - cpu0;
+  return run;
+}
+
+}  // namespace sea

@@ -1,0 +1,100 @@
+// Exact equilibration of a single market: the closed-form solver that every
+// row/column equilibrium subproblem of SEA reduces to.
+//
+// Problem: each row (supply market) or column (demand market) subproblem of
+// the splitting equilibration algorithm is a singly-constrained quadratic
+// knapsack. Its KKT conditions (paper eqs. (20)-(23)) say the optimal
+// allocations are a piecewise-linear function of the constraint's multiplier:
+//
+//    x_j(lambda) = max(0, p_j + q_j * lambda),   q_j > 0,
+//
+// and the multiplier solves the scalar "market clearing" equation
+//
+//    sum_j x_j(lambda) = u + v * lambda,         v <= 0,
+//
+// where the right-hand side is a fixed total (v = 0, paper Section 3.1.3) or
+// an elastic affine supply/demand response (v < 0, Sections 3.1.1-3.1.2).
+// The left side is piecewise-linear and nondecreasing with breakpoints
+// b_j = -p_j / q_j; the right side is affine nonincreasing, so the crossing
+// is unique and is found *exactly* by sorting the breakpoints and sweeping
+// (Eydeland & Nagurney 1989's "exact equilibration").
+//
+// Sorting: the paper uses HEAPSORT for long arrays (Section 4.1.1) and
+// STRAIGHT INSERTION for arrays of 10..120 elements (Section 5.1.1). We
+// implement both and pick by length (overridable), and count comparisons so
+// the complexity model (7n + n ln n + 2n per market) can be validated.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "support/op_counter.hpp"
+
+namespace sea {
+
+// One allocation arc of the market: x_j(lambda) = max(0, p + q*lambda).
+struct Arc {
+  double p = 0.0;
+  double q = 0.0;  // must be > 0
+};
+
+enum class SortPolicy {
+  kAuto,       // insertion sort below kInsertionThreshold, heapsort above
+  kInsertion,  // straight insertion sort (paper Section 5.1.1)
+  kHeapsort,   // heapsort (paper Section 4.1.1)
+};
+
+inline constexpr std::size_t kInsertionThreshold = 128;
+
+struct BreakpointResult {
+  double lambda = 0.0;
+  std::size_t active_count = 0;  // arcs with x_j(lambda) > 0
+  bool feasible = true;          // false only if v == 0 and u < 0
+  OpCounts ops;
+};
+
+// Reusable scratch for one solver call; reuse across calls to avoid
+// per-market allocation on the hot path.
+class BreakpointWorkspace {
+ public:
+  // Arcs for the caller to fill before Solve (resized as needed).
+  std::vector<Arc>& arcs() { return arcs_; }
+
+ private:
+  friend BreakpointResult SolveMarket(BreakpointWorkspace&, double, double,
+                                      SortPolicy);
+  struct Node {
+    double b;  // breakpoint -p/q
+    double p;
+    double q;
+  };
+  std::vector<Arc> arcs_;
+  std::vector<Node> nodes_;
+};
+
+// Solves sum_j max(0, p_j + q_j*lambda) = u + v*lambda over the arcs
+// currently in ws.arcs(). Preconditions: all q_j > 0, v <= 0, and u >= 0
+// when v == 0. The arcs vector is left unchanged.
+BreakpointResult SolveMarket(BreakpointWorkspace& ws, double u, double v,
+                             SortPolicy policy = SortPolicy::kAuto);
+
+// Interval-total variant (Harrigan & Buchanan 1984 extension): clears
+// against the *clamped* response
+//
+//    sum_j max(0, p_j + q_j*lambda) = clamp(u + v*lambda, lo, hi),
+//
+// the closed form of a market whose total is both penalized and box
+// constrained (lo <= total <= hi). Requires v < 0 and 0 <= lo <= hi. The
+// left side is nondecreasing and the right side nonincreasing, so the
+// crossing is unique; it is found by testing the three response pieces.
+BreakpointResult SolveMarketBox(BreakpointWorkspace& ws, double u, double v,
+                                double lo, double hi,
+                                SortPolicy policy = SortPolicy::kAuto);
+
+// Evaluates sum_j max(0, p_j + q_j*lambda) for the given arcs — the
+// left-hand side of the clearing equation, used by tests and by callers that
+// need allocations after solving.
+double EvaluateSupply(std::span<const Arc> arcs, double lambda);
+
+}  // namespace sea

@@ -1,0 +1,134 @@
+#include "equilibration/equilibrator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "parallel/parallel_for.hpp"
+#include "support/check.hpp"
+
+namespace sea {
+
+namespace {
+
+// Fills ws.arcs() for one market and returns the clearing target (u, v).
+// centers/weights/other_mult are the market's contiguous data.
+void BuildArcs(std::span<const double> centers, std::span<const double> weights,
+               std::span<const double> other_mult, BreakpointWorkspace& ws) {
+  const std::size_t n = centers.size();
+  auto& arcs = ws.arcs();
+  arcs.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double q = 1.0 / (2.0 * weights[j]);
+    arcs[j] = {centers[j] + other_mult[j] * q, q};
+  }
+}
+
+}  // namespace
+
+// Clearing target for market i of the given side.
+void ClearingTarget(const MarketSide& side, std::size_t i, double& u,
+                    double& v) {
+  switch (side.mode) {
+    case TotalsMode::kFixed:
+      u = side.t0[i];
+      v = 0.0;
+      break;
+    case TotalsMode::kElastic:
+    case TotalsMode::kInterval:
+      u = side.t0[i];
+      v = -1.0 / (2.0 * side.weight[i]);
+      break;
+    case TotalsMode::kSam: {
+      const double inv2a = 1.0 / (2.0 * side.weight[i]);
+      u = side.t0[i] - side.coupling[i] * inv2a;
+      v = -inv2a;
+      break;
+    }
+  }
+}
+
+BreakpointResult EquilibrateMarket(std::span<const double> centers,
+                                   std::span<const double> weights,
+                                   std::span<const double> other_mult,
+                                   double u, double v, BreakpointWorkspace& ws,
+                                   std::span<double> x_out,
+                                   SortPolicy policy) {
+  SEA_DCHECK(centers.size() == weights.size());
+  SEA_DCHECK(centers.size() == other_mult.size());
+  BuildArcs(centers, weights, other_mult, ws);
+  BreakpointResult res = SolveMarket(ws, u, v, policy);
+  res.ops.flops += 2 * centers.size();  // arc construction
+  if (!x_out.empty()) {
+    SEA_DCHECK(x_out.size() == centers.size());
+    const auto& arcs = ws.arcs();
+    for (std::size_t j = 0; j < arcs.size(); ++j)
+      x_out[j] = std::max(0.0, arcs[j].p + arcs[j].q * res.lambda);
+    res.ops.flops += 2 * centers.size();
+  }
+  return res;
+}
+
+SweepStats EquilibrateSide(const DenseMatrix& centers,
+                           const DenseMatrix& weights,
+                           std::span<const double> other_mult,
+                           const MarketSide& side, std::span<double> mult_out,
+                           DenseMatrix* x_out, const SweepOptions& opts) {
+  const std::size_t markets = centers.rows();
+  const std::size_t arcs = centers.cols();
+  SEA_CHECK(weights.SameShape(centers));
+  SEA_CHECK(other_mult.size() == arcs);
+  SEA_CHECK(mult_out.size() == markets);
+  SEA_CHECK(side.t0.size() == markets);
+  if (side.mode != TotalsMode::kFixed)
+    SEA_CHECK(side.weight.size() == markets);
+  if (side.mode == TotalsMode::kSam)
+    SEA_CHECK(side.coupling.size() == markets);
+  if (side.mode == TotalsMode::kInterval)
+    SEA_CHECK(side.lo.size() == markets && side.hi.size() == markets);
+  if (x_out != nullptr) SEA_CHECK(x_out->SameShape(centers));
+
+  SweepStats stats;
+  if (opts.record_task_costs) stats.task_costs.assign(markets, 0.0);
+
+  const std::size_t workers = WorkerCount(opts.pool);
+  std::vector<BreakpointWorkspace> ws(workers);
+  std::vector<OpCounts> worker_ops(workers);
+
+  ForRangeWorker(opts.pool, markets,
+                 [&](std::size_t begin, std::size_t end, std::size_t w) {
+    BreakpointWorkspace& wksp = ws[w];
+    OpCounts local;
+    for (std::size_t i = begin; i < end; ++i) {
+      double u = 0.0, v = 0.0;
+      ClearingTarget(side, i, u, v);
+      std::span<double> xrow =
+          (x_out != nullptr) ? x_out->Row(i) : std::span<double>{};
+      BreakpointResult res;
+      if (side.mode == TotalsMode::kInterval) {
+        BuildArcs(centers.Row(i), weights.Row(i), other_mult, wksp);
+        res = SolveMarketBox(wksp, u, v, side.lo[i], side.hi[i],
+                             opts.sort_policy);
+        res.ops.flops += 2 * arcs;
+        if (!xrow.empty()) {
+          const auto& a = wksp.arcs();
+          for (std::size_t j = 0; j < arcs; ++j)
+            xrow[j] = std::max(0.0, a[j].p + a[j].q * res.lambda);
+          res.ops.flops += 2 * arcs;
+        }
+      } else {
+        res = EquilibrateMarket(centers.Row(i), weights.Row(i), other_mult, u,
+                                v, wksp, xrow, opts.sort_policy);
+      }
+      SEA_INTERNAL_CHECK(res.feasible);
+      mult_out[i] = res.lambda;
+      if (opts.record_task_costs) stats.task_costs[i] = res.ops.Work();
+      local += res.ops;
+    }
+    worker_ops[w] = local;
+  });
+
+  for (const auto& o : worker_ops) stats.total_ops += o;
+  return stats;
+}
+
+}  // namespace sea

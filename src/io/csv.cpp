@@ -1,0 +1,112 @@
+#include "io/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace sea {
+
+namespace {
+
+std::string EscapeCell(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::vector<std::string> SplitLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cur;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  cells.push_back(std::move(cur));
+  return cells;
+}
+
+}  // namespace
+
+void WriteCsv(const std::string& path, const std::vector<std::string>& header,
+              const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream f(path);
+  SEA_CHECK_MSG(f.good(), "cannot open file for writing: " + path);
+  auto write_row = [&f](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) f << ',';
+      f << EscapeCell(row[c]);
+    }
+    f << '\n';
+  };
+  if (!header.empty()) write_row(header);
+  for (const auto& row : rows) write_row(row);
+}
+
+std::vector<std::vector<std::string>> ReadCsv(const std::string& path) {
+  std::ifstream f(path);
+  SEA_CHECK_MSG(f.good(), "cannot open file for reading: " + path);
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(f, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    rows.push_back(SplitLine(line));
+  }
+  return rows;
+}
+
+void WriteMatrixCsv(const std::string& path, const DenseMatrix& m) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(m.rows());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    std::vector<std::string> row;
+    row.reserve(m.cols());
+    for (double v : m.Row(i)) {
+      std::ostringstream os;
+      os.precision(17);
+      os << v;
+      row.push_back(os.str());
+    }
+    rows.push_back(std::move(row));
+  }
+  WriteCsv(path, {}, rows);
+}
+
+DenseMatrix ReadMatrixCsv(const std::string& path) {
+  const auto rows = ReadCsv(path);
+  SEA_CHECK_MSG(!rows.empty(), "empty matrix file: " + path);
+  DenseMatrix m(rows.size(), rows.front().size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    SEA_CHECK_MSG(rows[i].size() == m.cols(), "ragged matrix file: " + path);
+    for (std::size_t j = 0; j < m.cols(); ++j)
+      m(i, j) = std::stod(rows[i][j]);
+  }
+  return m;
+}
+
+}  // namespace sea

@@ -1,0 +1,24 @@
+// Minimal CSV reading/writing for matrices and result records.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "linalg/dense_matrix.hpp"
+
+namespace sea {
+
+// Writes rows of string cells; cells containing commas/quotes are quoted.
+void WriteCsv(const std::string& path,
+              const std::vector<std::string>& header,
+              const std::vector<std::vector<std::string>>& rows);
+
+// Reads a CSV file into rows of cells (handles quoted cells; no embedded
+// newlines inside cells).
+std::vector<std::vector<std::string>> ReadCsv(const std::string& path);
+
+// Matrix round trip (no header row).
+void WriteMatrixCsv(const std::string& path, const DenseMatrix& m);
+DenseMatrix ReadMatrixCsv(const std::string& path);
+
+}  // namespace sea

@@ -1,0 +1,54 @@
+#include "io/experiment_record.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "io/table_printer.hpp"
+#include "support/check.hpp"
+
+namespace sea {
+
+void ExperimentLog::Add(std::string experiment, std::string dataset,
+                        std::string metric, double measured,
+                        std::optional<double> paper, std::string note) {
+  ExperimentRecord rec;
+  rec.experiment = std::move(experiment);
+  rec.dataset = std::move(dataset);
+  rec.metric = std::move(metric);
+  rec.measured = measured;
+  rec.paper = paper;
+  rec.note = std::move(note);
+  records_.push_back(std::move(rec));
+}
+
+void ExperimentLog::Print(std::ostream& os) const {
+  TablePrinter t({"experiment", "dataset", "metric", "measured", "paper",
+                  "measured/paper", "note"});
+  for (const auto& r : records_) {
+    std::string paper = "-", ratio = "-";
+    if (r.paper.has_value()) {
+      paper = TablePrinter::Num(*r.paper, 4);
+      if (*r.paper != 0.0)
+        ratio = TablePrinter::Num(r.measured / *r.paper, 4);
+    }
+    t.AddRow({r.experiment, r.dataset, r.metric,
+              TablePrinter::Num(r.measured, 4), paper, ratio, r.note});
+  }
+  t.Print(os);
+}
+
+void ExperimentLog::AppendCsv(const std::string& path) const {
+  const bool exists = std::filesystem::exists(path);
+  std::ofstream f(path, std::ios::app);
+  SEA_CHECK_MSG(f.good(), "cannot open file for append: " + path);
+  if (!exists)
+    f << "experiment,dataset,metric,measured,paper,note\n";
+  for (const auto& r : records_) {
+    f << r.experiment << ',' << r.dataset << ',' << r.metric << ','
+      << r.measured << ',';
+    if (r.paper.has_value()) f << *r.paper;
+    f << ',' << r.note << '\n';
+  }
+}
+
+}  // namespace sea

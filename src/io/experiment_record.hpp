@@ -1,0 +1,46 @@
+// Paper-vs-measured experiment records.
+//
+// Every bench emits one record per table row: the paper's reported value
+// (CPU seconds, speedup, ...) side by side with this build's measurement.
+// Records can be printed as a table and appended to a CSV so EXPERIMENTS.md
+// can be regenerated from bench output.
+#pragma once
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sea {
+
+struct ExperimentRecord {
+  std::string experiment;  // e.g. "table1"
+  std::string dataset;     // e.g. "1000x1000"
+  std::string metric;      // e.g. "cpu_seconds"
+  double measured = 0.0;
+  std::optional<double> paper;  // the paper's reported value, if any
+  std::string note;
+};
+
+class ExperimentLog {
+ public:
+  void Add(ExperimentRecord rec) { records_.push_back(std::move(rec)); }
+
+  void Add(std::string experiment, std::string dataset, std::string metric,
+           double measured, std::optional<double> paper = std::nullopt,
+           std::string note = {});
+
+  const std::vector<ExperimentRecord>& records() const { return records_; }
+
+  // Paper-vs-measured table (includes the measured/paper ratio, the number
+  // the "shape holds" judgement rests on).
+  void Print(std::ostream& os) const;
+
+  // Appends to a CSV (writes the header if the file does not exist).
+  void AppendCsv(const std::string& path) const;
+
+ private:
+  std::vector<ExperimentRecord> records_;
+};
+
+}  // namespace sea

@@ -1,0 +1,71 @@
+#include "io/table_printer.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <iomanip>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace sea {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  SEA_CHECK(!headers_.empty());
+}
+
+std::string TablePrinter::Num(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string TablePrinter::Int(long long value) { return std::to_string(value); }
+
+TablePrinter& TablePrinter::AddRow(std::vector<std::string> cells) {
+  SEA_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+namespace {
+
+bool LooksNumeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s)
+    if (std::isalpha(static_cast<unsigned char>(c)) && c != 'e' && c != 'E')
+      return false;
+  return std::isdigit(static_cast<unsigned char>(s.front())) ||
+         s.front() == '-' || s.front() == '.' || s.front() == '+';
+}
+
+}  // namespace
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << "  ";
+      if (LooksNumeric(row[c]))
+        os << std::setw(static_cast<int>(width[c])) << std::right << row[c];
+      else
+        os << std::setw(static_cast<int>(width[c])) << std::left << row[c];
+    }
+    os << '\n';
+  };
+
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c)
+    total += width[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace sea

@@ -1,0 +1,32 @@
+// Fixed-width table formatting for the benchmark harness, so the benches
+// print rows in the same shape as the paper's tables.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sea {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Cell helpers.
+  static std::string Num(double value, int precision = 4);
+  static std::string Int(long long value);
+
+  TablePrinter& AddRow(std::vector<std::string> cells);
+
+  // Renders with column widths fitted to contents, a header rule, and
+  // right-aligned numeric-looking cells.
+  void Print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sea

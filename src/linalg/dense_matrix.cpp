@@ -1,0 +1,77 @@
+#include "linalg/dense_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sea {
+
+DenseMatrix DenseMatrix::Identity(std::size_t n) {
+  DenseMatrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+DenseMatrix DenseMatrix::Diagonal(const Vector& diag) {
+  DenseMatrix m(diag.size(), diag.size(), 0.0);
+  for (std::size_t i = 0; i < diag.size(); ++i) m(i, i) = diag[i];
+  return m;
+}
+
+DenseMatrix DenseMatrix::Transposed() const {
+  DenseMatrix t(cols_, rows_);
+  // Blocked transpose for cache friendliness on the large instances.
+  constexpr std::size_t kBlock = 64;
+  for (std::size_t ib = 0; ib < rows_; ib += kBlock) {
+    const std::size_t iend = std::min(rows_, ib + kBlock);
+    for (std::size_t jb = 0; jb < cols_; jb += kBlock) {
+      const std::size_t jend = std::min(cols_, jb + kBlock);
+      for (std::size_t i = ib; i < iend; ++i)
+        for (std::size_t j = jb; j < jend; ++j) t(j, i) = (*this)(i, j);
+    }
+  }
+  return t;
+}
+
+Vector DenseMatrix::DiagonalVector() const {
+  SEA_CHECK(rows_ == cols_);
+  Vector d(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) d[i] = (*this)(i, i);
+  return d;
+}
+
+Vector DenseMatrix::RowSums() const {
+  Vector s(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    for (double v : Row(i)) acc += v;
+    s[i] = acc;
+  }
+  return s;
+}
+
+Vector DenseMatrix::ColSums() const {
+  Vector s(cols_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const auto row = Row(i);
+    for (std::size_t j = 0; j < cols_; ++j) s[j] += row[j];
+  }
+  return s;
+}
+
+double DenseMatrix::MaxAbsDiff(const DenseMatrix& other) const {
+  SEA_CHECK(SameShape(other));
+  double m = 0.0;
+  for (std::size_t k = 0; k < data_.size(); ++k)
+    m = std::max(m, std::abs(data_[k] - other.data_[k]));
+  return m;
+}
+
+bool DenseMatrix::IsSymmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = i + 1; j < cols_; ++j)
+      if (std::abs((*this)(i, j) - (*this)(j, i)) > tol) return false;
+  return true;
+}
+
+}  // namespace sea

@@ -1,0 +1,87 @@
+// Row-major dense matrix used throughout the library.
+//
+// The constrained matrix problem stores the m×n estimate X densely (the
+// paper's instances are 16–100% dense) and the general problem's weight
+// matrices A (m×m), B (n×n), G (mn×mn) as dense symmetric matrices; the
+// largest instance in the evaluation (Table 7) has G of dimension
+// 14400×14400 (~1.7 GB in double precision).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace sea {
+
+using Vector = std::vector<double>;
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+
+  DenseMatrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static DenseMatrix Identity(std::size_t n);
+
+  // Builds a diagonal matrix from a vector.
+  static DenseMatrix Diagonal(const Vector& diag);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t i, std::size_t j) {
+    SEA_DCHECK(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  double operator()(std::size_t i, std::size_t j) const {
+    SEA_DCHECK(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  // Contiguous view of row i.
+  std::span<double> Row(std::size_t i) {
+    SEA_DCHECK(i < rows_);
+    return {data_.data() + i * cols_, cols_};
+  }
+  std::span<const double> Row(std::size_t i) const {
+    SEA_DCHECK(i < rows_);
+    return {data_.data() + i * cols_, cols_};
+  }
+
+  // Flat storage access (row-major).
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  std::span<double> Flat() { return {data_.data(), data_.size()}; }
+  std::span<const double> Flat() const { return {data_.data(), data_.size()}; }
+
+  DenseMatrix Transposed() const;
+
+  // Extracts the diagonal (requires square).
+  Vector DiagonalVector() const;
+
+  // Row sums (length rows()) and column sums (length cols()).
+  Vector RowSums() const;
+  Vector ColSums() const;
+
+  // Max |a_ij - b_ij|; matrices must have identical shape.
+  double MaxAbsDiff(const DenseMatrix& other) const;
+
+  bool SameShape(const DenseMatrix& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_;
+  }
+
+  // True if the matrix is symmetric to within tol (requires square).
+  bool IsSymmetric(double tol = 1e-12) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  Vector data_;
+};
+
+}  // namespace sea

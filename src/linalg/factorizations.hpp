@@ -1,0 +1,55 @@
+// Dense factorizations for the baseline solvers and test oracles.
+//
+// The SEA algorithm itself never factorizes anything — its subproblems are
+// solved in closed form — but (i) the Hildreth-style Bachem–Korte baseline
+// needs Q^{-1} a_k columns for its dual coordinate updates, and (ii) the
+// enumerative KKT oracle in the test suite solves small saddle-point systems.
+#pragma once
+
+#include <optional>
+
+#include "linalg/dense_matrix.hpp"
+
+namespace sea {
+
+// Cholesky factorization A = L L^T of a symmetric positive definite matrix.
+// Returns std::nullopt if a non-positive pivot is encountered (A not PD to
+// working precision).
+class Cholesky {
+ public:
+  static std::optional<Cholesky> Factor(const DenseMatrix& a);
+
+  // Solves A x = b.
+  Vector Solve(std::span<const double> b) const;
+
+  // Solves in place.
+  void SolveInPlace(std::span<double> b) const;
+
+  std::size_t dim() const { return l_.rows(); }
+
+  const DenseMatrix& L() const { return l_; }
+
+ private:
+  explicit Cholesky(DenseMatrix l) : l_(std::move(l)) {}
+  DenseMatrix l_;
+};
+
+// LU factorization with partial pivoting (for the possibly-indefinite KKT
+// saddle-point systems of the enumerative oracle). Returns std::nullopt for
+// (numerically) singular matrices.
+class PartialPivLU {
+ public:
+  static std::optional<PartialPivLU> Factor(const DenseMatrix& a);
+
+  Vector Solve(std::span<const double> b) const;
+
+  std::size_t dim() const { return lu_.rows(); }
+
+ private:
+  PartialPivLU(DenseMatrix lu, std::vector<std::size_t> perm)
+      : lu_(std::move(lu)), perm_(std::move(perm)) {}
+  DenseMatrix lu_;
+  std::vector<std::size_t> perm_;
+};
+
+}  // namespace sea

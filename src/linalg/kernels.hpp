@@ -1,0 +1,45 @@
+// BLAS-lite kernels. The general splitting equilibration algorithm's
+// projection step needs one dense symmetric matrix-vector product with G per
+// outer iteration (paper eq. (79)); everything else is level-1.
+#pragma once
+
+#include <span>
+
+#include "linalg/dense_matrix.hpp"
+
+namespace sea {
+
+class ThreadPool;  // forward declaration (parallel/thread_pool.hpp)
+
+// y <- alpha * x + y
+void Axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+// <x, y>
+double Dot(std::span<const double> x, std::span<const double> y);
+
+// max_i |x_i|
+double MaxAbs(std::span<const double> x);
+
+// sqrt(sum x_i^2)
+double Norm2(std::span<const double> x);
+
+// sum of entries
+double Sum(std::span<const double> x);
+
+// y <- A x  (general dense, row-major)
+void Gemv(const DenseMatrix& a, std::span<const double> x, std::span<double> y);
+
+// y <- A x for symmetric A; same as Gemv but kept as a distinct entry point so
+// the call sites document the symmetry contract (and to allow a packed
+// implementation later without touching callers).
+void Symv(const DenseMatrix& a, std::span<const double> x, std::span<double> y);
+
+// Parallel y <- A x over a thread pool (rows partitioned across workers).
+// Falls back to the serial kernel when pool is null or has a single thread.
+void GemvParallel(const DenseMatrix& a, std::span<const double> x,
+                  std::span<double> y, ThreadPool* pool);
+
+// C <- A * B (used only by small test/oracle paths, not on solver hot paths).
+DenseMatrix MatMul(const DenseMatrix& a, const DenseMatrix& b);
+
+}  // namespace sea

@@ -1,0 +1,32 @@
+// Generators for symmetric positive definite weight matrices.
+//
+// The paper's general experiments (Section 5.1.1) generate G "symmetric and
+// strictly diagonally dominant, which ensured positive definiteness, with
+// each diagonal term generated in the range [500, 800], but allowing for
+// negative off-diagonal elements to simulate variance-covariance matrices".
+#pragma once
+
+#include "linalg/dense_matrix.hpp"
+#include "support/rng.hpp"
+
+namespace sea {
+
+struct SpdOptions {
+  double diag_lo = 500.0;     // diagonal range, per the paper
+  double diag_hi = 800.0;
+  double offdiag_scale = 1.0; // magnitude scale of off-diagonal entries
+  double negative_fraction = 0.5;  // fraction of off-diagonals made negative
+  double density = 1.0;       // fraction of off-diagonals that are nonzero
+};
+
+// Dense symmetric strictly diagonally dominant matrix of dimension n.
+// Off-diagonal magnitudes are drawn then rescaled per-row so the matrix is
+// strictly diagonally dominant with margin; signs mixed per options.
+DenseMatrix MakeDiagonallyDominantSpd(std::size_t n, Rng& rng,
+                                      const SpdOptions& opts = {});
+
+// Verifies strict diagonal dominance (a cheap sufficient PD certificate used
+// by tests and dataset validation).
+bool IsStrictlyDiagonallyDominant(const DenseMatrix& a);
+
+}  // namespace sea

@@ -1,0 +1,134 @@
+#include "parallel/speedup_model.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/check.hpp"
+
+namespace sea {
+
+void ExecutionTrace::AddParallelPhase(std::string label,
+                                      std::vector<double> task_costs,
+                                      bool bandwidth_bound) {
+  TracePhase p;
+  p.kind = TracePhase::Kind::kParallel;
+  p.label = std::move(label);
+  p.costs = std::move(task_costs);
+  p.bandwidth_bound = bandwidth_bound;
+  phases_.push_back(std::move(p));
+}
+
+std::size_t ExecutionTrace::SerialPhaseCount() const {
+  std::size_t count = 0;
+  for (const auto& p : phases_)
+    if (p.kind == TracePhase::Kind::kSerial) ++count;
+  return count;
+}
+
+void ExecutionTrace::AddSerialPhase(std::string label, double cost) {
+  TracePhase p;
+  p.kind = TracePhase::Kind::kSerial;
+  p.label = std::move(label);
+  p.costs = {cost};
+  phases_.push_back(std::move(p));
+}
+
+void ExecutionTrace::Append(const ExecutionTrace& other) {
+  phases_.insert(phases_.end(), other.phases_.begin(), other.phases_.end());
+}
+
+double ExecutionTrace::TotalWork() const {
+  double w = 0.0;
+  for (const auto& p : phases_)
+    for (double c : p.costs) w += c;
+  return w;
+}
+
+double ExecutionTrace::SerialWork() const {
+  double w = 0.0;
+  for (const auto& p : phases_)
+    if (p.kind == TracePhase::Kind::kSerial)
+      for (double c : p.costs) w += c;
+  return w;
+}
+
+namespace {
+
+// Makespan of independent tasks on p identical machines under LPT.
+double LptMakespan(std::vector<double> costs, std::size_t p) {
+  if (costs.empty()) return 0.0;
+  if (p == 1) {
+    double s = 0.0;
+    for (double c : costs) s += c;
+    return s;
+  }
+  std::sort(costs.begin(), costs.end(), std::greater<>());
+  // Min-heap of machine loads.
+  std::priority_queue<double, std::vector<double>, std::greater<>> loads;
+  for (std::size_t i = 0; i < p; ++i) loads.push(0.0);
+  for (double c : costs) {
+    double least = loads.top();
+    loads.pop();
+    loads.push(least + c);
+  }
+  double makespan = 0.0;
+  while (!loads.empty()) {
+    makespan = loads.top();
+    loads.pop();
+  }
+  return makespan;
+}
+
+}  // namespace
+
+ScheduleResult SimulateSchedule(const ExecutionTrace& trace,
+                                std::size_t n_processors,
+                                const ScheduleOptions& opts) {
+  SEA_CHECK(n_processors >= 1);
+  ScheduleResult r;
+  for (const auto& phase : trace.phases()) {
+    if (phase.kind == TracePhase::Kind::kSerial) {
+      for (double c : phase.costs) r.serial_time += c;
+      r.serial_time += opts.serial_phase_overhead;
+    } else if (phase.bandwidth_bound) {
+      // Bandwidth-bound: effective parallelism saturates at the cap (the
+      // longest single task still bounds the makespan from below).
+      double total = 0.0, longest = 0.0;
+      for (double c : phase.costs) {
+        total += c + opts.per_task_overhead;
+        longest = std::max(longest, c + opts.per_task_overhead);
+      }
+      const double eff =
+          std::min(static_cast<double>(n_processors), opts.bandwidth_cap);
+      r.parallel_time +=
+          std::max(longest, total / eff) + opts.per_phase_overhead;
+    } else {
+      std::vector<double> costs = phase.costs;
+      if (opts.per_task_overhead > 0.0)
+        for (double& c : costs) c += opts.per_task_overhead;
+      r.parallel_time += LptMakespan(std::move(costs), n_processors) +
+                         opts.per_phase_overhead;
+    }
+  }
+  r.makespan = r.serial_time + r.parallel_time;
+  return r;
+}
+
+std::vector<SpeedupRow> ComputeSpeedups(const ExecutionTrace& trace,
+                                        const std::vector<std::size_t>& procs,
+                                        const ScheduleOptions& opts) {
+  const double t1 = SimulateSchedule(trace, 1, opts).makespan;
+  std::vector<SpeedupRow> rows;
+  rows.reserve(procs.size());
+  for (std::size_t p : procs) {
+    const double tn = SimulateSchedule(trace, p, opts).makespan;
+    SpeedupRow row;
+    row.n_processors = p;
+    row.speedup = (tn > 0.0) ? t1 / tn : 1.0;
+    row.efficiency = row.speedup / static_cast<double>(p);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace sea

@@ -1,0 +1,105 @@
+// Deterministic N-processor schedule simulator.
+//
+// The paper's parallel results (Tables 6, 9; Figures 5, 7) were measured on a
+// 6-way IBM 3090-600E in standalone mode. To reproduce their *shape* on hosts
+// with fewer cores, the solvers record an execution trace: a sequence of
+// phases, each either
+//   * parallel — a set of independent tasks (one per row/column equilibrium
+//     subproblem) with exact per-task operation counts, or
+//   * serial   — work that runs on one processor (convergence verification,
+//     multiplier exchange, projection-step linearization).
+// SimulateSchedule() then computes the makespan on N processors using LPT
+// (longest-processing-time-first) list scheduling plus a per-task dispatch
+// overhead, which is exactly the regime of the paper's Parallel FORTRAN task
+// dispatch. Speedup = T(1) / T(N). The paper's own analysis (Section 4.2)
+// attributes the efficiency loss to the serial convergence-verification
+// phase — this model makes that explanation quantitative.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sea {
+
+struct TracePhase {
+  enum class Kind { kParallel, kSerial };
+  Kind kind = Kind::kSerial;
+  std::string label;
+  // kParallel: one entry per task (operation count / cost).
+  // kSerial: single total cost in costs[0].
+  std::vector<double> costs;
+  // Parallel phases whose tasks stream large dense data (the projection
+  // step's G matvec): their scaling is limited by shared memory bandwidth
+  // rather than by processor count (ScheduleOptions::bandwidth_cap).
+  bool bandwidth_bound = false;
+};
+
+// Execution trace of one solver run.
+class ExecutionTrace {
+ public:
+  void AddParallelPhase(std::string label, std::vector<double> task_costs,
+                        bool bandwidth_bound = false);
+  void AddSerialPhase(std::string label, double cost);
+  // Number of serial phases (each one is a supervisor synchronization point;
+  // see ScheduleOptions::serial_phase_overhead).
+  std::size_t SerialPhaseCount() const;
+  // Appends all phases of another trace (used to splice inner-solver traces
+  // into an outer algorithm's trace).
+  void Append(const ExecutionTrace& other);
+
+  const std::vector<TracePhase>& phases() const { return phases_; }
+  bool empty() const { return phases_.empty(); }
+  void Clear() { phases_.clear(); }
+
+  // Total work in the trace (all phases, all tasks).
+  double TotalWork() const;
+  // Work in serial phases only (the Amdahl bottleneck).
+  double SerialWork() const;
+
+ private:
+  std::vector<TracePhase> phases_;
+};
+
+struct ScheduleOptions {
+  // Fixed dispatch cost charged per task, in the same units as task costs
+  // (operation counts). Models Parallel FORTRAN task-origination overhead.
+  double per_task_overhead = 0.0;
+  // Fixed cost charged per parallel phase (fork/join barrier).
+  double per_phase_overhead = 0.0;
+  // Serial supervisor cost charged per *serial* phase: every convergence
+  // verification is also a synchronization point where one processor runs
+  // while the others idle. Calibrated once against the paper's measured
+  // 2-CPU column for the general experiments (see bench/table9); zero (the
+  // ideal machine) by default.
+  double serial_phase_overhead = 0.0;
+  // Effective parallelism cap for bandwidth-bound phases (dense matvec
+  // streams ~1 byte per flop; a shared memory bus saturates before the
+  // processor count does). +inf by default (compute-bound machine).
+  double bandwidth_cap = 1e30;
+};
+
+struct ScheduleResult {
+  double makespan = 0.0;      // simulated time on n_processors
+  double serial_time = 0.0;   // part contributed by serial phases
+  double parallel_time = 0.0; // part contributed by parallel phases
+};
+
+// Simulates the trace on n_processors. n_processors >= 1.
+ScheduleResult SimulateSchedule(const ExecutionTrace& trace,
+                                std::size_t n_processors,
+                                const ScheduleOptions& opts = {});
+
+// Convenience: speedup and efficiency rows for a set of processor counts,
+// exactly the columns of the paper's Tables 6 and 9.
+struct SpeedupRow {
+  std::size_t n_processors = 0;
+  double speedup = 0.0;     // T(1) / T(N)
+  double efficiency = 0.0;  // speedup / N
+};
+
+std::vector<SpeedupRow> ComputeSpeedups(const ExecutionTrace& trace,
+                                        const std::vector<std::size_t>& procs,
+                                        const ScheduleOptions& opts = {});
+
+}  // namespace sea

@@ -1,0 +1,85 @@
+#include "parallel/thread_pool.hpp"
+
+#include "support/check.hpp"
+
+namespace sea {
+
+ThreadPool::ThreadPool(std::size_t n_threads) {
+  if (n_threads == 0) {
+    n_threads = std::thread::hardware_concurrency();
+    if (n_threads == 0) n_threads = 1;
+  }
+  num_threads_ = n_threads;
+  // Worker 0 is the calling thread; spawn num_threads_ - 1 real workers.
+  workers_.reserve(num_threads_ - 1);
+  for (std::size_t w = 1; w < num_threads_; ++w)
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    shutdown_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::RunChunk(
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body,
+    std::size_t n, std::size_t part, std::size_t parts, std::size_t worker) {
+  // Static partition: part p gets [p*n/parts, (p+1)*n/parts).
+  const std::size_t begin = part * n / parts;
+  const std::size_t end = (part + 1) * n / parts;
+  if (begin < end) body(begin, end, worker);
+}
+
+void ThreadPool::WorkerLoop(std::size_t worker_index) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock lk(mu_);
+      cv_start_.wait(lk, [&] { return shutdown_ || epoch_ > seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+      task = task_;
+    }
+    RunChunk(*task.body, task.n, worker_index, num_threads_, worker_index);
+    {
+      std::lock_guard lk(mu_);
+      if (--pending_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::ParallelForWorker(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  if (num_threads_ == 1) {
+    body(0, n, 0);
+    return;
+  }
+  {
+    std::lock_guard lk(mu_);
+    task_.body = &body;
+    task_.n = n;
+    ++epoch_;
+    pending_ = num_threads_ - 1;
+  }
+  cv_start_.notify_all();
+  // The calling thread executes part 0 as worker 0.
+  RunChunk(body, n, 0, num_threads_, 0);
+  std::unique_lock lk(mu_);
+  cv_done_.wait(lk, [&] { return pending_ == 0; });
+}
+
+void ThreadPool::ParallelFor(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  ParallelForWorker(
+      n, [&body](std::size_t b, std::size_t e, std::size_t) { body(b, e); });
+}
+
+}  // namespace sea

@@ -1,0 +1,72 @@
+// Shared-memory parallel runtime.
+//
+// The paper parallelizes SEA with IBM Parallel FORTRAN task constructs on the
+// shared-memory IBM 3090-600E: the m row (resp. n column) equilibrium
+// subproblems of one half-step are independent and are dispatched to distinct
+// processors, with a serial convergence-verification phase between sweeps
+// (Section 4.2). This ThreadPool is the modern equivalent: a fixed set of
+// workers, blocking ParallelFor with static chunking (deterministic
+// assignment, so parallel runs are bit-identical to serial runs), and no
+// work executed on pool threads outside ParallelFor regions.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sea {
+
+class ThreadPool {
+ public:
+  // n_threads == 0 selects the hardware concurrency. n_threads == 1 creates
+  // no worker threads; ParallelFor then runs inline on the caller.
+  explicit ThreadPool(std::size_t n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return num_threads_; }
+
+  // Runs body(begin, end) over a static partition of [0, n) across the pool
+  // (including the calling thread). Blocks until every chunk completes.
+  // Chunks are contiguous and their boundaries depend only on (n,
+  // num_threads), never on timing — results are deterministic.
+  void ParallelFor(std::size_t n,
+                   const std::function<void(std::size_t, std::size_t)>& body);
+
+  // Variant passing the worker index (0 .. num_threads-1) for per-thread
+  // scratch buffers.
+  void ParallelForWorker(
+      std::size_t n,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
+
+ private:
+  struct Task {
+    const std::function<void(std::size_t, std::size_t, std::size_t)>* body =
+        nullptr;
+    std::size_t n = 0;
+    std::uint64_t epoch = 0;
+  };
+
+  void WorkerLoop(std::size_t worker_index);
+  static void RunChunk(
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& body,
+      std::size_t n, std::size_t part, std::size_t parts, std::size_t worker);
+
+  std::size_t num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  Task task_;
+  std::uint64_t epoch_ = 0;
+  std::size_t pending_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace sea

@@ -1,0 +1,34 @@
+// Primal/dual solution of a constrained matrix problem.
+#pragma once
+
+#include "linalg/dense_matrix.hpp"
+#include "problems/diagonal_problem.hpp"
+
+namespace sea {
+
+struct Solution {
+  DenseMatrix x;  // m x n estimate
+  Vector s;       // row totals (estimated; equals s0 in the fixed regime)
+  Vector d;       // column totals (for SAM: d == s)
+  Vector lambda;  // row-constraint multipliers (m)
+  Vector mu;      // column-constraint multipliers (n)
+};
+
+// Recovers the primal variables that minimize the Lagrangian of a diagonal
+// problem at the given multipliers (paper eqs. (23a)-(23c) / (40a)-(40b)):
+//
+//   x_ij = max(0, x0_ij + (lambda_i + mu_j) / (2 gamma_ij))
+//   s_i  = s0_i - lambda_i / (2 alpha_i)                 [elastic]
+//   s_i  = s0_i - (lambda_i + mu_i) / (2 alpha_i)        [SAM]
+//   d_j  = d0_j - mu_j / (2 beta_j)                      [elastic]
+//
+// For the fixed regime, s and d are the fixed totals.
+Solution RecoverPrimal(const DiagonalProblem& p, Vector lambda, Vector mu);
+
+// Value of the dual function zeta_l(lambda, mu) (paper eqs. (24), (41),
+// (51)), including the constant terms so that at optimality it equals the
+// primal objective (strong duality).
+double DualValue(const DiagonalProblem& p, const Vector& lambda,
+                 const Vector& mu);
+
+}  // namespace sea

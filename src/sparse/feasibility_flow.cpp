@@ -1,0 +1,124 @@
+#include "sparse/feasibility_flow.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "support/check.hpp"
+
+namespace sea {
+
+MaxFlow::MaxFlow(std::size_t num_nodes) : graph_(num_nodes) {}
+
+void MaxFlow::AddEdge(std::size_t u, std::size_t v, double capacity) {
+  SEA_CHECK(u < graph_.size() && v < graph_.size());
+  SEA_CHECK(capacity >= 0.0);
+  graph_[u].push_back({v, capacity, graph_[v].size()});
+  graph_[v].push_back({u, 0.0, graph_[u].size() - 1});
+}
+
+bool MaxFlow::Bfs(std::size_t source, std::size_t sink) {
+  level_.assign(graph_.size(), -1);
+  std::queue<std::size_t> q;
+  level_[source] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    const std::size_t v = q.front();
+    q.pop();
+    for (const Edge& e : graph_[v]) {
+      if (e.cap > 1e-12 && level_[e.to] < 0) {
+        level_[e.to] = level_[v] + 1;
+        q.push(e.to);
+      }
+    }
+  }
+  return level_[sink] >= 0;
+}
+
+double MaxFlow::Dfs(std::size_t v, std::size_t sink, double pushed) {
+  if (v == sink) return pushed;
+  for (std::size_t& i = iter_[v]; i < graph_[v].size(); ++i) {
+    Edge& e = graph_[v][i];
+    if (e.cap <= 1e-12 || level_[v] + 1 != level_[e.to]) continue;
+    const double got = Dfs(e.to, sink, std::min(pushed, e.cap));
+    if (got > 0.0) {
+      e.cap -= got;
+      graph_[e.to][e.rev].cap += got;
+      return got;
+    }
+  }
+  return 0.0;
+}
+
+double MaxFlow::Solve(std::size_t source, std::size_t sink) {
+  SEA_CHECK(source < graph_.size() && sink < graph_.size());
+  double flow = 0.0;
+  while (Bfs(source, sink)) {
+    iter_.assign(graph_.size(), 0);
+    for (;;) {
+      const double got =
+          Dfs(source, sink, std::numeric_limits<double>::infinity());
+      if (got <= 0.0) break;
+      flow += got;
+    }
+  }
+  return flow;
+}
+
+std::vector<bool> MaxFlow::MinCutSourceSide() const {
+  std::vector<bool> side(graph_.size(), false);
+  std::queue<std::size_t> q;
+  // level_ holds the last BFS labeling; nodes with level >= 0 were reachable
+  // in the final residual graph.
+  for (std::size_t v = 0; v < graph_.size(); ++v)
+    side[v] = !level_.empty() && level_[v] >= 0;
+  return side;
+}
+
+PatternFeasibilityReport CheckPatternFeasibility(const SparseMatrix& pattern,
+                                                 const Vector& s,
+                                                 const Vector& d) {
+  const std::size_t m = pattern.rows(), n = pattern.cols();
+  SEA_CHECK(s.size() == m && d.size() == n);
+  double ssum = 0.0, dsum = 0.0;
+  for (double v : s) {
+    SEA_CHECK_MSG(v >= 0.0, "row totals must be nonnegative");
+    ssum += v;
+  }
+  for (double v : d) {
+    SEA_CHECK_MSG(v >= 0.0, "column totals must be nonnegative");
+    dsum += v;
+  }
+  SEA_CHECK_MSG(std::abs(ssum - dsum) <=
+                    1e-8 * std::max({1.0, ssum, dsum}),
+                "totals must be consistent (sum s == sum d)");
+
+  // Nodes: 0 = source, 1..m = rows, m+1..m+n = columns, m+n+1 = sink.
+  const std::size_t source = 0, sink = m + n + 1;
+  MaxFlow flow(m + n + 2);
+  for (std::size_t i = 0; i < m; ++i) flow.AddEdge(source, 1 + i, s[i]);
+  for (std::size_t j = 0; j < n; ++j) flow.AddEdge(m + 1 + j, sink, d[j]);
+  const double inf = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j : pattern.RowCols(i))
+      flow.AddEdge(1 + i, m + 1 + j, inf);
+
+  PatternFeasibilityReport rep;
+  rep.required = ssum;
+  rep.max_flow = flow.Solve(source, sink);
+  rep.feasible =
+      rep.max_flow >= ssum - 1e-8 * std::max(1.0, ssum);
+
+  if (!rep.feasible) {
+    // The min cut's source side yields the violated Hall condition.
+    const auto side = flow.MinCutSourceSide();
+    for (std::size_t i = 0; i < m; ++i)
+      if (side[1 + i]) rep.deficient_rows.push_back(i);
+    for (std::size_t j = 0; j < n; ++j)
+      if (side[m + 1 + j]) rep.reachable_cols.push_back(j);
+  }
+  return rep;
+}
+
+}  // namespace sea

@@ -1,0 +1,65 @@
+// Transportation feasibility on a support pattern, by maximum flow.
+//
+// With structural zeros, fixed row/column totals may be unreachable on the
+// given support — the phenomenon behind the "infeasible RAS problems" of
+// Mohr, Crown & Polenske (1987) that the paper's introduction cites. The
+// classical certificate: totals (s, d) with sum(s) == sum(d) are feasible on
+// pattern P iff the max flow from a source through rows (capacity s_i),
+// pattern arcs (infinite capacity), and columns to a sink (capacity d_j)
+// saturates the source, i.e. equals sum(s). Dinic's algorithm decides this
+// in polynomial time and, when infeasible, exposes a violated Hall-type cut.
+#pragma once
+
+#include <vector>
+
+#include "linalg/dense_matrix.hpp"
+#include "sparse/sparse_matrix.hpp"
+
+namespace sea {
+
+struct PatternFeasibilityReport {
+  bool feasible = false;
+  double max_flow = 0.0;
+  double required = 0.0;  // sum of row totals
+  // When infeasible: a set of rows R whose pattern-neighborhood columns C
+  // cannot absorb them: sum_{i in R} s_i > sum_{j in N(R)} d_j.
+  std::vector<std::size_t> deficient_rows;
+  std::vector<std::size_t> reachable_cols;
+};
+
+// Decides feasibility of { X >= 0 on pattern(P) : row sums = s, col sums =
+// d }. Requires s, d >= 0 and |sum(s) - sum(d)| small (checked).
+PatternFeasibilityReport CheckPatternFeasibility(const SparseMatrix& pattern,
+                                                 const Vector& s,
+                                                 const Vector& d);
+
+// Dinic max flow on a general directed graph (exposed for tests).
+class MaxFlow {
+ public:
+  explicit MaxFlow(std::size_t num_nodes);
+
+  // Adds a directed edge u -> v with the given capacity.
+  void AddEdge(std::size_t u, std::size_t v, double capacity);
+
+  // Computes the max flow from source to sink. May be called once.
+  double Solve(std::size_t source, std::size_t sink);
+
+  // After Solve: nodes reachable from the source in the residual graph
+  // (the min-cut's source side).
+  std::vector<bool> MinCutSourceSide() const;
+
+ private:
+  struct Edge {
+    std::size_t to;
+    double cap;
+    std::size_t rev;  // index of the reverse edge in graph_[to]
+  };
+  bool Bfs(std::size_t source, std::size_t sink);
+  double Dfs(std::size_t v, std::size_t sink, double pushed);
+
+  std::vector<std::vector<Edge>> graph_;
+  std::vector<int> level_;
+  std::vector<std::size_t> iter_;
+};
+
+}  // namespace sea

@@ -1,0 +1,124 @@
+#include "sparse/sparse_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/check.hpp"
+
+namespace sea {
+
+SparseMatrix SparseMatrix::FromTriplets(std::size_t rows, std::size_t cols,
+                                        std::vector<Triplet> triplets) {
+  SEA_CHECK(rows > 0 && cols > 0);
+  for (const auto& t : triplets)
+    SEA_CHECK_MSG(t.row < rows && t.col < cols, "triplet out of range");
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  SparseMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(rows + 1, 0);
+  m.col_idx_.reserve(triplets.size());
+  m.values_.reserve(triplets.size());
+  for (std::size_t k = 0; k < triplets.size();) {
+    const std::size_t r = triplets[k].row, c = triplets[k].col;
+    double v = 0.0;
+    while (k < triplets.size() && triplets[k].row == r &&
+           triplets[k].col == c) {
+      v += triplets[k].value;
+      ++k;
+    }
+    m.col_idx_.push_back(c);
+    m.values_.push_back(v);
+    ++m.row_ptr_[r + 1];
+  }
+  std::partial_sum(m.row_ptr_.begin(), m.row_ptr_.end(), m.row_ptr_.begin());
+  return m;
+}
+
+SparseMatrix SparseMatrix::FromDense(const DenseMatrix& d, double threshold) {
+  SparseMatrix m;
+  m.rows_ = d.rows();
+  m.cols_ = d.cols();
+  m.row_ptr_.assign(m.rows_ + 1, 0);
+  for (std::size_t i = 0; i < m.rows_; ++i) {
+    const auto row = d.Row(i);
+    for (std::size_t j = 0; j < m.cols_; ++j) {
+      if (std::abs(row[j]) > threshold) {
+        m.col_idx_.push_back(j);
+        m.values_.push_back(row[j]);
+        ++m.row_ptr_[i + 1];
+      }
+    }
+  }
+  std::partial_sum(m.row_ptr_.begin(), m.row_ptr_.end(), m.row_ptr_.begin());
+  return m;
+}
+
+double SparseMatrix::At(std::size_t i, std::size_t j) const {
+  SEA_DCHECK(i < rows_ && j < cols_);
+  const auto cols = RowCols(i);
+  const auto it = std::lower_bound(cols.begin(), cols.end(), j);
+  if (it == cols.end() || *it != j) return 0.0;
+  return values_[row_ptr_[i] + static_cast<std::size_t>(it - cols.begin())];
+}
+
+bool SparseMatrix::InPattern(std::size_t i, std::size_t j) const {
+  const auto cols = RowCols(i);
+  return std::binary_search(cols.begin(), cols.end(), j);
+}
+
+Vector SparseMatrix::RowSums() const {
+  Vector s(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    for (double v : RowValues(i)) acc += v;
+    s[i] = acc;
+  }
+  return s;
+}
+
+Vector SparseMatrix::ColSums() const {
+  Vector s(cols_, 0.0);
+  for (std::size_t k = 0; k < values_.size(); ++k) s[col_idx_[k]] += values_[k];
+  return s;
+}
+
+SparseMatrix SparseMatrix::Transposed() const {
+  SparseMatrix t;
+  t.rows_ = cols_;
+  t.cols_ = rows_;
+  t.row_ptr_.assign(cols_ + 1, 0);
+  t.col_idx_.resize(nnz());
+  t.values_.resize(nnz());
+  for (std::size_t k = 0; k < nnz(); ++k) ++t.row_ptr_[col_idx_[k] + 1];
+  std::partial_sum(t.row_ptr_.begin(), t.row_ptr_.end(), t.row_ptr_.begin());
+  std::vector<std::size_t> fill(t.row_ptr_.begin(), t.row_ptr_.end() - 1);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      const std::size_t pos = fill[col_idx_[k]]++;
+      t.col_idx_[pos] = i;
+      t.values_[pos] = values_[k];
+    }
+  }
+  return t;
+}
+
+bool SparseMatrix::SamePattern(const SparseMatrix& o) const {
+  return rows_ == o.rows_ && cols_ == o.cols_ && row_ptr_ == o.row_ptr_ &&
+         col_idx_ == o.col_idx_;
+}
+
+DenseMatrix SparseMatrix::ToDense() const {
+  DenseMatrix d(rows_, cols_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k)
+      d(i, col_idx_[k]) = values_[k];
+  return d;
+}
+
+}  // namespace sea

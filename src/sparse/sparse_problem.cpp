@@ -1,0 +1,128 @@
+#include "sparse/sparse_problem.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace sea {
+
+SparseDiagonalProblem SparseDiagonalProblem::MakeFixed(SparseMatrix x0,
+                                                       SparseMatrix gamma,
+                                                       Vector s0, Vector d0) {
+  SparseDiagonalProblem p;
+  p.mode_ = TotalsMode::kFixed;
+  p.x0_ = std::move(x0);
+  p.gamma_ = std::move(gamma);
+  p.s0_ = std::move(s0);
+  p.d0_ = std::move(d0);
+  p.Validate();
+  return p;
+}
+
+SparseDiagonalProblem SparseDiagonalProblem::MakeElastic(
+    SparseMatrix x0, SparseMatrix gamma, Vector s0, Vector alpha, Vector d0,
+    Vector beta) {
+  SparseDiagonalProblem p;
+  p.mode_ = TotalsMode::kElastic;
+  p.x0_ = std::move(x0);
+  p.gamma_ = std::move(gamma);
+  p.s0_ = std::move(s0);
+  p.alpha_ = std::move(alpha);
+  p.d0_ = std::move(d0);
+  p.beta_ = std::move(beta);
+  p.Validate();
+  return p;
+}
+
+SparseDiagonalProblem SparseDiagonalProblem::MakeSam(SparseMatrix x0,
+                                                     SparseMatrix gamma,
+                                                     Vector s0, Vector alpha) {
+  SparseDiagonalProblem p;
+  p.mode_ = TotalsMode::kSam;
+  p.x0_ = std::move(x0);
+  p.gamma_ = std::move(gamma);
+  p.s0_ = std::move(s0);
+  p.alpha_ = std::move(alpha);
+  p.Validate();
+  return p;
+}
+
+void SparseDiagonalProblem::Validate() const {
+  SEA_CHECK_MSG(m() > 0 && n() > 0, "empty problem");
+  SEA_CHECK_MSG(gamma_.SamePattern(x0_), "gamma pattern mismatch");
+  for (double g : gamma_.Values())
+    SEA_CHECK_MSG(g > 0.0, "gamma weights must be strictly positive");
+  SEA_CHECK_MSG(s0_.size() == m(), "s0 size mismatch");
+  switch (mode_) {
+    case TotalsMode::kFixed: {
+      SEA_CHECK_MSG(d0_.size() == n(), "d0 size mismatch");
+      double ssum = 0.0, dsum = 0.0;
+      for (double v : s0_) {
+        SEA_CHECK_MSG(v >= 0.0, "fixed totals must be nonnegative");
+        ssum += v;
+      }
+      for (double v : d0_) {
+        SEA_CHECK_MSG(v >= 0.0, "fixed totals must be nonnegative");
+        dsum += v;
+      }
+      SEA_CHECK_MSG(std::abs(ssum - dsum) <=
+                        1e-8 * std::max({1.0, ssum, dsum}),
+                    "fixed totals are inconsistent");
+      break;
+    }
+    case TotalsMode::kElastic:
+      SEA_CHECK_MSG(alpha_.size() == m() && beta_.size() == n() &&
+                        d0_.size() == n(),
+                    "elastic parameter size mismatch");
+      for (double a : alpha_) SEA_CHECK_MSG(a > 0.0, "alpha must be positive");
+      for (double b : beta_) SEA_CHECK_MSG(b > 0.0, "beta must be positive");
+      break;
+    case TotalsMode::kSam:
+      SEA_CHECK_MSG(m() == n(), "SAM problems must be square");
+      SEA_CHECK_MSG(alpha_.size() == n(), "alpha size mismatch");
+      for (double a : alpha_) SEA_CHECK_MSG(a > 0.0, "alpha must be positive");
+      break;
+    case TotalsMode::kInterval:
+      SEA_CHECK_MSG(false,
+                    "interval totals are not yet supported on sparse "
+                    "patterns");
+      break;
+  }
+}
+
+PatternFeasibilityReport SparseDiagonalProblem::CheckFeasibleTotals() const {
+  SEA_CHECK_MSG(mode_ == TotalsMode::kFixed,
+                "flow feasibility applies to the fixed regime");
+  return CheckPatternFeasibility(x0_, s0_, d0_);
+}
+
+double SparseDiagonalProblem::Objective(const SparseMatrix& x, const Vector& s,
+                                        const Vector& d) const {
+  SEA_CHECK_MSG(x.SamePattern(x0_), "estimate pattern mismatch");
+  double obj = 0.0;
+  const auto xv = x.Values();
+  const auto cv = x0_.Values();
+  const auto gv = gamma_.Values();
+  for (std::size_t k = 0; k < xv.size(); ++k) {
+    const double dev = xv[k] - cv[k];
+    obj += gv[k] * dev * dev;
+  }
+  if (mode_ == TotalsMode::kElastic || mode_ == TotalsMode::kSam) {
+    SEA_CHECK(s.size() == s0_.size());
+    for (std::size_t i = 0; i < s0_.size(); ++i) {
+      const double dev = s[i] - s0_[i];
+      obj += alpha_[i] * dev * dev;
+    }
+  }
+  if (mode_ == TotalsMode::kElastic) {
+    SEA_CHECK(d.size() == d0_.size());
+    for (std::size_t j = 0; j < d0_.size(); ++j) {
+      const double dev = d[j] - d0_[j];
+      obj += beta_[j] * dev * dev;
+    }
+  }
+  return obj;
+}
+
+}  // namespace sea

@@ -1,0 +1,302 @@
+#include "sparse/sparse_sea.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "equilibration/equilibrator.hpp"
+#include "parallel/parallel_for.hpp"
+#include "support/check.hpp"
+#include "support/stopwatch.hpp"
+
+namespace sea {
+
+namespace {
+
+// One sweep over a sparse side. centers/weights are sweep-major CSR (rows =
+// markets); other_mult is indexed by the pattern's column ids. When x_out is
+// non-null (same pattern as centers), allocations are materialized.
+SweepStats SparseSweep(const SparseMatrix& centers, const SparseMatrix& weights,
+                       std::span<const double> other_mult,
+                       const MarketSide& side, std::span<double> mult_out,
+                       SparseMatrix* x_out, const SweepOptions& opts) {
+  const std::size_t markets = centers.rows();
+  SweepStats stats;
+  if (opts.record_task_costs) stats.task_costs.assign(markets, 0.0);
+
+  const std::size_t workers = WorkerCount(opts.pool);
+  std::vector<BreakpointWorkspace> ws(workers);
+  std::vector<OpCounts> worker_ops(workers);
+
+  ForRangeWorker(opts.pool, markets,
+                 [&](std::size_t begin, std::size_t end, std::size_t w) {
+    BreakpointWorkspace& wksp = ws[w];
+    OpCounts local;
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto cols = centers.RowCols(i);
+      const auto cvals = centers.RowValues(i);
+      const auto gvals = weights.RowValues(i);
+      auto& arcs = wksp.arcs();
+      arcs.resize(cols.size());
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        const double q = 1.0 / (2.0 * gvals[k]);
+        arcs[k] = {cvals[k] + other_mult[cols[k]] * q, q};
+      }
+      double u = 0.0, v = 0.0;
+      ClearingTarget(side, i, u, v);
+      BreakpointResult res = SolveMarket(wksp, u, v, opts.sort_policy);
+      res.ops.flops += 2 * cols.size();
+      SEA_INTERNAL_CHECK(res.feasible);
+      mult_out[i] = res.lambda;
+      if (x_out != nullptr) {
+        auto xvals = x_out->MutableRowValues(i);
+        for (std::size_t k = 0; k < arcs.size(); ++k)
+          xvals[k] = std::max(0.0, arcs[k].p + arcs[k].q * res.lambda);
+        res.ops.flops += 2 * cols.size();
+      }
+      if (opts.record_task_costs) stats.task_costs[i] = res.ops.Work();
+      local += res.ops;
+    }
+    worker_ops[w] = local;
+  });
+  for (const auto& o : worker_ops) stats.total_ops += o;
+  return stats;
+}
+
+}  // namespace
+
+SparseSeaRun SolveSparse(const SparseDiagonalProblem& p,
+                         const SeaOptions& opts) {
+  p.Validate();
+  SEA_CHECK(opts.epsilon > 0.0);
+  SEA_CHECK(opts.check_every >= 1);
+  const std::size_t m = p.m(), n = p.n();
+
+  Stopwatch wall;
+  const double cpu0 = ProcessCpuSeconds();
+
+  const SparseMatrix x0_t = p.x0().Transposed();
+  const SparseMatrix gamma_t = p.gamma().Transposed();
+
+  Vector lambda(m, 0.0), mu(n, 0.0);
+  SparseMatrix xt = x0_t;  // pattern reused; values overwritten per check
+  std::vector<double> xt_prev;
+  bool have_prev = false;
+
+  MarketSide row_side, col_side;
+  row_side.mode = p.mode();
+  row_side.t0 = p.s0();
+  col_side.mode = p.mode();
+  switch (p.mode()) {
+    case TotalsMode::kFixed:
+      col_side.t0 = p.d0();
+      break;
+    case TotalsMode::kElastic:
+      row_side.weight = p.alpha();
+      col_side.t0 = p.d0();
+      col_side.weight = p.beta();
+      break;
+    case TotalsMode::kSam:
+      row_side.weight = p.alpha();
+      row_side.coupling = mu;
+      col_side.t0 = p.s0();
+      col_side.weight = p.alpha();
+      col_side.coupling = lambda;
+      break;
+    case TotalsMode::kInterval:
+      SEA_INTERNAL_CHECK(false);  // rejected by Validate
+      break;
+  }
+
+  SweepOptions sweep_opts;
+  sweep_opts.sort_policy = opts.sort_policy;
+  sweep_opts.pool = opts.pool;
+  sweep_opts.record_task_costs = opts.record_trace;
+
+  SeaResult result;
+  Vector rowsum(m, 0.0);
+
+  for (std::size_t t = 1; t <= opts.max_iterations; ++t) {
+    const bool check_now =
+        (t % opts.check_every == 0) || (t == opts.max_iterations);
+
+    {
+      Stopwatch sw;
+      if (p.mode() == TotalsMode::kSam) row_side.coupling = mu;
+      SweepStats stats = SparseSweep(p.x0(), p.gamma(), mu, row_side, lambda,
+                                     nullptr, sweep_opts);
+      result.ops += stats.total_ops;
+      result.row_phase_seconds += sw.Seconds();
+      if (opts.record_trace)
+        result.trace.AddParallelPhase("row", std::move(stats.task_costs));
+    }
+    {
+      Stopwatch sw;
+      if (p.mode() == TotalsMode::kSam) col_side.coupling = lambda;
+      SweepStats stats = SparseSweep(x0_t, gamma_t, lambda, col_side, mu,
+                                     check_now ? &xt : nullptr, sweep_opts);
+      result.ops += stats.total_ops;
+      result.col_phase_seconds += sw.Seconds();
+      if (opts.record_trace)
+        result.trace.AddParallelPhase("col", std::move(stats.task_costs));
+    }
+
+    result.iterations = t;
+    if (!check_now) continue;
+
+    Stopwatch check_sw;
+    double measure = 0.0;
+    if (opts.criterion == StopCriterion::kXChange) {
+      const auto vals = xt.Values();
+      if (have_prev) {
+        for (std::size_t k = 0; k < vals.size(); ++k)
+          measure = std::max(measure, std::abs(vals[k] - xt_prev[k]));
+      } else {
+        measure = std::numeric_limits<double>::infinity();
+      }
+      xt_prev.assign(vals.begin(), vals.end());
+      have_prev = true;
+    } else {
+      std::fill(rowsum.begin(), rowsum.end(), 0.0);
+      // xt's rows are the original columns; its column ids are original rows.
+      for (std::size_t k = 0; k < xt.nnz(); ++k)
+        rowsum[xt.ColIdx()[k]] += xt.Values()[k];
+      for (std::size_t i = 0; i < m; ++i) {
+        double target = 0.0;
+        switch (p.mode()) {
+          case TotalsMode::kFixed:
+            target = p.s0()[i];
+            break;
+          case TotalsMode::kElastic:
+            target = p.s0()[i] - lambda[i] / (2.0 * p.alpha()[i]);
+            break;
+          case TotalsMode::kSam:
+            target = p.s0()[i] - (lambda[i] + mu[i]) / (2.0 * p.alpha()[i]);
+            break;
+          case TotalsMode::kInterval:
+            break;  // unreachable
+        }
+        double r = std::abs(rowsum[i] - target);
+        if (opts.criterion == StopCriterion::kResidualRel)
+          r /= std::max(1.0, std::abs(target));
+        measure = std::max(measure, r);
+      }
+    }
+    result.check_phase_seconds += check_sw.Seconds();
+    result.ops.flops += 2 * p.nnz();
+    if (opts.record_trace)
+      result.trace.AddSerialPhase("check", 2.0 * double(p.nnz()));
+    result.final_residual = measure;
+    if (measure <= opts.epsilon) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  SparseSeaRun run;
+  run.solution.x = p.x0();
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto cols = run.solution.x.RowCols(i);
+    const auto cvals = p.x0().RowValues(i);
+    const auto gvals = p.gamma().RowValues(i);
+    auto xvals = run.solution.x.MutableRowValues(i);
+    for (std::size_t k = 0; k < cols.size(); ++k)
+      xvals[k] = std::max(
+          0.0, cvals[k] + (lambda[i] + mu[cols[k]]) / (2.0 * gvals[k]));
+  }
+  switch (p.mode()) {
+    case TotalsMode::kFixed:
+      run.solution.s = p.s0();
+      run.solution.d = p.d0();
+      break;
+    case TotalsMode::kElastic:
+      run.solution.s.resize(m);
+      run.solution.d.resize(n);
+      for (std::size_t i = 0; i < m; ++i)
+        run.solution.s[i] = p.s0()[i] - lambda[i] / (2.0 * p.alpha()[i]);
+      for (std::size_t j = 0; j < n; ++j)
+        run.solution.d[j] = p.d0()[j] - mu[j] / (2.0 * p.beta()[j]);
+      break;
+    case TotalsMode::kSam:
+      run.solution.s.resize(n);
+      for (std::size_t i = 0; i < n; ++i)
+        run.solution.s[i] =
+            p.s0()[i] - (lambda[i] + mu[i]) / (2.0 * p.alpha()[i]);
+      run.solution.d = run.solution.s;
+      break;
+    case TotalsMode::kInterval:
+      break;  // unreachable
+  }
+  run.solution.lambda = std::move(lambda);
+  run.solution.mu = std::move(mu);
+  result.objective =
+      p.Objective(run.solution.x, run.solution.s, run.solution.d);
+  result.wall_seconds = wall.Seconds();
+  result.cpu_seconds = ProcessCpuSeconds() - cpu0;
+  run.result = std::move(result);
+  return run;
+}
+
+FeasibilityReport CheckFeasibility(const SparseDiagonalProblem& p,
+                                   const SparseSolution& sol) {
+  const Vector rows = sol.x.RowSums();
+  const Vector cols = sol.x.ColSums();
+  const Vector& s_target = (p.mode() == TotalsMode::kFixed) ? p.s0() : sol.s;
+  const Vector& d_target = (p.mode() == TotalsMode::kFixed) ? p.d0()
+                           : (p.mode() == TotalsMode::kSam) ? sol.s
+                                                            : sol.d;
+  FeasibilityReport r;
+  for (std::size_t i = 0; i < p.m(); ++i) {
+    const double abs_res = std::abs(rows[i] - s_target[i]);
+    r.max_row_abs = std::max(r.max_row_abs, abs_res);
+    r.max_row_rel = std::max(
+        r.max_row_rel, abs_res / std::max(1.0, std::abs(s_target[i])));
+  }
+  for (std::size_t j = 0; j < p.n(); ++j) {
+    const double abs_res = std::abs(cols[j] - d_target[j]);
+    r.max_col_abs = std::max(r.max_col_abs, abs_res);
+    r.max_col_rel = std::max(
+        r.max_col_rel, abs_res / std::max(1.0, std::abs(d_target[j])));
+  }
+  for (double v : sol.x.Values()) r.min_x = std::min(r.min_x, v);
+  return r;
+}
+
+double KktStationarityError(const SparseDiagonalProblem& p,
+                            const SparseSolution& sol) {
+  double err = 0.0;
+  for (std::size_t i = 0; i < p.m(); ++i) {
+    const auto cols = p.x0().RowCols(i);
+    const auto cvals = p.x0().RowValues(i);
+    const auto gvals = p.gamma().RowValues(i);
+    const auto xvals = sol.x.RowValues(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      const double resid = 2.0 * gvals[k] * (xvals[k] - cvals[k]) -
+                           sol.lambda[i] - sol.mu[cols[k]];
+      if (xvals[k] > 1e-12) {
+        err = std::max(err, std::abs(resid));
+      } else {
+        err = std::max(err, -resid);
+      }
+      err = std::max(err, -xvals[k]);
+    }
+  }
+  if (p.mode() == TotalsMode::kElastic) {
+    for (std::size_t i = 0; i < p.m(); ++i)
+      err = std::max(err, std::abs(2.0 * p.alpha()[i] *
+                                       (sol.s[i] - p.s0()[i]) +
+                                   sol.lambda[i]));
+    for (std::size_t j = 0; j < p.n(); ++j)
+      err = std::max(err, std::abs(2.0 * p.beta()[j] *
+                                       (sol.d[j] - p.d0()[j]) +
+                                   sol.mu[j]));
+  } else if (p.mode() == TotalsMode::kSam) {
+    for (std::size_t i = 0; i < p.n(); ++i)
+      err = std::max(err, std::abs(2.0 * p.alpha()[i] *
+                                       (sol.s[i] - p.s0()[i]) +
+                                   sol.lambda[i] + sol.mu[i]));
+  }
+  return err;
+}
+
+}  // namespace sea

@@ -1,0 +1,39 @@
+// Splitting equilibration on sparse support patterns.
+//
+// Same dual block-coordinate maximization as core/diagonal_sea.hpp, but each
+// row/column market only ranges over its pattern entries, so a full sweep
+// costs O(nnz log(max row length)) instead of O(mn log n). Used for the
+// paper's sparse I/O instances and any application with structural zeros.
+#pragma once
+
+#include "core/options.hpp"
+#include "core/result.hpp"
+#include "problems/feasibility.hpp"
+#include "sparse/sparse_problem.hpp"
+
+namespace sea {
+
+struct SparseSolution {
+  SparseMatrix x;  // estimate on the pattern
+  Vector s, d;     // totals (fixed: copies of the targets)
+  Vector lambda, mu;
+};
+
+struct SparseSeaRun {
+  SparseSolution solution;
+  SeaResult result;
+};
+
+SparseSeaRun SolveSparse(const SparseDiagonalProblem& problem,
+                         const SeaOptions& opts);
+
+// Feasibility residuals of a sparse solution against its problem's regime.
+FeasibilityReport CheckFeasibility(const SparseDiagonalProblem& p,
+                                   const SparseSolution& sol);
+
+// Max KKT stationarity violation on the pattern (off-pattern cells are not
+// variables and impose no condition).
+double KktStationarityError(const SparseDiagonalProblem& p,
+                            const SparseSolution& sol);
+
+}  // namespace sea

@@ -1,0 +1,74 @@
+#include "spe/spatial_price.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace sea::spe {
+
+void SpatialPriceProblem::Validate() const {
+  SEA_CHECK_MSG(!r.empty() && !u.empty(), "empty SPE problem");
+  SEA_CHECK(t.size() == r.size());
+  SEA_CHECK(v.size() == u.size());
+  SEA_CHECK(g.rows() == m() && g.cols() == n());
+  SEA_CHECK(h.SameShape(g));
+  for (double x : t) SEA_CHECK_MSG(x > 0.0, "supply slopes must be positive");
+  for (double x : v) SEA_CHECK_MSG(x > 0.0, "demand slopes must be positive");
+  for (double x : h.Flat())
+    SEA_CHECK_MSG(x > 0.0, "transaction cost slopes must be positive");
+}
+
+DiagonalProblem SpatialPriceProblem::ToDiagonalProblem() const {
+  Validate();
+  const std::size_t mm = m(), nn = n();
+  DenseMatrix x0(mm, nn), gamma(mm, nn);
+  for (std::size_t i = 0; i < mm; ++i)
+    for (std::size_t j = 0; j < nn; ++j) {
+      gamma(i, j) = h(i, j) / 2.0;
+      x0(i, j) = -g(i, j) / h(i, j);
+    }
+  Vector s0(mm), alpha(mm), d0(nn), beta(nn);
+  for (std::size_t i = 0; i < mm; ++i) {
+    alpha[i] = t[i] / 2.0;
+    s0[i] = -r[i] / t[i];
+  }
+  for (std::size_t j = 0; j < nn; ++j) {
+    beta[j] = v[j] / 2.0;
+    d0[j] = u[j] / v[j];
+  }
+  return DiagonalProblem::MakeElastic(std::move(x0), std::move(gamma),
+                                      std::move(s0), std::move(alpha),
+                                      std::move(d0), std::move(beta));
+}
+
+double EquilibriumReport::Max() const {
+  return std::max(max_equality_violation, max_inequality_violation);
+}
+
+EquilibriumReport CheckEquilibrium(const SpatialPriceProblem& p,
+                                   const DenseMatrix& x) {
+  p.Validate();
+  SEA_CHECK(x.rows() == p.m() && x.cols() == p.n());
+  const Vector s = x.RowSums();
+  const Vector d = x.ColSums();
+
+  EquilibriumReport rep;
+  for (std::size_t i = 0; i < p.m(); ++i) {
+    const double pi = p.SupplyPrice(i, s[i]);
+    for (std::size_t j = 0; j < p.n(); ++j) {
+      const double rho = p.DemandPrice(j, d[j]);
+      const double total = pi + p.TransactionCost(i, j, x(i, j));
+      if (x(i, j) > 1e-10) {
+        rep.max_equality_violation =
+            std::max(rep.max_equality_violation, std::abs(total - rho));
+      }
+      rep.max_inequality_violation =
+          std::max(rep.max_inequality_violation, rho - total);
+    }
+  }
+  rep.max_inequality_violation = std::max(0.0, rep.max_inequality_violation);
+  return rep;
+}
+
+}  // namespace sea::spe

@@ -1,0 +1,66 @@
+// Classical spatial price equilibrium (SPE) problems and their isomorphism
+// with elastic constrained matrix problems (paper Sections 2 and 4.1.2,
+// Table 5; lineage: Enke 1951, Samuelson 1952, Takayama & Judge 1971).
+//
+// Markets: m supply markets with linear supply price pi_i(s) = r_i + t_i s,
+// n demand markets with linear demand price rho_j(d) = u_j - v_j d, and
+// linear transaction costs c_ij(x) = g_ij + h_ij x. A flow pattern (x, s, d)
+// is a spatial price equilibrium when supplies/demands balance the flows and
+//
+//    pi_i(s_i) + c_ij(x_ij)  >= rho_j(d_j),  with equality where x_ij > 0.
+//
+// Completing the square in the equivalent convex program shows this is the
+// elastic diagonal constrained matrix problem with
+//
+//    gamma_ij = h_ij/2,  x0_ij = -g_ij/h_ij,
+//    alpha_i  = t_i/2,   s0_i   = -r_i/t_i,
+//    beta_j   = v_j/2,   d0_j   =  u_j/v_j,
+//
+// under which the row multipliers are lambda_i = -pi_i(s_i) and the column
+// multipliers are mu_j = rho_j(d_j) — Stone's 1951 observation that matrix
+// balancing and spatial price equilibria are the same computation.
+#pragma once
+
+#include "linalg/dense_matrix.hpp"
+#include "problems/diagonal_problem.hpp"
+#include "problems/solution.hpp"
+
+namespace sea::spe {
+
+struct SpatialPriceProblem {
+  // Supply price intercepts/slopes (size m; slopes > 0).
+  Vector r, t;
+  // Demand price intercepts/slopes (size n; slopes > 0).
+  Vector u, v;
+  // Transaction cost intercepts/slopes (m x n; slopes > 0).
+  DenseMatrix g, h;
+
+  std::size_t m() const { return r.size(); }
+  std::size_t n() const { return u.size(); }
+
+  void Validate() const;
+
+  double SupplyPrice(std::size_t i, double s) const { return r[i] + t[i] * s; }
+  double DemandPrice(std::size_t j, double d) const { return u[j] - v[j] * d; }
+  double TransactionCost(std::size_t i, std::size_t j, double x) const {
+    return g(i, j) + h(i, j) * x;
+  }
+
+  // The isomorphic elastic constrained matrix problem.
+  DiagonalProblem ToDiagonalProblem() const;
+};
+
+struct EquilibriumReport {
+  // max over trading pairs (x_ij > 0) of |pi_i + c_ij - rho_j|.
+  double max_equality_violation = 0.0;
+  // max over all pairs of (rho_j - pi_i - c_ij)_+ (profitable untraded arc).
+  double max_inequality_violation = 0.0;
+  double Max() const;
+};
+
+// Verifies the spatial-price equilibrium conditions at a candidate solution
+// (s and d are recomputed from x's row/column sums).
+EquilibriumReport CheckEquilibrium(const SpatialPriceProblem& p,
+                                   const DenseMatrix& x);
+
+}  // namespace sea::spe

@@ -1,0 +1,23 @@
+#include "spe/spe_generator.hpp"
+
+#include "support/check.hpp"
+
+namespace sea::spe {
+
+SpatialPriceProblem Generate(std::size_t m, std::size_t n, Rng& rng,
+                             const SpeGeneratorOptions& o) {
+  SEA_CHECK(m > 0 && n > 0);
+  SpatialPriceProblem p;
+  p.r = rng.UniformVector(m, o.r_lo, o.r_hi);
+  p.t = rng.UniformVector(m, o.t_lo, o.t_hi);
+  p.u = rng.UniformVector(n, o.u_lo, o.u_hi);
+  p.v = rng.UniformVector(n, o.v_lo, o.v_hi);
+  p.g = DenseMatrix(m, n);
+  p.h = DenseMatrix(m, n);
+  for (double& x : p.g.Flat()) x = rng.Uniform(o.g_lo, o.g_hi);
+  for (double& x : p.h.Flat()) x = rng.Uniform(o.h_lo, o.h_hi);
+  p.Validate();
+  return p;
+}
+
+}  // namespace sea::spe

@@ -1,0 +1,28 @@
+// Synthetic spatial price equilibrium instances (paper Section 4.1.2,
+// Table 5: SP50x50 ... SP750x750 with separable linear supply price, demand
+// price, and transportation cost functions).
+//
+// Coefficient ranges follow the standard SPE test protocol of the
+// equilibration literature (Dafermos & Nagurney 1989; Eydeland & Nagurney
+// 1989): supply prices cheap relative to demand intercepts so a substantial
+// fraction of arcs trade at equilibrium.
+#pragma once
+
+#include "spe/spatial_price.hpp"
+#include "support/rng.hpp"
+
+namespace sea::spe {
+
+struct SpeGeneratorOptions {
+  double r_lo = 10.0, r_hi = 25.0;   // supply price intercepts
+  double t_lo = 0.3, t_hi = 0.7;     // supply price slopes
+  double u_lo = 150.0, u_hi = 300.0; // demand price intercepts
+  double v_lo = 0.45, v_hi = 0.75;   // demand price slopes
+  double g_lo = 1.0, g_hi = 15.0;    // transaction cost intercepts
+  double h_lo = 0.01, h_hi = 0.05;   // transaction cost slopes
+};
+
+SpatialPriceProblem Generate(std::size_t m, std::size_t n, Rng& rng,
+                             const SpeGeneratorOptions& opts = {});
+
+}  // namespace sea::spe

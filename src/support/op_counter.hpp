@@ -1,0 +1,35 @@
+// Operation accounting for the equilibration kernels.
+//
+// The paper's complexity analysis (Section 3.1) charges each row/column exact
+// equilibration 7n + n ln n + 2n operations and predicts the parallel speedup
+// from how this work distributes over processors against the serial
+// convergence-verification phase. We instrument the kernels with exact
+// per-subproblem counts so the schedule simulator (parallel/speedup_model.hpp)
+// can reproduce the paper's Tables 6 and 9 on any host.
+#pragma once
+
+#include <cstdint>
+
+namespace sea {
+
+struct OpCounts {
+  std::uint64_t comparisons = 0;  // sort + sweep comparisons
+  std::uint64_t flops = 0;        // floating-point add/mul in kernel + sweeps
+  std::uint64_t breakpoints = 0;  // segments examined
+
+  OpCounts& operator+=(const OpCounts& o) {
+    comparisons += o.comparisons;
+    flops += o.flops;
+    breakpoints += o.breakpoints;
+    return *this;
+  }
+
+  // Scalar "work" used as the task cost by the schedule simulator.
+  double Work() const {
+    return static_cast<double>(comparisons) + static_cast<double>(flops);
+  }
+};
+
+inline OpCounts operator+(OpCounts a, const OpCounts& b) { return a += b; }
+
+}  // namespace sea

@@ -1,0 +1,13 @@
+#include "support/stopwatch.hpp"
+
+#include <ctime>
+
+namespace sea {
+
+double ProcessCpuSeconds() {
+  timespec ts{};
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) != 0) return 0.0;
+  return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+}
+
+}  // namespace sea

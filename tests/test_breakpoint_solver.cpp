@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "equilibration/breakpoint_solver.hpp"
+#include "support/rng.hpp"
+
+namespace sea {
+namespace {
+
+// Reference root finder: bisection on the monotone clearing function
+// f(lambda) = sum_j max(0, p_j + q_j lambda) - (u + v lambda).
+double Bisect(const std::vector<Arc>& arcs, double u, double v) {
+  auto f = [&](double lam) {
+    return EvaluateSupply(arcs, lam) - (u + v * lam);
+  };
+  double lo = -1.0, hi = 1.0;
+  while (f(lo) > 0.0) lo *= 2.0;
+  while (f(hi) < 0.0) hi *= 2.0;
+  for (int it = 0; it < 200; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    (f(mid) < 0.0 ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+TEST(BreakpointSolver, SingleArcFixedTotal) {
+  // max(0, 2 + 0.5 lambda) = 5  =>  lambda = 6.
+  BreakpointWorkspace ws;
+  ws.arcs() = {{2.0, 0.5}};
+  const auto res = SolveMarket(ws, 5.0, 0.0);
+  EXPECT_TRUE(res.feasible);
+  EXPECT_NEAR(res.lambda, 6.0, 1e-12);
+  EXPECT_EQ(res.active_count, 1u);
+}
+
+TEST(BreakpointSolver, TwoArcsOneInactive) {
+  // Arcs: max(0, 1 + lambda), max(0, -10 + lambda). Total 3 => first arc
+  // alone supplies 3 at lambda = 2 (second still at breakpoint 10).
+  BreakpointWorkspace ws;
+  ws.arcs() = {{1.0, 1.0}, {-10.0, 1.0}};
+  const auto res = SolveMarket(ws, 3.0, 0.0);
+  EXPECT_NEAR(res.lambda, 2.0, 1e-12);
+  EXPECT_EQ(res.active_count, 1u);
+}
+
+TEST(BreakpointSolver, ElasticClearsBeforeFirstBreakpoint) {
+  // Supply zero until lambda = 10; demand side 4 + (-2) lambda hits zero at
+  // lambda = 2 < 10: all allocations zero.
+  BreakpointWorkspace ws;
+  ws.arcs() = {{-10.0, 1.0}};
+  const auto res = SolveMarket(ws, 4.0, -2.0);
+  EXPECT_NEAR(res.lambda, 2.0, 1e-12);
+  EXPECT_EQ(res.active_count, 0u);
+}
+
+TEST(BreakpointSolver, ZeroFixedTotalAllZero) {
+  BreakpointWorkspace ws;
+  ws.arcs() = {{3.0, 1.0}, {5.0, 2.0}};
+  const auto res = SolveMarket(ws, 0.0, 0.0);
+  EXPECT_TRUE(res.feasible);
+  EXPECT_EQ(res.active_count, 0u);
+  EXPECT_NEAR(EvaluateSupply(ws.arcs(), res.lambda), 0.0, 1e-12);
+}
+
+TEST(BreakpointSolver, NegativeFixedTotalInfeasible) {
+  BreakpointWorkspace ws;
+  ws.arcs() = {{1.0, 1.0}};
+  const auto res = SolveMarket(ws, -1.0, 0.0);
+  EXPECT_FALSE(res.feasible);
+}
+
+TEST(BreakpointSolver, EmptyMarketElastic) {
+  BreakpointWorkspace ws;
+  ws.arcs() = {};
+  const auto res = SolveMarket(ws, 6.0, -3.0);
+  EXPECT_TRUE(res.feasible);
+  EXPECT_NEAR(res.lambda, 2.0, 1e-12);
+}
+
+TEST(BreakpointSolver, TiedBreakpoints) {
+  BreakpointWorkspace ws;
+  ws.arcs() = {{-2.0, 1.0}, {-2.0, 1.0}, {-2.0, 1.0}};
+  // All activate at lambda = 2; total 6 requires 3 (lambda - 2) = 6.
+  const auto res = SolveMarket(ws, 6.0, 0.0);
+  EXPECT_NEAR(res.lambda, 4.0, 1e-12);
+  EXPECT_EQ(res.active_count, 3u);
+}
+
+TEST(BreakpointSolver, OpCountsPopulated) {
+  BreakpointWorkspace ws;
+  Rng rng(5);
+  ws.arcs().resize(300);
+  for (auto& a : ws.arcs()) a = {rng.Uniform(-5, 5), rng.Uniform(0.1, 2.0)};
+  const auto res = SolveMarket(ws, 100.0, 0.0);
+  EXPECT_EQ(res.ops.breakpoints, 300u);
+  EXPECT_GT(res.ops.comparisons, 300u);  // at least the sort
+  EXPECT_GT(res.ops.flops, 300u);
+}
+
+TEST(BreakpointSolver, InsertionVsHeapsortIdentical) {
+  Rng rng(6);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 1 + rng.NextIndex(200);
+    BreakpointWorkspace w1, w2;
+    w1.arcs().resize(n);
+    for (auto& a : w1.arcs())
+      a = {rng.Uniform(-10, 10), rng.Uniform(0.05, 3.0)};
+    w2.arcs() = w1.arcs();
+    const double u = rng.Uniform(0.0, 50.0);
+    const double v = rng.Bernoulli(0.5) ? 0.0 : -rng.Uniform(0.01, 2.0);
+    const auto r1 = SolveMarket(w1, u, v, SortPolicy::kInsertion);
+    const auto r2 = SolveMarket(w2, u, v, SortPolicy::kHeapsort);
+    EXPECT_NEAR(r1.lambda, r2.lambda, 1e-10);
+    EXPECT_EQ(r1.active_count, r2.active_count);
+  }
+}
+
+// Property sweep: solver's lambda satisfies the clearing equation and
+// matches bisection, across sizes and target kinds.
+class BreakpointProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, bool, int>> {};
+
+TEST_P(BreakpointProperty, ClearsMarketExactly) {
+  const auto [n, elastic, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 7919 + n);
+  BreakpointWorkspace ws;
+  ws.arcs().resize(n);
+  for (auto& a : ws.arcs())
+    a = {rng.Uniform(-100.0, 100.0), rng.Uniform(0.01, 5.0)};
+  const double u = rng.Uniform(0.0, 200.0);
+  const double v = elastic ? -rng.Uniform(0.01, 3.0) : 0.0;
+
+  const auto res = SolveMarket(ws, u, v);
+  ASSERT_TRUE(res.feasible);
+  const double supply = EvaluateSupply(ws.arcs(), res.lambda);
+  const double target = u + v * res.lambda;
+  const double scale = std::max({1.0, std::abs(supply), std::abs(target)});
+  EXPECT_LT(std::abs(supply - target) / scale, 1e-10);
+
+  // Active count consistent with the allocations.
+  std::size_t active = 0;
+  for (const auto& a : ws.arcs())
+    if (a.p + a.q * res.lambda > 1e-12) ++active;
+  EXPECT_LE(active, res.active_count);
+  EXPECT_GE(active + 2, res.active_count);  // ties may sit at zero
+
+  // Agreement with bisection (bisection itself is ~1e-12 accurate here).
+  if (supply > 1e-9 || v < 0.0) {
+    const double ref = Bisect(ws.arcs(), u, v);
+    EXPECT_NEAR(EvaluateSupply(ws.arcs(), ref) - (u + v * ref), 0.0, 1e-6);
+    // lambda may differ on flat segments; compare cleared quantities.
+    EXPECT_NEAR(EvaluateSupply(ws.arcs(), res.lambda),
+                EvaluateSupply(ws.arcs(), ref),
+                1e-6 * scale);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BreakpointProperty,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 3, 5, 10, 50, 129,
+                                                      500),
+                       ::testing::Bool(), ::testing::Values(1, 2, 3)));
+
+TEST(BreakpointSolver, ComplexityMatchesNLogN) {
+  // The paper charges each market ~ n log n comparisons; check the heapsort
+  // path's comparison count is Theta(n log n).
+  Rng rng(9);
+  for (std::size_t n : {256u, 1024u, 4096u}) {
+    BreakpointWorkspace ws;
+    ws.arcs().resize(n);
+    for (auto& a : ws.arcs())
+      a = {rng.Uniform(-10, 10), rng.Uniform(0.1, 1.0)};
+    const auto res = SolveMarket(ws, 10.0, 0.0, SortPolicy::kHeapsort);
+    const double nlogn = static_cast<double>(n) * std::log2(double(n));
+    EXPECT_GT(static_cast<double>(res.ops.comparisons), 0.5 * nlogn);
+    EXPECT_LT(static_cast<double>(res.ops.comparisons), 4.0 * nlogn);
+  }
+}
+
+}  // namespace
+}  // namespace sea

@@ -1,0 +1,341 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datasets/contingency.hpp"
+#include "datasets/general_dense.hpp"
+#include "datasets/io_tables.hpp"
+#include "datasets/large_diagonal.hpp"
+#include "datasets/migration.hpp"
+#include "datasets/sam_datasets.hpp"
+#include "datasets/weights.hpp"
+#include "linalg/spd_generators.hpp"
+#include "support/rng.hpp"
+
+namespace sea::datasets {
+namespace {
+
+TEST(Weights, ChiSquareInvertsEntries) {
+  DenseMatrix x0(1, 3);
+  x0(0, 0) = 2.0;
+  x0(0, 1) = 0.5;
+  x0(0, 2) = 0.0;
+  const auto g = ChiSquareWeights(x0, 1e-3);
+  EXPECT_DOUBLE_EQ(g(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(g(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(g(0, 2), 1000.0);
+}
+
+TEST(Weights, SqrtWeights) {
+  DenseMatrix x0(1, 2);
+  x0(0, 0) = 4.0;
+  x0(0, 1) = 9.0;
+  const auto g = SqrtWeights(x0);
+  EXPECT_DOUBLE_EQ(g(0, 0), 0.5);
+  EXPECT_NEAR(g(0, 1), 1.0 / 3.0, 1e-15);
+}
+
+TEST(LargeDiagonal, MatchesTable1Protocol) {
+  Rng rng(1);
+  const auto p = MakeLargeDiagonal(40, 40, rng);
+  EXPECT_EQ(p.mode(), TotalsMode::kFixed);
+  // 100% dense, values in [.1, 10000].
+  for (double v : p.x0().Flat()) {
+    EXPECT_GE(v, 0.1);
+    EXPECT_LE(v, 10000.0);
+  }
+  // gamma = 1/x0.
+  for (std::size_t k = 0; k < 1600; ++k)
+    EXPECT_NEAR(p.gamma().Flat()[k] * p.x0().Flat()[k], 1.0, 1e-12);
+  // Totals are twice the base sums.
+  const Vector rs = p.x0().RowSums();
+  for (std::size_t i = 0; i < 40; ++i)
+    EXPECT_NEAR(p.s0()[i], 2.0 * rs[i], 1e-9 * rs[i]);
+}
+
+TEST(LargeDiagonal, Reproducible) {
+  Rng a(7), b(7);
+  const auto pa = MakeLargeDiagonal(10, 12, a);
+  const auto pb = MakeLargeDiagonal(10, 12, b);
+  EXPECT_DOUBLE_EQ(pa.x0().MaxAbsDiff(pb.x0()), 0.0);
+}
+
+TEST(IoTables, SpecListMatchesTable2) {
+  const auto specs = Table2Specs();
+  ASSERT_EQ(specs.size(), 9u);
+  EXPECT_EQ(specs[0].name, "IOC72a");
+  EXPECT_EQ(specs[0].size, 205u);
+  EXPECT_EQ(specs[8].name, "IO72c");
+  EXPECT_EQ(specs[8].size, 485u);
+  EXPECT_EQ(specs[2].replications, 10u);
+}
+
+TEST(IoTables, DensityMatchesSpec) {
+  IoTableSpec spec;
+  spec.name = "test";
+  spec.size = 120;
+  spec.density = 0.52;
+  const auto base = MakeIoBase(spec);
+  std::size_t nnz = 0;
+  for (double v : base.Flat())
+    if (v > 0.0) ++nnz;
+  const double frac = static_cast<double>(nnz) / (120.0 * 120.0);
+  EXPECT_NEAR(frac, 0.52, 0.03);
+}
+
+TEST(IoTables, GrownTotalsAreConsistent) {
+  IoTableSpec spec;
+  spec.name = "test";
+  spec.size = 60;
+  spec.density = 0.5;
+  spec.protocol = 'b';
+  spec.growth_hi = 1.0;
+  const auto p = MakeIoTable(spec, 0);
+  double ssum = 0.0, dsum = 0.0;
+  for (double v : p.s0()) ssum += v;
+  for (double v : p.d0()) dsum += v;
+  EXPECT_NEAR(ssum, dsum, 1e-6 * ssum);
+  // Growth happened: totals exceed base sums.
+  const Vector base_rows = p.x0().RowSums();
+  double base_total = 0.0;
+  for (double v : base_rows) base_total += v;
+  EXPECT_GT(ssum, base_total);
+}
+
+TEST(IoTables, ProtocolCKeepsSupportAndBaseTotals) {
+  IoTableSpec spec;
+  spec.name = "test";
+  spec.size = 50;
+  spec.density = 0.3;
+  spec.protocol = 'c';
+  const auto base = MakeIoBase(spec);
+  const auto p = MakeIoTable(spec, 3);
+  // Structural zeros preserved; positive entries strictly increased.
+  for (std::size_t k = 0; k < base.size(); ++k) {
+    if (base.Flat()[k] == 0.0) {
+      EXPECT_EQ(p.x0().Flat()[k], 0.0);
+    } else {
+      EXPECT_GT(p.x0().Flat()[k], base.Flat()[k]);
+    }
+  }
+  // Totals equal the base sums.
+  const Vector rs = base.RowSums();
+  for (std::size_t i = 0; i < 50; ++i) EXPECT_DOUBLE_EQ(p.s0()[i], rs[i]);
+}
+
+TEST(IoTables, ReplicationsDiffer) {
+  IoTableSpec spec;
+  spec.name = "test";
+  spec.size = 30;
+  spec.density = 0.5;
+  spec.protocol = 'c';
+  const auto p0 = MakeIoTable(spec, 0);
+  const auto p1 = MakeIoTable(spec, 1);
+  EXPECT_GT(p0.x0().MaxAbsDiff(p1.x0()), 0.0);
+}
+
+TEST(SamDatasets, SpecListMatchesTable3) {
+  const auto specs = Table3Specs();
+  ASSERT_EQ(specs.size(), 7u);
+  EXPECT_EQ(specs[0].name, "STONE");
+  EXPECT_EQ(specs[0].accounts, 5u);
+  EXPECT_EQ(specs[0].transactions, 12u);
+  EXPECT_EQ(specs[3].name, "USDA82E");
+  EXPECT_EQ(specs[3].accounts, 133u);
+  EXPECT_EQ(specs[6].accounts, 1000u);
+}
+
+TEST(SamDatasets, SparseInstanceHitsTransactionCount) {
+  const auto spec = Table3Specs()[0];  // STONE
+  const auto p = MakeSam(spec);
+  std::size_t nnz = 0;
+  for (double v : p.x0().Flat())
+    if (v > 0.0) ++nnz;
+  EXPECT_GE(nnz, spec.transactions);
+  EXPECT_LE(nnz, spec.transactions + 4);  // last cycle may overshoot
+}
+
+TEST(SamDatasets, DenseInstanceIsDense) {
+  SamSpec spec;
+  spec.name = "D";
+  spec.accounts = 30;
+  spec.transactions = 0;
+  const auto p = MakeSam(spec);
+  for (double v : p.x0().Flat()) EXPECT_GT(v, 0.0);
+}
+
+TEST(SamDatasets, BaseIsNearlyBalancedAfterSmallPerturbation) {
+  SamSpec spec;
+  spec.name = "B";
+  spec.accounts = 25;
+  spec.transactions = 0;
+  spec.perturbation = 0.0;  // no perturbation: base must balance exactly
+  const auto p = MakeSam(spec);
+  const Vector rows = p.x0().RowSums();
+  const Vector cols = p.x0().ColSums();
+  for (std::size_t i = 0; i < 25; ++i)
+    EXPECT_NEAR(rows[i], cols[i], 1e-8 * std::max(1.0, rows[i]));
+}
+
+TEST(SamDatasets, PerturbationCreatesImbalance) {
+  SamSpec spec;
+  spec.name = "P";
+  spec.accounts = 25;
+  spec.transactions = 0;
+  spec.perturbation = 0.10;
+  const auto p = MakeSam(spec);
+  const Vector rows = p.x0().RowSums();
+  const Vector cols = p.x0().ColSums();
+  double imbalance = 0.0;
+  for (std::size_t i = 0; i < 25; ++i)
+    imbalance = std::max(imbalance, std::abs(rows[i] - cols[i]));
+  EXPECT_GT(imbalance, 1.0);
+}
+
+TEST(Migration, BaseHasZeroDiagonal) {
+  const auto base = MakeMigrationBase(5560);
+  ASSERT_EQ(base.rows(), kStates);
+  for (std::size_t i = 0; i < kStates; ++i) {
+    EXPECT_EQ(base(i, i), 0.0);
+    for (std::size_t j = 0; j < kStates; ++j) {
+      if (j != i) {
+        EXPECT_GT(base(i, j), 0.0);
+      }
+    }
+  }
+}
+
+TEST(Migration, SpecLists) {
+  const auto t4 = Table4Specs();
+  ASSERT_EQ(t4.size(), 9u);
+  EXPECT_EQ(t4[0].name, "MIG5560a");
+  EXPECT_EQ(t4[8].name, "MIG7580c");
+  const auto t8 = Table8Specs();
+  ASSERT_EQ(t8.size(), 6u);
+  EXPECT_EQ(t8[0].name, "GMIG5560a");
+}
+
+TEST(Migration, Table4InstancesAreElasticWithUnitWeights) {
+  const auto p = MakeMigration(Table4Specs()[0]);
+  EXPECT_EQ(p.mode(), TotalsMode::kElastic);
+  for (double g : p.gamma().Flat()) EXPECT_DOUBLE_EQ(g, 1.0);
+  for (double a : p.alpha()) EXPECT_DOUBLE_EQ(a, 1.0);
+}
+
+TEST(Migration, ProtocolBGrowsMoreThanA) {
+  const auto specs = Table4Specs();
+  const auto pa = MakeMigration(specs[0]);  // MIG5560a
+  const auto pb = MakeMigration(specs[1]);  // MIG5560b
+  double ga = 0.0, gb = 0.0;
+  const Vector base = MakeMigrationBase(5560).RowSums();
+  for (std::size_t i = 0; i < kStates; ++i) {
+    ga += pa.s0()[i] / base[i];
+    gb += pb.s0()[i] / base[i];
+  }
+  EXPECT_GT(gb, ga);
+}
+
+TEST(Migration, GeneralInstanceHasDominant2304G) {
+  const auto p = MakeGeneralMigration(Table8Specs()[0]);
+  EXPECT_EQ(p.mode(), TotalsMode::kFixed);
+  EXPECT_EQ(p.G().rows(), kStates * kStates);
+  EXPECT_TRUE(IsStrictlyDiagonallyDominant(p.G()));
+  double ssum = 0.0, dsum = 0.0;
+  for (double v : p.s0()) ssum += v;
+  for (double v : p.d0()) dsum += v;
+  EXPECT_NEAR(ssum, dsum, 1e-6 * ssum);
+}
+
+TEST(GeneralDense, MatchesTable7Protocol) {
+  Rng rng(2);
+  const auto p = MakeGeneralDense(6, 6, rng);
+  EXPECT_TRUE(p.G().IsSymmetric());
+  EXPECT_TRUE(IsStrictlyDiagonallyDominant(p.G()));
+  for (std::size_t k = 0; k < 36; ++k) {
+    EXPECT_GE(p.G()(k, k), 500.0);
+  }
+  for (double c : p.cx()) {
+    EXPECT_GE(c, 100.0);
+    EXPECT_LE(c, 1000.0);
+  }
+  EXPECT_EQ(Table7Sizes().front(), 10u);
+  EXPECT_EQ(Table7Sizes().back(), 120u);
+}
+
+TEST(Contingency, PopulationMatchesSpec) {
+  ContingencySpec spec;
+  spec.rows = 5;
+  spec.cols = 7;
+  spec.population = 5e5;
+  const auto inst = MakeContingency(spec);
+  double total = 0.0;
+  for (double v : inst.population.Flat()) {
+    EXPECT_GT(v, 0.0);
+    total += v;
+  }
+  EXPECT_NEAR(total, 5e5, 1.0);
+  EXPECT_EQ(inst.row_margins, inst.population.RowSums());
+  EXPECT_EQ(inst.col_margins, inst.population.ColSums());
+}
+
+TEST(Contingency, SampleSizeTracksRate) {
+  ContingencySpec spec;
+  spec.population = 1e6;
+  spec.sample_rate = 0.02;
+  const auto inst = MakeContingency(spec);
+  double sample = 0.0;
+  for (double v : inst.sample.Flat()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_EQ(v, std::floor(v));  // counts
+    sample += v;
+  }
+  EXPECT_NEAR(sample, 0.02 * 1e6, 0.2 * 0.02 * 1e6);
+}
+
+TEST(Contingency, AssociationTiltsDiagonal) {
+  ContingencySpec indep, strong;
+  indep.rows = strong.rows = 6;
+  indep.cols = strong.cols = 6;
+  indep.association = 0.0;
+  strong.association = 1.0;
+  const auto pi = MakeContingency(indep);
+  const auto ps = MakeContingency(strong);
+  auto diag_share = [](const DenseMatrix& x) {
+    double diag = 0.0, total = 0.0;
+    for (std::size_t i = 0; i < x.rows(); ++i)
+      for (std::size_t j = 0; j < x.cols(); ++j) {
+        total += x(i, j);
+        if (i == j) diag += x(i, j);
+      }
+    return diag / total;
+  };
+  EXPECT_GT(diag_share(ps.population), diag_share(pi.population));
+}
+
+TEST(Contingency, AdjustmentProblemIsConsistent) {
+  ContingencySpec spec;
+  spec.seed = 7;
+  const auto inst = MakeContingency(spec);
+  const auto p = MakeAdjustmentProblem(inst);
+  EXPECT_EQ(p.mode(), TotalsMode::kFixed);
+  double ssum = 0.0, dsum = 0.0;
+  for (double v : p.s0()) ssum += v;
+  for (double v : p.d0()) dsum += v;
+  EXPECT_NEAR(ssum, dsum, 1e-6 * ssum);
+  // Targets are on the sample scale.
+  double sample = 0.0;
+  for (double v : inst.sample.Flat()) sample += v;
+  EXPECT_NEAR(ssum, sample, 1e-6 * sample);
+}
+
+TEST(GeneralDense, TotalsConsistent) {
+  Rng rng(3);
+  const auto p = MakeGeneralDense(7, 9, rng);
+  double ssum = 0.0, dsum = 0.0;
+  for (double v : p.s0()) ssum += v;
+  for (double v : p.d0()) dsum += v;
+  EXPECT_NEAR(ssum, dsum, 1e-9 * ssum);
+}
+
+}  // namespace
+}  // namespace sea::datasets

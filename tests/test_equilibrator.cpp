@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "equilibration/equilibrator.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/rng.hpp"
+
+namespace sea {
+namespace {
+
+// Verifies the KKT conditions of one market's QP:
+//   min sum_j w_j (x_j - c_j)^2 - sum_j mu_j x_j
+//   s.t. sum_j x_j = total, x >= 0
+// at the solver's (x, lambda): stationarity on the support, one-sided
+// elsewhere, and the clearing equation.
+void ExpectMarketKkt(std::span<const double> centers,
+                     std::span<const double> weights,
+                     std::span<const double> mu, double total, double lambda,
+                     std::span<const double> x, double tol = 1e-9) {
+  double sum = 0.0;
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    EXPECT_GE(x[j], 0.0);
+    sum += x[j];
+    const double resid =
+        2.0 * weights[j] * (x[j] - centers[j]) - mu[j] - lambda;
+    if (x[j] > 1e-10) {
+      EXPECT_NEAR(resid, 0.0, tol) << "j=" << j;
+    } else {
+      EXPECT_GE(resid, -tol) << "j=" << j;
+    }
+  }
+  EXPECT_NEAR(sum, total, tol * std::max(1.0, std::abs(total)));
+}
+
+TEST(EquilibrateMarket, FixedTotalKkt) {
+  Rng rng(1);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 2 + rng.NextIndex(40);
+    Vector centers = rng.UniformVector(n, -5.0, 20.0);
+    Vector weights = rng.UniformVector(n, 0.1, 3.0);
+    Vector mu = rng.UniformVector(n, -2.0, 2.0);
+    const double total = rng.Uniform(1.0, 50.0);
+    Vector x(n);
+    BreakpointWorkspace ws;
+    const auto res = EquilibrateMarket(centers, weights, mu, total, 0.0, ws, x);
+    ASSERT_TRUE(res.feasible);
+    ExpectMarketKkt(centers, weights, mu, total, res.lambda, x);
+  }
+}
+
+TEST(EquilibrateMarket, ElasticTargetConsistency) {
+  // Elastic response S(lambda) = u + v*lambda must equal sum_j x_j.
+  Rng rng(2);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 1 + rng.NextIndex(30);
+    Vector centers = rng.UniformVector(n, -5.0, 20.0);
+    Vector weights = rng.UniformVector(n, 0.1, 3.0);
+    Vector mu(n, 0.0);
+    const double u = rng.Uniform(0.0, 40.0);
+    const double v = -rng.Uniform(0.05, 2.0);
+    Vector x(n);
+    BreakpointWorkspace ws;
+    const auto res = EquilibrateMarket(centers, weights, mu, u, v, ws, x);
+    double sum = 0.0;
+    for (double xi : x) sum += xi;
+    EXPECT_NEAR(sum, u + v * res.lambda, 1e-9 * std::max(1.0, std::abs(sum)));
+  }
+}
+
+DenseMatrix RandomPositiveMatrix(std::size_t m, std::size_t n, Rng& rng,
+                                 double lo, double hi) {
+  DenseMatrix x(m, n);
+  for (double& v : x.Flat()) v = rng.Uniform(lo, hi);
+  return x;
+}
+
+TEST(EquilibrateSide, MatchesPerMarketCalls) {
+  Rng rng(3);
+  const std::size_t m = 9, n = 13;
+  const auto centers = RandomPositiveMatrix(m, n, rng, -3.0, 10.0);
+  const auto weights = RandomPositiveMatrix(m, n, rng, 0.2, 2.0);
+  const Vector mu = rng.UniformVector(n, -1.0, 1.0);
+  Vector s0 = rng.UniformVector(m, 5.0, 50.0);
+
+  MarketSide side;
+  side.mode = TotalsMode::kFixed;
+  side.t0 = s0;
+
+  Vector mult(m);
+  DenseMatrix x(m, n);
+  SweepOptions opts;
+  EquilibrateSide(centers, weights, mu, side, mult, &x, opts);
+
+  for (std::size_t i = 0; i < m; ++i) {
+    BreakpointWorkspace ws;
+    Vector xi(n);
+    const auto res = EquilibrateMarket(centers.Row(i), weights.Row(i), mu,
+                                       s0[i], 0.0, ws, xi);
+    EXPECT_DOUBLE_EQ(mult[i], res.lambda);
+    for (std::size_t j = 0; j < n; ++j) EXPECT_DOUBLE_EQ(x(i, j), xi[j]);
+  }
+}
+
+TEST(EquilibrateSide, ParallelBitIdenticalToSerial) {
+  Rng rng(4);
+  const std::size_t m = 63, n = 41;
+  const auto centers = RandomPositiveMatrix(m, n, rng, -3.0, 10.0);
+  const auto weights = RandomPositiveMatrix(m, n, rng, 0.2, 2.0);
+  const Vector mu = rng.UniformVector(n, -1.0, 1.0);
+  const Vector s0 = rng.UniformVector(m, 5.0, 50.0);
+
+  MarketSide side;
+  side.mode = TotalsMode::kFixed;
+  side.t0 = s0;
+
+  Vector mult_serial(m), mult_par(m);
+  DenseMatrix x_serial(m, n), x_par(m, n);
+  SweepOptions serial_opts;
+  EquilibrateSide(centers, weights, mu, side, mult_serial, &x_serial,
+                  serial_opts);
+
+  ThreadPool pool(4);
+  SweepOptions par_opts;
+  par_opts.pool = &pool;
+  EquilibrateSide(centers, weights, mu, side, mult_par, &x_par, par_opts);
+
+  for (std::size_t i = 0; i < m; ++i)
+    EXPECT_EQ(mult_serial[i], mult_par[i]) << i;
+  EXPECT_DOUBLE_EQ(x_serial.MaxAbsDiff(x_par), 0.0);
+}
+
+TEST(EquilibrateSide, TaskCostsRecorded) {
+  Rng rng(5);
+  const std::size_t m = 7, n = 11;
+  const auto centers = RandomPositiveMatrix(m, n, rng, 0.0, 5.0);
+  const auto weights = RandomPositiveMatrix(m, n, rng, 0.5, 1.5);
+  const Vector mu(n, 0.0);
+  const Vector s0 = rng.UniformVector(m, 1.0, 10.0);
+
+  MarketSide side;
+  side.mode = TotalsMode::kFixed;
+  side.t0 = s0;
+  Vector mult(m);
+  SweepOptions opts;
+  opts.record_task_costs = true;
+  const auto stats =
+      EquilibrateSide(centers, weights, mu, side, mult, nullptr, opts);
+  ASSERT_EQ(stats.task_costs.size(), m);
+  double total = 0.0;
+  for (double c : stats.task_costs) {
+    EXPECT_GT(c, 0.0);
+    total += c;
+  }
+  EXPECT_NEAR(total, stats.total_ops.Work(), 1e-9);
+}
+
+TEST(EquilibrateSide, SamCouplingEntersTarget) {
+  // For the SAM side, the clearing response is
+  // S_i = t0_i - (lambda_i + coupling_i) / (2 w_i); verify against a manual
+  // elastic call with the shifted intercept.
+  Rng rng(6);
+  const std::size_t n = 6;
+  const auto centers = RandomPositiveMatrix(n, n, rng, 0.0, 5.0);
+  const auto weights = RandomPositiveMatrix(n, n, rng, 0.5, 1.5);
+  const Vector cross = rng.UniformVector(n, -1.0, 1.0);
+  const Vector coupling = rng.UniformVector(n, -2.0, 2.0);
+  const Vector t0 = rng.UniformVector(n, 5.0, 15.0);
+  const Vector w = rng.UniformVector(n, 0.3, 2.0);
+
+  MarketSide side;
+  side.mode = TotalsMode::kSam;
+  side.t0 = t0;
+  side.weight = w;
+  side.coupling = coupling;
+  Vector mult(n);
+  SweepOptions opts;
+  EquilibrateSide(centers, weights, cross, side, mult, nullptr, opts);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    BreakpointWorkspace ws;
+    const double u = t0[i] - coupling[i] / (2.0 * w[i]);
+    const double v = -1.0 / (2.0 * w[i]);
+    const auto res = EquilibrateMarket(centers.Row(i), weights.Row(i), cross,
+                                       u, v, ws, {});
+    EXPECT_DOUBLE_EQ(mult[i], res.lambda);
+  }
+}
+
+TEST(EquilibrateSide, RejectsShapeMismatch) {
+  DenseMatrix centers(2, 3, 1.0), weights(2, 3, 1.0);
+  Vector bad_mu(2, 0.0), mult(2), s0{1.0, 2.0};
+  MarketSide side;
+  side.mode = TotalsMode::kFixed;
+  side.t0 = s0;
+  SweepOptions opts;
+  EXPECT_THROW(
+      EquilibrateSide(centers, weights, bad_mu, side, mult, nullptr, opts),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sea

@@ -1,0 +1,195 @@
+// Randomized robustness sweep: many random instances across regimes,
+// including degenerate shapes (single row/column/cell, zero totals,
+// extreme weight ratios, huge magnitudes), all checked against the same
+// invariants. These are the inputs a downstream user will eventually feed
+// the library; none may crash, hang, or return an infeasible "solution".
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/diagonal_sea.hpp"
+#include "entropy/entropy_sea.hpp"
+#include "problems/feasibility.hpp"
+#include "support/rng.hpp"
+
+namespace sea {
+namespace {
+
+SeaOptions FuzzOptions() {
+  SeaOptions o;
+  o.epsilon = 1e-7;
+  o.criterion = StopCriterion::kResidualAbs;
+  o.max_iterations = 300000;
+  return o;
+}
+
+void ExpectSolved(const DiagonalProblem& p, const char* tag) {
+  const auto run = SolveDiagonal(p, FuzzOptions());
+  ASSERT_TRUE(run.result.converged) << tag;
+  const auto rep = CheckFeasibility(p, run.solution);
+  EXPECT_GE(rep.min_x, 0.0) << tag;
+  EXPECT_LT(rep.MaxAbs(), 1e-5 * (1.0 + rep.max_row_abs + 1.0)) << tag;
+  const double scale = 1.0 + std::abs(run.result.objective);
+  EXPECT_LT(KktStationarityError(p, run.solution), 1e-4 * scale) << tag;
+}
+
+TEST(Fuzz, RandomFixedInstances) {
+  Rng rng(0xF022);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t m = 1 + rng.NextIndex(12);
+    const std::size_t n = 1 + rng.NextIndex(12);
+    DenseMatrix x0(m, n), gamma(m, n);
+    for (double& v : x0.Flat()) v = rng.Uniform(0.0, 100.0);
+    for (double& v : gamma.Flat()) v = rng.Uniform(1e-3, 1e3);
+    Vector s0 = x0.RowSums(), d0 = x0.ColSums();
+    const double grow = rng.Uniform(0.5, 2.0);
+    for (double& v : s0) v *= grow;
+    for (double& v : d0) v *= grow;
+    ExpectSolved(DiagonalProblem::MakeFixed(x0, gamma, s0, d0), "fixed");
+  }
+}
+
+TEST(Fuzz, RandomElasticInstances) {
+  Rng rng(0xF023);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t m = 1 + rng.NextIndex(12);
+    const std::size_t n = 1 + rng.NextIndex(12);
+    DenseMatrix x0(m, n), gamma(m, n);
+    for (double& v : x0.Flat()) v = rng.Uniform(0.0, 1000.0);
+    for (double& v : gamma.Flat()) v = rng.Uniform(1e-2, 1e2);
+    Vector s0(m), d0(n);
+    for (double& v : s0) v = rng.Uniform(0.0, 500.0 * double(n));
+    for (double& v : d0) v = rng.Uniform(0.0, 500.0 * double(m));
+    ExpectSolved(DiagonalProblem::MakeElastic(
+                     x0, gamma, s0, rng.UniformVector(m, 0.01, 10.0), d0,
+                     rng.UniformVector(n, 0.01, 10.0)),
+                 "elastic");
+  }
+}
+
+TEST(Fuzz, RandomSamInstances) {
+  Rng rng(0xF024);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 2 + rng.NextIndex(12);
+    DenseMatrix x0(n, n), gamma(n, n);
+    for (double& v : x0.Flat()) v = rng.Uniform(0.0, 100.0);
+    for (double& v : gamma.Flat()) v = rng.Uniform(1e-2, 1e2);
+    Vector s0 = rng.UniformVector(n, 1.0, 100.0 * double(n));
+    SeaOptions o = FuzzOptions();
+    o.criterion = StopCriterion::kResidualRel;
+    const auto p = DiagonalProblem::MakeSam(
+        x0, gamma, s0, rng.UniformVector(n, 0.01, 10.0));
+    const auto run = SolveDiagonal(p, o);
+    ASSERT_TRUE(run.result.converged);
+    EXPECT_GE(CheckFeasibility(p, run.solution).min_x, 0.0);
+    EXPECT_LT(KktStationarityError(p, run.solution),
+              1e-4 * (1.0 + std::abs(run.result.objective)));
+  }
+}
+
+TEST(Fuzz, DegenerateShapes) {
+  Rng rng(0xF025);
+  // 1x1: single cell pinned by its totals.
+  {
+    DenseMatrix x0(1, 1);
+    x0(0, 0) = 5.0;
+    DenseMatrix gamma(1, 1, 2.0);
+    const auto p = DiagonalProblem::MakeFixed(x0, gamma, {7.0}, {7.0});
+    const auto run = SolveDiagonal(p, FuzzOptions());
+    ASSERT_TRUE(run.result.converged);
+    EXPECT_NEAR(run.solution.x(0, 0), 7.0, 1e-8);
+  }
+  // 1xN row vector: column totals pin everything.
+  {
+    const std::size_t n = 6;
+    DenseMatrix x0(1, n), gamma(1, n, 1.0);
+    for (double& v : x0.Flat()) v = rng.Uniform(1.0, 5.0);
+    Vector d0 = x0.ColSums();
+    for (double& v : d0) v *= 1.5;
+    double total = 0.0;
+    for (double v : d0) total += v;
+    const auto p = DiagonalProblem::MakeFixed(x0, gamma, {total}, d0);
+    const auto run = SolveDiagonal(p, FuzzOptions());
+    ASSERT_TRUE(run.result.converged);
+    for (std::size_t j = 0; j < n; ++j)
+      EXPECT_NEAR(run.solution.x(0, j), d0[j], 1e-7);
+  }
+  // Mx1 column vector.
+  {
+    const std::size_t m = 5;
+    DenseMatrix x0(m, 1), gamma(m, 1, 1.0);
+    for (double& v : x0.Flat()) v = rng.Uniform(1.0, 5.0);
+    Vector s0 = x0.RowSums();
+    double total = 0.0;
+    for (double v : s0) total += v;
+    const auto p = DiagonalProblem::MakeFixed(x0, gamma, s0, {total});
+    const auto run = SolveDiagonal(p, FuzzOptions());
+    ASSERT_TRUE(run.result.converged);
+  }
+  // All-zero totals: the zero matrix is the unique feasible point.
+  {
+    DenseMatrix x0(3, 3, 1.0), gamma(3, 3, 1.0);
+    const auto p = DiagonalProblem::MakeFixed(x0, gamma, Vector(3, 0.0),
+                                              Vector(3, 0.0));
+    const auto run = SolveDiagonal(p, FuzzOptions());
+    ASSERT_TRUE(run.result.converged);
+    for (double v : run.solution.x.Flat()) EXPECT_NEAR(v, 0.0, 1e-10);
+  }
+}
+
+TEST(Fuzz, ExtremeWeightRatios) {
+  Rng rng(0xF026);
+  DenseMatrix x0(6, 6), gamma(6, 6);
+  for (double& v : x0.Flat()) v = rng.Uniform(1.0, 10.0);
+  // Nine decades of weight spread in one problem.
+  for (double& v : gamma.Flat())
+    v = std::pow(10.0, rng.Uniform(-4.0, 5.0));
+  Vector s0 = x0.RowSums(), d0 = x0.ColSums();
+  for (double& v : s0) v *= 1.5;
+  for (double& v : d0) v *= 1.5;
+  ExpectSolved(DiagonalProblem::MakeFixed(x0, gamma, s0, d0),
+               "extreme-weights");
+}
+
+TEST(Fuzz, HugeMagnitudes) {
+  Rng rng(0xF027);
+  DenseMatrix x0(5, 5), gamma(5, 5);
+  for (double& v : x0.Flat()) v = rng.Uniform(1e8, 1e10);
+  for (double& v : gamma.Flat()) v = 1.0 / rng.Uniform(1e8, 1e10);
+  Vector s0 = x0.RowSums(), d0 = x0.ColSums();
+  for (double& v : s0) v *= 2.0;
+  for (double& v : d0) v *= 2.0;
+  const auto p = DiagonalProblem::MakeFixed(x0, gamma, s0, d0);
+  SeaOptions o = FuzzOptions();
+  o.criterion = StopCriterion::kResidualRel;  // absolute 1e-7 is meaningless
+  o.epsilon = 1e-10;                          // at 1e10 magnitudes
+  const auto run = SolveDiagonal(p, o);
+  ASSERT_TRUE(run.result.converged);
+  EXPECT_LT(CheckFeasibility(p, run.solution).MaxRel(), 1e-8);
+}
+
+TEST(Fuzz, EntropyRandomInstances) {
+  Rng rng(0xF028);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t m = 1 + rng.NextIndex(10);
+    const std::size_t n = 1 + rng.NextIndex(10);
+    EntropyProblem p;
+    p.x0 = DenseMatrix(m, n);
+    for (double& v : p.x0.Flat()) v = rng.Uniform(0.1, 50.0);
+    p.s0 = p.x0.RowSums();
+    p.d0 = p.x0.ColSums();
+    for (double& v : p.s0) v *= rng.Uniform(0.7, 1.4);
+    double ssum = 0.0, dsum = 0.0;
+    for (double v : p.s0) ssum += v;
+    for (double v : p.d0) dsum += v;
+    for (double& v : p.d0) v *= ssum / dsum;
+    SeaOptions o = FuzzOptions();
+    o.criterion = StopCriterion::kResidualRel;
+    const auto run = SolveEntropy(p, o);
+    ASSERT_TRUE(run.result.converged) << trial;
+    EXPECT_GE(CheckFeasibility(run.x, p.s0, p.d0).min_x, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace sea

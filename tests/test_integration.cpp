@@ -1,0 +1,209 @@
+// Cross-module integration tests: whole pipelines (dataset generation ->
+// solve -> verification) and cross-algorithm agreement on shared instances.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/bachem_korte.hpp"
+#include "baselines/ras.hpp"
+#include "baselines/rc_algorithm.hpp"
+#include "baselines/reference_solvers.hpp"
+#include "core/diagonal_sea.hpp"
+#include "core/general_sea.hpp"
+#include "datasets/general_dense.hpp"
+#include "datasets/io_tables.hpp"
+#include "datasets/large_diagonal.hpp"
+#include "datasets/migration.hpp"
+#include "datasets/sam_datasets.hpp"
+#include "datasets/weights.hpp"
+#include "parallel/thread_pool.hpp"
+#include "problems/feasibility.hpp"
+#include "spe/spe_generator.hpp"
+#include "support/rng.hpp"
+
+namespace sea {
+namespace {
+
+TEST(Integration, ThreeAlgorithmsAgreeOnGeneralProblem) {
+  // SEA, RC and B-K on the same Table 7-protocol instance must find the
+  // same optimum (same objective value, same solution up to tolerance).
+  Rng rng(1);
+  const auto p = datasets::MakeGeneralDense(5, 5, rng);
+
+  GeneralSeaOptions sea_opts;
+  sea_opts.outer_epsilon = 1e-7;
+  const auto sea_run = SolveGeneral(p, sea_opts);
+
+  RcOptions rc_opts;
+  rc_opts.epsilon = 1e-7;
+  rc_opts.max_outer_iterations = 5000;
+  const auto rc_run = SolveRc(p, rc_opts);
+
+  BachemKorteOptions bk_opts;
+  bk_opts.epsilon = 1e-7;
+  bk_opts.max_sweeps = 200000;
+  const auto bk_run = SolveBachemKorte(p, bk_opts);
+
+  ASSERT_TRUE(sea_run.result.converged);
+  ASSERT_TRUE(rc_run.result.converged);
+  ASSERT_TRUE(bk_run.result.converged);
+
+  const double scale = std::max(1.0, std::abs(sea_run.result.objective));
+  EXPECT_NEAR(rc_run.result.objective, sea_run.result.objective,
+              1e-3 * scale);
+  EXPECT_NEAR(bk_run.result.objective, sea_run.result.objective,
+              1e-3 * scale);
+}
+
+TEST(Integration, Table1PipelineSmall) {
+  // Scaled-down Table 1 instance end to end, serial vs parallel.
+  Rng rng(2);
+  const auto p = datasets::MakeLargeDiagonal(60, 60, rng);
+  SeaOptions o;
+  o.epsilon = 0.01;
+  o.criterion = StopCriterion::kXChange;
+  const auto serial = SolveDiagonal(p, o);
+  ASSERT_TRUE(serial.result.converged);
+
+  ThreadPool pool(4);
+  SeaOptions op = o;
+  op.pool = &pool;
+  const auto parallel = SolveDiagonal(p, op);
+  EXPECT_DOUBLE_EQ(serial.solution.x.MaxAbsDiff(parallel.solution.x), 0.0);
+
+  const auto rep = CheckFeasibility(p, serial.solution);
+  EXPECT_LT(rep.MaxRel(), 1e-2);
+}
+
+TEST(Integration, Table2PipelineSmall) {
+  datasets::IoTableSpec spec;
+  spec.name = "mini-io";
+  spec.size = 40;
+  spec.density = 0.5;
+  spec.protocol = 'a';
+  spec.growth_hi = 0.10;
+  const auto p = datasets::MakeIoTable(spec, 0);
+  SeaOptions o;
+  o.epsilon = 1e-6;
+  o.criterion = StopCriterion::kResidualRel;
+  const auto run = SolveDiagonal(p, o);
+  ASSERT_TRUE(run.result.converged);
+  EXPECT_LT(KktStationarityError(p, run.solution), 1e-4);
+  // Updated table respects structural support economics: entries stay
+  // nonnegative and table totals hit the grown margins.
+  EXPECT_GE(CheckFeasibility(p, run.solution).min_x, 0.0);
+}
+
+TEST(Integration, Table3PipelineSmall) {
+  datasets::SamSpec spec;
+  spec.name = "mini-sam";
+  spec.accounts = 30;
+  spec.transactions = 0;
+  const auto p = datasets::MakeSam(spec);
+  SeaOptions o;
+  o.epsilon = 1e-3;
+  o.criterion = StopCriterion::kResidualRel;
+  const auto run = SolveDiagonal(p, o);
+  ASSERT_TRUE(run.result.converged);
+  // Balanced accounts at the solution.
+  for (std::size_t i = 0; i < 30; ++i) {
+    double rs = 0.0, cs = 0.0;
+    for (std::size_t j = 0; j < 30; ++j) {
+      rs += run.solution.x(i, j);
+      cs += run.solution.x(j, i);
+    }
+    EXPECT_NEAR(rs, cs, 2e-3 * std::max(1.0, rs));
+  }
+}
+
+TEST(Integration, Table4PipelineFull48States) {
+  const auto p = datasets::MakeMigration(datasets::Table4Specs()[0]);
+  SeaOptions o;
+  o.epsilon = 1e-4;
+  o.criterion = StopCriterion::kResidualRel;
+  const auto run = SolveDiagonal(p, o);
+  ASSERT_TRUE(run.result.converged);
+  const auto rep = CheckFeasibility(p, run.solution);
+  EXPECT_LT(rep.MaxRel(), 1e-3);
+}
+
+TEST(Integration, Table5PipelineSmall) {
+  Rng rng(3);
+  const auto spe_problem = spe::Generate(25, 25, rng);
+  SeaOptions o;
+  o.epsilon = 1e-8;
+  o.criterion = StopCriterion::kResidualAbs;
+  const auto run = SolveDiagonal(spe_problem.ToDiagonalProblem(), o);
+  ASSERT_TRUE(run.result.converged);
+  EXPECT_LT(spe::CheckEquilibrium(spe_problem, run.solution.x).Max(), 1e-4);
+}
+
+TEST(Integration, SeaHandlesRasInfeasibleInstance) {
+  // On supports where RAS fails, SEA still solves the least-squares
+  // problem (it can move off the support at finite cost).
+  DenseMatrix x0(2, 2, 0.0);
+  x0(0, 0) = 1.0;
+  x0(0, 1) = 1.0;
+  x0(1, 1) = 1.0;
+  const Vector s0{2.0, 5.0}, d0{5.0, 2.0};
+
+  const auto ras = SolveRas(x0, s0, d0, {.max_iterations = 2000});
+  EXPECT_NE(ras.status, RasStatus::kConverged);
+
+  DenseMatrix gamma(2, 2, 1.0);
+  const auto p = DiagonalProblem::MakeFixed(x0, gamma, s0, d0);
+  SeaOptions o;
+  o.epsilon = 1e-9;
+  o.criterion = StopCriterion::kResidualAbs;
+  const auto run = SolveDiagonal(p, o);
+  ASSERT_TRUE(run.result.converged);
+  const auto oracle = SolveEnumerativeKkt(p);
+  ASSERT_TRUE(oracle.has_value());
+  EXPECT_LT(run.solution.x.MaxAbsDiff(oracle->x), 1e-6);
+}
+
+TEST(Integration, WeightSchemesChangeSolutionsPredictably) {
+  // Chi-square weights protect small entries relative to unit weights: the
+  // relative adjustment of small cells shrinks.
+  Rng rng(4);
+  DenseMatrix x0(6, 6);
+  for (double& v : x0.Flat()) v = rng.Uniform(0.1, 10.0);
+  x0(0, 0) = 0.01;  // one tiny cell
+  Vector s0 = x0.RowSums(), d0 = x0.ColSums();
+  for (double& v : s0) v *= 1.5;
+  for (double& v : d0) v *= 1.5;
+
+  SeaOptions o;
+  o.epsilon = 1e-9;
+  o.criterion = StopCriterion::kResidualAbs;
+
+  const auto unit = SolveDiagonal(
+      DiagonalProblem::MakeFixed(x0, DenseMatrix(6, 6, 1.0), s0, d0), o);
+  const auto chi = SolveDiagonal(
+      DiagonalProblem::MakeFixed(x0, datasets::ChiSquareWeights(x0), s0, d0),
+      o);
+  ASSERT_TRUE(unit.result.converged);
+  ASSERT_TRUE(chi.result.converged);
+  const double rel_unit = std::abs(unit.solution.x(0, 0) - 0.01) / 0.01;
+  const double rel_chi = std::abs(chi.solution.x(0, 0) - 0.01) / 0.01;
+  EXPECT_LT(rel_chi, rel_unit);
+}
+
+TEST(Integration, GeneralMigrationInstanceSolvesEndToEnd) {
+  // Table 8 protocol at full scale is a bench concern; here a structurally
+  // identical scaled instance exercises the path.
+  const auto p = datasets::MakeGeneralMigration(datasets::Table8Specs()[0]);
+  ASSERT_EQ(p.G().rows(), 2304u);
+  // Solve with loose tolerance to keep test time bounded.
+  GeneralSeaOptions o;
+  o.outer_epsilon = 1.0;
+  o.inner.criterion = StopCriterion::kResidualRel;
+  o.inner.epsilon = 1e-3;
+  o.max_outer_iterations = 10;
+  const auto run = SolveGeneral(p, o);
+  EXPECT_GE(run.result.outer_iterations, 1u);
+  EXPECT_GE(CheckFeasibility(run.solution.x, p.s0(), p.d0()).min_x, 0.0);
+}
+
+}  // namespace
+}  // namespace sea

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "io/csv.hpp"
+#include "io/experiment_record.hpp"
+#include "io/table_printer.hpp"
+#include "support/rng.hpp"
+
+namespace sea {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(TablePrinter, FormatsAlignedColumns) {
+  TablePrinter t({"dataset", "CPU time (seconds)"});
+  t.AddRow({"IOC72a", TablePrinter::Num(18.6697)});
+  t.AddRow({"IO72b", TablePrinter::Num(438.3519)});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("IOC72a"), std::string::npos);
+  EXPECT_NE(out.find("438.3519"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TablePrinter, NumAndIntHelpers) {
+  EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Num(2.0, 4), "2.0000");
+  EXPECT_EQ(TablePrinter::Int(-42), "-42");
+}
+
+TEST(TablePrinter, RejectsRaggedRows) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.AddRow({"only-one"}), InvalidArgument);
+}
+
+TEST(Csv, RoundTripWithQuoting) {
+  const std::string path = TempPath("sea_test_quoting.csv");
+  WriteCsv(path, {"name", "note"},
+           {{"a", "plain"},
+            {"b", "has,comma"},
+            {"c", "has \"quotes\""}});
+  const auto rows = ReadCsv(path);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0][1], "note");
+  EXPECT_EQ(rows[2][1], "has,comma");
+  EXPECT_EQ(rows[3][1], "has \"quotes\"");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, MatrixRoundTrip) {
+  Rng rng(1);
+  DenseMatrix m(7, 5);
+  for (double& v : m.Flat()) v = rng.Uniform(-100.0, 100.0);
+  const std::string path = TempPath("sea_test_matrix.csv");
+  WriteMatrixCsv(path, m);
+  const auto back = ReadMatrixCsv(path);
+  ASSERT_EQ(back.rows(), 7u);
+  ASSERT_EQ(back.cols(), 5u);
+  EXPECT_LT(back.MaxAbsDiff(m), 1e-12);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, ReadMissingFileThrows) {
+  EXPECT_THROW(ReadCsv("/nonexistent/definitely/missing.csv"),
+               InvalidArgument);
+}
+
+TEST(ExperimentLog, PrintsPaperComparison) {
+  ExperimentLog log;
+  log.Add("table1", "1000x1000", "cpu_seconds", 12.5, 483.2065);
+  log.Add("table6", "IO72b", "speedup_p2", 1.9, 1.93, "simulated");
+  std::ostringstream os;
+  log.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("table1"), std::string::npos);
+  EXPECT_NE(out.find("483.2065"), std::string::npos);
+  EXPECT_NE(out.find("simulated"), std::string::npos);
+  // Ratio column present for rows with paper values.
+  EXPECT_NE(out.find("measured/paper"), std::string::npos);
+}
+
+TEST(ExperimentLog, HandlesMissingPaperValue) {
+  ExperimentLog log;
+  log.Add("table3", "S2000", "cpu_seconds", 1.0);
+  std::ostringstream os;
+  log.Print(os);
+  EXPECT_NE(os.str().find('-'), std::string::npos);
+}
+
+TEST(ExperimentLog, AppendCsvWritesHeaderOnce) {
+  const std::string path = TempPath("sea_test_explog.csv");
+  std::remove(path.c_str());
+  ExperimentLog log;
+  log.Add("t", "d", "m", 1.0, 2.0);
+  log.AppendCsv(path);
+  log.AppendCsv(path);
+  const auto rows = ReadCsv(path);
+  ASSERT_EQ(rows.size(), 3u);  // header + 2 data rows
+  EXPECT_EQ(rows[0][0], "experiment");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sea

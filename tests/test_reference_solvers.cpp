@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/reference_solvers.hpp"
+#include "problems/feasibility.hpp"
+#include "support/rng.hpp"
+
+namespace sea {
+namespace {
+
+DenseMatrix Fill(std::size_t m, std::size_t n, Rng& rng, double lo, double hi) {
+  DenseMatrix x(m, n);
+  for (double& v : x.Flat()) v = rng.Uniform(lo, hi);
+  return x;
+}
+
+TEST(EnumerativeKkt, HandSolvableOneByTwo) {
+  // min (x1 - 4)^2 + (x2 - 1)^2  s.t. x1 + x2 = 3 (row), x1 = a, x2 = 3 - a
+  // Column totals fix each variable: d0 = {2.5, 0.5}.
+  DenseMatrix x0(1, 2);
+  x0(0, 0) = 4.0;
+  x0(0, 1) = 1.0;
+  DenseMatrix gamma(1, 2, 1.0);
+  const auto p = DiagonalProblem::MakeFixed(x0, gamma, {3.0}, {2.5, 0.5});
+  const auto sol = SolveEnumerativeKkt(p);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_NEAR(sol->x(0, 0), 2.5, 1e-9);
+  EXPECT_NEAR(sol->x(0, 1), 0.5, 1e-9);
+}
+
+TEST(EnumerativeKkt, UnconstrainedInteriorCase) {
+  // Base matrix already satisfies the totals: solution is x0 itself.
+  Rng rng(1);
+  DenseMatrix x0 = Fill(2, 3, rng, 1.0, 5.0);
+  DenseMatrix gamma = Fill(2, 3, rng, 0.5, 2.0);
+  const auto p = DiagonalProblem::MakeFixed(x0, gamma, x0.RowSums(),
+                                            x0.ColSums());
+  const auto sol = SolveEnumerativeKkt(p);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_LT(sol->x.MaxAbsDiff(x0), 1e-8);
+}
+
+TEST(EnumerativeKkt, ActivatesNonnegativity) {
+  // Pulling totals far below the base forces small entries to zero.
+  DenseMatrix x0(2, 2);
+  x0(0, 0) = 10.0;
+  x0(0, 1) = 0.1;
+  x0(1, 0) = 0.1;
+  x0(1, 1) = 10.0;
+  DenseMatrix gamma(2, 2, 1.0);
+  const auto p =
+      DiagonalProblem::MakeFixed(x0, gamma, {5.0, 5.0}, {5.0, 5.0});
+  const auto sol = SolveEnumerativeKkt(p);
+  ASSERT_TRUE(sol.has_value());
+  const auto rep = CheckFeasibility(p, *sol);
+  EXPECT_LT(rep.MaxAbs(), 1e-8);
+  EXPECT_LT(KktStationarityError(p, *sol), 1e-8);
+}
+
+TEST(EnumerativeKkt, SolutionSatisfiesKktInAllModes) {
+  Rng rng(2);
+  for (int trial = 0; trial < 8; ++trial) {
+    // Fixed 2x3.
+    {
+      DenseMatrix x0 = Fill(2, 3, rng, 0.1, 5.0);
+      DenseMatrix gamma = Fill(2, 3, rng, 0.3, 2.0);
+      Vector s0 = x0.RowSums();
+      Vector d0 = x0.ColSums();
+      for (double& v : s0) v *= 1.4;
+      for (double& v : d0) v *= 1.4;
+      const auto p = DiagonalProblem::MakeFixed(x0, gamma, s0, d0);
+      const auto sol = SolveEnumerativeKkt(p);
+      ASSERT_TRUE(sol.has_value());
+      EXPECT_LT(CheckFeasibility(p, *sol).MaxAbs(), 1e-7);
+      EXPECT_LT(KktStationarityError(p, *sol), 1e-7);
+    }
+    // Elastic 2x2.
+    {
+      DenseMatrix x0 = Fill(2, 2, rng, 0.1, 5.0);
+      DenseMatrix gamma = Fill(2, 2, rng, 0.3, 2.0);
+      const auto p = DiagonalProblem::MakeElastic(
+          x0, gamma, rng.UniformVector(2, 1.0, 10.0),
+          rng.UniformVector(2, 0.5, 2.0), rng.UniformVector(2, 1.0, 10.0),
+          rng.UniformVector(2, 0.5, 2.0));
+      const auto sol = SolveEnumerativeKkt(p);
+      ASSERT_TRUE(sol.has_value());
+      EXPECT_LT(CheckFeasibility(p, *sol).MaxAbs(), 1e-7);
+      EXPECT_LT(KktStationarityError(p, *sol), 1e-7);
+    }
+    // SAM 3x3.
+    {
+      DenseMatrix x0 = Fill(3, 3, rng, 0.1, 5.0);
+      DenseMatrix gamma = Fill(3, 3, rng, 0.3, 2.0);
+      const auto p = DiagonalProblem::MakeSam(
+          x0, gamma, rng.UniformVector(3, 2.0, 12.0),
+          rng.UniformVector(3, 0.5, 2.0));
+      const auto sol = SolveEnumerativeKkt(p);
+      ASSERT_TRUE(sol.has_value());
+      EXPECT_LT(CheckFeasibility(p, *sol).MaxAbs(), 1e-7);
+      EXPECT_LT(KktStationarityError(p, *sol), 1e-7);
+      // SAM: row totals equal column totals.
+      for (std::size_t i = 0; i < 3; ++i) {
+        double rs = 0.0, cs = 0.0;
+        for (std::size_t j = 0; j < 3; ++j) {
+          rs += sol->x(i, j);
+          cs += sol->x(j, i);
+        }
+        EXPECT_NEAR(rs, cs, 1e-7);
+      }
+    }
+  }
+}
+
+TEST(EnumerativeKkt, GuardsAgainstLargeProblems) {
+  Rng rng(3);
+  DenseMatrix x0 = Fill(5, 5, rng, 0.1, 1.0);
+  DenseMatrix gamma(5, 5, 1.0);
+  const auto p = DiagonalProblem::MakeFixed(x0, gamma, x0.RowSums(),
+                                            x0.ColSums());
+  EXPECT_THROW(SolveEnumerativeKkt(p), InvalidArgument);
+}
+
+TEST(DualGradient, MatchesEnumerativeOnFixed) {
+  Rng rng(4);
+  for (int trial = 0; trial < 6; ++trial) {
+    DenseMatrix x0 = Fill(2, 3, rng, 0.1, 5.0);
+    DenseMatrix gamma = Fill(2, 3, rng, 0.3, 2.0);
+    Vector s0 = x0.RowSums();
+    Vector d0 = x0.ColSums();
+    for (double& v : s0) v *= 0.8;
+    for (double& v : d0) v *= 0.8;
+    const auto p = DiagonalProblem::MakeFixed(x0, gamma, s0, d0);
+
+    const auto oracle = SolveEnumerativeKkt(p);
+    ASSERT_TRUE(oracle.has_value());
+    const auto ref = SolveDualGradient(p);
+    EXPECT_TRUE(ref.converged);
+    EXPECT_LT(ref.solution.x.MaxAbsDiff(oracle->x), 1e-5);
+  }
+}
+
+TEST(DualGradient, MatchesEnumerativeOnElasticAndSam) {
+  Rng rng(5);
+  {
+    DenseMatrix x0 = Fill(2, 2, rng, 0.1, 5.0);
+    DenseMatrix gamma = Fill(2, 2, rng, 0.3, 2.0);
+    const auto p = DiagonalProblem::MakeElastic(
+        x0, gamma, {4.0, 7.0}, {1.0, 0.5}, {3.0, 6.0}, {0.7, 1.2});
+    const auto oracle = SolveEnumerativeKkt(p);
+    ASSERT_TRUE(oracle.has_value());
+    const auto ref = SolveDualGradient(p);
+    EXPECT_TRUE(ref.converged);
+    EXPECT_LT(ref.solution.x.MaxAbsDiff(oracle->x), 1e-5);
+    for (std::size_t i = 0; i < 2; ++i)
+      EXPECT_NEAR(ref.solution.s[i], oracle->s[i], 1e-5);
+  }
+  {
+    DenseMatrix x0 = Fill(3, 3, rng, 0.1, 5.0);
+    DenseMatrix gamma = Fill(3, 3, rng, 0.3, 2.0);
+    const auto p = DiagonalProblem::MakeSam(x0, gamma, {5.0, 8.0, 3.0},
+                                            {1.0, 0.5, 2.0});
+    const auto oracle = SolveEnumerativeKkt(p);
+    ASSERT_TRUE(oracle.has_value());
+    const auto ref = SolveDualGradient(p);
+    EXPECT_TRUE(ref.converged);
+    EXPECT_LT(ref.solution.x.MaxAbsDiff(oracle->x), 1e-5);
+  }
+}
+
+TEST(DualGradient, ConvergesOnMediumFixedProblem) {
+  Rng rng(6);
+  DenseMatrix x0 = Fill(15, 20, rng, 0.1, 100.0);
+  DenseMatrix gamma = Fill(15, 20, rng, 0.01, 1.0);
+  Vector s0 = x0.RowSums();
+  Vector d0 = x0.ColSums();
+  for (double& v : s0) v *= 1.3;
+  for (double& v : d0) v *= 1.3;
+  const auto p = DiagonalProblem::MakeFixed(x0, gamma, s0, d0);
+  const auto ref = SolveDualGradient(p, {.grad_tol = 1e-6,
+                                         .max_iterations = 500000});
+  EXPECT_TRUE(ref.converged);
+  const auto rep = CheckFeasibility(p, ref.solution);
+  EXPECT_LT(rep.MaxAbs(), 1e-4);
+  EXPECT_LT(KktStationarityError(p, ref.solution), 1e-6);
+}
+
+}  // namespace
+}  // namespace sea

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/diagonal_sea.hpp"
+#include "problems/feasibility.hpp"
+#include "spe/spatial_price.hpp"
+#include "spe/spe_generator.hpp"
+#include "support/rng.hpp"
+
+namespace sea {
+namespace {
+
+using spe::SpatialPriceProblem;
+
+SeaOptions TightOptions() {
+  SeaOptions o;
+  o.epsilon = 1e-10;
+  o.criterion = StopCriterion::kResidualAbs;
+  o.max_iterations = 500000;
+  return o;
+}
+
+TEST(Spe, GeneratorProducesValidProblem) {
+  Rng rng(1);
+  const auto p = spe::Generate(10, 12, rng);
+  EXPECT_EQ(p.m(), 10u);
+  EXPECT_EQ(p.n(), 12u);
+  EXPECT_NO_THROW(p.Validate());
+}
+
+TEST(Spe, IsomorphismRoundTrip) {
+  // The diagonal problem's centers/weights must encode exactly the price
+  // function coefficients.
+  Rng rng(2);
+  const auto p = spe::Generate(3, 4, rng);
+  const auto d = p.ToDiagonalProblem();
+  ASSERT_EQ(d.mode(), TotalsMode::kElastic);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(d.alpha()[i], p.t[i] / 2.0, 1e-14);
+    EXPECT_NEAR(d.s0()[i], -p.r[i] / p.t[i], 1e-14);
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(d.gamma()(i, j), p.h(i, j) / 2.0, 1e-14);
+      EXPECT_NEAR(d.x0()(i, j), -p.g(i, j) / p.h(i, j), 1e-12);
+    }
+  }
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(d.beta()[j], p.v[j] / 2.0, 1e-14);
+    EXPECT_NEAR(d.d0()[j], p.u[j] / p.v[j], 1e-12);
+  }
+}
+
+TEST(Spe, SeaSolutionIsSpatialPriceEquilibrium) {
+  Rng rng(3);
+  for (std::size_t size : {5u, 15u, 30u}) {
+    const auto p = spe::Generate(size, size, rng);
+    const auto run = SolveDiagonal(p.ToDiagonalProblem(), TightOptions());
+    ASSERT_TRUE(run.result.converged) << size;
+    const auto rep = spe::CheckEquilibrium(p, run.solution.x);
+    EXPECT_LT(rep.Max(), 1e-5) << size;
+  }
+}
+
+TEST(Spe, MultipliersArePrices) {
+  // lambda_i = -pi_i(s_i) and mu_j = rho_j(d_j) at the equilibrium.
+  Rng rng(4);
+  const auto p = spe::Generate(6, 8, rng);
+  const auto run = SolveDiagonal(p.ToDiagonalProblem(), TightOptions());
+  ASSERT_TRUE(run.result.converged);
+  const Vector s = run.solution.x.RowSums();
+  const Vector d = run.solution.x.ColSums();
+  for (std::size_t i = 0; i < 6; ++i)
+    EXPECT_NEAR(run.solution.lambda[i], -p.SupplyPrice(i, s[i]), 1e-5);
+  for (std::size_t j = 0; j < 8; ++j)
+    EXPECT_NEAR(run.solution.mu[j], p.DemandPrice(j, d[j]), 1e-5);
+}
+
+TEST(Spe, MarketsClearConsistently) {
+  Rng rng(5);
+  const auto p = spe::Generate(10, 10, rng);
+  const auto run = SolveDiagonal(p.ToDiagonalProblem(), TightOptions());
+  ASSERT_TRUE(run.result.converged);
+  // Estimated totals equal flow sums.
+  const Vector s = run.solution.x.RowSums();
+  const Vector d = run.solution.x.ColSums();
+  for (std::size_t i = 0; i < 10; ++i)
+    EXPECT_NEAR(run.solution.s[i], s[i], 1e-6 * std::max(1.0, s[i]));
+  for (std::size_t j = 0; j < 10; ++j)
+    EXPECT_NEAR(run.solution.d[j], d[j], 1e-6 * std::max(1.0, d[j]));
+  // Positive trade exists under the standard coefficient ranges.
+  double total = 0.0;
+  for (double v : run.solution.x.Flat()) total += v;
+  EXPECT_GT(total, 1.0);
+}
+
+TEST(Spe, ExpensiveArcsCarryNoFlow) {
+  // Make one arc's transaction cost prohibitive: equilibrium must leave it
+  // unused.
+  Rng rng(6);
+  auto p = spe::Generate(4, 4, rng);
+  p.g(2, 3) = 1e6;
+  const auto run = SolveDiagonal(p.ToDiagonalProblem(), TightOptions());
+  ASSERT_TRUE(run.result.converged);
+  EXPECT_NEAR(run.solution.x(2, 3), 0.0, 1e-9);
+  const auto rep = spe::CheckEquilibrium(p, run.solution.x);
+  EXPECT_LT(rep.Max(), 1e-5);
+}
+
+TEST(Spe, HigherDemandRaisesPrices) {
+  // Comparative statics sanity: scaling all demand intercepts up increases
+  // every demand-market clearing price.
+  Rng rng(7);
+  auto p = spe::Generate(5, 5, rng);
+  const auto run1 = SolveDiagonal(p.ToDiagonalProblem(), TightOptions());
+  ASSERT_TRUE(run1.result.converged);
+  auto p2 = p;
+  for (double& x : p2.u) x *= 1.5;
+  const auto run2 = SolveDiagonal(p2.ToDiagonalProblem(), TightOptions());
+  ASSERT_TRUE(run2.result.converged);
+  const Vector d1 = run1.solution.x.ColSums();
+  const Vector d2 = run2.solution.x.ColSums();
+  for (std::size_t j = 0; j < 5; ++j)
+    EXPECT_GE(p2.DemandPrice(j, d2[j]), p.DemandPrice(j, d1[j]) - 1e-6);
+}
+
+TEST(Spe, ValidateRejectsBadSlopes) {
+  Rng rng(8);
+  auto p = spe::Generate(2, 2, rng);
+  p.t[0] = 0.0;
+  EXPECT_THROW(p.Validate(), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sea

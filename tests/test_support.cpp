@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "support/check.hpp"
+#include "support/op_counter.hpp"
+#include "support/rng.hpp"
+#include "support/stopwatch.hpp"
+
+namespace sea {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.NextU64() == b.NextU64()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.Uniform(-3.5, 12.25);
+    EXPECT_GE(v, -3.5);
+    EXPECT_LT(v, 12.25);
+  }
+}
+
+TEST(Rng, UniformMeanApproximatelyCentered) {
+  Rng rng(13);
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.Uniform(0.0, 10.0);
+  EXPECT_NEAR(sum / kN, 5.0, 0.05);
+}
+
+TEST(Rng, NextIndexStaysInRange) {
+  Rng rng(17);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.NextIndex(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+}
+
+TEST(Rng, NextIndexOneIsAlwaysZero) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextIndex(1), 0u);
+}
+
+TEST(Rng, NormalMomentsAreSane) {
+  Rng rng(23);
+  double sum = 0.0, sum2 = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.Normal();
+    sum += v;
+    sum2 += v * v;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / kN, 1.0, 0.03);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(31);
+  Rng child = a.Split();
+  // The child stream should not reproduce the parent's continuation.
+  Rng parent_copy = a;
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (child.NextU64() == parent_copy.NextU64()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformVectorHasRequestedShape) {
+  Rng rng(37);
+  const auto v = rng.UniformVector(1000, 2.0, 3.0);
+  ASSERT_EQ(v.size(), 1000u);
+  for (double x : v) {
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+TEST(Check, CheckThrowsInvalidArgument) {
+  EXPECT_THROW(SEA_CHECK(1 == 2), InvalidArgument);
+  EXPECT_NO_THROW(SEA_CHECK(1 == 1));
+}
+
+TEST(Check, CheckMsgCarriesMessage) {
+  try {
+    SEA_CHECK_MSG(false, "the details");
+    FAIL() << "should have thrown";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("the details"), std::string::npos);
+  }
+}
+
+TEST(Check, InternalCheckThrowsInternalError) {
+  EXPECT_THROW(SEA_INTERNAL_CHECK(false), InternalError);
+}
+
+TEST(OpCounts, Accumulates) {
+  OpCounts a;
+  a.comparisons = 3;
+  a.flops = 5;
+  a.breakpoints = 1;
+  OpCounts b;
+  b.comparisons = 10;
+  b.flops = 20;
+  b.breakpoints = 2;
+  a += b;
+  EXPECT_EQ(a.comparisons, 13u);
+  EXPECT_EQ(a.flops, 25u);
+  EXPECT_EQ(a.breakpoints, 3u);
+  EXPECT_DOUBLE_EQ(a.Work(), 13.0 + 25.0);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 2000000; ++i) sink = sink + 1e-9;
+  EXPECT_GT(sw.Seconds(), 0.0);
+}
+
+TEST(Stopwatch, CpuClockAdvances) {
+  const double c0 = ProcessCpuSeconds();
+  volatile double sink = 0.0;
+  for (int i = 0; i < 5000000; ++i) sink = sink + 1e-9;
+  EXPECT_GE(ProcessCpuSeconds(), c0);
+}
+
+}  // namespace
+}  // namespace sea
