@@ -11,14 +11,38 @@ BenchOptions ParseArgs(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       opts.quick = true;
+    } else if (std::strcmp(argv[i], "--progress") == 0) {
+      opts.progress = true;
     } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
       opts.csv_path = argv[++i];
     } else {
-      std::cerr << "usage: " << argv[0] << " [--quick] [--csv <path>]\n";
+      std::cerr << "usage: " << argv[0]
+                << " [--quick] [--progress] [--csv <path>]\n";
       std::exit(2);
     }
   }
   return opts;
+}
+
+IterationCallback ProgressPrinter(std::string tag) {
+  return [tag = std::move(tag)](const IterationEvent& ev) {
+    std::cerr << tag << ": iter=" << ev.iteration << " residual=";
+    if (ev.measure_defined) {
+      std::cerr << ev.measure;
+    } else {
+      std::cerr << "n/a";
+    }
+    std::cerr << " row_s=" << ev.row_phase_seconds
+              << " col_s=" << ev.col_phase_seconds
+              << " check_s=" << ev.check_phase_seconds;
+    if (ev.converged) std::cerr << " (converged)";
+    std::cerr << '\n';
+  };
+}
+
+void MaybeAttachProgress(const BenchOptions& bench_opts, SeaOptions& opts,
+                         const std::string& tag) {
+  if (bench_opts.progress) opts.progress = ProgressPrinter(tag);
 }
 
 void PrintHeader(const std::string& title, const std::string& protocol) {

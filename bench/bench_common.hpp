@@ -3,21 +3,33 @@
 // Every bench binary accepts:
 //   --quick        scaled-down sizes (CI smoke run; full paper sizes default)
 //   --csv <path>   append paper-vs-measured records to a CSV
+//   --progress     stream the iteration engine's residual trajectory
 #pragma once
 
 #include <optional>
 #include <string>
 
+#include "core/options.hpp"
 #include "io/experiment_record.hpp"
 
 namespace sea::bench {
 
 struct BenchOptions {
   bool quick = false;
+  bool progress = false;
   std::string csv_path;
 };
 
 BenchOptions ParseArgs(int argc, char** argv);
+
+// Engine per-iteration callback that streams "tag: iter=... residual=..."
+// lines to stderr (stdout carries the result tables). Wire into
+// SeaOptions::progress when BenchOptions::progress is set.
+IterationCallback ProgressPrinter(std::string tag);
+
+// Convenience: attaches ProgressPrinter to opts when requested.
+void MaybeAttachProgress(const BenchOptions& bench_opts, SeaOptions& opts,
+                         const std::string& tag);
 
 // Prints the bench banner: which paper table/figure this regenerates, the
 // protocol line, and the host context.

@@ -44,11 +44,12 @@ int main(int argc, char** argv) {
     sea_opts.epsilon = 0.01;
     sea_opts.criterion = StopCriterion::kXChange;
     sea_opts.sort_policy = SortPolicy::kHeapsort;
+    const std::string dims =
+        std::to_string(row.n) + " x " + std::to_string(row.n);
+    bench::MaybeAttachProgress(opts, sea_opts, "table1 " + dims);
     const auto run = SolveDiagonal(problem, sea_opts);
 
     const auto rep = CheckFeasibility(problem, run.solution);
-    const std::string dims =
-        std::to_string(row.n) + " x " + std::to_string(row.n);
     table.AddRow({dims, TablePrinter::Int(long(row.n) * long(row.n)),
                   TablePrinter::Num(run.result.cpu_seconds),
                   row.paper_cpu > 0 ? TablePrinter::Num(row.paper_cpu) : "-",

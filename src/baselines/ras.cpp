@@ -41,8 +41,8 @@ RasResult SolveRas(const DenseMatrix& x0, const Vector& s0, const Vector& d0,
     return res;
   }
 
-  for (std::size_t it = 1; it <= opts.max_iterations; ++it) {
-    res.iterations = it;
+  for (std::size_t iter = 1; iter <= opts.max_iterations; ++iter) {
+    res.iterations = iter;
     // Row scaling.
     for (std::size_t i = 0; i < m; ++i) {
       auto row = res.x.Row(i);

@@ -285,8 +285,8 @@ DualGradientResult SolveDualGradient(const DiagonalProblem& p,
   double value = DualValue(p, lambda, mu);
   double step = 1.0;
 
-  for (std::size_t it = 1; it <= opts.max_iterations; ++it) {
-    res.iterations = it;
+  for (std::size_t iter = 1; iter <= opts.max_iterations; ++iter) {
+    res.iterations = iter;
     const double gnorm = DualGradient(p, lambda, mu, glam, gmu);
     res.final_grad_norm = gnorm;
     if (gnorm <= opts.grad_tol) {
@@ -297,7 +297,7 @@ DualGradientResult SolveDualGradient(const DiagonalProblem& p,
     // Barzilai-Borwein spectral step from the previous (s, y) pair; the dual
     // is concave piecewise quadratic, so BB converges quickly where plain
     // ascent crawls. Safeguarded by an Armijo backtrack on the dual value.
-    if (it > 1) {
+    if (iter > 1) {
       double ss = 0.0, sy = 0.0;
       for (std::size_t i = 0; i < m; ++i) {
         ss += slam[i] * slam[i];

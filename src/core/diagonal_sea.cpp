@@ -1,16 +1,140 @@
 #include "core/diagonal_sea.hpp"
 
 #include <algorithm>
-#include <cmath>
-#include <limits>
+#include <cstdint>
 
+#include "core/iteration_engine.hpp"
 #include "core/multiplier_rebalance.hpp"
+#include "core/stopping.hpp"
 #include "equilibration/equilibrator.hpp"
 #include "problems/feasibility.hpp"
 #include "support/check.hpp"
-#include "support/stopwatch.hpp"
 
 namespace sea {
+
+namespace {
+
+// Dense-diagonal backend for the shared iteration engine: sweeps via
+// EquilibrateSide over the problem and its transposed copies, with the
+// primal materialized column-major (x^T) on check iterations.
+class DenseDiagonalBackend final : public SeaIterationBackend {
+ public:
+  DenseDiagonalBackend(const DiagonalProblem& p, const DenseMatrix& x0_t,
+                       const DenseMatrix& gamma_t, const SeaOptions& opts,
+                       Vector& lambda, Vector& mu)
+      : p_(p),
+        x0_t_(x0_t),
+        gamma_t_(gamma_t),
+        lambda_(lambda),
+        mu_(mu),
+        xt_(p.n(), p.m(), 0.0),
+        rowsum_(p.m(), 0.0) {
+    row_side_.mode = p.mode();
+    row_side_.t0 = p.s0();
+    col_side_.mode = p.mode();
+    switch (p.mode()) {
+      case TotalsMode::kFixed:
+        col_side_.t0 = p.d0();
+        break;
+      case TotalsMode::kElastic:
+        row_side_.weight = p.alpha();
+        col_side_.t0 = p.d0();
+        col_side_.weight = p.beta();
+        break;
+      case TotalsMode::kInterval:
+        row_side_.weight = p.alpha();
+        row_side_.lo = p.s_lo();
+        row_side_.hi = p.s_hi();
+        col_side_.t0 = p.d0();
+        col_side_.weight = p.beta();
+        col_side_.lo = p.d_lo();
+        col_side_.hi = p.d_hi();
+        break;
+      case TotalsMode::kSam:
+        row_side_.weight = p.alpha();
+        row_side_.coupling = mu_;  // rebound below each iteration
+        col_side_.t0 = p.s0();
+        col_side_.weight = p.alpha();
+        col_side_.coupling = lambda_;
+        break;
+    }
+    sweep_opts_.sort_policy = opts.sort_policy;
+    sweep_opts_.pool = opts.pool;
+    sweep_opts_.record_task_costs = opts.record_trace;
+  }
+
+  SweepStats RowSweep() override {
+    if (p_.mode() == TotalsMode::kSam) row_side_.coupling = mu_;
+    return EquilibrateSide(p_.x0(), p_.gamma(), mu_, row_side_, lambda_,
+                           nullptr, sweep_opts_);
+  }
+
+  SweepStats ColSweep(bool materialize) override {
+    if (p_.mode() == TotalsMode::kSam) col_side_.coupling = lambda_;
+    return EquilibrateSide(x0_t_, gamma_t_, lambda_, col_side_, mu_,
+                           materialize ? &xt_ : nullptr, sweep_opts_);
+  }
+
+  double ResidualMeasure(StopCriterion c) override {
+    // Row residual of the column-feasible iterate: after the column sweep
+    // the column constraints hold exactly, so (by eq. (25)) the row residual
+    // is the remaining dual-gradient component.
+    std::fill(rowsum_.begin(), rowsum_.end(), 0.0);
+    const std::size_t m = p_.m(), n = p_.n();
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto col = xt_.Row(j);
+      for (std::size_t i = 0; i < m; ++i) rowsum_[i] += col[i];
+    }
+    ResidualTargets targets;
+    targets.mode = p_.mode();
+    targets.s0 = p_.s0();
+    targets.alpha = p_.alpha();
+    targets.lambda = lambda_;
+    targets.mu = mu_;
+    if (p_.mode() == TotalsMode::kInterval) {
+      targets.s_lo = p_.s_lo();
+      targets.s_hi = p_.s_hi();
+    }
+    return MaxRowResidual(c, rowsum_, targets);
+  }
+
+  double DiffFromSnapshot() override { return xt_.MaxAbsDiff(xt_prev_); }
+  void SnapshotIterate() override { xt_prev_ = xt_; }
+
+  std::uint64_t CheckCost() const override {
+    return 2 * static_cast<std::uint64_t>(p_.m()) * p_.n();
+  }
+
+  void RebalanceDuals(const SeaOptions& opts) override {
+    // The paper's Modified Algorithm: keep dual iterates bounded by
+    // rebalancing multipliers across support components (a gauge shift with
+    // no effect on the primal trajectory).
+    if (opts.multiplier_bound > 0.0 && (p_.mode() == TotalsMode::kFixed ||
+                                        p_.mode() == TotalsMode::kSam))
+      RebalanceMultipliers(p_, lambda_, mu_, opts.multiplier_bound);
+  }
+
+  void RecordDualValue(std::vector<double>& out) override {
+    out.push_back(DualValue(p_, lambda_, mu_));
+  }
+
+ private:
+  const DiagonalProblem& p_;
+  const DenseMatrix& x0_t_;
+  const DenseMatrix& gamma_t_;
+  Vector& lambda_;
+  Vector& mu_;
+  // Sweep descriptors (fixed for the whole run, modulo SAM coupling).
+  MarketSide row_side_;
+  MarketSide col_side_;
+  SweepOptions sweep_opts_;
+  // Column-major primal (x^T), materialized on check iterations.
+  DenseMatrix xt_;
+  DenseMatrix xt_prev_;
+  Vector rowsum_;
+};
+
+}  // namespace
 
 DiagonalSea::DiagonalSea(const DiagonalProblem& problem) {
   problem.Validate();
@@ -34,172 +158,18 @@ DiagonalSeaRun DiagonalSea::Solve(const SeaOptions& opts) {
 DiagonalSeaRun DiagonalSea::SolveWarm(const SeaOptions& opts,
                                       const Vector& mu0) {
   const DiagonalProblem& p = *problem_;
-  const std::size_t m = p.m(), n = p.n();
-  SEA_CHECK(mu0.size() == n);
-  SEA_CHECK(opts.epsilon > 0.0);
-  SEA_CHECK(opts.check_every >= 1);
+  SEA_CHECK(mu0.size() == p.n());
 
-  Stopwatch wall;
-  const double cpu0 = ProcessCpuSeconds();
-
-  Vector lambda(m, 0.0);
+  Vector lambda(p.m(), 0.0);
   Vector mu = mu0;
 
-  // Column-major primal (x^T), materialized on check iterations.
-  DenseMatrix xt(n, m, 0.0);
-  DenseMatrix xt_prev;
-  bool have_prev = false;
-
-  // Sweep descriptors (fixed for the whole run).
-  MarketSide row_side;
-  row_side.mode = p.mode();
-  row_side.t0 = p.s0();
-  MarketSide col_side;
-  col_side.mode = p.mode();
-  switch (p.mode()) {
-    case TotalsMode::kFixed:
-      col_side.t0 = p.d0();
-      break;
-    case TotalsMode::kElastic:
-      row_side.weight = p.alpha();
-      col_side.t0 = p.d0();
-      col_side.weight = p.beta();
-      break;
-    case TotalsMode::kInterval:
-      row_side.weight = p.alpha();
-      row_side.lo = p.s_lo();
-      row_side.hi = p.s_hi();
-      col_side.t0 = p.d0();
-      col_side.weight = p.beta();
-      col_side.lo = p.d_lo();
-      col_side.hi = p.d_hi();
-      break;
-    case TotalsMode::kSam:
-      row_side.weight = p.alpha();
-      row_side.coupling = mu;  // rebound below each iteration
-      col_side.t0 = p.s0();
-      col_side.weight = p.alpha();
-      col_side.coupling = lambda;
-      break;
-  }
-
-  SweepOptions sweep_opts;
-  sweep_opts.sort_policy = opts.sort_policy;
-  sweep_opts.pool = opts.pool;
-  sweep_opts.record_task_costs = opts.record_trace;
-
-  SeaResult result;
-  Vector rowsum(m, 0.0);
-
-  for (std::size_t t = 1; t <= opts.max_iterations; ++t) {
-    const bool check_now =
-        (t % opts.check_every == 0) || (t == opts.max_iterations);
-
-    // ---- Step 1: row equilibration (parallel across the m row markets).
-    {
-      Stopwatch sw;
-      if (p.mode() == TotalsMode::kSam) row_side.coupling = mu;
-      SweepStats stats = EquilibrateSide(p.x0(), p.gamma(), mu, row_side,
-                                         lambda, nullptr, sweep_opts);
-      result.ops += stats.total_ops;
-      result.row_phase_seconds += sw.Seconds();
-      if (opts.record_trace)
-        result.trace.AddParallelPhase("row", std::move(stats.task_costs));
-    }
-
-    // ---- Step 2: column equilibration (parallel across n column markets).
-    {
-      Stopwatch sw;
-      if (p.mode() == TotalsMode::kSam) col_side.coupling = lambda;
-      SweepStats stats =
-          EquilibrateSide(x0_t_, gamma_t_, lambda, col_side, mu,
-                          check_now ? &xt : nullptr, sweep_opts);
-      result.ops += stats.total_ops;
-      result.col_phase_seconds += sw.Seconds();
-      if (opts.record_trace)
-        result.trace.AddParallelPhase("col", std::move(stats.task_costs));
-    }
-
-    result.iterations = t;
-    if (opts.record_dual_values)
-      result.dual_values.push_back(DualValue(p, lambda, mu));
-
-    // ---- Step 3: convergence verification (serial phase; paper Sec. 4.2).
-    if (!check_now) {
-      // The paper's Modified Algorithm: keep dual iterates bounded by
-      // rebalancing multipliers across support components (a gauge shift
-      // with no effect on the primal trajectory).
-      if (opts.multiplier_bound > 0.0 && (p.mode() == TotalsMode::kFixed ||
-                                        p.mode() == TotalsMode::kSam))
-        RebalanceMultipliers(p, lambda, mu, opts.multiplier_bound);
-      continue;
-    }
-    Stopwatch check_sw;
-    double measure = 0.0;
-    if (opts.criterion == StopCriterion::kXChange) {
-      if (have_prev) {
-        measure = xt.MaxAbsDiff(xt_prev);
-      } else {
-        measure = std::numeric_limits<double>::infinity();
-      }
-      xt_prev = xt;
-      have_prev = true;
-    } else {
-      // Row residual of the column-feasible iterate: after the column sweep
-      // the column constraints hold exactly, so (by eq. (25)) the row
-      // residual is the remaining dual-gradient component.
-      std::fill(rowsum.begin(), rowsum.end(), 0.0);
-      for (std::size_t j = 0; j < n; ++j) {
-        const auto col = xt.Row(j);
-        for (std::size_t i = 0; i < m; ++i) rowsum[i] += col[i];
-      }
-      for (std::size_t i = 0; i < m; ++i) {
-        double target = 0.0;
-        switch (p.mode()) {
-          case TotalsMode::kFixed:
-            target = p.s0()[i];
-            break;
-          case TotalsMode::kElastic:
-            target = p.s0()[i] - lambda[i] / (2.0 * p.alpha()[i]);
-            break;
-          case TotalsMode::kSam:
-            target = p.s0()[i] - (lambda[i] + mu[i]) / (2.0 * p.alpha()[i]);
-            break;
-          case TotalsMode::kInterval:
-            target =
-                std::clamp(p.s0()[i] - lambda[i] / (2.0 * p.alpha()[i]),
-                           p.s_lo()[i], p.s_hi()[i]);
-            break;
-        }
-        double r = std::abs(rowsum[i] - target);
-        if (opts.criterion == StopCriterion::kResidualRel)
-          r /= std::max(1.0, std::abs(target));
-        measure = std::max(measure, r);
-      }
-    }
-    result.check_phase_seconds += check_sw.Seconds();
-    result.ops.flops += 2 * static_cast<std::uint64_t>(m) * n;
-    if (opts.record_trace)
-      result.trace.AddSerialPhase("check",
-                                  2.0 * static_cast<double>(m) *
-                                      static_cast<double>(n));
-    result.final_residual = measure;
-    if (measure <= opts.epsilon) {
-      result.converged = true;
-      break;
-    }
-    if (opts.multiplier_bound > 0.0 && (p.mode() == TotalsMode::kFixed ||
-                                        p.mode() == TotalsMode::kSam))
-      RebalanceMultipliers(p, lambda, mu, opts.multiplier_bound);
-  }
+  DenseDiagonalBackend backend(p, x0_t_, gamma_t_, opts, lambda, mu);
 
   DiagonalSeaRun run;
+  run.result = RunIterationEngine(backend, opts);
   run.solution = RecoverPrimal(p, std::move(lambda), std::move(mu));
-  result.objective = p.Objective(run.solution.x, run.solution.s,
-                                 run.solution.d);
-  result.wall_seconds = wall.Seconds();
-  result.cpu_seconds = ProcessCpuSeconds() - cpu0;
-  run.result = std::move(result);
+  run.result.objective =
+      p.Objective(run.solution.x, run.solution.s, run.solution.d);
   return run;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "linalg/kernels.hpp"
 #include "support/check.hpp"
@@ -56,12 +57,19 @@ GeneralSeaRun SolveGeneral(const GeneralProblem& problem,
   GeneralSeaRun run;
   Vector mu_warm(n, 0.0);
 
+  // One inner solver reused across outer iterations: every projection
+  // subproblem has the same shape and mode, so ResetProblem swaps in the
+  // refreshed centers while the engine-driven inner solves chain through
+  // mu_warm (the warm-start path of DiagonalSea::SolveWarm).
+  DiagonalProblem diag;
+  std::optional<DiagonalSea> inner_solver;
+
   for (std::size_t t = 1; t <= opts.max_outer_iterations; ++t) {
     // ---- Projection step: refresh linear terms at the current iterate
     // (one dense matvec with G and, in the elastic regimes, A/B). This is a
     // parallelizable phase: G's rows partition across processors.
     Stopwatch lin_sw;
-    DiagonalProblem diag = problem.Diagonalize(x, s, d, inner.pool);
+    diag = problem.Diagonalize(x, s, d, inner.pool);
     result.linearization_seconds += lin_sw.Seconds();
     result.ops.flops += 2 * static_cast<std::uint64_t>(mn) * mn;
     if (inner.record_trace) {
@@ -74,8 +82,12 @@ GeneralSeaRun SolveGeneral(const GeneralProblem& problem,
 
     // ---- Inner solve: diagonal SEA on the constructed subproblem, warm-
     // started from the previous outer iteration's column multipliers.
-    DiagonalSea solver(diag);
-    DiagonalSeaRun inner_run = solver.SolveWarm(inner, mu_warm);
+    if (inner_solver) {
+      inner_solver->ResetProblem(diag);
+    } else {
+      inner_solver.emplace(diag);
+    }
+    DiagonalSeaRun inner_run = inner_solver->SolveWarm(inner, mu_warm);
     mu_warm = inner_run.solution.mu;
     result.total_inner_iterations += inner_run.result.iterations;
     result.ops += inner_run.result.ops;

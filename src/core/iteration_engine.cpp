@@ -1,0 +1,108 @@
+#include "core/iteration_engine.hpp"
+
+#include <utility>
+
+#include "support/check.hpp"
+#include "support/stopwatch.hpp"
+
+namespace sea {
+
+SeaResult RunIterationEngine(SeaIterationBackend& backend,
+                             const SeaOptions& opts) {
+  SEA_CHECK(opts.epsilon > 0.0);
+  SEA_CHECK(opts.check_every >= 1);
+
+  Stopwatch wall;
+  const double cpu0 = ProcessCpuSeconds();
+
+  SeaResult result;
+  bool have_snapshot = false;
+
+  for (std::size_t t = 1; t <= opts.max_iterations; ++t) {
+    const bool check_now =
+        (t % opts.check_every == 0) || (t == opts.max_iterations);
+
+    // ---- Step 1: row equilibration (parallel across the row markets).
+    {
+      Stopwatch sw;
+      SweepStats stats = backend.RowSweep();
+      result.ops += stats.total_ops;
+      result.row_phase_seconds += sw.Seconds();
+      if (opts.record_trace && !stats.task_costs.empty())
+        result.trace.AddParallelPhase("row", std::move(stats.task_costs));
+    }
+
+    // ---- Step 2: column equilibration (parallel across the column
+    // markets); materializes the primal iterate on check iterations.
+    {
+      Stopwatch sw;
+      SweepStats stats = backend.ColSweep(check_now);
+      result.ops += stats.total_ops;
+      result.col_phase_seconds += sw.Seconds();
+      if (opts.record_trace && !stats.task_costs.empty())
+        result.trace.AddParallelPhase("col", std::move(stats.task_costs));
+    }
+
+    result.iterations = t;
+    if (opts.record_dual_values) backend.RecordDualValue(result.dual_values);
+
+    if (!check_now) {
+      backend.RebalanceDuals(opts);
+      continue;
+    }
+
+    // ---- Step 3: convergence verification (the serial phase; Sec. 4.2).
+    Stopwatch check_sw;
+    backend.BeginCheck();
+    const StopCriterion criterion =
+        backend.EffectiveCriterion(opts.criterion);
+    double measure = 0.0;
+    bool defined = true;
+    if (criterion == StopCriterion::kXChange) {
+      // Compared across consecutive checks; the first check only snapshots,
+      // so its measure is undefined (nothing to compare against) and no
+      // comparison flops are charged.
+      if (have_snapshot) {
+        measure = backend.DiffFromSnapshot();
+      } else {
+        defined = false;
+      }
+      backend.SnapshotIterate();
+      have_snapshot = true;
+    } else {
+      measure = backend.ResidualMeasure(criterion);
+    }
+    result.check_phase_seconds += check_sw.Seconds();
+
+    if (defined) {
+      ++result.checks_compared;
+      result.final_residual = measure;
+      result.ops.flops += backend.CheckCost();
+      if (opts.record_trace)
+        result.trace.AddSerialPhase("check",
+                                    static_cast<double>(backend.CheckCost()));
+      if (measure <= opts.epsilon) result.converged = true;
+    }
+
+    if (opts.progress) {
+      IterationEvent ev;
+      ev.iteration = t;
+      ev.measure_defined = defined;
+      ev.measure = measure;
+      ev.converged = result.converged;
+      ev.row_phase_seconds = result.row_phase_seconds;
+      ev.col_phase_seconds = result.col_phase_seconds;
+      ev.check_phase_seconds = result.check_phase_seconds;
+      opts.progress(ev);
+    }
+
+    if (result.converged) break;
+    backend.RebalanceDuals(opts);
+  }
+
+  result.wall_seconds = wall.Seconds();
+  result.cpu_seconds = ProcessCpuSeconds() - cpu0;
+  return result;
+}
+
+}  // namespace sea

@@ -1,0 +1,89 @@
+// The shared SEA iteration engine (paper Section 3.1, Figures 2 and 3).
+//
+// Every SEA variant — dense diagonal, sparse, entropy/RAS, and entropy SAM
+// balancing — runs the same outer loop: a row half-step, a column half-step,
+// check-every scheduling of the serial convergence-verification phase,
+// stopping-measure evaluation, optional multiplier rebalancing (the paper's
+// Modified Algorithm), dual-value recording, per-phase stopwatches, operation
+// accounting, execution-trace recording, and wall/CPU totals. The engine
+// owns all of that once; a variant supplies only its sweep kernels and
+// check primitives through the SeaIterationBackend interface below.
+//
+// Engine phase -> paper step mapping:
+//   RowSweep        Step 1, row equilibration   (parallel over m markets)
+//   ColSweep        Step 2, column equilibration (parallel over n markets)
+//   check phase     Step 3, convergence verification (serial; Section 4.2)
+//   RebalanceDuals  the Modified Algorithm's gauge shift (Section 3.1)
+//
+// The engine is also the instrumentation point: SeaOptions::progress fires
+// on every check iteration with the residual trajectory and phase times —
+// the hook future acceleration / stagnation-detection layers (Allen-Zhu et
+// al. 2017; Aristodemo & Gemignani 2018) attach to.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/options.hpp"
+#include "core/result.hpp"
+#include "equilibration/equilibrator.hpp"
+
+namespace sea {
+
+// What a variant must provide to run on the engine. One instance drives one
+// solve; backends hold references to the problem and the dual iterates.
+class SeaIterationBackend {
+ public:
+  virtual ~SeaIterationBackend() = default;
+
+  // Step 1: the row half-step. Returns the sweep's operation counts and
+  // (when tracing) per-market task costs.
+  virtual SweepStats RowSweep() = 0;
+
+  // Step 2: the column half-step. When materialize is true the engine will
+  // evaluate the stopping measure afterwards, so the backend must make the
+  // primal iterate available to the check primitives below.
+  virtual SweepStats ColSweep(bool materialize) = 0;
+
+  // Called at the start of every check phase, before the measure is
+  // evaluated (e.g. the entropy backends materialize x here, since their
+  // sweeps never form the primal).
+  virtual void BeginCheck() {}
+
+  // Lets a backend override the requested criterion (entropy SAM balancing
+  // has a single native measure — the relative account imbalance).
+  virtual StopCriterion EffectiveCriterion(StopCriterion c) const {
+    return c;
+  }
+
+  // Residual-style stopping measure of the materialized iterate
+  // (c is kResidualAbs or kResidualRel; see core/stopping.hpp).
+  virtual double ResidualMeasure(StopCriterion c) = 0;
+
+  // kXChange support: max |x - x_snapshot| against the last snapshot, and
+  // snapshotting the current iterate. The engine guarantees DiffFromSnapshot
+  // is only called after at least one SnapshotIterate.
+  virtual double DiffFromSnapshot() = 0;
+  virtual void SnapshotIterate() = 0;
+
+  // Flops charged per evaluated stopping measure (the serial check phase's
+  // cost: 2mn dense, 2nnz sparse, ...). Only charged when the measure had a
+  // defined value — no comparison, no charge.
+  virtual std::uint64_t CheckCost() const = 0;
+
+  // The Modified Algorithm's gauge rebalance of the dual iterates; invoked
+  // after every iteration that did not converge. Default: no modification.
+  virtual void RebalanceDuals(const SeaOptions& opts) { (void)opts; }
+
+  // Appends the dual value at the current iterates (invoked once per
+  // iteration when SeaOptions::record_dual_values is set). Default: the
+  // backend records nothing.
+  virtual void RecordDualValue(std::vector<double>& out) { (void)out; }
+};
+
+// Runs the t-loop on the backend and returns the filled result (everything
+// except the primal recovery and objective, which remain variant-specific).
+SeaResult RunIterationEngine(SeaIterationBackend& backend,
+                             const SeaOptions& opts);
+
+}  // namespace sea

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 
 #include "equilibration/breakpoint_solver.hpp"
 
@@ -23,6 +24,25 @@ enum class StopCriterion {
 };
 
 const char* ToString(StopCriterion c);
+
+// Snapshot handed to SeaOptions::progress on every check iteration of the
+// shared iteration engine (core/iteration_engine.hpp). This is the
+// attachment point for progress reporting and, later, acceleration /
+// stagnation heuristics that need the residual trajectory.
+struct IterationEvent {
+  std::size_t iteration = 0;
+  // False on the first kXChange check, where no previous iterate exists yet
+  // and the measure has no value.
+  bool measure_defined = false;
+  double measure = 0.0;  // active stopping measure, valid if measure_defined
+  bool converged = false;
+  // Cumulative per-phase wall times so far.
+  double row_phase_seconds = 0.0;
+  double col_phase_seconds = 0.0;
+  double check_phase_seconds = 0.0;
+};
+
+using IterationCallback = std::function<void(const IterationEvent&)>;
 
 struct SeaOptions {
   double epsilon = 1e-2;
@@ -48,6 +68,9 @@ struct SeaOptions {
   // keeping the dual iterates in a bounded set without changing the primal
   // trajectory. 0 disables the modification.
   double multiplier_bound = 0.0;
+  // Invoked by the iteration engine on check iterations only (never on
+  // skipped iterations). Empty = no reporting overhead.
+  IterationCallback progress;
 };
 
 struct GeneralSeaOptions {

@@ -12,6 +12,10 @@ namespace sea {
 struct SeaResult {
   bool converged = false;
   std::size_t iterations = 0;  // completed row+column iteration pairs
+  // Check iterations whose stopping measure had a defined value. 0 means
+  // final_residual was never evaluated (e.g. kXChange hit max_iterations
+  // before a second check existed to compare against) and is meaningless.
+  std::size_t checks_compared = 0;
   double final_residual = 0.0; // value of the active stopping measure
   double objective = 0.0;      // primal objective at the returned solution
   double wall_seconds = 0.0;

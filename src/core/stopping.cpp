@@ -1,0 +1,41 @@
+#include "core/stopping.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace sea {
+
+double RowTarget(const ResidualTargets& t, std::size_t i) {
+  switch (t.mode) {
+    case TotalsMode::kFixed:
+      return t.s0[i];
+    case TotalsMode::kElastic:
+      return t.s0[i] - t.lambda[i] / (2.0 * t.alpha[i]);
+    case TotalsMode::kSam:
+      return t.s0[i] - (t.lambda[i] + t.mu[i]) / (2.0 * t.alpha[i]);
+    case TotalsMode::kInterval:
+      return std::clamp(t.s0[i] - t.lambda[i] / (2.0 * t.alpha[i]),
+                        t.s_lo[i], t.s_hi[i]);
+  }
+  SEA_INTERNAL_CHECK(false);
+  return 0.0;
+}
+
+double FoldRowResidual(StopCriterion c, double rowsum, double target,
+                       double measure) {
+  double r = std::abs(rowsum - target);
+  if (c == StopCriterion::kResidualRel) r /= std::max(1.0, std::abs(target));
+  return std::max(measure, r);
+}
+
+double MaxRowResidual(StopCriterion c, std::span<const double> rowsums,
+                      const ResidualTargets& t) {
+  double measure = 0.0;
+  for (std::size_t i = 0; i < rowsums.size(); ++i)
+    measure = FoldRowResidual(c, rowsums[i], RowTarget(t, i), measure);
+  return measure;
+}
+
+}  // namespace sea

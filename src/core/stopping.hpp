@@ -1,0 +1,46 @@
+// Stopping-measure helpers shared by the iteration-engine backends.
+//
+// Every SEA variant measures convergence the same way: after the column
+// half-step the column constraints hold exactly, so (paper eq. (25)) the
+// remaining row residual of the materialized iterate is the dual-gradient
+// component, and its clearing target is the row side's response at the
+// current multipliers. That mode-dependent target computation used to be
+// cloned in the dense and sparse check phases; it lives here once.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "core/options.hpp"
+#include "problems/types.hpp"
+
+namespace sea {
+
+// Inputs for the row-side clearing targets of the materialized
+// (column-feasible) iterate. Spans the mode does not use may be empty
+// (alpha for kFixed, mu outside kSam, bounds outside kInterval).
+struct ResidualTargets {
+  TotalsMode mode = TotalsMode::kFixed;
+  std::span<const double> s0;
+  std::span<const double> alpha;
+  std::span<const double> lambda;
+  std::span<const double> mu;    // kSam: opposite-side multiplier, same index
+  std::span<const double> s_lo;  // kInterval box bounds
+  std::span<const double> s_hi;
+};
+
+// Target row total of row i: s0_i (fixed), the elastic response
+// s0_i - lambda_i / (2 alpha_i) (elastic; clamped to [s_lo_i, s_hi_i] for
+// interval), or s0_i - (lambda_i + mu_i) / (2 alpha_i) (SAM).
+double RowTarget(const ResidualTargets& t, std::size_t i);
+
+// Folds one row's |rowsum - target| (relative when c == kResidualRel) into
+// the running max measure. c must be a residual criterion.
+double FoldRowResidual(StopCriterion c, double rowsum, double target,
+                       double measure);
+
+// Max residual of precomputed row sums against the mode-dependent targets.
+double MaxRowResidual(StopCriterion c, std::span<const double> rowsums,
+                      const ResidualTargets& t);
+
+}  // namespace sea

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 
+#include "core/iteration_engine.hpp"
+#include "core/stopping.hpp"
 #include "support/check.hpp"
-#include "support/stopwatch.hpp"
 
 namespace sea {
 
@@ -62,14 +64,108 @@ double EntropyDualValue(const EntropyProblem& p, const Vector& lambda,
   return val;
 }
 
+namespace {
+
+// Entropy (RAS) backend for the shared iteration engine. The sweeps are
+// closed-form row/column scalings (no breakpoints, no per-market task
+// costs); x is only materialized at check time, from the scaling factors.
+class EntropyBackend final : public SeaIterationBackend {
+ public:
+  EntropyBackend(const EntropyProblem& p, Vector& lambda, Vector& mu,
+                 DenseMatrix& x)
+      : p_(p),
+        lambda_(lambda),
+        mu_(mu),
+        x_(x),
+        exp_mu_(p.x0.cols()),
+        exp_lambda_(p.x0.rows()) {}
+
+  // Row step: exact dual maximization over lambda (a row scaling).
+  SweepStats RowSweep() override {
+    const std::size_t m = p_.x0.rows(), n = p_.x0.cols();
+    SweepStats stats;
+    for (std::size_t j = 0; j < n; ++j) exp_mu_[j] = std::exp(mu_[j]);
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto row = p_.x0.Row(i);
+      double denom = 0.0;
+      for (std::size_t j = 0; j < n; ++j) denom += row[j] * exp_mu_[j];
+      if (denom > 0.0) {
+        // s0 == 0 legitimately drives the scaling to -inf; divergent
+        // (infeasible) instances drive it to +inf. Clamp to +-700 so the
+        // iterate stays finite and the residual check reports the failure
+        // instead of silently comparing NaNs.
+        lambda_[i] =
+            (p_.s0[i] > 0.0)
+                ? std::clamp(std::log(p_.s0[i] / denom), -700.0, 700.0)
+                : -700.0;
+      }
+      stats.total_ops.flops += 2 * n + 2;
+    }
+    return stats;
+  }
+
+  // Column step: exact dual maximization over mu (a column scaling).
+  SweepStats ColSweep(bool /*materialize*/) override {
+    const std::size_t m = p_.x0.rows(), n = p_.x0.cols();
+    SweepStats stats;
+    for (std::size_t i = 0; i < m; ++i)
+      exp_lambda_[i] = std::exp(lambda_[i]);
+    for (std::size_t j = 0; j < n; ++j) {
+      double denom = 0.0;
+      for (std::size_t i = 0; i < m; ++i)
+        denom += p_.x0(i, j) * exp_lambda_[i];
+      if (denom > 0.0)
+        mu_[j] = (p_.d0[j] > 0.0)
+                     ? std::clamp(std::log(p_.d0[j] / denom), -700.0, 700.0)
+                     : -700.0;
+      stats.total_ops.flops += 2 * m + 2;
+    }
+    return stats;
+  }
+
+  // Materialize x = x0 .* exp(lambda_i + mu_j) for the check.
+  void BeginCheck() override {
+    const std::size_t m = p_.x0.rows(), n = p_.x0.cols();
+    for (std::size_t j = 0; j < n; ++j) exp_mu_[j] = std::exp(mu_[j]);
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto base = p_.x0.Row(i);
+      auto xi = x_.Row(i);
+      for (std::size_t j = 0; j < n; ++j)
+        xi[j] = base[j] * exp_lambda_[i] * exp_mu_[j];
+    }
+  }
+
+  double ResidualMeasure(StopCriterion c) override {
+    // Columns are exact after the column step; measure row residuals
+    // against the fixed targets.
+    const Vector rows = x_.RowSums();
+    ResidualTargets targets;
+    targets.mode = TotalsMode::kFixed;
+    targets.s0 = p_.s0;
+    return MaxRowResidual(c, rows, targets);
+  }
+
+  double DiffFromSnapshot() override { return x_.MaxAbsDiff(x_prev_); }
+  void SnapshotIterate() override { x_prev_ = x_; }
+
+  std::uint64_t CheckCost() const override {
+    return 2 * static_cast<std::uint64_t>(p_.x0.rows()) * p_.x0.cols();
+  }
+
+ private:
+  const EntropyProblem& p_;
+  Vector& lambda_;
+  Vector& mu_;
+  DenseMatrix& x_;
+  Vector exp_mu_, exp_lambda_;
+  DenseMatrix x_prev_;
+};
+
+}  // namespace
+
 EntropySeaRun SolveEntropy(const EntropyProblem& p, const SeaOptions& opts) {
   p.Validate();
-  SEA_CHECK(opts.epsilon > 0.0);
-  SEA_CHECK(opts.check_every >= 1);
   const std::size_t m = p.x0.rows(), n = p.x0.cols();
-
-  Stopwatch wall;
-  const double cpu0 = ProcessCpuSeconds();
 
   EntropySeaRun run;
   run.lambda.assign(m, 0.0);
@@ -88,83 +184,8 @@ EntropySeaRun SolveEntropy(const EntropyProblem& p, const SeaOptions& opts) {
       if (cols[j] == 0.0 && p.d0[j] > 0.0) return run;
   }
 
-  DenseMatrix x_prev;
-  bool have_prev = false;
-  Vector exp_mu(n), exp_lambda(m);
-
-  for (std::size_t t = 1; t <= opts.max_iterations; ++t) {
-    const bool check_now =
-        (t % opts.check_every == 0) || (t == opts.max_iterations);
-
-    // ---- Row step: exact dual maximization over lambda (a row scaling).
-    for (std::size_t j = 0; j < n; ++j) exp_mu[j] = std::exp(run.mu[j]);
-    for (std::size_t i = 0; i < m; ++i) {
-      const auto row = p.x0.Row(i);
-      double denom = 0.0;
-      for (std::size_t j = 0; j < n; ++j) denom += row[j] * exp_mu[j];
-      if (denom > 0.0) {
-        // s0 == 0 legitimately drives the scaling to -inf; divergent
-        // (infeasible) instances drive it to +inf. Clamp to +-700 so the
-        // iterate stays finite and the residual check reports the failure
-        // instead of silently comparing NaNs.
-        run.lambda[i] =
-            (p.s0[i] > 0.0)
-                ? std::clamp(std::log(p.s0[i] / denom), -700.0, 700.0)
-                : -700.0;
-      }
-      result.ops.flops += 2 * n + 2;
-    }
-
-    // ---- Column step: exact dual maximization over mu (a column scaling),
-    // materializing x for the convergence check.
-    for (std::size_t i = 0; i < m; ++i)
-      exp_lambda[i] = std::exp(run.lambda[i]);
-    for (std::size_t j = 0; j < n; ++j) {
-      double denom = 0.0;
-      for (std::size_t i = 0; i < m; ++i)
-        denom += p.x0(i, j) * exp_lambda[i];
-      if (denom > 0.0)
-        run.mu[j] =
-            (p.d0[j] > 0.0)
-                ? std::clamp(std::log(p.d0[j] / denom), -700.0, 700.0)
-                : -700.0;
-      result.ops.flops += 2 * m + 2;
-    }
-    result.iterations = t;
-
-    if (!check_now) continue;
-
-    for (std::size_t j = 0; j < n; ++j) exp_mu[j] = std::exp(run.mu[j]);
-    for (std::size_t i = 0; i < m; ++i) {
-      const auto base = p.x0.Row(i);
-      auto xi = run.x.Row(i);
-      for (std::size_t j = 0; j < n; ++j)
-        xi[j] = base[j] * exp_lambda[i] * exp_mu[j];
-    }
-
-    double measure = 0.0;
-    if (opts.criterion == StopCriterion::kXChange) {
-      measure = have_prev ? run.x.MaxAbsDiff(x_prev)
-                          : std::numeric_limits<double>::infinity();
-      x_prev = run.x;
-      have_prev = true;
-    } else {
-      // Columns are exact after the column step; measure row residuals.
-      const Vector rows = run.x.RowSums();
-      for (std::size_t i = 0; i < m; ++i) {
-        double r = std::abs(rows[i] - p.s0[i]);
-        if (opts.criterion == StopCriterion::kResidualRel)
-          r /= std::max(1.0, std::abs(p.s0[i]));
-        measure = std::max(measure, r);
-      }
-    }
-    result.ops.flops += 2 * static_cast<std::uint64_t>(m) * n;
-    result.final_residual = measure;
-    if (measure <= opts.epsilon) {
-      result.converged = true;
-      break;
-    }
-  }
+  EntropyBackend backend(p, run.lambda, run.mu, run.x);
+  result = RunIterationEngine(backend, opts);
 
   // On divergent (infeasible-support) runs the scalings blow up and the
   // iterate is not a valid estimate; report an infinite objective instead of
@@ -175,77 +196,110 @@ EntropySeaRun SolveEntropy(const EntropyProblem& p, const SeaOptions& opts) {
   result.objective = (result.converged && finite)
                          ? EntropyObjective(run.x, p.x0)
                          : std::numeric_limits<double>::infinity();
-  result.wall_seconds = wall.Seconds();
-  result.cpu_seconds = ProcessCpuSeconds() - cpu0;
   return run;
 }
 
-EntropySamRun SolveEntropySam(const DenseMatrix& x0, const SeaOptions& opts) {
-  SEA_CHECK_MSG(x0.rows() == x0.cols(), "SAM balancing needs a square matrix");
-  for (double v : x0.Flat())
-    SEA_CHECK_MSG(v >= 0.0, "base matrix must be nonnegative");
-  SEA_CHECK(opts.epsilon > 0.0);
-  const std::size_t n = x0.rows();
+namespace {
 
-  Stopwatch wall;
-  const double cpu0 = ProcessCpuSeconds();
+// Entropy SAM-balancing backend. The whole iteration is one Gauss-Seidel
+// pass over the potentials, so it runs as the engine's row half-step and
+// the column half-step is empty; the native stopping measure is the worst
+// relative account imbalance regardless of the requested criterion.
+class EntropySamBackend final : public SeaIterationBackend {
+ public:
+  EntropySamBackend(const DenseMatrix& x0, Vector& nu, DenseMatrix& x)
+      : x0_(x0),
+        nu_(nu),
+        x_(x),
+        expp_(x0.rows(), 1.0),   // e^{nu}
+        expm_(x0.rows(), 1.0) {  // e^{-nu}
+  }
 
-  EntropySamRun run;
-  run.nu.assign(n, 0.0);
-  run.x = x0;
-  SeaResult& result = run.result;
-
-  Vector expp(n, 1.0), expm(n, 1.0);  // e^{nu}, e^{-nu}
-
-  for (std::size_t t = 1; t <= opts.max_iterations; ++t) {
-    const bool check_now =
-        (t % opts.check_every == 0) || (t == opts.max_iterations);
-
-    // Gauss-Seidel over the potentials with exact coordinate maximization.
+  // Gauss-Seidel over the potentials with exact coordinate maximization.
+  SweepStats RowSweep() override {
+    const std::size_t n = x0_.rows();
+    SweepStats stats;
     for (std::size_t i = 0; i < n; ++i) {
       double receipts = 0.0;   // sum_j x0_ji e^{nu_j}, j != i
       double expenses = 0.0;   // sum_j x0_ij e^{-nu_j}, j != i
       for (std::size_t j = 0; j < n; ++j) {
         if (j == i) continue;
-        receipts += x0(j, i) * expp[j];
-        expenses += x0(i, j) * expm[j];
+        receipts += x0_(j, i) * expp_[j];
+        expenses += x0_(i, j) * expm_[j];
       }
-      result.ops.flops += 4 * n;
+      stats.total_ops.flops += 4 * n;
       if (receipts > 0.0 && expenses > 0.0) {
         const double nu =
             std::clamp(0.5 * std::log(receipts / expenses), -700.0, 700.0);
-        run.nu[i] = nu;
-        expp[i] = std::exp(nu);
-        expm[i] = 1.0 / expp[i];
+        nu_[i] = nu;
+        expp_[i] = std::exp(nu);
+        expm_[i] = 1.0 / expp_[i];
       }
       // An account with one empty off-diagonal side balances trivially
       // (its flows all vanish or are diagonal); keep nu_i = 0.
     }
-    result.iterations = t;
-    if (!check_now) continue;
+    return stats;
+  }
 
-    // Materialize and measure the worst relative account imbalance.
+  SweepStats ColSweep(bool /*materialize*/) override { return {}; }
+
+  void BeginCheck() override {
+    const std::size_t n = x0_.rows();
     for (std::size_t i = 0; i < n; ++i)
       for (std::size_t j = 0; j < n; ++j)
-        run.x(i, j) = x0(i, j) * expp[i] * expm[j];
+        x_(i, j) = x0_(i, j) * expp_[i] * expm_[j];
+  }
+
+  // Account balancing has one native measure; honor it for any request.
+  StopCriterion EffectiveCriterion(StopCriterion /*c*/) const override {
+    return StopCriterion::kResidualRel;
+  }
+
+  // Worst relative account imbalance of the materialized iterate.
+  double ResidualMeasure(StopCriterion /*c*/) override {
+    const std::size_t n = x0_.rows();
     double measure = 0.0;
-    const Vector rows = run.x.RowSums();
-    const Vector cols = run.x.ColSums();
+    const Vector rows = x_.RowSums();
+    const Vector cols = x_.ColSums();
     for (std::size_t i = 0; i < n; ++i)
       measure = std::max(measure, std::abs(rows[i] - cols[i]) /
                                       std::max(1.0, rows[i]));
-    result.ops.flops += 3 * static_cast<std::uint64_t>(n) * n;
-    result.final_residual = measure;
-    if (measure <= opts.epsilon) {
-      result.converged = true;
-      break;
-    }
+    return measure;
   }
+
+  // Unreachable: EffectiveCriterion never selects kXChange.
+  double DiffFromSnapshot() override { return 0.0; }
+  void SnapshotIterate() override {}
+
+  std::uint64_t CheckCost() const override {
+    return 3 * static_cast<std::uint64_t>(x0_.rows()) * x0_.rows();
+  }
+
+ private:
+  const DenseMatrix& x0_;
+  Vector& nu_;
+  DenseMatrix& x_;
+  Vector expp_, expm_;
+};
+
+}  // namespace
+
+EntropySamRun SolveEntropySam(const DenseMatrix& x0, const SeaOptions& opts) {
+  SEA_CHECK_MSG(x0.rows() == x0.cols(), "SAM balancing needs a square matrix");
+  for (double v : x0.Flat())
+    SEA_CHECK_MSG(v >= 0.0, "base matrix must be nonnegative");
+  const std::size_t n = x0.rows();
+
+  EntropySamRun run;
+  run.nu.assign(n, 0.0);
+  run.x = x0;
+
+  EntropySamBackend backend(x0, run.nu, run.x);
+  run.result = RunIterationEngine(backend, opts);
+  SeaResult& result = run.result;
 
   result.objective = result.converged ? EntropyObjective(run.x, x0)
                                       : std::numeric_limits<double>::infinity();
-  result.wall_seconds = wall.Seconds();
-  result.cpu_seconds = ProcessCpuSeconds() - cpu0;
   return run;
 }
 

@@ -2,12 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
+#include <cstdint>
 
+#include "core/iteration_engine.hpp"
+#include "core/stopping.hpp"
 #include "equilibration/equilibrator.hpp"
 #include "parallel/parallel_for.hpp"
 #include "support/check.hpp"
-#include "support/stopwatch.hpp"
 
 namespace sea {
 
@@ -63,137 +64,120 @@ SweepStats SparseSweep(const SparseMatrix& centers, const SparseMatrix& weights,
   return stats;
 }
 
+// Sparse backend for the shared iteration engine: sweeps via SparseSweep
+// over the problem and its transposed copies; the primal is materialized on
+// the transposed pattern (xt) on check iterations.
+class SparseBackend final : public SeaIterationBackend {
+ public:
+  SparseBackend(const SparseDiagonalProblem& p, const SparseMatrix& x0_t,
+                const SparseMatrix& gamma_t, const SeaOptions& opts,
+                Vector& lambda, Vector& mu)
+      : p_(p),
+        x0_t_(x0_t),
+        gamma_t_(gamma_t),
+        lambda_(lambda),
+        mu_(mu),
+        xt_(x0_t),  // pattern reused; values overwritten per check
+        rowsum_(p.m(), 0.0) {
+    row_side_.mode = p.mode();
+    row_side_.t0 = p.s0();
+    col_side_.mode = p.mode();
+    switch (p.mode()) {
+      case TotalsMode::kFixed:
+        col_side_.t0 = p.d0();
+        break;
+      case TotalsMode::kElastic:
+        row_side_.weight = p.alpha();
+        col_side_.t0 = p.d0();
+        col_side_.weight = p.beta();
+        break;
+      case TotalsMode::kSam:
+        row_side_.weight = p.alpha();
+        row_side_.coupling = mu_;
+        col_side_.t0 = p.s0();
+        col_side_.weight = p.alpha();
+        col_side_.coupling = lambda_;
+        break;
+      case TotalsMode::kInterval:
+        SEA_INTERNAL_CHECK(false);  // rejected by Validate
+        break;
+    }
+    sweep_opts_.sort_policy = opts.sort_policy;
+    sweep_opts_.pool = opts.pool;
+    sweep_opts_.record_task_costs = opts.record_trace;
+  }
+
+  SweepStats RowSweep() override {
+    if (p_.mode() == TotalsMode::kSam) row_side_.coupling = mu_;
+    return SparseSweep(p_.x0(), p_.gamma(), mu_, row_side_, lambda_, nullptr,
+                       sweep_opts_);
+  }
+
+  SweepStats ColSweep(bool materialize) override {
+    if (p_.mode() == TotalsMode::kSam) col_side_.coupling = lambda_;
+    return SparseSweep(x0_t_, gamma_t_, lambda_, col_side_, mu_,
+                       materialize ? &xt_ : nullptr, sweep_opts_);
+  }
+
+  double ResidualMeasure(StopCriterion c) override {
+    std::fill(rowsum_.begin(), rowsum_.end(), 0.0);
+    // xt's rows are the original columns; its column ids are original rows.
+    for (std::size_t k = 0; k < xt_.nnz(); ++k)
+      rowsum_[xt_.ColIdx()[k]] += xt_.Values()[k];
+    ResidualTargets targets;
+    targets.mode = p_.mode();
+    targets.s0 = p_.s0();
+    targets.alpha = p_.alpha();
+    targets.lambda = lambda_;
+    targets.mu = mu_;
+    return MaxRowResidual(c, rowsum_, targets);
+  }
+
+  double DiffFromSnapshot() override {
+    const auto vals = xt_.Values();
+    double measure = 0.0;
+    for (std::size_t k = 0; k < vals.size(); ++k)
+      measure = std::max(measure, std::abs(vals[k] - xt_prev_[k]));
+    return measure;
+  }
+
+  void SnapshotIterate() override {
+    const auto vals = xt_.Values();
+    xt_prev_.assign(vals.begin(), vals.end());
+  }
+
+  std::uint64_t CheckCost() const override { return 2 * p_.nnz(); }
+
+ private:
+  const SparseDiagonalProblem& p_;
+  const SparseMatrix& x0_t_;
+  const SparseMatrix& gamma_t_;
+  Vector& lambda_;
+  Vector& mu_;
+  MarketSide row_side_;
+  MarketSide col_side_;
+  SweepOptions sweep_opts_;
+  SparseMatrix xt_;
+  std::vector<double> xt_prev_;
+  Vector rowsum_;
+};
+
 }  // namespace
 
 SparseSeaRun SolveSparse(const SparseDiagonalProblem& p,
                          const SeaOptions& opts) {
   p.Validate();
-  SEA_CHECK(opts.epsilon > 0.0);
-  SEA_CHECK(opts.check_every >= 1);
   const std::size_t m = p.m(), n = p.n();
-
-  Stopwatch wall;
-  const double cpu0 = ProcessCpuSeconds();
 
   const SparseMatrix x0_t = p.x0().Transposed();
   const SparseMatrix gamma_t = p.gamma().Transposed();
 
   Vector lambda(m, 0.0), mu(n, 0.0);
-  SparseMatrix xt = x0_t;  // pattern reused; values overwritten per check
-  std::vector<double> xt_prev;
-  bool have_prev = false;
-
-  MarketSide row_side, col_side;
-  row_side.mode = p.mode();
-  row_side.t0 = p.s0();
-  col_side.mode = p.mode();
-  switch (p.mode()) {
-    case TotalsMode::kFixed:
-      col_side.t0 = p.d0();
-      break;
-    case TotalsMode::kElastic:
-      row_side.weight = p.alpha();
-      col_side.t0 = p.d0();
-      col_side.weight = p.beta();
-      break;
-    case TotalsMode::kSam:
-      row_side.weight = p.alpha();
-      row_side.coupling = mu;
-      col_side.t0 = p.s0();
-      col_side.weight = p.alpha();
-      col_side.coupling = lambda;
-      break;
-    case TotalsMode::kInterval:
-      SEA_INTERNAL_CHECK(false);  // rejected by Validate
-      break;
-  }
-
-  SweepOptions sweep_opts;
-  sweep_opts.sort_policy = opts.sort_policy;
-  sweep_opts.pool = opts.pool;
-  sweep_opts.record_task_costs = opts.record_trace;
-
-  SeaResult result;
-  Vector rowsum(m, 0.0);
-
-  for (std::size_t t = 1; t <= opts.max_iterations; ++t) {
-    const bool check_now =
-        (t % opts.check_every == 0) || (t == opts.max_iterations);
-
-    {
-      Stopwatch sw;
-      if (p.mode() == TotalsMode::kSam) row_side.coupling = mu;
-      SweepStats stats = SparseSweep(p.x0(), p.gamma(), mu, row_side, lambda,
-                                     nullptr, sweep_opts);
-      result.ops += stats.total_ops;
-      result.row_phase_seconds += sw.Seconds();
-      if (opts.record_trace)
-        result.trace.AddParallelPhase("row", std::move(stats.task_costs));
-    }
-    {
-      Stopwatch sw;
-      if (p.mode() == TotalsMode::kSam) col_side.coupling = lambda;
-      SweepStats stats = SparseSweep(x0_t, gamma_t, lambda, col_side, mu,
-                                     check_now ? &xt : nullptr, sweep_opts);
-      result.ops += stats.total_ops;
-      result.col_phase_seconds += sw.Seconds();
-      if (opts.record_trace)
-        result.trace.AddParallelPhase("col", std::move(stats.task_costs));
-    }
-
-    result.iterations = t;
-    if (!check_now) continue;
-
-    Stopwatch check_sw;
-    double measure = 0.0;
-    if (opts.criterion == StopCriterion::kXChange) {
-      const auto vals = xt.Values();
-      if (have_prev) {
-        for (std::size_t k = 0; k < vals.size(); ++k)
-          measure = std::max(measure, std::abs(vals[k] - xt_prev[k]));
-      } else {
-        measure = std::numeric_limits<double>::infinity();
-      }
-      xt_prev.assign(vals.begin(), vals.end());
-      have_prev = true;
-    } else {
-      std::fill(rowsum.begin(), rowsum.end(), 0.0);
-      // xt's rows are the original columns; its column ids are original rows.
-      for (std::size_t k = 0; k < xt.nnz(); ++k)
-        rowsum[xt.ColIdx()[k]] += xt.Values()[k];
-      for (std::size_t i = 0; i < m; ++i) {
-        double target = 0.0;
-        switch (p.mode()) {
-          case TotalsMode::kFixed:
-            target = p.s0()[i];
-            break;
-          case TotalsMode::kElastic:
-            target = p.s0()[i] - lambda[i] / (2.0 * p.alpha()[i]);
-            break;
-          case TotalsMode::kSam:
-            target = p.s0()[i] - (lambda[i] + mu[i]) / (2.0 * p.alpha()[i]);
-            break;
-          case TotalsMode::kInterval:
-            break;  // unreachable
-        }
-        double r = std::abs(rowsum[i] - target);
-        if (opts.criterion == StopCriterion::kResidualRel)
-          r /= std::max(1.0, std::abs(target));
-        measure = std::max(measure, r);
-      }
-    }
-    result.check_phase_seconds += check_sw.Seconds();
-    result.ops.flops += 2 * p.nnz();
-    if (opts.record_trace)
-      result.trace.AddSerialPhase("check", 2.0 * double(p.nnz()));
-    result.final_residual = measure;
-    if (measure <= opts.epsilon) {
-      result.converged = true;
-      break;
-    }
-  }
+  SparseBackend backend(p, x0_t, gamma_t, opts, lambda, mu);
 
   SparseSeaRun run;
+  run.result = RunIterationEngine(backend, opts);
+  SeaResult& result = run.result;
   run.solution.x = p.x0();
   for (std::size_t i = 0; i < m; ++i) {
     const auto cols = run.solution.x.RowCols(i);
@@ -231,9 +215,6 @@ SparseSeaRun SolveSparse(const SparseDiagonalProblem& p,
   run.solution.mu = std::move(mu);
   result.objective =
       p.Objective(run.solution.x, run.solution.s, run.solution.d);
-  result.wall_seconds = wall.Seconds();
-  result.cpu_seconds = ProcessCpuSeconds() - cpu0;
-  run.result = std::move(result);
   return run;
 }
 

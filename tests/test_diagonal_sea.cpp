@@ -202,6 +202,96 @@ TEST(DiagonalSea, WarmStartSkipsWork) {
   EXPECT_LT(warm.solution.x.MaxAbsDiff(cold.solution.x), 1e-6);
 }
 
+TEST(DiagonalSea, WarmStartFromNonzeroMuMatchesColdFixedPoint) {
+  // Warm-starting from arbitrary (not just previously-converged) column
+  // multipliers must land on the same fixed point as a cold solve.
+  Rng rng(21);
+  const auto p = RandomProblem(TotalsMode::kFixed, 14, 11, rng);
+  SeaOptions o = TightOptions();
+  DiagonalSea solver(p);
+  const auto cold = solver.Solve(o);
+  ASSERT_TRUE(cold.result.converged);
+
+  const Vector mu0 = rng.UniformVector(11, -5.0, 5.0);
+  const auto warm = solver.SolveWarm(o, mu0);
+  ASSERT_TRUE(warm.result.converged);
+  EXPECT_LT(warm.solution.x.MaxAbsDiff(cold.solution.x), 1e-6);
+  EXPECT_NEAR(warm.result.objective, cold.result.objective,
+              1e-6 * std::max(1.0, std::abs(cold.result.objective)));
+}
+
+TEST(DiagonalSea, ResetProblemMatchesFreshSolver) {
+  // Reusing one solver across same-shape problems (the general algorithm's
+  // inner-loop pattern) must give exactly the answer of a fresh solver.
+  Rng rng(22);
+  const auto p1 = RandomProblem(TotalsMode::kElastic, 9, 13, rng);
+  const auto p2 = RandomProblem(TotalsMode::kElastic, 9, 13, rng);
+  SeaOptions o = TightOptions();
+
+  DiagonalSea reused(p1);
+  ASSERT_TRUE(reused.Solve(o).result.converged);
+  reused.ResetProblem(p2);
+  const auto via_reset = reused.Solve(o);
+
+  DiagonalSea fresh(p2);
+  const auto via_fresh = fresh.Solve(o);
+
+  ASSERT_TRUE(via_reset.result.converged);
+  EXPECT_EQ(via_reset.result.iterations, via_fresh.result.iterations);
+  EXPECT_DOUBLE_EQ(
+      via_reset.solution.x.MaxAbsDiff(via_fresh.solution.x), 0.0);
+  for (std::size_t i = 0; i < 9; ++i)
+    EXPECT_EQ(via_reset.solution.lambda[i], via_fresh.solution.lambda[i]);
+}
+
+TEST(DiagonalSea, ProgressCallbackFiresOnCheckIterationsOnly) {
+  Rng rng(23);
+  const auto p = RandomProblem(TotalsMode::kFixed, 10, 10, rng);
+  SeaOptions o = TightOptions();
+  o.check_every = 4;
+  std::vector<IterationEvent> events;
+  o.progress = [&](const IterationEvent& ev) { events.push_back(ev); };
+  const auto run = SolveDiagonal(p, o);
+  ASSERT_TRUE(run.result.converged);
+
+  ASSERT_FALSE(events.empty());
+  for (const auto& ev : events) {
+    EXPECT_TRUE(ev.iteration % 4 == 0 || ev.iteration == run.result.iterations)
+        << "callback fired on a non-check iteration " << ev.iteration;
+    EXPECT_TRUE(ev.measure_defined);
+  }
+  EXPECT_EQ(events.back().iteration, run.result.iterations);
+  EXPECT_TRUE(events.back().converged);
+  EXPECT_EQ(events.back().measure, run.result.final_residual);
+  // Residuals arrive in (weakly) decreasing order on this geometric run.
+  for (std::size_t k = 1; k < events.size(); ++k)
+    EXPECT_LE(events[k].measure, events[k - 1].measure * (1.0 + 1e-9));
+}
+
+TEST(DiagonalSea, XChangeFirstCheckReportsUndefinedMeasure) {
+  // With max_iterations = 1 the only check has no previous iterate: the
+  // measure must be reported as never-compared (not infinity) and the
+  // comparison flops must not be charged.
+  Rng rng(24);
+  const auto p = RandomProblem(TotalsMode::kFixed, 8, 9, rng);
+  SeaOptions o = TightOptions();
+  o.criterion = StopCriterion::kXChange;
+  o.max_iterations = 1;
+  const auto run = SolveDiagonal(p, o);
+  EXPECT_FALSE(run.result.converged);
+  EXPECT_EQ(run.result.checks_compared, 0u);
+  EXPECT_EQ(run.result.final_residual, 0.0);
+  EXPECT_TRUE(std::isfinite(run.result.final_residual));
+
+  // Same run under a residual criterion performs identical sweeps and one
+  // evaluated check, so it carries exactly the 2mn check flops extra.
+  SeaOptions o_res = TightOptions();
+  o_res.max_iterations = 1;
+  const auto run_res = SolveDiagonal(p, o_res);
+  EXPECT_EQ(run_res.result.checks_compared, 1u);
+  EXPECT_EQ(run.result.ops.flops + 2u * 8u * 9u, run_res.result.ops.flops);
+}
+
 TEST(DiagonalSea, XChangeCriterionTerminates) {
   Rng rng(7);
   const auto p = RandomProblem(TotalsMode::kFixed, 12, 15, rng);

@@ -201,6 +201,26 @@ TEST(EntropySea, DiffersFromQuadraticEstimate) {
             EntropyObjective(quad.solution.x, p.x0) + 1e-9);
 }
 
+TEST(EntropySea, XChangeFirstCheckReportsUndefinedMeasure) {
+  // Hitting max_iterations before a second check leaves the x-change
+  // measure undefined: no infinity, no comparison flops charged.
+  Rng rng(19);
+  const auto p = RandomEntropy(7, 8, rng);
+  SeaOptions o = TightOptions();
+  o.criterion = StopCriterion::kXChange;
+  o.max_iterations = 1;
+  const auto run = SolveEntropy(p, o);
+  EXPECT_FALSE(run.result.converged);
+  EXPECT_EQ(run.result.checks_compared, 0u);
+  EXPECT_EQ(run.result.final_residual, 0.0);
+
+  SeaOptions o_res = TightOptions();
+  o_res.max_iterations = 1;
+  const auto run_res = SolveEntropy(p, o_res);
+  EXPECT_EQ(run_res.result.checks_compared, 1u);
+  EXPECT_EQ(run.result.ops.flops + 2u * 7u * 8u, run_res.result.ops.flops);
+}
+
 TEST(EntropySam, BalancesAccounts) {
   Rng rng(10);
   DenseMatrix x0 = Fill(8, 8, rng, 0.5, 20.0);

@@ -9,9 +9,11 @@
 #include "baselines/reference_solvers.hpp"
 #include "core/diagonal_sea.hpp"
 #include "core/general_sea.hpp"
+#include "core/iteration_engine.hpp"
 #include "core/multiplier_rebalance.hpp"
 #include "core/options.hpp"
 #include "core/result.hpp"
+#include "core/stopping.hpp"
 #include "datasets/contingency.hpp"
 #include "datasets/general_dense.hpp"
 #include "datasets/io_tables.hpp"

@@ -1,0 +1,216 @@
+// Engine-level tests against a scripted backend: check-every scheduling,
+// stopping semantics (including the kXChange first-check fix), op
+// accounting, rebalance cadence, and the progress callback contract.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/iteration_engine.hpp"
+
+namespace sea {
+namespace {
+
+// Backend that records every engine call and returns scripted measures.
+class ScriptedBackend : public SeaIterationBackend {
+ public:
+  // residuals / diffs are consumed one per measure evaluation; the last
+  // value repeats once exhausted.
+  std::vector<double> residuals{1.0};
+  std::vector<double> diffs{1.0};
+
+  std::size_t row_sweeps = 0;
+  std::size_t col_sweeps = 0;
+  std::vector<std::size_t> materialized_at;  // col-sweep ordinals
+  std::vector<std::size_t> checks_at;        // iteration == col_sweeps
+  std::size_t snapshots = 0;
+  std::size_t diff_calls = 0;
+  std::size_t rebalances = 0;
+  std::size_t dual_records = 0;
+  bool fill_task_costs = false;
+
+  SweepStats RowSweep() override {
+    ++row_sweeps;
+    SweepStats s;
+    s.total_ops.flops = 10;
+    if (fill_task_costs) s.task_costs = {1.0, 2.0};
+    return s;
+  }
+
+  SweepStats ColSweep(bool materialize) override {
+    ++col_sweeps;
+    if (materialize) materialized_at.push_back(col_sweeps);
+    SweepStats s;
+    s.total_ops.flops = 20;
+    if (fill_task_costs) s.task_costs = {3.0, 4.0, 5.0};
+    return s;
+  }
+
+  void BeginCheck() override { checks_at.push_back(col_sweeps); }
+
+  double ResidualMeasure(StopCriterion) override {
+    return Next(residuals, residual_idx_);
+  }
+
+  double DiffFromSnapshot() override {
+    ++diff_calls;
+    return Next(diffs, diff_idx_);
+  }
+
+  void SnapshotIterate() override { ++snapshots; }
+
+  std::uint64_t CheckCost() const override { return 100; }
+
+  void RebalanceDuals(const SeaOptions&) override { ++rebalances; }
+
+  void RecordDualValue(std::vector<double>& out) override {
+    ++dual_records;
+    out.push_back(static_cast<double>(dual_records));
+  }
+
+ private:
+  static double Next(const std::vector<double>& seq, std::size_t& idx) {
+    const double v = seq[std::min(idx, seq.size() - 1)];
+    ++idx;
+    return v;
+  }
+  std::size_t residual_idx_ = 0;
+  std::size_t diff_idx_ = 0;
+};
+
+SeaOptions BaseOptions() {
+  SeaOptions o;
+  o.epsilon = 1e-6;
+  o.criterion = StopCriterion::kResidualAbs;
+  return o;
+}
+
+TEST(IterationEngine, ChecksFollowCheckEverySchedule) {
+  ScriptedBackend b;  // residual stays 1.0: never converges
+  SeaOptions o = BaseOptions();
+  o.max_iterations = 10;
+  o.check_every = 3;
+  const SeaResult r = RunIterationEngine(b, o);
+
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.iterations, 10u);
+  EXPECT_EQ(b.row_sweeps, 10u);
+  EXPECT_EQ(b.col_sweeps, 10u);
+  // Checks at multiples of 3 plus the final iteration.
+  const std::vector<std::size_t> expected{3, 6, 9, 10};
+  EXPECT_EQ(b.checks_at, expected);
+  EXPECT_EQ(b.materialized_at, expected);
+  EXPECT_EQ(r.checks_compared, 4u);
+  // 10 sweeps of (10 + 20) flops plus 4 evaluated checks of 100.
+  EXPECT_EQ(r.ops.flops, 10u * 30u + 4u * 100u);
+}
+
+TEST(IterationEngine, StopsOnConvergedMeasure) {
+  ScriptedBackend b;
+  b.residuals = {1.0, 1e-9};
+  SeaOptions o = BaseOptions();
+  const SeaResult r = RunIterationEngine(b, o);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 2u);
+  EXPECT_EQ(r.final_residual, 1e-9);
+}
+
+TEST(IterationEngine, CallbackFiresOnCheckIterationsOnly) {
+  ScriptedBackend b;
+  SeaOptions o = BaseOptions();
+  o.max_iterations = 10;
+  o.check_every = 3;
+  std::vector<std::size_t> fired;
+  o.progress = [&](const IterationEvent& ev) {
+    fired.push_back(ev.iteration);
+    EXPECT_TRUE(ev.measure_defined);
+    EXPECT_EQ(ev.measure, 1.0);
+    EXPECT_FALSE(ev.converged);
+  };
+  RunIterationEngine(b, o);
+  EXPECT_EQ(fired, (std::vector<std::size_t>{3, 6, 9, 10}));
+}
+
+TEST(IterationEngine, XChangeFirstCheckIsUndefined) {
+  // One iteration, one check: nothing to compare against yet. The measure
+  // must be reported as not-yet-defined and no comparison flops charged.
+  ScriptedBackend b;
+  SeaOptions o = BaseOptions();
+  o.criterion = StopCriterion::kXChange;
+  o.max_iterations = 1;
+  std::vector<IterationEvent> events;
+  o.progress = [&](const IterationEvent& ev) { events.push_back(ev); };
+  const SeaResult r = RunIterationEngine(b, o);
+
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.checks_compared, 0u);
+  EXPECT_EQ(r.final_residual, 0.0);
+  EXPECT_EQ(b.snapshots, 1u);
+  EXPECT_EQ(b.diff_calls, 0u);
+  EXPECT_EQ(r.ops.flops, 30u);  // sweeps only; no check cost
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_FALSE(events[0].measure_defined);
+}
+
+TEST(IterationEngine, XChangeComparesAcrossConsecutiveChecks) {
+  ScriptedBackend b;
+  b.diffs = {1e-9};
+  SeaOptions o = BaseOptions();
+  o.criterion = StopCriterion::kXChange;
+  o.max_iterations = 5;
+  const SeaResult r = RunIterationEngine(b, o);
+  // First check snapshots, second compares and converges.
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 2u);
+  EXPECT_EQ(r.checks_compared, 1u);
+  EXPECT_EQ(b.snapshots, 2u);
+  EXPECT_EQ(b.diff_calls, 1u);
+}
+
+TEST(IterationEngine, RebalanceRunsAfterEveryNonConvergedIteration) {
+  ScriptedBackend b;
+  SeaOptions o = BaseOptions();
+  o.max_iterations = 4;
+  o.check_every = 2;
+  RunIterationEngine(b, o);
+  // t=1 (skipped check), t=2 (check, not converged), t=3, t=4: all rebalance.
+  EXPECT_EQ(b.rebalances, 4u);
+
+  ScriptedBackend b2;
+  b2.residuals = {1e-9};
+  SeaOptions o2 = BaseOptions();
+  o2.max_iterations = 4;
+  RunIterationEngine(b2, o2);
+  EXPECT_EQ(b2.rebalances, 0u);  // converged on the first check
+}
+
+TEST(IterationEngine, TraceAndDualValuesFollowOptions) {
+  ScriptedBackend b;
+  b.fill_task_costs = true;
+  SeaOptions o = BaseOptions();
+  o.max_iterations = 3;
+  o.check_every = 2;
+  o.record_trace = true;
+  o.record_dual_values = true;
+  const SeaResult r = RunIterationEngine(b, o);
+
+  EXPECT_EQ(b.dual_records, 3u);
+  EXPECT_EQ(r.dual_values.size(), 3u);
+  std::size_t row_phases = 0, col_phases = 0, serial = 0;
+  for (const auto& ph : r.trace.phases()) {
+    if (ph.kind == TracePhase::Kind::kSerial) {
+      ++serial;
+      EXPECT_EQ(ph.costs[0], 100.0);
+    } else if (ph.costs.size() == 2) {
+      ++row_phases;
+    } else if (ph.costs.size() == 3) {
+      ++col_phases;
+    }
+  }
+  EXPECT_EQ(row_phases, 3u);
+  EXPECT_EQ(col_phases, 3u);
+  EXPECT_EQ(serial, 2u);  // checks at t=2 and t=3 (final)
+}
+
+}  // namespace
+}  // namespace sea

@@ -278,6 +278,27 @@ TEST(SparseSea, RejectsIntervalMode) {
   SUCCEED();
 }
 
+TEST(SparseSea, XChangeFirstCheckReportsUndefinedMeasure) {
+  // Same engine fix as the dense solver: hitting max_iterations before a
+  // second check leaves the x-change measure undefined — no infinity, no
+  // phantom comparison flops.
+  Rng rng(31);
+  const auto p = RandomSparseFixed(12, 14, 0.5, rng);
+  SeaOptions o = TightOptions();
+  o.criterion = StopCriterion::kXChange;
+  o.max_iterations = 1;
+  const auto run = SolveSparse(p, o);
+  EXPECT_FALSE(run.result.converged);
+  EXPECT_EQ(run.result.checks_compared, 0u);
+  EXPECT_EQ(run.result.final_residual, 0.0);
+
+  SeaOptions o_res = TightOptions();
+  o_res.max_iterations = 1;
+  const auto run_res = SolveSparse(p, o_res);
+  EXPECT_EQ(run_res.result.checks_compared, 1u);
+  EXPECT_EQ(run.result.ops.flops + 2u * p.nnz(), run_res.result.ops.flops);
+}
+
 TEST(SparseSea, WorkScalesWithNnz) {
   // Op counts for one iteration should be near-proportional to nnz at fixed
   // dimensions.

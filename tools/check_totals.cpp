@@ -1,0 +1,98 @@
+// check_totals — CSV estimate verifier for the CLI smoke tests.
+//
+// Reads a matrix and checks its row/column sums against target totals (or,
+// with --balance, against each other — the SAM account-balance condition).
+// Exits 0 when every sum is within tolerance, 1 otherwise, so ctest can
+// assert that sea_solve's written estimate actually meets its constraints.
+//
+// Usage:
+//   check_totals --matrix est.csv [--row-totals r.csv] [--col-totals c.csv]
+//                [--balance] [--tol 1e-4]
+#include <cmath>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "io/csv.hpp"
+#include "linalg/dense_matrix.hpp"
+
+namespace {
+
+using namespace sea;
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " --matrix est.csv [--row-totals r.csv] [--col-totals c.csv]"
+               " [--balance] [--tol 1e-4]\n";
+  std::exit(2);
+}
+
+Vector ReadTotals(const std::string& path) {
+  const auto rows = ReadCsv(path);
+  Vector v;
+  for (const auto& row : rows)
+    for (const auto& cell : row)
+      if (!cell.empty()) v.push_back(std::stod(cell));
+  return v;
+}
+
+// Worst |sums_i - targets_i| / max(1, |targets_i|).
+double MaxRelDeviation(const Vector& sums, const Vector& targets) {
+  if (sums.size() != targets.size()) return HUGE_VAL;
+  double worst = 0.0;
+  for (std::size_t i = 0; i < sums.size(); ++i)
+    worst = std::max(worst, std::abs(sums[i] - targets[i]) /
+                                std::max(1.0, std::abs(targets[i])));
+  return worst;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::map<std::string, std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) Usage(argv[0]);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args[key.substr(2)] = argv[++i];
+    } else {
+      args[key.substr(2)] = "1";
+    }
+  }
+  if (!args.count("matrix")) Usage(argv[0]);
+  const double tol = args.count("tol") ? std::stod(args["tol"]) : 1e-4;
+
+  try {
+    const DenseMatrix x = ReadMatrixCsv(args["matrix"]);
+    const Vector rows = x.RowSums();
+    const Vector cols = x.ColSums();
+    bool checked = false;
+    double worst = 0.0;
+
+    if (args.count("balance")) {
+      if (x.rows() != x.cols()) {
+        std::cerr << "balance check needs a square matrix\n";
+        return 1;
+      }
+      worst = std::max(worst, MaxRelDeviation(rows, cols));
+      checked = true;
+    }
+    if (args.count("row-totals")) {
+      worst = std::max(worst,
+                       MaxRelDeviation(rows, ReadTotals(args["row-totals"])));
+      checked = true;
+    }
+    if (args.count("col-totals")) {
+      worst = std::max(worst,
+                       MaxRelDeviation(cols, ReadTotals(args["col-totals"])));
+      checked = true;
+    }
+    if (!checked) Usage(argv[0]);
+
+    std::cout << "max rel deviation: " << worst << " (tol " << tol << ")\n";
+    return worst <= tol ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 3;
+  }
+}

@@ -5,14 +5,17 @@
 // prints a solve report.
 //
 // Usage:
-//   sea_solve --mode fixed   --matrix base.csv --row-totals r.csv
+//   sea_solve --mode fixed    --matrix base.csv --row-totals r.csv
 //             --col-totals c.csv [--weights chi2|unit|sqrt]
 //             [--epsilon 1e-6] [--criterion rel|abs|xchange]
-//             [--threads N] [--out estimate.csv]
-//   sea_solve --mode elastic ... (same flags; totals are treated as
+//             [--check-every K] [--max-iters N] [--threads N]
+//             [--progress] [--out estimate.csv]
+//   sea_solve --mode elastic  ... (same flags; totals are treated as
 //             estimates with unit weights)
-//   sea_solve --mode sam     --matrix base.csv --totals t.csv ...
-//   sea_solve --mode check   --matrix base.csv --row-totals r.csv
+//   sea_solve --mode interval ... (same flags; totals may move within
+//             +-slack, --slack <frac>, default 0.05)
+//   sea_solve --mode sam      --matrix base.csv --totals t.csv ...
+//   sea_solve --mode check    --matrix base.csv --row-totals r.csv
 //             --col-totals c.csv
 //             (max-flow feasibility of the totals on the matrix's support —
 //              tells you whether RAS can possibly converge before you run it)
@@ -36,14 +39,22 @@ using namespace sea;
 [[noreturn]] void Usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0
-      << " --mode fixed|elastic|sam --matrix base.csv\n"
-         "  fixed/elastic: --row-totals r.csv --col-totals c.csv\n"
-         "  sam:           --totals t.csv\n"
+      << " --mode fixed|elastic|interval|sam --matrix base.csv\n"
+         "  fixed/elastic/interval: --row-totals r.csv --col-totals c.csv\n"
+         "  sam:                    --totals t.csv\n"
          "  options: --weights chi2|unit|sqrt (default chi2)\n"
          "           --epsilon <tol>          (default 1e-6)\n"
          "           --criterion rel|abs|xchange (default rel)\n"
+         "           --check-every <K>        (default 1: verify every "
+         "iteration)\n"
+         "           --max-iters <N>          (default 200000)\n"
+         "           --slack <frac>           (interval mode: totals may "
+         "move within +-frac, default 0.05)\n"
          "           --threads <N>            (default 1)\n"
-         "           --out estimate.csv       (default: stdout summary only)\n";
+         "           --progress               (print residual per check "
+         "iteration)\n"
+         "           --out estimate.csv       (default: stdout summary "
+         "only)\n";
   std::exit(2);
 }
 
@@ -60,16 +71,22 @@ Vector ReadTotals(const std::string& path) {
 
 int main(int argc, char** argv) {
   std::map<std::string, std::string> args;
-  for (int i = 1; i + 1 < argc; i += 2) {
+  for (int i = 1; i < argc; ++i) {
     std::string key = argv[i];
     if (key.rfind("--", 0) != 0) Usage(argv[0]);
-    args[key.substr(2)] = argv[i + 1];
+    // Value-less flags (e.g. --progress) parse as "1"; a following token
+    // that is itself a flag starts the next option.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args[key.substr(2)] = argv[++i];
+    } else {
+      args[key.substr(2)] = "1";
+    }
   }
-  if ((argc - 1) % 2 != 0) Usage(argv[0]);
 
   const std::string mode = args.count("mode") ? args["mode"] : "";
-  if (!args.count("matrix") || (mode != "fixed" && mode != "elastic" &&
-                                mode != "sam" && mode != "check"))
+  if (!args.count("matrix") ||
+      (mode != "fixed" && mode != "elastic" && mode != "interval" &&
+       mode != "sam" && mode != "check"))
     Usage(argv[0]);
 
   try {
@@ -125,10 +142,27 @@ int main(int argc, char** argv) {
       Vector d0 = ReadTotals(args["col-totals"]);
       if (mode == "fixed") {
         problem = DiagonalProblem::MakeFixed(x0, gamma, s0, d0);
-      } else {
+      } else if (mode == "elastic") {
         problem = DiagonalProblem::MakeElastic(
             x0, gamma, s0, Vector(s0.size(), 1.0), d0,
             Vector(d0.size(), 1.0));
+      } else {  // interval: totals elastic within +-slack box bounds
+        const double slack =
+            args.count("slack") ? std::stod(args["slack"]) : 0.05;
+        if (slack < 0.0) Usage(argv[0]);
+        Vector s_lo = s0, s_hi = s0, d_lo = d0, d_hi = d0;
+        for (std::size_t i = 0; i < s0.size(); ++i) {
+          s_lo[i] = (1.0 - slack) * s0[i];
+          s_hi[i] = (1.0 + slack) * s0[i];
+        }
+        for (std::size_t j = 0; j < d0.size(); ++j) {
+          d_lo[j] = (1.0 - slack) * d0[j];
+          d_hi[j] = (1.0 + slack) * d0[j];
+        }
+        problem = DiagonalProblem::MakeInterval(
+            x0, gamma, s0, Vector(s0.size(), 1.0), std::move(s_lo),
+            std::move(s_hi), d0, Vector(d0.size(), 1.0), std::move(d_lo),
+            std::move(d_hi));
       }
     }
 
@@ -144,6 +178,26 @@ int main(int argc, char** argv) {
       opts.criterion = StopCriterion::kXChange;
     } else {
       Usage(argv[0]);
+    }
+    if (args.count("check-every")) {
+      opts.check_every = std::stoul(args["check-every"]);
+      if (opts.check_every == 0) Usage(argv[0]);
+    }
+    if (args.count("max-iters")) {
+      opts.max_iterations = std::stoul(args["max-iters"]);
+      if (opts.max_iterations == 0) Usage(argv[0]);
+    }
+    if (args.count("progress")) {
+      opts.progress = [](const IterationEvent& ev) {
+        std::cout << "progress: iter=" << ev.iteration << " residual=";
+        if (ev.measure_defined) {
+          std::cout << ev.measure;
+        } else {
+          std::cout << "n/a";
+        }
+        if (ev.converged) std::cout << " (converged)";
+        std::cout << '\n';
+      };
     }
     const std::size_t threads =
         args.count("threads") ? std::stoul(args["threads"]) : 1;
