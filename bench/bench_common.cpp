@@ -1,8 +1,12 @@
 #include "bench_common.hpp"
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <thread>
+
+#include "obs/json_export.hpp"
+#include "support/check.hpp"
 
 namespace sea::bench {
 
@@ -15,9 +19,11 @@ BenchOptions ParseArgs(int argc, char** argv) {
       opts.progress = true;
     } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
       opts.csv_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      opts.json_path = argv[++i];
     } else {
       std::cerr << "usage: " << argv[0]
-                << " [--quick] [--progress] [--csv <path>]\n";
+                << " [--quick] [--progress] [--csv <path>] [--json <path>]\n";
       std::exit(2);
     }
   }
@@ -54,10 +60,49 @@ void PrintHeader(const std::string& title, const std::string& protocol) {
             << "==========================================================\n";
 }
 
-void Finish(const ExperimentLog& log, const BenchOptions& opts) {
+std::string BenchJson(const ExperimentLog& log, const BenchOptions& opts,
+                      const std::string& bench_name) {
+  obs::JsonArr records;
+  for (const auto& r : log.records()) {
+    obs::JsonObj rec;
+    rec.Field("experiment", r.experiment)
+        .Field("dataset", r.dataset)
+        .Field("metric", r.metric)
+        .Field("measured", r.measured);
+    if (r.paper.has_value()) {
+      rec.Field("paper", *r.paper);
+    } else {
+      rec.Raw("paper", "null");
+    }
+    rec.Field("note", r.note);
+    records.Raw(rec.Str());
+  }
+  return obs::JsonObj()
+      .Field("schema", obs::kTelemetrySchemaVersion)
+      .Field("bench", bench_name)
+      .Field("quick", opts.quick)
+      .Field("host_threads",
+             static_cast<std::uint64_t>(std::thread::hardware_concurrency()))
+      .Raw("records", records.Str())
+      .Str();
+}
+
+void Finish(const ExperimentLog& log, const BenchOptions& opts,
+            const std::string& bench_name) {
   std::cout << '\n';
   log.Print(std::cout);
   if (!opts.csv_path.empty()) log.AppendCsv(opts.csv_path);
+
+  const std::string json_path = opts.json_path.empty()
+                                    ? "BENCH_" + bench_name + ".json"
+                                    : opts.json_path;
+  {
+    std::ofstream f(json_path);
+    SEA_CHECK_MSG(f.good(),
+                  "cannot open bench json for writing: " + json_path);
+    f << BenchJson(log, opts, bench_name) << '\n';
+  }
+  std::cout << "\nbench json: " << json_path << '\n';
   std::cout.flush();
 }
 

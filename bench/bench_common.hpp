@@ -3,7 +3,16 @@
 // Every bench binary accepts:
 //   --quick        scaled-down sizes (CI smoke run; full paper sizes default)
 //   --csv <path>   append paper-vs-measured records to a CSV
+//   --json <path>  machine-readable results (default BENCH_<table>.json)
 //   --progress     stream the iteration engine's residual trajectory
+//
+// Finish() always writes the JSON document (the repository's perf
+// trajectory diffs it across PRs); --json only overrides the path. Schema:
+//   {"schema":1,"bench":"table1","quick":false,"host_threads":N,
+//    "records":[{"experiment":..,"dataset":..,"metric":..,"measured":..,
+//                "paper":..|null,"note":..}, ...]}
+// Measured values are rendered with round-trip precision, so the JSON
+// carries exactly the doubles the printed table was formatted from.
 #pragma once
 
 #include <optional>
@@ -18,6 +27,7 @@ struct BenchOptions {
   bool quick = false;
   bool progress = false;
   std::string csv_path;
+  std::string json_path;  // empty = BENCH_<table>.json in the working dir
 };
 
 BenchOptions ParseArgs(int argc, char** argv);
@@ -35,7 +45,13 @@ void MaybeAttachProgress(const BenchOptions& bench_opts, SeaOptions& opts,
 // protocol line, and the host context.
 void PrintHeader(const std::string& title, const std::string& protocol);
 
-// Prints the log's paper-vs-measured table and appends the CSV if requested.
-void Finish(const ExperimentLog& log, const BenchOptions& opts);
+// Prints the log's paper-vs-measured table, appends the CSV if requested,
+// and writes the machine-readable BENCH_<bench_name>.json.
+void Finish(const ExperimentLog& log, const BenchOptions& opts,
+            const std::string& bench_name);
+
+// Renders the log as the BENCH json document (exposed for tests).
+std::string BenchJson(const ExperimentLog& log, const BenchOptions& opts,
+                      const std::string& bench_name);
 
 }  // namespace sea::bench

@@ -59,9 +59,15 @@ int main(int argc, char** argv) {
             row.paper_cpu > 0 ? std::optional<double>(row.paper_cpu)
                               : std::nullopt,
             run.result.converged ? "converged" : "NOT CONVERGED");
+    // The same doubles the printed table is formatted from, so the JSON
+    // record is bit-identical to the table row.
+    log.Add("table1", dims, "iterations",
+            static_cast<double>(run.result.iterations));
+    log.Add("table1", dims, "final_residual", run.result.final_residual);
+    log.Add("table1", dims, "max_rel_residual", rep.MaxRel());
   }
 
   table.Print(std::cout);
-  bench::Finish(log, opts);
+  bench::Finish(log, opts, "table1");
   return 0;
 }

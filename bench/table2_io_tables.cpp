@@ -62,9 +62,11 @@ int main(int argc, char** argv) {
                   TablePrinter::Num(worst_resid, 6)});
     log.Add("table2", spec.name, "cpu_seconds", cpu, paper_cpu[k],
             all_converged ? "converged" : "NOT CONVERGED");
+    log.Add("table2", spec.name, "iterations", static_cast<double>(iters));
+    log.Add("table2", spec.name, "max_rel_residual", worst_resid);
   }
 
   table.Print(std::cout);
-  bench::Finish(log, opts);
+  bench::Finish(log, opts, "table2");
   return 0;
 }

@@ -44,9 +44,13 @@ int main(int argc, char** argv) {
                   TablePrinter::Num(rep.MaxRel(), 6)});
     log.Add("table4", specs[k].name, "cpu_seconds", run.result.cpu_seconds,
             paper_cpu[k], run.result.converged ? "converged" : "NOT CONVERGED");
+    log.Add("table4", specs[k].name, "iterations",
+            static_cast<double>(run.result.iterations));
+    log.Add("table4", specs[k].name, "final_residual",
+            run.result.final_residual);
   }
 
   table.Print(std::cout);
-  bench::Finish(log, opts);
+  bench::Finish(log, opts, "table4");
   return 0;
 }

@@ -59,9 +59,12 @@ int main(int argc, char** argv) {
             row.paper_cpu > 0 ? std::optional<double>(row.paper_cpu)
                               : std::nullopt,
             run.result.converged ? "converged" : "NOT CONVERGED");
+    log.Add("table5", name, "iterations",
+            static_cast<double>(run.result.iterations));
+    log.Add("table5", name, "final_residual", run.result.final_residual);
   }
 
   table.Print(std::cout);
-  bench::Finish(log, opts);
+  bench::Finish(log, opts, "table5");
   return 0;
 }

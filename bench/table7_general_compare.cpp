@@ -104,6 +104,6 @@ int main(int argc, char** argv) {
   }
 
   table.Print(std::cout);
-  bench::Finish(log, opts);
+  bench::Finish(log, opts, "table7");
   return 0;
 }

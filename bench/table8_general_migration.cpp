@@ -50,9 +50,13 @@ int main(int argc, char** argv) {
     log.Add("table8", specs[k].name, "cpu_seconds", run.result.cpu_seconds,
             paper_cpu[k],
             run.result.converged ? "converged" : "NOT CONVERGED");
+    log.Add("table8", specs[k].name, "outer_iterations",
+            static_cast<double>(run.result.outer_iterations));
+    log.Add("table8", specs[k].name, "total_inner_iterations",
+            static_cast<double>(run.result.total_inner_iterations));
   }
 
   table.Print(std::cout);
-  bench::Finish(log, opts);
+  bench::Finish(log, opts, "table8");
   return 0;
 }

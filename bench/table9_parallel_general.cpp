@@ -142,6 +142,6 @@ int main(int argc, char** argv) {
 
   std::cout << '\n';
   table.Print(std::cout);
-  bench::Finish(log, opts);
+  bench::Finish(log, opts, "table9");
   return 0;
 }

@@ -5,6 +5,8 @@
 #include <optional>
 
 #include "linalg/kernels.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
 #include "support/check.hpp"
 #include "support/stopwatch.hpp"
 
@@ -109,15 +111,37 @@ GeneralSeaRun SolveGeneral(const GeneralProblem& problem,
 
     result.outer_iterations = t;
     result.final_outer_change = change;
-    if (change <= opts.outer_epsilon) {
-      result.converged = true;
-      break;
+    if (change <= opts.outer_epsilon) result.converged = true;
+
+    // One structured trace event per projection step (the inner solves
+    // already streamed their own per-check events through the same sink).
+    if (inner.trace_sink) {
+      obs::OuterStepEvent ev;
+      ev.outer_iteration = t;
+      ev.change = change;
+      ev.converged = result.converged;
+      ev.inner_iterations = inner_run.result.iterations;
+      ev.inner_iterations_total = result.total_inner_iterations;
+      ev.linearize_seconds = result.linearization_seconds;
+      inner.trace_sink->OnOuterStep(ev);
     }
+
+    if (result.converged) break;
   }
 
   result.objective = problem.Objective(x, s, d);
   result.wall_seconds = wall.Seconds();
   result.cpu_seconds = ProcessCpuSeconds() - cpu0;
+
+  if (inner.metrics) {
+    obs::MetricsRegistry& m = *inner.metrics;
+    m.GetCounter("sea.general.outer_iterations").Add(result.outer_iterations);
+    m.GetGauge("sea.general.linearization_seconds")
+        .Add(result.linearization_seconds);
+    m.GetGauge("sea.general.final_outer_change")
+        .Set(result.final_outer_change);
+    m.GetGauge("sea.general.converged").Set(result.converged ? 1.0 : 0.0);
+  }
   run.result = std::move(result);
   return run;
 }

@@ -2,10 +2,28 @@
 
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
 #include "support/check.hpp"
 #include "support/stopwatch.hpp"
 
 namespace sea {
+
+namespace {
+
+// Decade buckets for the residual trajectory; the measure spans many orders
+// of magnitude between the first check and convergence.
+std::vector<double> ResidualBounds() {
+  return {1e-12, 1e-10, 1e-8, 1e-6, 1e-4, 1e-2, 1.0, 1e2, 1e4, 1e6};
+}
+
+// Observed gap between consecutive checks, in iterations (check_every plus
+// the final-iteration forced check).
+std::vector<double> CheckIntervalBounds() {
+  return {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0};
+}
+
+}  // namespace
 
 SeaResult RunIterationEngine(SeaIterationBackend& backend,
                              const SeaOptions& opts) {
@@ -17,6 +35,20 @@ SeaResult RunIterationEngine(SeaIterationBackend& backend,
 
   SeaResult result;
   bool have_snapshot = false;
+
+  // Telemetry is pay-for-use: everything below is skipped when no observer
+  // is attached (acceptance bar: a plain solve must not slow down).
+  const bool observing = opts.progress || opts.trace_sink || opts.metrics;
+  OpCounts ops_at_last_event;
+  std::size_t last_check_iteration = 0;
+  obs::Histogram* residual_hist = nullptr;
+  obs::Histogram* interval_hist = nullptr;
+  if (opts.metrics) {
+    residual_hist =
+        &opts.metrics->GetHistogram("sea.check.residual", ResidualBounds());
+    interval_hist = &opts.metrics->GetHistogram("sea.check.interval_iters",
+                                                CheckIntervalBounds());
+  }
 
   for (std::size_t t = 1; t <= opts.max_iterations; ++t) {
     const bool check_now =
@@ -84,16 +116,28 @@ SeaResult RunIterationEngine(SeaIterationBackend& backend,
       if (measure <= opts.epsilon) result.converged = true;
     }
 
-    if (opts.progress) {
+    if (observing) {
       IterationEvent ev;
       ev.iteration = t;
       ev.measure_defined = defined;
       ev.measure = measure;
       ev.converged = result.converged;
+      ev.checks_compared = result.checks_compared;
       ev.row_phase_seconds = result.row_phase_seconds;
       ev.col_phase_seconds = result.col_phase_seconds;
       ev.check_phase_seconds = result.check_phase_seconds;
-      opts.progress(ev);
+      ev.ops_total = result.ops;
+      ev.ops_delta = result.ops - ops_at_last_event;
+      ops_at_last_event = result.ops;
+
+      if (opts.metrics) {
+        if (defined) residual_hist->Observe(measure);
+        interval_hist->Observe(static_cast<double>(t - last_check_iteration));
+      }
+      last_check_iteration = t;
+
+      if (opts.progress) opts.progress(ev);
+      if (opts.trace_sink) opts.trace_sink->OnCheck(ev);
     }
 
     if (result.converged) break;
@@ -102,6 +146,26 @@ SeaResult RunIterationEngine(SeaIterationBackend& backend,
 
   result.wall_seconds = wall.Seconds();
   result.cpu_seconds = ProcessCpuSeconds() - cpu0;
+
+  if (opts.metrics) {
+    obs::MetricsRegistry& m = *opts.metrics;
+    m.GetCounter("sea.iterations").Add(result.iterations);
+    m.GetCounter("sea.checks_compared").Add(result.checks_compared);
+    m.GetCounter("sea.ops.flops").Add(result.ops.flops);
+    m.GetCounter("sea.ops.comparisons").Add(result.ops.comparisons);
+    m.GetCounter("sea.ops.breakpoints").Add(result.ops.breakpoints);
+    m.GetCounter("sea.solves").Add(1);
+    if (result.converged) m.GetCounter("sea.solves_converged").Add(1);
+    // Phase seconds accumulate across solves (the general algorithm runs
+    // one engine solve per projection step).
+    m.GetGauge("sea.row_phase_seconds").Add(result.row_phase_seconds);
+    m.GetGauge("sea.col_phase_seconds").Add(result.col_phase_seconds);
+    m.GetGauge("sea.check_phase_seconds").Add(result.check_phase_seconds);
+    m.GetGauge("sea.wall_seconds").Add(result.wall_seconds);
+    m.GetGauge("sea.cpu_seconds").Add(result.cpu_seconds);
+    m.GetGauge("sea.final_residual").Set(result.final_residual);
+    m.GetGauge("sea.converged").Set(result.converged ? 1.0 : 0.0);
+  }
   return result;
 }
 

@@ -5,10 +5,16 @@
 #include <functional>
 
 #include "equilibration/breakpoint_solver.hpp"
+#include "support/op_counter.hpp"
 
 namespace sea {
 
 class ThreadPool;
+
+namespace obs {
+class TraceSink;
+class MetricsRegistry;
+}  // namespace obs
 
 // Stopping rules used in the paper's experiments.
 enum class StopCriterion {
@@ -25,10 +31,11 @@ enum class StopCriterion {
 
 const char* ToString(StopCriterion c);
 
-// Snapshot handed to SeaOptions::progress on every check iteration of the
-// shared iteration engine (core/iteration_engine.hpp). This is the
-// attachment point for progress reporting and, later, acceleration /
-// stagnation heuristics that need the residual trajectory.
+// Snapshot handed to SeaOptions::progress — and to the structured trace
+// sink (obs/trace_sink.hpp) — on every check iteration of the shared
+// iteration engine (core/iteration_engine.hpp). This is the attachment
+// point for progress reporting and, later, acceleration / stagnation
+// heuristics that need the residual trajectory.
 struct IterationEvent {
   std::size_t iteration = 0;
   // False on the first kXChange check, where no previous iterate exists yet
@@ -36,10 +43,17 @@ struct IterationEvent {
   bool measure_defined = false;
   double measure = 0.0;  // active stopping measure, valid if measure_defined
   bool converged = false;
+  // Checks whose measure had a defined value so far (== the number of
+  // events with measure_defined, including this one).
+  std::size_t checks_compared = 0;
   // Cumulative per-phase wall times so far.
   double row_phase_seconds = 0.0;
   double col_phase_seconds = 0.0;
   double check_phase_seconds = 0.0;
+  // Operation counts: since the previous event (delta, including this
+  // check's own verification cost) and since the start of the solve.
+  OpCounts ops_delta;
+  OpCounts ops_total;
 };
 
 using IterationCallback = std::function<void(const IterationEvent&)>;
@@ -71,6 +85,14 @@ struct SeaOptions {
   // Invoked by the iteration engine on check iterations only (never on
   // skipped iterations). Empty = no reporting overhead.
   IterationCallback progress;
+  // Structured trace sink (obs/trace_sink.hpp): receives the same per-check
+  // events as `progress`, plus one event per general-SEA projection step.
+  // Null = no tracing overhead.
+  obs::TraceSink* trace_sink = nullptr;
+  // Metrics registry (obs/metrics.hpp): the engine accumulates op counters,
+  // phase-seconds gauges, and per-check residual / check-interval
+  // histograms into it. Null = no metrics overhead.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct GeneralSeaOptions {

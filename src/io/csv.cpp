@@ -7,9 +7,7 @@
 
 namespace sea {
 
-namespace {
-
-std::string EscapeCell(const std::string& cell) {
+std::string CsvEscape(const std::string& cell) {
   if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
   std::string out = "\"";
   for (char c : cell) {
@@ -19,6 +17,8 @@ std::string EscapeCell(const std::string& cell) {
   out += '"';
   return out;
 }
+
+namespace {
 
 std::vector<std::string> SplitLine(const std::string& line) {
   std::vector<std::string> cells;
@@ -59,7 +59,7 @@ void WriteCsv(const std::string& path, const std::vector<std::string>& header,
   auto write_row = [&f](const std::vector<std::string>& row) {
     for (std::size_t c = 0; c < row.size(); ++c) {
       if (c) f << ',';
-      f << EscapeCell(row[c]);
+      f << CsvEscape(row[c]);
     }
     f << '\n';
   };

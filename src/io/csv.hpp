@@ -8,6 +8,10 @@
 
 namespace sea {
 
+// Quotes a single cell when it contains commas, quotes, or newlines
+// (doubling embedded quotes); returns it unchanged otherwise.
+std::string CsvEscape(const std::string& cell);
+
 // Writes rows of string cells; cells containing commas/quotes are quoted.
 void WriteCsv(const std::string& path,
               const std::vector<std::string>& header,

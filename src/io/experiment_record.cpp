@@ -3,6 +3,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "io/csv.hpp"
 #include "io/table_printer.hpp"
 #include "support/check.hpp"
 
@@ -44,10 +45,12 @@ void ExperimentLog::AppendCsv(const std::string& path) const {
   if (!exists)
     f << "experiment,dataset,metric,measured,paper,note\n";
   for (const auto& r : records_) {
-    f << r.experiment << ',' << r.dataset << ',' << r.metric << ','
-      << r.measured << ',';
+    f << CsvEscape(r.experiment) << ',' << CsvEscape(r.dataset) << ','
+      << CsvEscape(r.metric) << ',' << r.measured << ',';
     if (r.paper.has_value()) f << *r.paper;
-    f << ',' << r.note << '\n';
+    // Free-text field: protocol notes may legitimately contain commas or
+    // quotes, which would shear the row without escaping.
+    f << ',' << CsvEscape(r.note) << '\n';
   }
 }
 

@@ -36,7 +36,9 @@ class ExperimentLog {
   // the "shape holds" judgement rests on).
   void Print(std::ostream& os) const;
 
-  // Appends to a CSV (writes the header if the file does not exist).
+  // Appends to a CSV (writes the header only if the file does not exist;
+  // repeated appends — same or different logs — share one header). Text
+  // fields are CSV-escaped, so notes may contain commas/quotes.
   void AppendCsv(const std::string& path) const;
 
  private:

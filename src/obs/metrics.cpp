@@ -1,0 +1,168 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "parallel/thread_pool.hpp"
+#include "support/check.hpp"
+
+namespace sea::obs {
+
+namespace internal {
+
+std::size_t ThisThreadShard() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+}  // namespace internal
+
+// ---------------------------------------------------------------- Histogram
+
+Histogram::Shard::Shard(std::size_t n_buckets)
+    : buckets(n_buckets),
+      min(std::numeric_limits<double>::infinity()),
+      max(-std::numeric_limits<double>::infinity()) {
+  // Value-initialization of atomics predates P0883 on some standard
+  // libraries; zero the buckets explicitly.
+  for (auto& b : buckets) b.store(0, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  SEA_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                "histogram bucket bounds must be sorted");
+  shards_.reserve(internal::kShards);
+  for (std::size_t s = 0; s < internal::kShards; ++s)
+    shards_.push_back(std::make_unique<Shard>(bounds_.size() + 1));
+}
+
+void Histogram::Observe(double v) {
+  Shard& shard = *shards_[internal::ThisThreadShard()];
+  const std::size_t b =
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin();
+  shard.buckets[b].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(v, std::memory_order_relaxed);
+  double cur = shard.min.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !shard.min.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = shard.max.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !shard.max.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.assign(bounds_.size() + 1, 0);
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const auto& shard : shards_) {
+    for (std::size_t b = 0; b < snap.counts.size(); ++b)
+      snap.counts[b] += shard->buckets[b].load(std::memory_order_relaxed);
+    snap.total_count += shard->count.load(std::memory_order_relaxed);
+    snap.sum += shard->sum.load(std::memory_order_relaxed);
+    lo = std::min(lo, shard->min.load(std::memory_order_relaxed));
+    hi = std::max(hi, shard->max.load(std::memory_order_relaxed));
+  }
+  if (snap.total_count > 0) {
+    snap.min = lo;
+    snap.max = hi;
+  }
+  return snap;
+}
+
+// ----------------------------------------------------------------- Snapshot
+
+std::uint64_t MetricsSnapshot::CounterValue(const std::string& name) const {
+  for (const auto& [n, v] : counters)
+    if (n == name) return v;
+  return 0;
+}
+
+double MetricsSnapshot::GaugeValue(const std::string& name) const {
+  for (const auto& [n, v] : gauges)
+    if (n == name) return v;
+  return 0.0;
+}
+
+const HistogramSnapshot* MetricsSnapshot::FindHistogram(
+    const std::string& name) const {
+  for (const auto& [n, h] : histograms)
+    if (n == name) return &h;
+  return nullptr;
+}
+
+// ----------------------------------------------------------------- Registry
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard lk(mu_);
+  for (auto& e : counters_)
+    if (e.name == name) return *e.metric;
+  counters_.push_back({name, std::make_unique<Counter>()});
+  return *counters_.back().metric;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard lk(mu_);
+  for (auto& e : gauges_)
+    if (e.name == name) return *e.metric;
+  gauges_.push_back({name, std::make_unique<Gauge>()});
+  return *gauges_.back().metric;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> upper_bounds) {
+  std::lock_guard lk(mu_);
+  for (auto& e : histograms_)
+    if (e.name == name) return *e.metric;
+  histograms_.push_back(
+      {name, std::make_unique<Histogram>(std::move(upper_bounds))});
+  return *histograms_.back().metric;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard lk(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& e : counters_)
+    snap.counters.emplace_back(e.name, e.metric->Value());
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& e : gauges_)
+    snap.gauges.emplace_back(e.name, e.metric->Value());
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& e : histograms_)
+    snap.histograms.emplace_back(e.name, e.metric->Snapshot());
+  return snap;
+}
+
+// --------------------------------------------------------- pool utilization
+
+void RecordPoolMetrics(MetricsRegistry& registry, const PoolStats& stats) {
+  registry.GetGauge("pool.threads").Set(static_cast<double>(stats.threads));
+  registry.GetCounter("pool.regions").Add(stats.regions);
+  registry.GetGauge("pool.region_wall_seconds").Add(stats.region_wall_seconds);
+  registry.GetGauge("pool.chunk_imbalance.max").Set(stats.max_imbalance);
+  registry.GetGauge("pool.chunk_imbalance.mean").Set(stats.mean_imbalance);
+  double busy = 0.0;
+  for (std::size_t w = 0; w < stats.worker_busy_seconds.size(); ++w) {
+    registry.GetGauge("pool.worker." + std::to_string(w) + ".busy_seconds")
+        .Add(stats.worker_busy_seconds[w]);
+    busy += stats.worker_busy_seconds[w];
+  }
+  registry.GetGauge("pool.busy_seconds_total").Add(busy);
+  // Utilization of the pool across its ParallelFor regions: busy worker
+  // seconds over (region wall x threads) — the measured counterpart to the
+  // schedule simulator's efficiency column (parallel/speedup_model.hpp).
+  const double capacity =
+      stats.region_wall_seconds * static_cast<double>(stats.threads);
+  registry.GetGauge("pool.utilization")
+      .Set(capacity > 0.0 ? busy / capacity : 0.0);
+}
+
+}  // namespace sea::obs

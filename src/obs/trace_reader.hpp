@@ -1,0 +1,37 @@
+// Reader for the JSONL run traces written by obs::JsonlTraceSink.
+//
+// The trace events are flat JSON objects (string/number/bool values, no
+// nesting), so a full JSON parser is unnecessary; this reader handles
+// exactly that subset and rejects anything else. Unknown keys are kept —
+// the schema is append-only, so a reader built against version 1 must
+// tolerate fields added by later versions.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sea::obs {
+
+// One parsed trace line. Fields land in the map matching their JSON type;
+// the typed accessors return a fallback on a missing key.
+struct TraceEvent {
+  std::map<std::string, double> numbers;
+  std::map<std::string, bool> flags;
+  std::map<std::string, std::string> strings;
+
+  std::string Type() const;  // "" when absent
+  double Number(const std::string& key, double fallback = 0.0) const;
+  bool Flag(const std::string& key, bool fallback = false) const;
+  bool Has(const std::string& key) const;
+};
+
+// Parses one flat JSON object; throws InvalidArgument on malformed input.
+TraceEvent ParseTraceLine(const std::string& line);
+
+// Reads every non-empty line of a JSONL file. Throws InvalidArgument on a
+// missing file or an unparsable line (the message names the line number).
+std::vector<TraceEvent> ReadTraceJsonl(const std::string& path);
+
+}  // namespace sea::obs

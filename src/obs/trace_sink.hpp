@@ -1,0 +1,74 @@
+// Structured run traces.
+//
+// A TraceSink receives one event per convergence check of the shared
+// iteration engine (core/iteration_engine.hpp) and one event per projection
+// step of general SEA's outer loop (core/general_sea.hpp). It layers
+// *beside* the existing ExecutionTrace machinery (SeaOptions::record_trace
+// feeds the schedule simulator with per-task operation counts); the sink
+// instead captures the convergence trajectory and phase accounting in a
+// diffable, append-only format for cross-PR analysis.
+//
+// Sinks are invoked from the solve thread only — between parallel regions,
+// never inside one — so implementations need no locking. Attach via
+// SeaOptions::trace_sink; a null sink costs nothing.
+//
+// JSONL event schema (version 1, append-only; see docs/OBSERVABILITY.md):
+//   check {"schema":1,"type":"check","iter":..,"measure":..,
+//          "measure_defined":..,"converged":..,"checks_compared":..,
+//          "row_seconds":..,"col_seconds":..,"check_seconds":..,
+//          "flops_delta":..,"comparisons_delta":..,"breakpoints_delta":..,
+//          "flops_total":..,"comparisons_total":..,"breakpoints_total":..}
+//   outer {"schema":1,"type":"outer","iter":..,"change":..,"converged":..,
+//          "inner_iterations":..,"inner_iterations_total":..,
+//          "linearize_seconds":..}
+#pragma once
+
+#include <cstddef>
+#include <fstream>
+#include <string>
+
+#include "core/options.hpp"
+
+namespace sea::obs {
+
+// One projection step of general SEA (paper Section 3.2, Figure 4).
+struct OuterStepEvent {
+  std::size_t outer_iteration = 0;
+  double change = 0.0;  // max |x^t - x^{t-1}| after this step
+  bool converged = false;
+  std::size_t inner_iterations = 0;        // this step's inner solve
+  std::size_t inner_iterations_total = 0;  // cumulative across steps
+  double linearize_seconds = 0.0;          // cumulative matvec-phase wall
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void OnCheck(const IterationEvent& ev) = 0;
+  virtual void OnOuterStep(const OuterStepEvent& ev) = 0;
+  virtual void Flush() {}
+};
+
+// Renders an event as a single-line JSON object (no trailing newline) —
+// the serialization JsonlTraceSink writes, exposed for tests and tools.
+std::string ToJsonLine(const IterationEvent& ev);
+std::string ToJsonLine(const OuterStepEvent& ev);
+
+// Appends one JSON object per line to a file. Throws InvalidArgument when
+// the file cannot be opened. Flushes on destruction.
+class JsonlTraceSink : public TraceSink {
+ public:
+  explicit JsonlTraceSink(const std::string& path);
+
+  void OnCheck(const IterationEvent& ev) override;
+  void OnOuterStep(const OuterStepEvent& ev) override;
+  void Flush() override { out_.flush(); }
+
+  std::size_t events_written() const { return events_written_; }
+
+ private:
+  std::ofstream out_;
+  std::size_t events_written_ = 0;
+};
+
+}  // namespace sea::obs

@@ -1,6 +1,9 @@
 #include "parallel/thread_pool.hpp"
 
+#include <algorithm>
+
 #include "support/check.hpp"
+#include "support/stopwatch.hpp"
 
 namespace sea {
 
@@ -10,6 +13,8 @@ ThreadPool::ThreadPool(std::size_t n_threads) {
     if (n_threads == 0) n_threads = 1;
   }
   num_threads_ = n_threads;
+  worker_busy_.resize(num_threads_);
+  region_chunk_seconds_.resize(num_threads_);
   // Worker 0 is the calling thread; spawn num_threads_ - 1 real workers.
   workers_.reserve(num_threads_ - 1);
   for (std::size_t w = 1; w < num_threads_; ++w)
@@ -31,7 +36,35 @@ void ThreadPool::RunChunk(
   // Static partition: part p gets [p*n/parts, (p+1)*n/parts).
   const std::size_t begin = part * n / parts;
   const std::size_t end = (part + 1) * n / parts;
-  if (begin < end) body(begin, end, worker);
+  if (begin >= end) return;
+  if (!stats_enabled_) {
+    body(begin, end, worker);
+    return;
+  }
+  Stopwatch sw;
+  body(begin, end, worker);
+  const double seconds = sw.Seconds();
+  // Exclusive slots; the join barrier publishes them to the caller.
+  worker_busy_[worker].v += seconds;
+  region_chunk_seconds_[worker].v = seconds;
+}
+
+void ThreadPool::FinishRegionStats(std::size_t n, double wall_seconds) {
+  ++stat_regions_;
+  stat_region_wall_ += wall_seconds;
+  // With the static partition, exactly min(n, parts) chunks are nonempty,
+  // but they are not necessarily assigned to the lowest worker indices —
+  // scan every slot (empty chunks contribute zero).
+  const std::size_t chunks = std::min(n, num_threads_);
+  double max_chunk = 0.0, sum_chunk = 0.0;
+  for (std::size_t w = 0; w < num_threads_; ++w) {
+    max_chunk = std::max(max_chunk, region_chunk_seconds_[w].v);
+    sum_chunk += region_chunk_seconds_[w].v;
+  }
+  const double mean_chunk = sum_chunk / static_cast<double>(chunks);
+  const double imbalance = mean_chunk > 0.0 ? max_chunk / mean_chunk : 1.0;
+  stat_imbalance_sum_ += imbalance;
+  stat_imbalance_max_ = std::max(stat_imbalance_max_, imbalance);
 }
 
 void ThreadPool::WorkerLoop(std::size_t worker_index) {
@@ -57,10 +90,22 @@ void ThreadPool::ParallelForWorker(
     std::size_t n,
     const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
   if (n == 0) return;
+  Stopwatch region_sw;
   if (num_threads_ == 1) {
+    if (!stats_enabled_) {
+      body(0, n, 0);
+      return;
+    }
+    Stopwatch sw;
     body(0, n, 0);
+    const double seconds = sw.Seconds();
+    worker_busy_[0].v += seconds;
+    region_chunk_seconds_[0].v = seconds;
+    FinishRegionStats(1, region_sw.Seconds());
     return;
   }
+  if (stats_enabled_)
+    for (auto& slot : region_chunk_seconds_) slot.v = 0.0;
   {
     std::lock_guard lk(mu_);
     task_.body = &body;
@@ -71,8 +116,11 @@ void ThreadPool::ParallelForWorker(
   cv_start_.notify_all();
   // The calling thread executes part 0 as worker 0.
   RunChunk(body, n, 0, num_threads_, 0);
-  std::unique_lock lk(mu_);
-  cv_done_.wait(lk, [&] { return pending_ == 0; });
+  {
+    std::unique_lock lk(mu_);
+    cv_done_.wait(lk, [&] { return pending_ == 0; });
+  }
+  if (stats_enabled_) FinishRegionStats(n, region_sw.Seconds());
 }
 
 void ThreadPool::ParallelFor(
@@ -80,6 +128,31 @@ void ThreadPool::ParallelFor(
     const std::function<void(std::size_t, std::size_t)>& body) {
   ParallelForWorker(
       n, [&body](std::size_t b, std::size_t e, std::size_t) { body(b, e); });
+}
+
+PoolStats ThreadPool::Stats() const {
+  PoolStats stats;
+  stats.threads = num_threads_;
+  stats.regions = stat_regions_;
+  stats.region_wall_seconds = stat_region_wall_;
+  stats.worker_busy_seconds.reserve(num_threads_);
+  for (const auto& slot : worker_busy_)
+    stats.worker_busy_seconds.push_back(slot.v);
+  stats.max_imbalance = stat_imbalance_max_;
+  stats.mean_imbalance =
+      stat_regions_ > 0
+          ? stat_imbalance_sum_ / static_cast<double>(stat_regions_)
+          : 0.0;
+  return stats;
+}
+
+void ThreadPool::ResetStats() {
+  stat_regions_ = 0;
+  stat_region_wall_ = 0.0;
+  stat_imbalance_sum_ = 0.0;
+  stat_imbalance_max_ = 0.0;
+  for (auto& slot : worker_busy_) slot.v = 0.0;
+  for (auto& slot : region_chunk_seconds_) slot.v = 0.0;
 }
 
 }  // namespace sea

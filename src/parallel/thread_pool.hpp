@@ -8,16 +8,42 @@
 // workers, blocking ParallelFor with static chunking (deterministic
 // assignment, so parallel runs are bit-identical to serial runs), and no
 // work executed on pool threads outside ParallelFor regions.
+//
+// Utilization telemetry: EnableStats(true) makes every ParallelFor region
+// record per-worker busy seconds, region wall time, and static-chunk
+// imbalance, exposed as a PoolStats snapshot — the measured counterpart to
+// the schedule simulator's idealized makespans (parallel/speedup_model.hpp).
+// Stats are off by default and the disabled path adds only a branch.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace sea {
+
+// Point-in-time utilization snapshot of a ThreadPool (valid only between
+// ParallelFor regions). Imbalance of one region is max chunk time / mean
+// chunk time over the chunks that ran — 1.0 is a perfectly even split; the
+// gap to 1.0 is wall time the fastest workers spent idle at the join.
+struct PoolStats {
+  std::size_t threads = 0;
+  std::uint64_t regions = 0;           // completed ParallelFor regions
+  double region_wall_seconds = 0.0;    // summed region wall (incl. dispatch)
+  std::vector<double> worker_busy_seconds;  // chunk-body time per worker
+  double max_imbalance = 0.0;   // worst region
+  double mean_imbalance = 0.0;  // mean over regions
+
+  double BusySecondsTotal() const {
+    double total = 0.0;
+    for (double s : worker_busy_seconds) total += s;
+    return total;
+  }
+};
 
 class ThreadPool {
  public:
@@ -44,6 +70,14 @@ class ThreadPool {
       std::size_t n,
       const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
 
+  // Toggle utilization accounting. Call only between regions; the flag is
+  // read unsynchronized inside them.
+  void EnableStats(bool enabled) { stats_enabled_ = enabled; }
+  bool stats_enabled() const { return stats_enabled_; }
+  // Snapshot / reset of the accumulated stats; call between regions.
+  PoolStats Stats() const;
+  void ResetStats();
+
  private:
   struct Task {
     const std::function<void(std::size_t, std::size_t, std::size_t)>* body =
@@ -52,10 +86,17 @@ class ThreadPool {
     std::uint64_t epoch = 0;
   };
 
+  // One slot per worker, cache-line padded: each worker writes only its own
+  // slot inside a region and the caller reads after the join barrier.
+  struct alignas(64) WorkerSeconds {
+    double v = 0.0;
+  };
+
   void WorkerLoop(std::size_t worker_index);
-  static void RunChunk(
+  void RunChunk(
       const std::function<void(std::size_t, std::size_t, std::size_t)>& body,
       std::size_t n, std::size_t part, std::size_t parts, std::size_t worker);
+  void FinishRegionStats(std::size_t n, double wall_seconds);
 
   std::size_t num_threads_;
   std::vector<std::thread> workers_;
@@ -67,6 +108,15 @@ class ThreadPool {
   std::uint64_t epoch_ = 0;
   std::size_t pending_ = 0;
   bool shutdown_ = false;
+
+  // Utilization accounting (written inside regions only when enabled).
+  bool stats_enabled_ = false;
+  std::uint64_t stat_regions_ = 0;
+  double stat_region_wall_ = 0.0;
+  double stat_imbalance_sum_ = 0.0;
+  double stat_imbalance_max_ = 0.0;
+  std::vector<WorkerSeconds> worker_busy_;
+  std::vector<WorkerSeconds> region_chunk_seconds_;
 };
 
 }  // namespace sea

@@ -24,6 +24,15 @@ struct OpCounts {
     return *this;
   }
 
+  // Difference of cumulative counts (telemetry per-check deltas); callers
+  // guarantee o is an earlier snapshot of the same accumulation.
+  OpCounts& operator-=(const OpCounts& o) {
+    comparisons -= o.comparisons;
+    flops -= o.flops;
+    breakpoints -= o.breakpoints;
+    return *this;
+  }
+
   // Scalar "work" used as the task cost by the schedule simulator.
   double Work() const {
     return static_cast<double>(comparisons) + static_cast<double>(flops);
@@ -31,5 +40,6 @@ struct OpCounts {
 };
 
 inline OpCounts operator+(OpCounts a, const OpCounts& b) { return a += b; }
+inline OpCounts operator-(OpCounts a, const OpCounts& b) { return a -= b; }
 
 }  // namespace sea

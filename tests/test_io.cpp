@@ -108,5 +108,44 @@ TEST(ExperimentLog, AppendCsvWritesHeaderOnce) {
   std::remove(path.c_str());
 }
 
+TEST(ExperimentLog, AppendCsvHeaderOnceAcrossSeparateLogs) {
+  // Two distinct logs appending to one file (how successive bench binaries
+  // share results.csv) must produce a single header.
+  const std::string path = TempPath("sea_test_explog_two.csv");
+  std::remove(path.c_str());
+  ExperimentLog first, second;
+  first.Add("t1", "d", "m", 1.0);
+  second.Add("t2", "d", "m", 2.0);
+  first.AppendCsv(path);
+  second.AppendCsv(path);
+  const auto rows = ReadCsv(path);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0][0], "experiment");
+  EXPECT_EQ(rows[1][0], "t1");
+  EXPECT_EQ(rows[2][0], "t2");
+  std::remove(path.c_str());
+}
+
+TEST(ExperimentLog, AppendCsvEscapesNoteField) {
+  const std::string path = TempPath("sea_test_explog_note.csv");
+  std::remove(path.c_str());
+  ExperimentLog log;
+  const std::string note = "paper says \"fast\", we measure slower";
+  log.Add("t", "d,with,commas", "m", 1.0, std::nullopt, note);
+  log.AppendCsv(path);
+  const auto rows = ReadCsv(path);
+  ASSERT_EQ(rows.size(), 2u);
+  ASSERT_EQ(rows[1].size(), 6u);  // the note did not shear the row
+  EXPECT_EQ(rows[1][1], "d,with,commas");
+  EXPECT_EQ(rows[1][5], note);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, EscapeQuotesOnlyWhenNeeded) {
+  EXPECT_EQ(CsvEscape("plain"), "plain");
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
 }  // namespace
 }  // namespace sea

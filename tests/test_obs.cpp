@@ -1,0 +1,372 @@
+// Telemetry-layer tests: metrics registry semantics, JSON rendering,
+// trace-sink event contract under the iteration engine, the JSONL round
+// trip, and pool-metrics registration.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "core/diagonal_sea.hpp"
+#include "core/general_sea.hpp"
+#include "datasets/general_dense.hpp"
+#include "obs/json_export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_reader.hpp"
+#include "obs/trace_sink.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/rng.hpp"
+
+namespace sea {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+DiagonalProblem SmallFixedProblem(std::size_t m, std::size_t n) {
+  Rng rng(42);
+  DenseMatrix x0(m, n), gamma(m, n);
+  for (double& v : x0.Flat()) v = rng.Uniform(0.5, 20.0);
+  for (double& v : gamma.Flat()) v = rng.Uniform(0.1, 2.0);
+  Vector s0 = x0.RowSums(), d0 = x0.ColSums();
+  for (double& v : s0) v *= 1.3;
+  for (double& v : d0) v *= 1.3;
+  return DiagonalProblem::MakeFixed(std::move(x0), std::move(gamma),
+                                    std::move(s0), std::move(d0));
+}
+
+// ----------------------------------------------------------------- metrics
+
+TEST(Metrics, CounterAccumulatesAndSnapshots) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.GetCounter("test.count");
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42u);
+  // Same name resolves to the same counter.
+  reg.GetCounter("test.count").Add(8);
+  const auto snap = reg.Snapshot();
+  EXPECT_EQ(snap.CounterValue("test.count"), 50u);
+  EXPECT_EQ(snap.CounterValue("missing"), 0u);
+}
+
+TEST(Metrics, CounterMergesConcurrentAdds) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.GetCounter("test.concurrent");
+  constexpr int kThreads = 8, kAdds = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kAdds; ++i) c.Add();
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Value(), static_cast<std::uint64_t>(kThreads) * kAdds);
+}
+
+TEST(Metrics, GaugeSetAndAdd) {
+  obs::MetricsRegistry reg;
+  obs::Gauge& g = reg.GetGauge("test.gauge");
+  g.Set(2.5);
+  g.Add(0.5);
+  EXPECT_DOUBLE_EQ(reg.Snapshot().GaugeValue("test.gauge"), 3.0);
+}
+
+TEST(Metrics, HistogramBucketsObservations) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.GetHistogram("test.hist", {1.0, 10.0, 100.0});
+  h.Observe(0.5);    // bucket 0 (<= 1)
+  h.Observe(1.0);    // bucket 0 (boundary counts down)
+  h.Observe(5.0);    // bucket 1
+  h.Observe(1000.0); // overflow bucket
+  const auto full = reg.Snapshot();
+  const auto* snap = full.FindHistogram("test.hist");
+  ASSERT_NE(snap, nullptr);
+  ASSERT_EQ(snap->counts.size(), 4u);
+  EXPECT_EQ(snap->counts[0], 2u);
+  EXPECT_EQ(snap->counts[1], 1u);
+  EXPECT_EQ(snap->counts[2], 0u);
+  EXPECT_EQ(snap->counts[3], 1u);
+  EXPECT_EQ(snap->total_count, 4u);
+  EXPECT_DOUBLE_EQ(snap->min, 0.5);
+  EXPECT_DOUBLE_EQ(snap->max, 1000.0);
+  EXPECT_DOUBLE_EQ(snap->sum, 1006.5);
+}
+
+TEST(Metrics, HistogramRejectsUnsortedBounds) {
+  obs::MetricsRegistry reg;
+  EXPECT_THROW(reg.GetHistogram("bad", {10.0, 1.0}), InvalidArgument);
+}
+
+// ------------------------------------------------------------------- JSON
+
+TEST(JsonExport, EscapesStrings) {
+  EXPECT_EQ(obs::JsonEscape("plain"), "plain");
+  EXPECT_EQ(obs::JsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(obs::JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonExport, NumbersRoundTrip) {
+  EXPECT_EQ(obs::JsonNumber(2.0), "2");
+  const double v = 0.1 + 0.2;
+  EXPECT_EQ(std::stod(obs::JsonNumber(v)), v);  // shortest round trip
+  EXPECT_EQ(obs::JsonNumber(std::numeric_limits<double>::quiet_NaN()),
+            "null");
+}
+
+TEST(JsonExport, ObjectAndArrayBuilders) {
+  const std::string json = obs::JsonObj()
+                               .Field("name", "x,\"y\"")
+                               .Field("n", std::uint64_t{3})
+                               .Field("ok", true)
+                               .Raw("arr", obs::JsonArr().Add(1.5).Str())
+                               .Str();
+  EXPECT_EQ(json, "{\"name\":\"x,\\\"y\\\"\",\"n\":3,\"ok\":true,"
+                  "\"arr\":[1.5]}");
+}
+
+// ----------------------------------------------------------- trace reader
+
+TEST(TraceReader, RoundTripsSinkEvents) {
+  IterationEvent ev;
+  ev.iteration = 7;
+  ev.measure_defined = true;
+  ev.measure = 1.25e-3;
+  ev.converged = true;
+  ev.checks_compared = 4;
+  ev.row_phase_seconds = 0.5;
+  ev.ops_delta.flops = 100;
+  ev.ops_total.flops = 400;
+  const auto parsed = obs::ParseTraceLine(obs::ToJsonLine(ev));
+  EXPECT_EQ(parsed.Type(), "check");
+  EXPECT_EQ(parsed.Number("iter"), 7.0);
+  EXPECT_EQ(parsed.Number("measure"), 1.25e-3);
+  EXPECT_TRUE(parsed.Flag("measure_defined"));
+  EXPECT_TRUE(parsed.Flag("converged"));
+  EXPECT_EQ(parsed.Number("checks_compared"), 4.0);
+  EXPECT_EQ(parsed.Number("flops_delta"), 100.0);
+  EXPECT_EQ(parsed.Number("flops_total"), 400.0);
+
+  obs::OuterStepEvent oev;
+  oev.outer_iteration = 3;
+  oev.change = 0.25;
+  oev.inner_iterations = 12;
+  const auto po = obs::ParseTraceLine(obs::ToJsonLine(oev));
+  EXPECT_EQ(po.Type(), "outer");
+  EXPECT_EQ(po.Number("iter"), 3.0);
+  EXPECT_EQ(po.Number("inner_iterations"), 12.0);
+}
+
+TEST(TraceReader, ToleratesUnknownKeysAndNull) {
+  const auto ev = obs::ParseTraceLine(
+      "{\"type\":\"check\",\"future_field\":\"hi\",\"measure\":null}");
+  EXPECT_EQ(ev.Type(), "check");
+  EXPECT_EQ(ev.strings.at("future_field"), "hi");
+  EXPECT_FALSE(ev.Has("measure"));  // null stays absent
+  EXPECT_EQ(ev.Number("measure", 5.0), 5.0);
+}
+
+TEST(TraceReader, RejectsMalformedLines) {
+  EXPECT_THROW(obs::ParseTraceLine("not json"), InvalidArgument);
+  EXPECT_THROW(obs::ParseTraceLine("{\"a\":1"), InvalidArgument);
+  EXPECT_THROW(obs::ParseTraceLine("{\"a\":1}garbage"), InvalidArgument);
+  EXPECT_THROW(obs::ReadTraceJsonl("/nonexistent/trace.jsonl"),
+               InvalidArgument);
+}
+
+// ------------------------------------- engine contract (satellite task 3)
+
+// Records everything a sink sees, for asserting the event contract.
+class RecordingSink : public obs::TraceSink {
+ public:
+  std::vector<IterationEvent> checks;
+  std::vector<obs::OuterStepEvent> outers;
+  void OnCheck(const IterationEvent& ev) override { checks.push_back(ev); }
+  void OnOuterStep(const obs::OuterStepEvent& ev) override {
+    outers.push_back(ev);
+  }
+};
+
+TEST(TraceContract, EventsFireOnCheckIterationsOnly) {
+  const auto problem = SmallFixedProblem(6, 8);
+  RecordingSink sink;
+  SeaOptions opts;
+  opts.epsilon = 1e-8;
+  opts.check_every = 3;
+  opts.trace_sink = &sink;
+  const auto run = SolveDiagonal(problem, opts);
+
+  ASSERT_FALSE(sink.checks.empty());
+  for (std::size_t k = 0; k < sink.checks.size(); ++k) {
+    const auto& ev = sink.checks[k];
+    // Only multiples of check_every, the final iteration, or the converged
+    // iteration may emit events.
+    const bool is_last = k + 1 == sink.checks.size();
+    if (!is_last) EXPECT_EQ(ev.iteration % 3, 0u) << "event " << k;
+    EXPECT_TRUE(ev.measure_defined);  // residual criteria always defined
+  }
+  EXPECT_EQ(sink.checks.back().iteration, run.result.iterations);
+  EXPECT_EQ(sink.checks.back().converged, run.result.converged);
+  EXPECT_EQ(sink.checks.back().measure, run.result.final_residual);
+}
+
+TEST(TraceContract, FirstXChangeCheckIsUndefined) {
+  const auto problem = SmallFixedProblem(5, 5);
+  RecordingSink sink;
+  SeaOptions opts;
+  opts.epsilon = 1e-6;
+  opts.criterion = StopCriterion::kXChange;
+  opts.trace_sink = &sink;
+  SolveDiagonal(problem, opts);
+
+  ASSERT_GE(sink.checks.size(), 2u);
+  EXPECT_FALSE(sink.checks.front().measure_defined);
+  EXPECT_EQ(sink.checks.front().checks_compared, 0u);
+  for (std::size_t k = 1; k < sink.checks.size(); ++k) {
+    EXPECT_TRUE(sink.checks[k].measure_defined);
+    EXPECT_EQ(sink.checks[k].checks_compared, k);
+  }
+}
+
+TEST(TraceContract, CumulativePhaseTimesAndOpsAreMonotone) {
+  const auto problem = SmallFixedProblem(8, 6);
+  RecordingSink sink;
+  SeaOptions opts;
+  opts.epsilon = 1e-9;
+  opts.trace_sink = &sink;
+  SolveDiagonal(problem, opts);
+
+  ASSERT_GE(sink.checks.size(), 2u);
+  OpCounts delta_sum;
+  for (std::size_t k = 0; k < sink.checks.size(); ++k) {
+    const auto& ev = sink.checks[k];
+    delta_sum += ev.ops_delta;
+    EXPECT_EQ(delta_sum.flops, ev.ops_total.flops);
+    EXPECT_EQ(delta_sum.comparisons, ev.ops_total.comparisons);
+    if (k == 0) continue;
+    const auto& prev = sink.checks[k - 1];
+    EXPECT_GE(ev.row_phase_seconds, prev.row_phase_seconds);
+    EXPECT_GE(ev.col_phase_seconds, prev.col_phase_seconds);
+    EXPECT_GE(ev.check_phase_seconds, prev.check_phase_seconds);
+    EXPECT_GE(ev.ops_total.flops, prev.ops_total.flops);
+    EXPECT_GT(ev.iteration, prev.iteration);
+  }
+}
+
+TEST(TraceContract, SinkAndProgressSeeTheSameEvents) {
+  const auto problem = SmallFixedProblem(6, 6);
+  RecordingSink sink;
+  std::vector<IterationEvent> progress_events;
+  SeaOptions opts;
+  opts.epsilon = 1e-7;
+  opts.check_every = 2;
+  opts.trace_sink = &sink;
+  opts.progress = [&](const IterationEvent& ev) {
+    progress_events.push_back(ev);
+  };
+  SolveDiagonal(problem, opts);
+
+  ASSERT_EQ(progress_events.size(), sink.checks.size());
+  for (std::size_t k = 0; k < sink.checks.size(); ++k) {
+    EXPECT_EQ(progress_events[k].iteration, sink.checks[k].iteration);
+    EXPECT_EQ(progress_events[k].measure, sink.checks[k].measure);
+    EXPECT_EQ(progress_events[k].ops_total.flops,
+              sink.checks[k].ops_total.flops);
+  }
+}
+
+TEST(TraceContract, EngineFillsMetricsRegistry) {
+  const auto problem = SmallFixedProblem(6, 8);
+  obs::MetricsRegistry metrics;
+  SeaOptions opts;
+  opts.epsilon = 1e-8;
+  opts.check_every = 2;
+  opts.metrics = &metrics;
+  const auto run = SolveDiagonal(problem, opts);
+
+  const auto snap = metrics.Snapshot();
+  EXPECT_EQ(snap.CounterValue("sea.iterations"), run.result.iterations);
+  EXPECT_EQ(snap.CounterValue("sea.checks_compared"),
+            run.result.checks_compared);
+  EXPECT_EQ(snap.CounterValue("sea.ops.flops"), run.result.ops.flops);
+  EXPECT_EQ(snap.CounterValue("sea.solves"), 1u);
+  EXPECT_DOUBLE_EQ(snap.GaugeValue("sea.converged"),
+                   run.result.converged ? 1.0 : 0.0);
+  const auto* resid = snap.FindHistogram("sea.check.residual");
+  ASSERT_NE(resid, nullptr);
+  EXPECT_EQ(resid->total_count, run.result.checks_compared);
+  const auto* interval = snap.FindHistogram("sea.check.interval_iters");
+  ASSERT_NE(interval, nullptr);
+  EXPECT_GT(interval->total_count, 0u);
+}
+
+TEST(TraceContract, GeneralSeaEmitsOuterEvents) {
+  Rng rng(7);
+  const auto problem = datasets::MakeGeneralDense(4, 4, rng);
+
+  RecordingSink sink;
+  GeneralSeaOptions opts;
+  opts.outer_epsilon = 1e-4;
+  opts.inner.trace_sink = &sink;
+  const auto run = SolveGeneral(problem, opts);
+
+  ASSERT_EQ(sink.outers.size(), run.result.outer_iterations);
+  EXPECT_FALSE(sink.checks.empty());  // inner solves share the sink
+  const auto& last = sink.outers.back();
+  EXPECT_EQ(last.outer_iteration, run.result.outer_iterations);
+  EXPECT_EQ(last.converged, run.result.converged);
+  EXPECT_EQ(last.inner_iterations_total, run.result.total_inner_iterations);
+  EXPECT_EQ(last.change, run.result.final_outer_change);
+  for (std::size_t k = 1; k < sink.outers.size(); ++k)
+    EXPECT_GE(sink.outers[k].inner_iterations_total,
+              sink.outers[k - 1].inner_iterations_total);
+}
+
+TEST(TraceContract, JsonlSinkWritesParseableFile) {
+  const std::string path = TempPath("sea_test_trace.jsonl");
+  std::remove(path.c_str());
+  const auto problem = SmallFixedProblem(5, 7);
+  {
+    obs::JsonlTraceSink sink(path);
+    SeaOptions opts;
+    opts.epsilon = 1e-7;
+    opts.trace_sink = &sink;
+    SolveDiagonal(problem, opts);
+    EXPECT_GT(sink.events_written(), 0u);
+  }
+  const auto events = obs::ReadTraceJsonl(path);
+  ASSERT_FALSE(events.empty());
+  for (const auto& ev : events) {
+    EXPECT_EQ(ev.Type(), "check");
+    EXPECT_EQ(ev.Number("schema"), 1.0);
+  }
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------ pool metrics
+
+TEST(PoolMetrics, RecordsUtilizationSnapshot) {
+  ThreadPool pool(2);
+  pool.EnableStats(true);
+  std::atomic<int> count{0};
+  pool.ParallelFor(64, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) count.fetch_add(1);
+  });
+  const PoolStats stats = pool.Stats();
+  obs::MetricsRegistry reg;
+  obs::RecordPoolMetrics(reg, stats);
+  const auto snap = reg.Snapshot();
+  EXPECT_EQ(snap.CounterValue("pool.regions"), 1u);
+  EXPECT_DOUBLE_EQ(snap.GaugeValue("pool.threads"), 2.0);
+  EXPECT_GT(snap.GaugeValue("pool.busy_seconds_total"), 0.0);
+  // The JSON fragment carries the headline fields (nested worker array
+  // means it is not flat trace-reader JSON; python json validates it in CI).
+  const std::string json = obs::ToJson(stats);
+  EXPECT_NE(json.find("\"threads\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"regions\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"worker_busy_seconds\":["), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sea

@@ -247,5 +247,75 @@ TEST(SpeedupModel, SpeedupRowsAreConsistent) {
   }
 }
 
+TEST(PoolStats, DisabledByDefaultAndCostsNothing) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.stats_enabled());
+  pool.ParallelFor(100, [](std::size_t, std::size_t) {});
+  const PoolStats stats = pool.Stats();
+  EXPECT_EQ(stats.regions, 0u);
+  EXPECT_EQ(stats.region_wall_seconds, 0.0);
+  EXPECT_EQ(stats.BusySecondsTotal(), 0.0);
+}
+
+TEST(PoolStats, AccumulatesBusyTimeAcrossRegions) {
+  ThreadPool pool(2);
+  pool.EnableStats(true);
+  auto spin = [](std::size_t b, std::size_t e) {
+    volatile double x = 0.0;
+    for (std::size_t i = b; i < e; ++i)
+      for (int k = 0; k < 2000; ++k) x = x + 1.0;
+  };
+  pool.ParallelFor(64, spin);
+  pool.ParallelFor(64, spin);
+  const PoolStats stats = pool.Stats();
+  EXPECT_EQ(stats.threads, 2u);
+  EXPECT_EQ(stats.regions, 2u);
+  EXPECT_GT(stats.region_wall_seconds, 0.0);
+  EXPECT_GT(stats.BusySecondsTotal(), 0.0);
+  ASSERT_EQ(stats.worker_busy_seconds.size(), 2u);
+  // Both workers got half of each region.
+  EXPECT_GT(stats.worker_busy_seconds[0], 0.0);
+  EXPECT_GT(stats.worker_busy_seconds[1], 0.0);
+  // Imbalance is a ratio of max to mean chunk time: >= 1 by construction.
+  EXPECT_GE(stats.max_imbalance, 1.0);
+  EXPECT_GE(stats.mean_imbalance, 1.0);
+  EXPECT_GE(stats.max_imbalance, stats.mean_imbalance);
+}
+
+TEST(PoolStats, CountsInlineSingleThreadRegions) {
+  ThreadPool pool(1);
+  pool.EnableStats(true);
+  pool.ParallelFor(10, [](std::size_t, std::size_t) {});
+  const PoolStats stats = pool.Stats();
+  EXPECT_EQ(stats.threads, 1u);
+  EXPECT_EQ(stats.regions, 1u);
+  EXPECT_DOUBLE_EQ(stats.max_imbalance, 1.0);  // one chunk = perfectly even
+}
+
+TEST(PoolStats, ShortChunksKeepImbalanceFinite) {
+  // n < threads leaves some workers without chunks; imbalance is computed
+  // over chunks that ran, so it stays a finite ratio.
+  ThreadPool pool(4);
+  pool.EnableStats(true);
+  pool.ParallelFor(2, [](std::size_t, std::size_t) {});
+  const PoolStats stats = pool.Stats();
+  EXPECT_EQ(stats.regions, 1u);
+  EXPECT_GE(stats.max_imbalance, 1.0);
+  EXPECT_TRUE(std::isfinite(stats.max_imbalance));
+}
+
+TEST(PoolStats, ResetClearsEverything) {
+  ThreadPool pool(2);
+  pool.EnableStats(true);
+  pool.ParallelFor(32, [](std::size_t, std::size_t) {});
+  ASSERT_EQ(pool.Stats().regions, 1u);
+  pool.ResetStats();
+  const PoolStats stats = pool.Stats();
+  EXPECT_EQ(stats.regions, 0u);
+  EXPECT_EQ(stats.region_wall_seconds, 0.0);
+  EXPECT_EQ(stats.BusySecondsTotal(), 0.0);
+  EXPECT_EQ(stats.max_imbalance, 0.0);
+}
+
 }  // namespace
 }  // namespace sea

@@ -10,6 +10,7 @@
 //             [--epsilon 1e-6] [--criterion rel|abs|xchange]
 //             [--check-every K] [--max-iters N] [--threads N]
 //             [--progress] [--out estimate.csv]
+//             [--metrics-json m.json] [--trace-jsonl t.jsonl]
 //   sea_solve --mode elastic  ... (same flags; totals are treated as
 //             estimates with unit weights)
 //   sea_solve --mode interval ... (same flags; totals may move within
@@ -21,22 +22,34 @@
 //              tells you whether RAS can possibly converge before you run it)
 //
 // Totals files: one value per line (or a single CSV row).
+// Telemetry (docs/OBSERVABILITY.md): --metrics-json writes one JSON document
+// with the solve result, metric counters/histograms, and thread-pool
+// utilization; --trace-jsonl streams one JSON event per convergence check
+// (readable with tools/trace_report).
 #include <iostream>
+#include <fstream>
 #include <map>
+#include <memory>
+#include <set>
 #include <string>
 
 #include "core/diagonal_sea.hpp"
 #include "datasets/weights.hpp"
 #include "io/csv.hpp"
+#include "obs/json_export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
 #include "parallel/thread_pool.hpp"
 #include "problems/feasibility.hpp"
 #include "sparse/feasibility_flow.hpp"
+#include "support/check.hpp"
 
 namespace {
 
 using namespace sea;
 
-[[noreturn]] void Usage(const char* argv0) {
+[[noreturn]] void Usage(const char* argv0, const std::string& why = {}) {
+  if (!why.empty()) std::cerr << "error: " << why << '\n';
   std::cerr
       << "usage: " << argv0
       << " --mode fixed|elastic|interval|sam --matrix base.csv\n"
@@ -54,8 +67,53 @@ using namespace sea;
          "           --progress               (print residual per check "
          "iteration)\n"
          "           --out estimate.csv       (default: stdout summary "
-         "only)\n";
+         "only)\n"
+         "           --metrics-json <path>    (write result + metrics as "
+         "JSON)\n"
+         "           --trace-jsonl <path>     (stream per-check trace "
+         "events)\n";
   std::exit(2);
+}
+
+// Flags that consume the following token vs. value-less switches. Anything
+// else is rejected instead of silently ignored.
+const std::set<std::string>& ValueFlags() {
+  static const std::set<std::string> flags{
+      "mode",      "matrix",     "row-totals",   "col-totals", "totals",
+      "weights",   "epsilon",    "criterion",    "check-every", "max-iters",
+      "slack",     "threads",    "out",          "metrics-json",
+      "trace-jsonl"};
+  return flags;
+}
+
+const std::set<std::string>& SwitchFlags() {
+  static const std::set<std::string> flags{"progress"};
+  return flags;
+}
+
+// std::stod/std::stoul wrappers that reject garbage and trailing junk with
+// a message naming the flag (or file) the value came from.
+double ParseDouble(const std::string& value, const std::string& context) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(value, &pos);
+    if (pos != value.size()) throw std::invalid_argument("trailing junk");
+    return v;
+  } catch (const std::exception&) {
+    throw InvalidArgument("malformed number '" + value + "' for " + context);
+  }
+}
+
+std::size_t ParseSize(const std::string& value, const std::string& context) {
+  try {
+    std::size_t pos = 0;
+    const unsigned long v = std::stoul(value, &pos);
+    if (pos != value.size() || value[0] == '-')
+      throw std::invalid_argument("trailing junk");
+    return static_cast<std::size_t>(v);
+  } catch (const std::exception&) {
+    throw InvalidArgument("malformed count '" + value + "' for " + context);
+  }
 }
 
 Vector ReadTotals(const std::string& path) {
@@ -63,7 +121,8 @@ Vector ReadTotals(const std::string& path) {
   Vector v;
   for (const auto& row : rows)
     for (const auto& cell : row)
-      if (!cell.empty()) v.push_back(std::stod(cell));
+      if (!cell.empty())
+        v.push_back(ParseDouble(cell, "totals file " + path));
   return v;
 }
 
@@ -73,13 +132,15 @@ int main(int argc, char** argv) {
   std::map<std::string, std::string> args;
   for (int i = 1; i < argc; ++i) {
     std::string key = argv[i];
-    if (key.rfind("--", 0) != 0) Usage(argv[0]);
-    // Value-less flags (e.g. --progress) parse as "1"; a following token
-    // that is itself a flag starts the next option.
-    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      args[key.substr(2)] = argv[++i];
+    if (key.rfind("--", 0) != 0) Usage(argv[0], "unexpected argument '" + key + "'");
+    key = key.substr(2);
+    if (SwitchFlags().count(key)) {
+      args[key] = "1";
+    } else if (ValueFlags().count(key)) {
+      if (i + 1 >= argc) Usage(argv[0], "missing value for --" + key);
+      args[key] = argv[++i];
     } else {
-      args[key.substr(2)] = "1";
+      Usage(argv[0], "unknown flag --" + key);
     }
   }
 
@@ -124,7 +185,7 @@ int main(int argc, char** argv) {
     } else if (scheme == "sqrt") {
       gamma = sea::datasets::SqrtWeights(x0);
     } else {
-      Usage(argv[0]);
+      Usage(argv[0], "unknown weights scheme '" + scheme + "'");
     }
 
     DiagonalProblem problem;
@@ -148,8 +209,9 @@ int main(int argc, char** argv) {
             Vector(d0.size(), 1.0));
       } else {  // interval: totals elastic within +-slack box bounds
         const double slack =
-            args.count("slack") ? std::stod(args["slack"]) : 0.05;
-        if (slack < 0.0) Usage(argv[0]);
+            args.count("slack") ? ParseDouble(args["slack"], "--slack")
+                                : 0.05;
+        if (slack < 0.0) Usage(argv[0], "--slack must be nonnegative");
         Vector s_lo = s0, s_hi = s0, d_lo = d0, d_hi = d0;
         for (std::size_t i = 0; i < s0.size(); ++i) {
           s_lo[i] = (1.0 - slack) * s0[i];
@@ -167,7 +229,9 @@ int main(int argc, char** argv) {
     }
 
     SeaOptions opts;
-    opts.epsilon = args.count("epsilon") ? std::stod(args["epsilon"]) : 1e-6;
+    opts.epsilon = args.count("epsilon")
+                       ? ParseDouble(args["epsilon"], "--epsilon")
+                       : 1e-6;
     const std::string crit =
         args.count("criterion") ? args["criterion"] : "rel";
     if (crit == "rel") {
@@ -177,15 +241,15 @@ int main(int argc, char** argv) {
     } else if (crit == "xchange") {
       opts.criterion = StopCriterion::kXChange;
     } else {
-      Usage(argv[0]);
+      Usage(argv[0], "unknown criterion '" + crit + "'");
     }
     if (args.count("check-every")) {
-      opts.check_every = std::stoul(args["check-every"]);
-      if (opts.check_every == 0) Usage(argv[0]);
+      opts.check_every = ParseSize(args["check-every"], "--check-every");
+      if (opts.check_every == 0) Usage(argv[0], "--check-every must be >= 1");
     }
     if (args.count("max-iters")) {
-      opts.max_iterations = std::stoul(args["max-iters"]);
-      if (opts.max_iterations == 0) Usage(argv[0]);
+      opts.max_iterations = ParseSize(args["max-iters"], "--max-iters");
+      if (opts.max_iterations == 0) Usage(argv[0], "--max-iters must be >= 1");
     }
     if (args.count("progress")) {
       opts.progress = [](const IterationEvent& ev) {
@@ -200,9 +264,21 @@ int main(int argc, char** argv) {
       };
     }
     const std::size_t threads =
-        args.count("threads") ? std::stoul(args["threads"]) : 1;
+        args.count("threads") ? ParseSize(args["threads"], "--threads") : 1;
     ThreadPool pool(threads);
     if (threads > 1) opts.pool = &pool;
+
+    // Opt-in telemetry: structured trace + metrics registry + pool stats.
+    obs::MetricsRegistry metrics;
+    std::unique_ptr<obs::JsonlTraceSink> trace_sink;
+    if (args.count("trace-jsonl")) {
+      trace_sink = std::make_unique<obs::JsonlTraceSink>(args["trace-jsonl"]);
+      opts.trace_sink = trace_sink.get();
+    }
+    if (args.count("metrics-json")) {
+      opts.metrics = &metrics;
+      pool.EnableStats(true);
+    }
 
     const auto run = SolveDiagonal(problem, opts);
     const auto rep = CheckFeasibility(problem, run.solution);
@@ -211,10 +287,43 @@ int main(int argc, char** argv) {
               << x0.cols() << ", weights: " << scheme << ")\n"
               << "converged:      " << (run.result.converged ? "yes" : "NO")
               << " in " << run.result.iterations << " iterations\n"
+              << "final measure:  " << run.result.final_residual << " ("
+              << ToString(opts.criterion) << ")\n"
               << "objective:      " << run.result.objective << '\n'
               << "max residual:   " << rep.MaxAbs() << " (abs), "
               << rep.MaxRel() << " (rel)\n"
               << "cpu seconds:    " << run.result.cpu_seconds << '\n';
+
+    if (trace_sink) {
+      trace_sink->Flush();
+      std::cout << "trace jsonl:    " << args["trace-jsonl"] << " ("
+                << trace_sink->events_written() << " events)\n";
+    }
+    if (args.count("metrics-json")) {
+      obs::RecordPoolMetrics(metrics, pool.Stats());
+      std::ofstream f(args["metrics-json"]);
+      SEA_CHECK_MSG(f.good(), "cannot open metrics file for writing: " +
+                                  args["metrics-json"]);
+      obs::JsonObj doc;
+      doc.Field("schema", obs::kTelemetrySchemaVersion)
+          .Field("tool", "sea_solve")
+          .Field("mode", mode)
+          .Field("rows", static_cast<std::uint64_t>(x0.rows()))
+          .Field("cols", static_cast<std::uint64_t>(x0.cols()))
+          .Field("weights", scheme)
+          .Field("epsilon", opts.epsilon)
+          .Field("criterion", ToString(opts.criterion))
+          .Field("threads", static_cast<std::uint64_t>(threads))
+          .Raw("result", obs::ToJson(run.result))
+          .Raw("feasibility", obs::JsonObj()
+                                  .Field("max_abs", rep.MaxAbs())
+                                  .Field("max_rel", rep.MaxRel())
+                                  .Str())
+          .Raw("metrics", obs::ToJson(metrics.Snapshot()))
+          .Raw("pool", obs::ToJson(pool.Stats()));
+      f << doc.Str() << '\n';
+      std::cout << "metrics json:   " << args["metrics-json"] << '\n';
+    }
 
     if (args.count("out")) {
       WriteMatrixCsv(args["out"], run.solution.x);

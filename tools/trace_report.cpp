@@ -1,0 +1,134 @@
+// trace_report — convergence / phase summary of a solver trace.
+//
+// Reads the JSONL trace written by `sea_solve --trace-jsonl` (or any
+// obs::JsonlTraceSink user) and prints:
+//   * iteration count, convergence status, and the final stopping measure
+//     (matching the solve's own stdout summary);
+//   * the iteration at which the measure first reached each decade of
+//     residual — the shape of the geometric convergence the paper proves
+//     (eqs. (64), (76)-(77));
+//   * the serial/parallel phase split and the serial-fraction estimate of
+//     Section 4.2: the convergence-verification phase is the Amdahl
+//     bottleneck, so 1/serial_fraction bounds any parallel speedup;
+//   * for general-SEA traces, the outer projection trajectory.
+//
+// Usage: trace_report <trace.jsonl>
+#include <cmath>
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "obs/trace_reader.hpp"
+
+namespace {
+
+using sea::obs::TraceEvent;
+
+void PrintCheckSummary(const std::vector<const TraceEvent*>& checks) {
+  const TraceEvent& last = *checks.back();
+  const std::size_t iterations = static_cast<std::size_t>(last.Number("iter"));
+  const bool converged = last.Flag("converged");
+  std::cout << "iterations:      " << iterations
+            << (converged ? " (converged)" : " (NOT converged)") << '\n';
+  if (last.Flag("measure_defined"))
+    std::cout << "final measure:   " << last.Number("measure") << '\n';
+
+  // First iteration at which the measure dropped to each decade between the
+  // first defined measure and the final one.
+  double first_defined = 0.0;
+  bool have_first = false;
+  for (const TraceEvent* ev : checks)
+    if (ev->Flag("measure_defined") && !have_first) {
+      first_defined = ev->Number("measure");
+      have_first = true;
+    }
+  if (have_first && first_defined > 0.0) {
+    const int top = static_cast<int>(std::floor(std::log10(first_defined)));
+    const double final_measure = last.Number("measure", first_defined);
+    const int bottom =
+        final_measure > 0.0
+            ? static_cast<int>(std::floor(std::log10(final_measure)))
+            : top - 16;
+    std::cout << "residual decades (first iteration at or below):\n";
+    for (int decade = top; decade >= bottom; --decade) {
+      const double threshold = std::pow(10.0, decade);
+      for (const TraceEvent* ev : checks) {
+        if (ev->Flag("measure_defined") &&
+            ev->Number("measure") <= threshold) {
+          std::cout << "  <= 1e" << decade << "  iter "
+                    << static_cast<std::size_t>(ev->Number("iter")) << '\n';
+          break;
+        }
+      }
+    }
+  }
+
+  // Phase split (cumulative seconds from the last event) and the paper's
+  // Section 4.2 serial-fraction / Amdahl analysis.
+  const double row_s = last.Number("row_seconds");
+  const double col_s = last.Number("col_seconds");
+  const double check_s = last.Number("check_seconds");
+  const double total = row_s + col_s + check_s;
+  std::cout << "phase seconds:   row " << row_s << "  col " << col_s
+            << "  check " << check_s << '\n';
+  if (total > 0.0) {
+    const double serial_fraction = check_s / total;
+    std::cout << "serial fraction: " << serial_fraction
+              << " (convergence verification, Sec. 4.2)\n";
+    if (serial_fraction > 0.0)
+      std::cout << "Amdahl bound:    max speedup " << 1.0 / serial_fraction
+                << '\n';
+  }
+  std::cout << "ops total:       flops "
+            << static_cast<std::uint64_t>(last.Number("flops_total"))
+            << "  comparisons "
+            << static_cast<std::uint64_t>(last.Number("comparisons_total"))
+            << '\n';
+}
+
+void PrintOuterSummary(const std::vector<const TraceEvent*>& outers) {
+  const TraceEvent& last = *outers.back();
+  std::cout << "outer steps:     "
+            << static_cast<std::size_t>(last.Number("iter"))
+            << (last.Flag("converged") ? " (converged)" : " (NOT converged)")
+            << '\n'
+            << "final change:    " << last.Number("change") << '\n'
+            << "inner iters:     "
+            << static_cast<std::size_t>(
+                   last.Number("inner_iterations_total"))
+            << '\n'
+            << "linearize secs:  " << last.Number("linearize_seconds") << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2 || std::strncmp(argv[1], "--", 2) == 0) {
+    std::cerr << "usage: " << argv[0] << " <trace.jsonl>\n";
+    return 2;
+  }
+  try {
+    const auto events = sea::obs::ReadTraceJsonl(argv[1]);
+    std::vector<const TraceEvent*> checks, outers;
+    int schema = 0;
+    for (const auto& ev : events) {
+      if (ev.Has("schema"))
+        schema = std::max(schema, static_cast<int>(ev.Number("schema")));
+      if (ev.Type() == "check") checks.push_back(&ev);
+      if (ev.Type() == "outer") outers.push_back(&ev);
+    }
+    std::cout << "trace:           " << argv[1] << " — " << checks.size()
+              << " check events, " << outers.size()
+              << " outer events (schema " << schema << ")\n";
+    if (checks.empty() && outers.empty()) {
+      std::cerr << "error: no trace events found\n";
+      return 1;
+    }
+    if (!checks.empty()) PrintCheckSummary(checks);
+    if (!outers.empty()) PrintOuterSummary(outers);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 3;
+  }
+}
