@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
     log.Add("table1", dims, "cpu_seconds", run.result.cpu_seconds,
             row.paper_cpu > 0 ? std::optional<double>(row.paper_cpu)
                               : std::nullopt,
-            run.result.converged ? "converged" : "NOT CONVERGED");
+            run.result.converged() ? "converged" : "NOT CONVERGED");
     // The same doubles the printed table is formatted from, so the JSON
     // record is bit-identical to the table row.
     log.Add("table1", dims, "iterations",

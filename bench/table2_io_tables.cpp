@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
       const auto run = SolveDiagonal(problem, sea_opts);
       total_cpu += run.result.cpu_seconds;
       iters += run.result.iterations;
-      all_converged = all_converged && run.result.converged;
+      all_converged = all_converged && run.result.converged();
       worst_resid = std::max(worst_resid,
                              CheckFeasibility(problem, run.solution).MaxRel());
     }

@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
                   TablePrinter::Int(long(run.result.iterations)),
                   TablePrinter::Num(rep.MaxRel(), 6)});
     log.Add("table4", specs[k].name, "cpu_seconds", run.result.cpu_seconds,
-            paper_cpu[k], run.result.converged ? "converged" : "NOT CONVERGED");
+            paper_cpu[k], run.result.converged() ? "converged" : "NOT CONVERGED");
     log.Add("table4", specs[k].name, "iterations",
             static_cast<double>(run.result.iterations));
     log.Add("table4", specs[k].name, "final_residual",

@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
     log.Add("table5", name, "cpu_seconds", run.result.cpu_seconds,
             row.paper_cpu > 0 ? std::optional<double>(row.paper_cpu)
                               : std::nullopt,
-            run.result.converged ? "converged" : "NOT CONVERGED");
+            run.result.converged() ? "converged" : "NOT CONVERGED");
     log.Add("table5", name, "iterations",
             static_cast<double>(run.result.iterations));
     log.Add("table5", name, "final_residual", run.result.final_residual);

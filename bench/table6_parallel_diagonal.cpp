@@ -105,7 +105,7 @@ int main(int argc, char** argv) {
   std::cout << "\nFigure 5 series (speedup vs processors):\n";
   for (auto& ex : examples) {
     const auto run = SolveDiagonal(ex.problem, ex.opts);
-    if (!run.result.converged)
+    if (!run.result.converged())
       std::cout << "WARNING: " << ex.name << " did not converge\n";
 
     // Schedule-simulator speedups (paper processor counts).

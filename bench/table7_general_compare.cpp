@@ -62,7 +62,7 @@ int main(int argc, char** argv) {
       sea_opts.inner.sort_policy = SortPolicy::kInsertion;
       const auto sea_run = SolveGeneral(problem, sea_opts);
       sea_cpu += sea_run.result.cpu_seconds;
-      all_ok = all_ok && sea_run.result.converged;
+      all_ok = all_ok && sea_run.result.converged();
 
       RcOptions rc_opts;
       rc_opts.epsilon = 1e-3;

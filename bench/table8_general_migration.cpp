@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
                   TablePrinter::Num(rep.MaxRel(), 6)});
     log.Add("table8", specs[k].name, "cpu_seconds", run.result.cpu_seconds,
             paper_cpu[k],
-            run.result.converged ? "converged" : "NOT CONVERGED");
+            run.result.converged() ? "converged" : "NOT CONVERGED");
     log.Add("table8", specs[k].name, "outer_iterations",
             static_cast<double>(run.result.outer_iterations));
     log.Add("table8", specs[k].name, "total_inner_iterations",

@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
   std::cout << "SEA: outer iterations = " << sea_run.result.outer_iterations
             << ", inner iterations = "
             << sea_run.result.total_inner_iterations
-            << (sea_run.result.converged ? "" : " (NOT CONVERGED)") << '\n'
+            << (sea_run.result.converged() ? "" : " (NOT CONVERGED)") << '\n'
             << "RC:  outer iterations = " << rc_run.result.outer_iterations
             << ", projection iterations per phase = [";
   for (std::size_t it : rc_run.result.projection_iterations_per_phase)

@@ -66,10 +66,10 @@ int main() {
   t.AddRow({"raw sample", TablePrinter::Num(rel_error(inst.sample), 4), "-",
             "-"});
   t.AddRow({"chi-square (SEA)", TablePrinter::Num(rel_error(quad.solution.x), 4),
-            quad.result.converged ? "yes" : "NO",
+            quad.result.converged() ? "yes" : "NO",
             TablePrinter::Int(long(quad.result.iterations))});
   t.AddRow({"entropy (RAS)", TablePrinter::Num(rel_error(kl.x), 4),
-            kl.result.converged ? "yes" : "NO",
+            kl.result.converged() ? "yes" : "NO",
             TablePrinter::Int(long(kl.result.iterations))});
   t.Print(std::cout);
 
@@ -78,5 +78,5 @@ int main() {
   std::cout << "\nmargin adjustment "
             << (improved ? "improves" : "DOES NOT improve")
             << " recovery of the population structure\n";
-  return quad.result.converged && kl.result.converged && improved ? 0 : 1;
+  return quad.result.converged() && kl.result.converged() && improved ? 0 : 1;
 }

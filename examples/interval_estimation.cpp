@@ -99,8 +99,8 @@ int main() {
                interval.solution.s[i] <= s_hi[i] + 1e-7;
   std::cout << "\ninterval totals within the +-2% bands: "
             << (bands_ok ? "yes" : "NO") << '\n';
-  return fixed.result.converged && elastic.result.converged &&
-                 interval.result.converged && bands_ok
+  return fixed.result.converged() && elastic.result.converged() &&
+                 interval.result.converged() && bands_ok
              ? 0
              : 1;
 }

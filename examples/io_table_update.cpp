@@ -33,7 +33,7 @@ int main() {
   opts.criterion = StopCriterion::kResidualRel;
   const auto run = SolveDiagonal(problem, opts);
   const auto rep = CheckFeasibility(problem, run.solution);
-  std::cout << "SEA: converged=" << std::boolalpha << run.result.converged
+  std::cout << "SEA: converged=" << std::boolalpha << run.result.converged()
             << " iterations=" << run.result.iterations
             << " max-rel-residual=" << rep.MaxRel() << '\n';
 

@@ -27,7 +27,7 @@ int main() {
   const auto run = SolveDiagonal(problem, opts);
 
   std::cout << "diagonal projection (" << specs[0].name
-            << "): converged=" << std::boolalpha << run.result.converged
+            << "): converged=" << std::boolalpha << run.result.converged()
             << " iterations=" << run.result.iterations << '\n';
 
   // The elastic regime treats the growth targets as estimates: the projected
@@ -63,9 +63,9 @@ int main() {
   const auto gen_run = SolveGeneral(gen_problem, gen_opts);
   const auto rep = CheckFeasibility(gen_run.solution.x, gen_problem.s0(),
                                     gen_problem.d0());
-  std::cout << "general SEA: converged=" << gen_run.result.converged
+  std::cout << "general SEA: converged=" << gen_run.result.converged()
             << " outer=" << gen_run.result.outer_iterations
             << " inner=" << gen_run.result.total_inner_iterations
             << " max-rel-residual=" << rep.MaxRel() << '\n';
-  return run.result.converged && gen_run.result.converged ? 0 : 1;
+  return run.result.converged() && gen_run.result.converged() ? 0 : 1;
 }

@@ -35,7 +35,7 @@ int main() {
   opts.criterion = StopCriterion::kResidualAbs;
   const auto run = SolveDiagonal(problem, opts);
 
-  std::cout << "converged: " << std::boolalpha << run.result.converged
+  std::cout << "converged: " << std::boolalpha << run.result.converged()
             << " in " << run.result.iterations << " iterations\n"
             << "objective (weighted squared deviation): "
             << run.result.objective << "\n\n";
@@ -63,5 +63,5 @@ int main() {
 
   const auto rep = CheckFeasibility(problem, run.solution);
   std::cout << "\nmax constraint residual: " << rep.MaxAbs() << '\n';
-  return run.result.converged ? 0 : 1;
+  return run.result.converged() ? 0 : 1;
 }

@@ -35,7 +35,7 @@ int main() {
   opts.epsilon = 1e-6;
   opts.criterion = StopCriterion::kResidualRel;
   const auto run = SolveDiagonal(problem, opts);
-  std::cout << "SEA: converged=" << std::boolalpha << run.result.converged
+  std::cout << "SEA: converged=" << std::boolalpha << run.result.converged()
             << " iterations=" << run.result.iterations << "\n\n";
 
   TablePrinter table({"account", "raw receipts", "raw expenditures",
@@ -61,5 +61,5 @@ int main() {
   }
   std::cout << "\nbalanced SAM: worst account imbalance "
             << TablePrinter::Num(100.0 * post, 6) << "%\n";
-  return run.result.converged ? 0 : 1;
+  return run.result.converged() ? 0 : 1;
 }

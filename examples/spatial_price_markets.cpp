@@ -25,7 +25,7 @@ int main() {
   opts.epsilon = 1e-9;
   opts.criterion = StopCriterion::kResidualAbs;
   const auto run = SolveDiagonal(market.ToDiagonalProblem(), opts);
-  std::cout << "SEA: converged=" << std::boolalpha << run.result.converged
+  std::cout << "SEA: converged=" << std::boolalpha << run.result.converged()
             << " iterations=" << run.result.iterations << "\n\n";
 
   const Vector s = run.solution.x.RowSums();
@@ -59,5 +59,5 @@ int main() {
             << rep.max_equality_violation << '\n'
             << "max (rho - pi - c)+ on unused routes: "
             << rep.max_inequality_violation << '\n';
-  return run.result.converged && rep.Max() < 1e-5 ? 0 : 1;
+  return run.result.converged() && rep.Max() < 1e-5 ? 0 : 1;
 }

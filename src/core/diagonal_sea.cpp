@@ -105,6 +105,25 @@ class DenseDiagonalBackend final : public SeaIterationBackend {
     return 2 * static_cast<std::uint64_t>(p_.m()) * p_.n();
   }
 
+  // Breakdown recovery: the primal is recovered from (lambda, mu) after the
+  // run, so capturing the duals alone preserves a full last-good iterate.
+  void SaveGoodIterate() override {
+    lambda_good_ = lambda_;
+    mu_good_ = mu_;
+  }
+  void RestoreGoodIterate() override {
+    if (lambda_good_.empty()) {
+      // No finite check yet: fall back to the start point (lambda = 0,
+      // mu = the warm start is gone, so zero both — x then recovers from
+      // the unconstrained minimizer at the centers).
+      std::fill(lambda_.begin(), lambda_.end(), 0.0);
+      std::fill(mu_.begin(), mu_.end(), 0.0);
+      return;
+    }
+    lambda_ = lambda_good_;
+    mu_ = mu_good_;
+  }
+
   void RebalanceDuals(const SeaOptions& opts) override {
     // The paper's Modified Algorithm: keep dual iterates bounded by
     // rebalancing multipliers across support components (a gauge shift with
@@ -132,6 +151,8 @@ class DenseDiagonalBackend final : public SeaIterationBackend {
   DenseMatrix xt_;
   DenseMatrix xt_prev_;
   Vector rowsum_;
+  // Duals at the last finite check (empty until one passes).
+  Vector lambda_good_, mu_good_;
 };
 
 }  // namespace

@@ -67,6 +67,25 @@ GeneralSeaRun SolveGeneral(const GeneralProblem& problem,
   std::optional<DiagonalSea> inner_solver;
 
   for (std::size_t t = 1; t <= opts.max_outer_iterations; ++t) {
+    // Guardrail polls between projection steps. The first step always runs
+    // (so the returned solution is populated); afterwards an expired budget
+    // or cancelled token ends the outer loop, and each inner solve receives
+    // only the remaining budget so it stops from inside as well.
+    if (t > 1 && inner.cancel && inner.cancel->cancelled()) {
+      result.status = SolveStatus::kCancelled;
+      break;
+    }
+    if (opts.inner.time_budget_seconds > 0.0) {
+      const double remaining = opts.inner.time_budget_seconds - wall.Seconds();
+      if (t > 1 && remaining <= 0.0) {
+        result.status = SolveStatus::kTimeBudgetExceeded;
+        break;
+      }
+      // An already-expired budget on the first step still passes a sliver so
+      // the inner engine terminates at its first check poll.
+      inner.time_budget_seconds = std::max(remaining, 1e-9);
+    }
+
     // ---- Projection step: refresh linear terms at the current iterate
     // (one dense matvec with G and, in the elastic regimes, A/B). This is a
     // parallelizable phase: G's rows partition across processors.
@@ -111,7 +130,25 @@ GeneralSeaRun SolveGeneral(const GeneralProblem& problem,
 
     result.outer_iterations = t;
     result.final_outer_change = change;
-    if (change <= opts.outer_epsilon) result.converged = true;
+    // An abnormal inner termination (cancellation, expired budget, numerical
+    // breakdown, stall, infeasibility) propagates unchanged and outranks the
+    // outer change test — a projection step the inner solver could not
+    // actually solve says nothing about the outer fixed point. A plain inner
+    // kMaxIterations keeps the historical change-based behavior.
+    switch (inner_run.result.status) {
+      case SolveStatus::kCancelled:
+      case SolveStatus::kTimeBudgetExceeded:
+      case SolveStatus::kNumericalBreakdown:
+      case SolveStatus::kStalled:
+      case SolveStatus::kInfeasible:
+        result.status = inner_run.result.status;
+        break;
+      case SolveStatus::kConverged:
+      case SolveStatus::kMaxIterations:
+        if (change <= opts.outer_epsilon)
+          result.status = SolveStatus::kConverged;
+        break;
+    }
 
     // One structured trace event per projection step (the inner solves
     // already streamed their own per-check events through the same sink).
@@ -119,14 +156,14 @@ GeneralSeaRun SolveGeneral(const GeneralProblem& problem,
       obs::OuterStepEvent ev;
       ev.outer_iteration = t;
       ev.change = change;
-      ev.converged = result.converged;
+      ev.converged = result.converged();
       ev.inner_iterations = inner_run.result.iterations;
       ev.inner_iterations_total = result.total_inner_iterations;
       ev.linearize_seconds = result.linearization_seconds;
       inner.trace_sink->OnOuterStep(ev);
     }
 
-    if (result.converged) break;
+    if (result.status != SolveStatus::kMaxIterations) break;
   }
 
   result.objective = problem.Objective(x, s, d);
@@ -140,7 +177,7 @@ GeneralSeaRun SolveGeneral(const GeneralProblem& problem,
         .Add(result.linearization_seconds);
     m.GetGauge("sea.general.final_outer_change")
         .Set(result.final_outer_change);
-    m.GetGauge("sea.general.converged").Set(result.converged ? 1.0 : 0.0);
+    m.GetGauge("sea.general.converged").Set(result.converged() ? 1.0 : 0.0);
   }
   run.result = std::move(result);
   return run;

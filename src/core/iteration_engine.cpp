@@ -1,10 +1,13 @@
 #include "core/iteration_engine.hpp"
 
+#include <cmath>
+#include <limits>
 #include <utility>
 
 #include "obs/metrics.hpp"
 #include "obs/trace_sink.hpp"
 #include "support/check.hpp"
+#include "support/failpoint.hpp"
 #include "support/stopwatch.hpp"
 
 namespace sea {
@@ -27,14 +30,25 @@ std::vector<double> CheckIntervalBounds() {
 
 SeaResult RunIterationEngine(SeaIterationBackend& backend,
                              const SeaOptions& opts) {
-  SEA_CHECK(opts.epsilon > 0.0);
-  SEA_CHECK(opts.check_every >= 1);
+  SEA_CHECK_MSG(opts.epsilon > 0.0, "epsilon must be > 0");
+  SEA_CHECK_MSG(std::isfinite(opts.epsilon), "epsilon must be finite");
+  SEA_CHECK_MSG(opts.check_every >= 1, "check_every must be >= 1");
+  SEA_CHECK_MSG(opts.max_iterations > 0, "max_iterations must be >= 1");
+  SEA_CHECK_MSG(opts.time_budget_seconds >= 0.0 &&
+                    !std::isnan(opts.time_budget_seconds),
+                "time_budget_seconds must be >= 0");
 
   Stopwatch wall;
   const double cpu0 = ProcessCpuSeconds();
 
   SeaResult result;
   bool have_snapshot = false;
+
+  // Stall detection state: the previous check's measure and the run of
+  // compared checks that failed to improve on their predecessor by at least
+  // stall_rtol relatively (docs/ROBUSTNESS.md).
+  double stall_prev = std::numeric_limits<double>::infinity();
+  std::size_t stall_streak = 0;
 
   // Telemetry is pay-for-use: everything below is skipped when no observer
   // is attached (acceptance bar: a plain solve must not slow down).
@@ -53,6 +67,22 @@ SeaResult RunIterationEngine(SeaIterationBackend& backend,
   for (std::size_t t = 1; t <= opts.max_iterations; ++t) {
     const bool check_now =
         (t % opts.check_every == 0) || (t == opts.max_iterations);
+
+    // Guardrail polls ride the check schedule, before the sweeps, so an
+    // expired budget or a cancelled token stops the solve without paying
+    // for another iteration. Both are cooperative: worst-case latency is
+    // one check interval.
+    if (check_now) {
+      if (opts.cancel && opts.cancel->cancelled()) {
+        result.status = SolveStatus::kCancelled;
+        break;
+      }
+      if (opts.time_budget_seconds > 0.0 &&
+          wall.Seconds() >= opts.time_budget_seconds) {
+        result.status = SolveStatus::kTimeBudgetExceeded;
+        break;
+      }
+    }
 
     // ---- Step 1: row equilibration (parallel across the row markets).
     {
@@ -106,14 +136,38 @@ SeaResult RunIterationEngine(SeaIterationBackend& backend,
     }
     result.check_phase_seconds += check_sw.Seconds();
 
-    if (defined) {
+    SEA_FAILPOINT_SITE("sea.engine.poison_measure")
+    if (defined && fail::Triggered("sea.engine.poison_measure"))
+      measure = std::numeric_limits<double>::quiet_NaN();
+
+    if (defined && !std::isfinite(measure)) {
+      // Numerical breakdown: the iterate went NaN/Inf. Hand back the last
+      // iterate that passed a finite check instead of the garbage; the
+      // breakdown check itself is not counted or charged (its measure has
+      // no value).
+      result.status = SolveStatus::kNumericalBreakdown;
+      backend.RestoreGoodIterate();
+    } else if (defined) {
       ++result.checks_compared;
       result.final_residual = measure;
       result.ops.flops += backend.CheckCost();
       if (opts.record_trace)
         result.trace.AddSerialPhase("check",
                                     static_cast<double>(backend.CheckCost()));
-      if (measure <= opts.epsilon) result.converged = true;
+      if (measure <= opts.epsilon) {
+        result.status = SolveStatus::kConverged;
+      } else if (measure < stall_prev * (1.0 - opts.stall_rtol)) {
+        // Compare with the PREVIOUS check, not the best-so-far: a transient
+        // rise (common before the contraction regime sets in) would park a
+        // best-so-far low-water mark that a genuinely progressing run can
+        // take arbitrarily many checks to re-cross.
+        stall_streak = 0;
+      } else if (opts.stall_checks > 0 &&
+                 ++stall_streak >= opts.stall_checks) {
+        result.status = SolveStatus::kStalled;
+      }
+      stall_prev = measure;
+      backend.SaveGoodIterate();
     }
 
     if (observing) {
@@ -121,7 +175,7 @@ SeaResult RunIterationEngine(SeaIterationBackend& backend,
       ev.iteration = t;
       ev.measure_defined = defined;
       ev.measure = measure;
-      ev.converged = result.converged;
+      ev.converged = result.converged();
       ev.checks_compared = result.checks_compared;
       ev.row_phase_seconds = result.row_phase_seconds;
       ev.col_phase_seconds = result.col_phase_seconds;
@@ -131,7 +185,8 @@ SeaResult RunIterationEngine(SeaIterationBackend& backend,
       ops_at_last_event = result.ops;
 
       if (opts.metrics) {
-        if (defined) residual_hist->Observe(measure);
+        if (defined && std::isfinite(measure))
+          residual_hist->Observe(measure);
         interval_hist->Observe(static_cast<double>(t - last_check_iteration));
       }
       last_check_iteration = t;
@@ -140,7 +195,9 @@ SeaResult RunIterationEngine(SeaIterationBackend& backend,
       if (opts.trace_sink) opts.trace_sink->OnCheck(ev);
     }
 
-    if (result.converged) break;
+    // Any terminal condition (convergence, breakdown, stall) has replaced
+    // the default kMaxIterations status by now.
+    if (result.status != SolveStatus::kMaxIterations) break;
     backend.RebalanceDuals(opts);
   }
 
@@ -155,7 +212,9 @@ SeaResult RunIterationEngine(SeaIterationBackend& backend,
     m.GetCounter("sea.ops.comparisons").Add(result.ops.comparisons);
     m.GetCounter("sea.ops.breakpoints").Add(result.ops.breakpoints);
     m.GetCounter("sea.solves").Add(1);
-    if (result.converged) m.GetCounter("sea.solves_converged").Add(1);
+    if (result.converged()) m.GetCounter("sea.solves_converged").Add(1);
+    m.GetCounter(std::string("solver.status.") + ToString(result.status))
+        .Add(1);
     // Phase seconds accumulate across solves (the general algorithm runs
     // one engine solve per projection step).
     m.GetGauge("sea.row_phase_seconds").Add(result.row_phase_seconds);
@@ -164,7 +223,7 @@ SeaResult RunIterationEngine(SeaIterationBackend& backend,
     m.GetGauge("sea.wall_seconds").Add(result.wall_seconds);
     m.GetGauge("sea.cpu_seconds").Add(result.cpu_seconds);
     m.GetGauge("sea.final_residual").Set(result.final_residual);
-    m.GetGauge("sea.converged").Set(result.converged ? 1.0 : 0.0);
+    m.GetGauge("sea.converged").Set(result.converged() ? 1.0 : 0.0);
   }
   return result;
 }

@@ -74,6 +74,15 @@ class SeaIterationBackend {
   // defined value — no comparison, no charge.
   virtual std::uint64_t CheckCost() const = 0;
 
+  // Breakdown recovery (docs/ROBUSTNESS.md): the engine calls
+  // SaveGoodIterate after every check whose measure was finite, and
+  // RestoreGoodIterate once if a later check observes a non-finite measure —
+  // so a NaN-poisoned run still hands back a usable point. Saving should be
+  // O(m + n) (capture the dual iterates, not the primal). Default: no-op;
+  // such a backend returns whatever state it holds at breakdown.
+  virtual void SaveGoodIterate() {}
+  virtual void RestoreGoodIterate() {}
+
   // The Modified Algorithm's gauge rebalance of the dual iterates; invoked
   // after every iteration that did not converge. Default: no modification.
   virtual void RebalanceDuals(const SeaOptions& opts) { (void)opts; }

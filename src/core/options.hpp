@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "equilibration/breakpoint_solver.hpp"
+#include "support/cancel.hpp"
 #include "support/op_counter.hpp"
 
 namespace sea {
@@ -82,6 +83,23 @@ struct SeaOptions {
   // keeping the dual iterates in a bounded set without changing the primal
   // trajectory. 0 disables the modification.
   double multiplier_bound = 0.0;
+  // Guardrails (docs/ROBUSTNESS.md). The wall-clock budget for the whole
+  // solve; 0 = unlimited. Polled at check iterations, so overshoot is at
+  // most one check interval; on expiry the result carries
+  // SolveStatus::kTimeBudgetExceeded and the best iterate so far.
+  double time_budget_seconds = 0.0;
+  // Cooperative cancellation, polled at check iterations (never inside a
+  // parallel sweep). Null = not cancellable.
+  CancelToken* cancel = nullptr;
+  // Stall detector: terminate with SolveStatus::kStalled when the stopping
+  // measure fails to improve on the PREVIOUS check by a relative stall_rtol
+  // over stall_checks consecutive compared checks — the signature of a
+  // scaling iteration pinned at a non-solution fixed point (infeasible
+  // support). Check-to-check comparison (rather than best-so-far) keeps a
+  // transient residual rise from parking an unreachable low-water mark.
+  // stall_checks = 0 disables the detector.
+  std::size_t stall_checks = 50;
+  double stall_rtol = 1e-9;
   // Invoked by the iteration engine on check iterations only (never on
   // skipped iterations). Empty = no reporting overhead.
   IterationCallback progress;

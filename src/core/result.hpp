@@ -4,13 +4,17 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/solve_status.hpp"
 #include "parallel/speedup_model.hpp"
 #include "support/op_counter.hpp"
 
 namespace sea {
 
 struct SeaResult {
-  bool converged = false;
+  // How the solve terminated (docs/ROBUSTNESS.md). Every engine-driven run
+  // ends in exactly one status; `converged` is derived, never stored.
+  SolveStatus status = SolveStatus::kMaxIterations;
+  bool converged() const { return status == SolveStatus::kConverged; }
   std::size_t iterations = 0;  // completed row+column iteration pairs
   // Check iterations whose stopping measure had a defined value. 0 means
   // final_residual was never evaluated (e.g. kXChange hit max_iterations
@@ -34,7 +38,10 @@ struct SeaResult {
 };
 
 struct GeneralSeaResult {
-  bool converged = false;
+  // Outer-loop status; an abnormal inner status (cancellation, budget,
+  // breakdown) propagates here unchanged.
+  SolveStatus status = SolveStatus::kMaxIterations;
+  bool converged() const { return status == SolveStatus::kConverged; }
   std::size_t outer_iterations = 0;
   std::size_t total_inner_iterations = 0;
   double final_outer_change = 0.0;  // max |x^t - x^{t-1}| at termination

@@ -1,0 +1,45 @@
+#include "core/solve_status.hpp"
+
+namespace sea {
+
+const char* ToString(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::kConverged:
+      return "converged";
+    case SolveStatus::kMaxIterations:
+      return "max-iterations";
+    case SolveStatus::kTimeBudgetExceeded:
+      return "time-budget-exceeded";
+    case SolveStatus::kCancelled:
+      return "cancelled";
+    case SolveStatus::kStalled:
+      return "stalled";
+    case SolveStatus::kNumericalBreakdown:
+      return "numerical-breakdown";
+    case SolveStatus::kInfeasible:
+      return "infeasible";
+  }
+  return "?";
+}
+
+int ExitCodeFor(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::kConverged:
+      return 0;
+    case SolveStatus::kMaxIterations:
+      return 4;
+    case SolveStatus::kTimeBudgetExceeded:
+      return 5;
+    case SolveStatus::kCancelled:
+      return 6;
+    case SolveStatus::kStalled:
+      return 7;
+    case SolveStatus::kNumericalBreakdown:
+      return 8;
+    case SolveStatus::kInfeasible:
+      return 9;
+  }
+  return 3;
+}
+
+}  // namespace sea

@@ -1,0 +1,46 @@
+// Structured solve outcomes (docs/ROBUSTNESS.md).
+//
+// Every solver entry point terminates with exactly one SolveStatus instead
+// of a bare converged flag, so callers can distinguish "ran out of
+// iterations" from "the input is infeasible" from "the iterate went
+// non-finite" and react accordingly. SeaResult/GeneralSeaResult carry the
+// status and derive `converged()` from it; the CLI tools map each status to
+// a distinct documented process exit code via ExitCodeFor.
+#pragma once
+
+namespace sea {
+
+enum class SolveStatus {
+  // The stopping measure reached epsilon: the returned point is a solution.
+  kConverged,
+  // max_iterations elapsed with the measure still above epsilon.
+  kMaxIterations,
+  // SeaOptions::time_budget_seconds elapsed; the solve stopped at the next
+  // check iteration with the best iterate so far.
+  kTimeBudgetExceeded,
+  // SeaOptions::cancel was triggered; cooperative stop at a check iteration.
+  kCancelled,
+  // The stopping measure failed to improve over stall_checks consecutive
+  // compared checks — typically an infeasible support pattern on which the
+  // scaling iteration has reached a non-solution fixed point.
+  kStalled,
+  // A check observed a non-finite stopping measure (NaN/Inf iterate); the
+  // solver restored the last iterate that passed a finite check.
+  kNumericalBreakdown,
+  // Pre-flight detected the constraints cannot be met (e.g. a zero-support
+  // row with a positive target); no iteration was attempted.
+  kInfeasible,
+};
+
+// Lowercase dashed name ("converged", "time-budget-exceeded", ...). Stable:
+// exported in telemetry documents and the solver.status.* metric names.
+const char* ToString(SolveStatus s);
+
+// Documented CLI exit code for a terminal status (docs/ROBUSTNESS.md):
+//   0 converged          4 max-iterations      5 time-budget-exceeded
+//   6 cancelled          7 stalled             8 numerical-breakdown
+//   9 infeasible
+// (2 and 3 are reserved by the tools for usage and input errors.)
+int ExitCodeFor(SolveStatus s);
+
+}  // namespace sea

@@ -27,6 +27,10 @@ double FoldRowResidual(StopCriterion c, double rowsum, double target,
                        double measure) {
   double r = std::abs(rowsum - target);
   if (c == StopCriterion::kResidualRel) r /= std::max(1.0, std::abs(target));
+  // std::max drops NaN operands (the comparison is false), which would let
+  // a NaN-poisoned row slip past the engine's breakdown guard; propagate it
+  // so the measure itself reports the breakdown.
+  if (std::isnan(r)) return r;
   return std::max(measure, r);
 }
 

@@ -8,6 +8,7 @@
 #include "core/iteration_engine.hpp"
 #include "core/stopping.hpp"
 #include "support/check.hpp"
+#include "support/failpoint.hpp"
 
 namespace sea {
 
@@ -78,7 +79,9 @@ class EntropyBackend final : public SeaIterationBackend {
         mu_(mu),
         x_(x),
         exp_mu_(p.x0.cols()),
-        exp_lambda_(p.x0.rows()) {}
+        exp_lambda_(p.x0.rows()),
+        lambda_good_(p.x0.rows(), 0.0),
+        mu_good_(p.x0.cols(), 0.0) {}
 
   // Row step: exact dual maximization over lambda (a row scaling).
   SweepStats RowSweep() override {
@@ -101,6 +104,11 @@ class EntropyBackend final : public SeaIterationBackend {
       }
       stats.total_ops.flops += 2 * n + 2;
     }
+    // Fault injection AFTER the sweep so the poison survives into the
+    // check (the sweep body overwrites every lambda it computes).
+    SEA_FAILPOINT_SITE("sea.entropy.poison_lambda")
+    if (fail::Triggered("sea.entropy.poison_lambda"))
+      lambda_[0] = std::numeric_limits<double>::quiet_NaN();
     return stats;
   }
 
@@ -152,6 +160,20 @@ class EntropyBackend final : public SeaIterationBackend {
     return 2 * static_cast<std::uint64_t>(p_.x0.rows()) * p_.x0.cols();
   }
 
+  // Breakdown recovery: the duals are the whole iterate state, so capturing
+  // them is O(m + n); restore re-derives the scalings and re-materializes x.
+  void SaveGoodIterate() override {
+    lambda_good_ = lambda_;
+    mu_good_ = mu_;
+  }
+  void RestoreGoodIterate() override {
+    lambda_ = lambda_good_;
+    mu_ = mu_good_;
+    for (std::size_t i = 0; i < lambda_.size(); ++i)
+      exp_lambda_[i] = std::exp(lambda_[i]);
+    BeginCheck();  // rebuilds exp_mu_ and x from the restored duals
+  }
+
  private:
   const EntropyProblem& p_;
   Vector& lambda_;
@@ -159,6 +181,9 @@ class EntropyBackend final : public SeaIterationBackend {
   DenseMatrix& x_;
   Vector exp_mu_, exp_lambda_;
   DenseMatrix x_prev_;
+  // Last duals that passed a finite check (initialized to the start point,
+  // so a first-check breakdown still restores to x = x0 scalings).
+  Vector lambda_good_, mu_good_;
 };
 
 }  // namespace
@@ -174,26 +199,30 @@ EntropySeaRun SolveEntropy(const EntropyProblem& p, const SeaOptions& opts) {
   SeaResult& result = run.result;
 
   // A row (column) with empty support but a positive target makes the
-  // problem infeasible regardless of iteration; detect up front.
+  // problem infeasible regardless of iteration; diagnose up front and skip
+  // the solve entirely (the returned estimate is the base matrix).
   {
     const Vector rows = p.x0.RowSums();
     const Vector cols = p.x0.ColSums();
+    bool infeasible = false;
     for (std::size_t i = 0; i < m; ++i)
-      if (rows[i] == 0.0 && p.s0[i] > 0.0) return run;
+      if (rows[i] == 0.0 && p.s0[i] > 0.0) infeasible = true;
     for (std::size_t j = 0; j < n; ++j)
-      if (cols[j] == 0.0 && p.d0[j] > 0.0) return run;
+      if (cols[j] == 0.0 && p.d0[j] > 0.0) infeasible = true;
+    if (infeasible) {
+      result.status = SolveStatus::kInfeasible;
+      result.objective = std::numeric_limits<double>::infinity();
+      return run;
+    }
   }
 
   EntropyBackend backend(p, run.lambda, run.mu, run.x);
   result = RunIterationEngine(backend, opts);
 
-  // On divergent (infeasible-support) runs the scalings blow up and the
-  // iterate is not a valid estimate; report an infinite objective instead of
-  // tripping the objective's own validation.
-  bool finite = true;
-  for (double v : run.x.Flat())
-    if (!std::isfinite(v) || v < 0.0) finite = false;
-  result.objective = (result.converged && finite)
+  // Degraded terminations (the engine's stall / breakdown / budget guards)
+  // return the last good iterate but no valid estimate; the objective is
+  // defined only at convergence.
+  result.objective = result.converged()
                          ? EntropyObjective(run.x, p.x0)
                          : std::numeric_limits<double>::infinity();
   return run;
@@ -211,9 +240,9 @@ class EntropySamBackend final : public SeaIterationBackend {
       : x0_(x0),
         nu_(nu),
         x_(x),
-        expp_(x0.rows(), 1.0),   // e^{nu}
-        expm_(x0.rows(), 1.0) {  // e^{-nu}
-  }
+        expp_(x0.rows(), 1.0),    // e^{nu}
+        expm_(x0.rows(), 1.0),    // e^{-nu}
+        nu_good_(x0.rows(), 0.0) {}
 
   // Gauss-Seidel over the potentials with exact coordinate maximization.
   SweepStats RowSweep() override {
@@ -275,11 +304,22 @@ class EntropySamBackend final : public SeaIterationBackend {
     return 3 * static_cast<std::uint64_t>(x0_.rows()) * x0_.rows();
   }
 
+  void SaveGoodIterate() override { nu_good_ = nu_; }
+  void RestoreGoodIterate() override {
+    nu_ = nu_good_;
+    for (std::size_t i = 0; i < nu_.size(); ++i) {
+      expp_[i] = std::exp(nu_[i]);
+      expm_[i] = 1.0 / expp_[i];
+    }
+    BeginCheck();  // re-materialize x from the restored potentials
+  }
+
  private:
   const DenseMatrix& x0_;
   Vector& nu_;
   DenseMatrix& x_;
   Vector expp_, expm_;
+  Vector nu_good_;
 };
 
 }  // namespace
@@ -298,8 +338,9 @@ EntropySamRun SolveEntropySam(const DenseMatrix& x0, const SeaOptions& opts) {
   run.result = RunIterationEngine(backend, opts);
   SeaResult& result = run.result;
 
-  result.objective = result.converged ? EntropyObjective(run.x, x0)
-                                      : std::numeric_limits<double>::infinity();
+  result.objective = result.converged()
+                         ? EntropyObjective(run.x, x0)
+                         : std::numeric_limits<double>::infinity();
   return run;
 }
 

@@ -55,8 +55,11 @@ struct EntropySeaRun {
 // Alternating exact row/column dual maximization (== RAS). Uses
 // opts.epsilon / opts.criterion / opts.max_iterations / opts.check_every;
 // sort_policy is ignored (entropy markets clear in closed form).
-// Returns result.converged == false when the support cannot meet the totals
-// (including rows/columns with empty support but positive targets).
+// A zero-support row/column with a positive target is diagnosed up front as
+// SolveStatus::kInfeasible (no iteration runs); supports on which the
+// scaling iteration pins at a non-solution fixed point terminate with
+// kStalled (or kNumericalBreakdown if the iterate overflows), with the last
+// good iterate returned — see docs/ROBUSTNESS.md.
 EntropySeaRun SolveEntropy(const EntropyProblem& problem,
                            const SeaOptions& opts);
 

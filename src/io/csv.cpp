@@ -1,5 +1,7 @@
 #include "io/csv.hpp"
 
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -97,16 +99,49 @@ void WriteMatrixCsv(const std::string& path, const DenseMatrix& m) {
   WriteCsv(path, {}, rows);
 }
 
+double ParseNumericCell(const std::string& cell, const std::string& path,
+                        std::size_t row, std::size_t col) {
+  const std::string where =
+      path + ": row " + std::to_string(row) + ", column " +
+      std::to_string(col);
+  SEA_CHECK_MSG(!cell.empty(), "empty cell at " + where);
+  const char* begin = cell.c_str();
+  char* end = nullptr;
+  const double v = std::strtod(begin, &end);
+  SEA_CHECK_MSG(end == begin + cell.size(),
+                "malformed number '" + cell + "' at " + where);
+  // strtod accepts "nan"/"inf" spellings; a non-finite matrix entry or
+  // total can only poison the solve, so reject it at the boundary.
+  SEA_CHECK_MSG(std::isfinite(v),
+                "non-finite value '" + cell + "' at " + where);
+  return v;
+}
+
 DenseMatrix ReadMatrixCsv(const std::string& path) {
   const auto rows = ReadCsv(path);
   SEA_CHECK_MSG(!rows.empty(), "empty matrix file: " + path);
   DenseMatrix m(rows.size(), rows.front().size());
   for (std::size_t i = 0; i < rows.size(); ++i) {
-    SEA_CHECK_MSG(rows[i].size() == m.cols(), "ragged matrix file: " + path);
+    SEA_CHECK_MSG(rows[i].size() == m.cols(),
+                  "ragged matrix file " + path + ": row " +
+                      std::to_string(i + 1) + " has " +
+                      std::to_string(rows[i].size()) + " cells, expected " +
+                      std::to_string(m.cols()));
     for (std::size_t j = 0; j < m.cols(); ++j)
-      m(i, j) = std::stod(rows[i][j]);
+      m(i, j) = ParseNumericCell(rows[i][j], path, i + 1, j + 1);
   }
   return m;
+}
+
+std::vector<double> ReadVectorCsv(const std::string& path) {
+  const auto rows = ReadCsv(path);
+  std::vector<double> v;
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    for (std::size_t j = 0; j < rows[i].size(); ++j)
+      if (!rows[i][j].empty())
+        v.push_back(ParseNumericCell(rows[i][j], path, i + 1, j + 1));
+  SEA_CHECK_MSG(!v.empty(), "empty vector file: " + path);
+  return v;
 }
 
 }  // namespace sea

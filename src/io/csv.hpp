@@ -21,8 +21,23 @@ void WriteCsv(const std::string& path,
 // newlines inside cells).
 std::vector<std::vector<std::string>> ReadCsv(const std::string& path);
 
-// Matrix round trip (no header row).
+// Parses one numeric cell, rejecting garbage, trailing junk, and non-finite
+// values (NaN/Inf have no meaning as matrix entries or totals). Throws
+// InvalidArgument naming the file and the 1-based row/column of the bad
+// cell. Exposed for the CLI tools' own value parsing.
+double ParseNumericCell(const std::string& cell, const std::string& path,
+                        std::size_t row, std::size_t col);
+
+// Matrix round trip (no header row). ReadMatrixCsv rejects empty files,
+// ragged rows (message names the file, the offending 1-based row, and the
+// expected vs. actual widths), and malformed or non-finite cells.
 void WriteMatrixCsv(const std::string& path, const DenseMatrix& m);
 DenseMatrix ReadMatrixCsv(const std::string& path);
+
+// Reads a vector: one value per line, or any mix of rows where every
+// non-empty cell is one entry (a single CSV row also works). Same cell
+// validation as ReadMatrixCsv. Shared by sea_solve and check_totals for
+// totals files.
+std::vector<double> ReadVectorCsv(const std::string& path);
 
 }  // namespace sea

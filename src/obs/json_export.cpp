@@ -105,7 +105,8 @@ std::string OpsJson(const OpCounts& ops) {
 
 std::string ToJson(const SeaResult& r) {
   return JsonObj()
-      .Field("converged", r.converged)
+      .Field("status", ToString(r.status))
+      .Field("converged", r.converged())
       .Field("iterations", r.iterations)
       .Field("checks_compared", r.checks_compared)
       .Field("final_residual", r.final_residual)
@@ -121,7 +122,8 @@ std::string ToJson(const SeaResult& r) {
 
 std::string ToJson(const GeneralSeaResult& r) {
   return JsonObj()
-      .Field("converged", r.converged)
+      .Field("status", ToString(r.status))
+      .Field("converged", r.converged())
       .Field("outer_iterations", r.outer_iterations)
       .Field("total_inner_iterations", r.total_inner_iterations)
       .Field("final_outer_change", r.final_outer_change)

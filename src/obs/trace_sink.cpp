@@ -2,6 +2,7 @@
 
 #include "obs/json_export.hpp"
 #include "support/check.hpp"
+#include "support/failpoint.hpp"
 
 namespace sea::obs {
 
@@ -43,14 +44,25 @@ JsonlTraceSink::JsonlTraceSink(const std::string& path) : out_(path) {
   SEA_CHECK_MSG(out_.good(), "cannot open trace file for writing: " + path);
 }
 
-void JsonlTraceSink::OnCheck(const IterationEvent& ev) {
-  out_ << ToJsonLine(ev) << '\n';
+void JsonlTraceSink::WriteLine(const std::string& line) {
+  if (write_failed_) return;
+  SEA_FAILPOINT_SITE("sea.obs.trace_write")
+  if (fail::Triggered("sea.obs.trace_write"))
+    out_.setstate(std::ios::badbit);
+  out_ << line << '\n';
+  if (!out_.good()) {
+    write_failed_ = true;  // degrade: drop the trace, never the solve
+    return;
+  }
   ++events_written_;
 }
 
+void JsonlTraceSink::OnCheck(const IterationEvent& ev) {
+  WriteLine(ToJsonLine(ev));
+}
+
 void JsonlTraceSink::OnOuterStep(const OuterStepEvent& ev) {
-  out_ << ToJsonLine(ev) << '\n';
-  ++events_written_;
+  WriteLine(ToJsonLine(ev));
 }
 
 }  // namespace sea::obs

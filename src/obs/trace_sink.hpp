@@ -56,6 +56,12 @@ std::string ToJsonLine(const OuterStepEvent& ev);
 
 // Appends one JSON object per line to a file. Throws InvalidArgument when
 // the file cannot be opened. Flushes on destruction.
+//
+// Mid-run write failures (disk full, pipe closed; injectable via the
+// sea.obs.trace_write failpoint) degrade rather than abort the solve:
+// the sink stops writing, write_failed() reports the condition, and
+// events_written() counts only the lines that actually reached the stream.
+// A trace is telemetry — losing it must never lose the solve.
 class JsonlTraceSink : public TraceSink {
  public:
   explicit JsonlTraceSink(const std::string& path);
@@ -65,10 +71,14 @@ class JsonlTraceSink : public TraceSink {
   void Flush() override { out_.flush(); }
 
   std::size_t events_written() const { return events_written_; }
+  bool write_failed() const { return write_failed_; }
 
  private:
+  void WriteLine(const std::string& line);
+
   std::ofstream out_;
   std::size_t events_written_ = 0;
+  bool write_failed_ = false;
 };
 
 }  // namespace sea::obs

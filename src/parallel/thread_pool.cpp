@@ -1,8 +1,10 @@
 #include "parallel/thread_pool.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "support/check.hpp"
+#include "support/failpoint.hpp"
 #include "support/stopwatch.hpp"
 
 namespace sea {
@@ -30,6 +32,31 @@ ThreadPool::~ThreadPool() {
   for (auto& t : workers_) t.join();
 }
 
+void ThreadPool::RunBody(
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body,
+    std::size_t begin, std::size_t end, std::size_t worker) {
+  // A chunk that throws must not tear down the region: capture the first
+  // exception for the submitting thread and let every other chunk finish,
+  // so the pool's join protocol (and the pool itself) stays intact.
+  try {
+    SEA_FAILPOINT_SITE("sea.pool.task")
+    fail::MaybeThrow("sea.pool.task");
+    body(begin, end, worker);
+  } catch (...) {
+    std::lock_guard lk(mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+}
+
+void ThreadPool::RethrowPendingError() {
+  std::exception_ptr err;
+  {
+    std::lock_guard lk(mu_);
+    err = std::exchange(first_error_, nullptr);
+  }
+  if (err) std::rethrow_exception(err);
+}
+
 void ThreadPool::RunChunk(
     const std::function<void(std::size_t, std::size_t, std::size_t)>& body,
     std::size_t n, std::size_t part, std::size_t parts, std::size_t worker) {
@@ -38,11 +65,11 @@ void ThreadPool::RunChunk(
   const std::size_t end = (part + 1) * n / parts;
   if (begin >= end) return;
   if (!stats_enabled_) {
-    body(begin, end, worker);
+    RunBody(body, begin, end, worker);
     return;
   }
   Stopwatch sw;
-  body(begin, end, worker);
+  RunBody(body, begin, end, worker);
   const double seconds = sw.Seconds();
   // Exclusive slots; the join barrier publishes them to the caller.
   worker_busy_[worker].v += seconds;
@@ -92,16 +119,11 @@ void ThreadPool::ParallelForWorker(
   if (n == 0) return;
   Stopwatch region_sw;
   if (num_threads_ == 1) {
-    if (!stats_enabled_) {
-      body(0, n, 0);
-      return;
-    }
-    Stopwatch sw;
-    body(0, n, 0);
-    const double seconds = sw.Seconds();
-    worker_busy_[0].v += seconds;
-    region_chunk_seconds_[0].v = seconds;
-    FinishRegionStats(1, region_sw.Seconds());
+    // Inline execution shares RunChunk's capture-then-rethrow path so the
+    // exception contract is identical with and without workers.
+    RunChunk(body, n, 0, 1, 0);
+    if (stats_enabled_) FinishRegionStats(1, region_sw.Seconds());
+    RethrowPendingError();
     return;
   }
   if (stats_enabled_)
@@ -121,6 +143,7 @@ void ThreadPool::ParallelForWorker(
     cv_done_.wait(lk, [&] { return pending_ == 0; });
   }
   if (stats_enabled_) FinishRegionStats(n, region_sw.Seconds());
+  RethrowPendingError();
 }
 
 void ThreadPool::ParallelFor(

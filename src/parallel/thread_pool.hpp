@@ -19,6 +19,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -61,6 +62,12 @@ class ThreadPool {
   // (including the calling thread). Blocks until every chunk completes.
   // Chunks are contiguous and their boundaries depend only on (n,
   // num_threads), never on timing — results are deterministic.
+  //
+  // Exception safety (docs/ROBUSTNESS.md): a throw from any chunk is
+  // captured, every other chunk still runs to completion (no worker is
+  // abandoned mid-region), and the FIRST captured exception is rethrown on
+  // the calling thread after the join. The pool remains fully usable for
+  // subsequent regions.
   void ParallelFor(std::size_t n,
                    const std::function<void(std::size_t, std::size_t)>& body);
 
@@ -96,6 +103,12 @@ class ThreadPool {
   void RunChunk(
       const std::function<void(std::size_t, std::size_t, std::size_t)>& body,
       std::size_t n, std::size_t part, std::size_t parts, std::size_t worker);
+  // Invokes one chunk body, capturing the first exception for the caller.
+  void RunBody(
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& body,
+      std::size_t begin, std::size_t end, std::size_t worker);
+  // Rethrows the region's first captured exception, if any (caller thread).
+  void RethrowPendingError();
   void FinishRegionStats(std::size_t n, double wall_seconds);
 
   std::size_t num_threads_;
@@ -108,6 +121,9 @@ class ThreadPool {
   std::uint64_t epoch_ = 0;
   std::size_t pending_ = 0;
   bool shutdown_ = false;
+  // First exception thrown by any chunk of the current region (guarded by
+  // mu_); moved out and rethrown on the submitting thread after the join.
+  std::exception_ptr first_error_;
 
   // Utilization accounting (written inside regions only when enabled).
   bool stats_enabled_ = false;

@@ -148,6 +148,22 @@ class SparseBackend final : public SeaIterationBackend {
 
   std::uint64_t CheckCost() const override { return 2 * p_.nnz(); }
 
+  // Breakdown recovery mirrors the dense backend: the pattern primal is
+  // recovered from the duals after the run, so they are the whole state.
+  void SaveGoodIterate() override {
+    lambda_good_ = lambda_;
+    mu_good_ = mu_;
+  }
+  void RestoreGoodIterate() override {
+    if (lambda_good_.empty()) {
+      std::fill(lambda_.begin(), lambda_.end(), 0.0);
+      std::fill(mu_.begin(), mu_.end(), 0.0);
+      return;
+    }
+    lambda_ = lambda_good_;
+    mu_ = mu_good_;
+  }
+
  private:
   const SparseDiagonalProblem& p_;
   const SparseMatrix& x0_t_;
@@ -160,6 +176,8 @@ class SparseBackend final : public SeaIterationBackend {
   SparseMatrix xt_;
   std::vector<double> xt_prev_;
   Vector rowsum_;
+  // Duals at the last finite check (empty until one passes).
+  Vector lambda_good_, mu_good_;
 };
 
 }  // namespace

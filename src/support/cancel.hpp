@@ -1,0 +1,36 @@
+// Cooperative cancellation for long-running solves.
+//
+// A CancelToken is shared between the thread driving a solve and any thread
+// that may want to stop it (a deadline watcher, a signal handler's
+// dispatcher, an RPC teardown path). Cancel() is async-safe with respect to
+// the solver: the iteration engine polls cancelled() at check iterations
+// only — never inside a parallel sweep — so cancellation is prompt
+// (one check interval) and the solver always returns a consistent result
+// with SolveStatus::kCancelled (docs/ROBUSTNESS.md).
+#pragma once
+
+#include <atomic>
+
+namespace sea {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  // Request cancellation. Safe from any thread; idempotent.
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  // Re-arm the token for a new solve (only between solves).
+  void Reset() { cancelled_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace sea

@@ -1,0 +1,75 @@
+#include "support/failpoint.hpp"
+
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+namespace sea::fail {
+
+namespace internal {
+
+std::atomic<int> armed_count{0};
+
+namespace {
+
+struct Site {
+  std::uint64_t fire_at = 1;  // 1-based visit ordinal
+  std::uint64_t hits = 0;
+};
+
+std::mutex& Mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::map<std::string, Site>& Sites() {
+  static std::map<std::string, Site> sites;
+  return sites;
+}
+
+}  // namespace
+
+bool TriggeredSlow(const char* name) {
+  std::lock_guard lk(Mutex());
+  auto it = Sites().find(name);
+  if (it == Sites().end()) return false;
+  ++it->second.hits;
+  return it->second.hits >= it->second.fire_at;
+}
+
+}  // namespace internal
+
+void Arm(const std::string& name, std::uint64_t at_hit) {
+  std::lock_guard lk(internal::Mutex());
+  auto [it, inserted] = internal::Sites().insert_or_assign(
+      name, internal::Site{at_hit == 0 ? 1 : at_hit, 0});
+  (void)it;
+  if (inserted)
+    internal::armed_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Disarm(const std::string& name) {
+  std::lock_guard lk(internal::Mutex());
+  if (internal::Sites().erase(name) > 0)
+    internal::armed_count.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void DisarmAll() {
+  std::lock_guard lk(internal::Mutex());
+  const int n = static_cast<int>(internal::Sites().size());
+  internal::Sites().clear();
+  internal::armed_count.fetch_sub(n, std::memory_order_relaxed);
+}
+
+std::uint64_t HitCount(const std::string& name) {
+  std::lock_guard lk(internal::Mutex());
+  auto it = internal::Sites().find(name);
+  return it == internal::Sites().end() ? 0 : it->second.hits;
+}
+
+void MaybeThrow(const char* name) {
+  if (Triggered(name))
+    throw std::runtime_error(std::string("failpoint ") + name + " fired");
+}
+
+}  // namespace sea::fail

@@ -1,0 +1,62 @@
+// Fault-injection failpoints (docs/ROBUSTNESS.md).
+//
+// A failpoint is a named site in production code where a test can inject a
+// failure: NaN-poison an iterate at iteration k, throw inside a thread-pool
+// task, fail a trace-sink write mid-run. The registry exists so the
+// guardrail layer's degradation paths are provable — every recovery branch
+// has a test that actually forces the failure through it.
+//
+// Usage (tests only; see tests/test_faults.cpp):
+//   sea::fail::Arm("sea.pool.task", 3);   // fire from the 3rd hit onward
+//   ... run the solve ...
+//   sea::fail::DisarmAll();
+//
+// Sites call Triggered(name) — or MaybeThrow(name) for throw-style faults —
+// at the injection point. The disarmed fast path is a single relaxed atomic
+// load shared by all sites, so shipping the hooks in release builds costs
+// one predictable branch per site visit.
+//
+// Registered sites (append-only; grep SEA_FAILPOINT_SITE for ground truth):
+//   sea.engine.poison_measure   check measure becomes NaN (iteration engine)
+//   sea.entropy.poison_lambda   lambda[0] becomes NaN before a row sweep
+//   sea.pool.task               throws std::runtime_error inside a pool chunk
+//   sea.obs.trace_write         JSONL trace sink stream enters a failed state
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace sea::fail {
+
+namespace internal {
+// Count of currently armed failpoints; the fast path for every site.
+extern std::atomic<int> armed_count;
+bool TriggeredSlow(const char* name);
+}  // namespace internal
+
+// Arm `name` to fire on the at_hit-th visit (1-based) and every visit after,
+// until disarmed. Re-arming resets the hit counter.
+void Arm(const std::string& name, std::uint64_t at_hit = 1);
+
+// Disarm one site / all sites (hit counters reset).
+void Disarm(const std::string& name);
+void DisarmAll();
+
+// Visits observed since the site was armed (0 when disarmed).
+std::uint64_t HitCount(const std::string& name);
+
+// Records a visit to the site and reports whether the fault should fire.
+inline bool Triggered(const char* name) {
+  if (internal::armed_count.load(std::memory_order_relaxed) == 0)
+    return false;
+  return internal::TriggeredSlow(name);
+}
+
+// Throw-style site: throws std::runtime_error("failpoint <name> fired").
+void MaybeThrow(const char* name);
+
+}  // namespace sea::fail
+
+// Marker for grep-ability at injection sites; expands to nothing.
+#define SEA_FAILPOINT_SITE(name)

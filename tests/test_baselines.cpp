@@ -31,7 +31,7 @@ TEST(Rc, AgreesWithGeneralSea) {
     rc_opts.epsilon = 1e-7;
     rc_opts.max_outer_iterations = 5000;
     const auto rc_run = SolveRc(p, rc_opts);
-    ASSERT_TRUE(sea_run.result.converged);
+    ASSERT_TRUE(sea_run.result.converged());
     ASSERT_TRUE(rc_run.result.converged) << size;
     EXPECT_NEAR(rc_run.result.objective, sea_run.result.objective,
                 1e-3 * std::max(1.0, std::abs(sea_run.result.objective)))
@@ -107,7 +107,7 @@ TEST(BachemKorte, AgreesWithGeneralSea) {
     opts.epsilon = 1e-7;
     opts.max_sweeps = 100000;
     const auto bk_run = SolveBachemKorte(p, opts);
-    ASSERT_TRUE(sea_run.result.converged);
+    ASSERT_TRUE(sea_run.result.converged());
     ASSERT_TRUE(bk_run.result.converged) << size;
     EXPECT_NEAR(bk_run.result.objective, sea_run.result.objective,
                 1e-3 * std::max(1.0, std::abs(sea_run.result.objective)));

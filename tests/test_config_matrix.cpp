@@ -93,7 +93,7 @@ double ReferenceObjective(TotalsMode mode) {
   o.criterion = StopCriterion::kResidualAbs;
   o.max_iterations = 500000;
   const auto run = SolveDiagonal(InstanceFor(mode), o);
-  EXPECT_TRUE(run.result.converged);
+  EXPECT_TRUE(run.result.converged());
   (*cache)[mode] = run.result.objective;
   return run.result.objective;
 }
@@ -115,7 +115,7 @@ TEST_P(ConfigMatrix, InvariantsHoldAndOptimumAgrees) {
   if (threads > 1) o.pool = &pool;
 
   const auto run = SolveDiagonal(p, o);
-  ASSERT_TRUE(run.result.converged);
+  ASSERT_TRUE(run.result.converged());
 
   const auto rep = CheckFeasibility(p, run.solution);
   EXPECT_GE(rep.min_x, 0.0);
@@ -154,7 +154,7 @@ TEST_P(ConfigDeterminism, RepeatRunsBitIdentical) {
   if (threads > 1) o.pool = &pool;
   const auto a = SolveDiagonal(p, o);
   const auto b = SolveDiagonal(p, o);
-  ASSERT_TRUE(a.result.converged);
+  ASSERT_TRUE(a.result.converged());
   EXPECT_EQ(a.result.iterations, b.result.iterations);
   EXPECT_DOUBLE_EQ(a.solution.x.MaxAbsDiff(b.solution.x), 0.0);
 }

@@ -45,7 +45,7 @@ TEST(ConvergenceTheory, DualValuesMonotoneNondecreasing) {
     o.criterion = StopCriterion::kResidualAbs;
     o.record_dual_values = true;
     const auto run = SolveDiagonal(p, o);
-    ASSERT_TRUE(run.result.converged);
+    ASSERT_TRUE(run.result.converged());
     ASSERT_GE(run.result.dual_values.size(), 2u);
     for (std::size_t t = 1; t < run.result.dual_values.size(); ++t)
       EXPECT_GE(run.result.dual_values[t],
@@ -62,7 +62,7 @@ TEST(ConvergenceTheory, StrongDualityAtConvergence) {
   o.criterion = StopCriterion::kResidualAbs;
   o.record_dual_values = true;
   const auto run = SolveDiagonal(p, o);
-  ASSERT_TRUE(run.result.converged);
+  ASSERT_TRUE(run.result.converged());
   // Final dual value equals the primal objective (zero duality gap).
   EXPECT_NEAR(run.result.dual_values.back(), run.result.objective,
               1e-6 * std::max(1.0, std::abs(run.result.objective)));
@@ -79,7 +79,7 @@ TEST(ConvergenceTheory, DualGapDecreasesGeometrically) {
   o.record_dual_values = true;
   o.max_iterations = 100000;
   const auto run = SolveDiagonal(p, o);
-  ASSERT_TRUE(run.result.converged);
+  ASSERT_TRUE(run.result.converged());
   const auto& vals = run.result.dual_values;
   ASSERT_GE(vals.size(), 6u);
   const double zstar = vals.back();
@@ -106,7 +106,7 @@ TEST(ConvergenceTheory, TighterEpsilonCostsAdditiveIterations) {
     o.epsilon = eps;
     o.criterion = StopCriterion::kResidualAbs;
     const auto run = SolveDiagonal(p, o);
-    ASSERT_TRUE(run.result.converged);
+    ASSERT_TRUE(run.result.converged());
     iters.push_back(run.result.iterations);
   }
   // Monotone in tightening ...
@@ -142,8 +142,8 @@ TEST(ConvergenceTheory, IterationsInsensitiveToScale) {
   o.criterion = StopCriterion::kResidualAbs;
   const auto r1 = SolveDiagonal(p1, o);
   const auto r2 = SolveDiagonal(p2, o);
-  ASSERT_TRUE(r1.result.converged);
-  ASSERT_TRUE(r2.result.converged);
+  ASSERT_TRUE(r1.result.converged());
+  ASSERT_TRUE(r2.result.converged());
   EXPECT_EQ(r1.result.iterations, r2.result.iterations);
   EXPECT_LT(r1.solution.x.MaxAbsDiff(r2.solution.x), 1e-6);
 }
@@ -164,7 +164,7 @@ TEST(ConvergenceTheory, FixedProblemsConvergeInFewIterations) {
   o.epsilon = 1e-2;
   o.criterion = StopCriterion::kXChange;
   const auto run = SolveDiagonal(p, o);
-  ASSERT_TRUE(run.result.converged);
+  ASSERT_TRUE(run.result.converged());
   EXPECT_LE(run.result.iterations, 6u);
 }
 

@@ -72,7 +72,7 @@ TEST(DiagonalSea, MatchesEnumerativeOracleFixed) {
     const auto oracle = SolveEnumerativeKkt(p);
     ASSERT_TRUE(oracle.has_value());
     const auto run = SolveDiagonal(p, TightOptions());
-    EXPECT_TRUE(run.result.converged);
+    EXPECT_TRUE(run.result.converged());
     EXPECT_LT(run.solution.x.MaxAbsDiff(oracle->x), 1e-6) << "trial " << trial;
   }
 }
@@ -84,7 +84,7 @@ TEST(DiagonalSea, MatchesEnumerativeOracleElastic) {
     const auto oracle = SolveEnumerativeKkt(p);
     ASSERT_TRUE(oracle.has_value());
     const auto run = SolveDiagonal(p, TightOptions());
-    EXPECT_TRUE(run.result.converged);
+    EXPECT_TRUE(run.result.converged());
     EXPECT_LT(run.solution.x.MaxAbsDiff(oracle->x), 1e-6);
     for (std::size_t i = 0; i < 2; ++i)
       EXPECT_NEAR(run.solution.s[i], oracle->s[i], 1e-6);
@@ -103,7 +103,7 @@ TEST(DiagonalSea, MatchesEnumerativeOracleSam) {
     o.criterion = StopCriterion::kResidualRel;
     o.epsilon = 1e-10;
     const auto run = SolveDiagonal(p, o);
-    EXPECT_TRUE(run.result.converged);
+    EXPECT_TRUE(run.result.converged());
     EXPECT_LT(run.solution.x.MaxAbsDiff(oracle->x), 1e-5);
   }
 }
@@ -123,7 +123,7 @@ TEST_P(DiagonalSeaProperty, FeasibleStationaryAndAgreesWithReference) {
   SeaOptions o = TightOptions();
   o.epsilon = 1e-8;
   const auto run = SolveDiagonal(p, o);
-  ASSERT_TRUE(run.result.converged);
+  ASSERT_TRUE(run.result.converged());
 
   const auto rep = CheckFeasibility(p, run.solution);
   EXPECT_LT(rep.MaxAbs(), 1e-6);
@@ -160,7 +160,7 @@ TEST(DiagonalSea, SamSolutionsBalance) {
   const auto p = RandomProblem(TotalsMode::kSam, 10, 10, rng);
   SeaOptions o = TightOptions();
   const auto run = SolveDiagonal(p, o);
-  ASSERT_TRUE(run.result.converged);
+  ASSERT_TRUE(run.result.converged());
   for (std::size_t i = 0; i < 10; ++i) {
     double rs = 0.0, cs = 0.0;
     for (std::size_t j = 0; j < 10; ++j) {
@@ -195,9 +195,9 @@ TEST(DiagonalSea, WarmStartSkipsWork) {
   SeaOptions o = TightOptions();
   DiagonalSea solver(p);
   const auto cold = solver.Solve(o);
-  ASSERT_TRUE(cold.result.converged);
+  ASSERT_TRUE(cold.result.converged());
   const auto warm = solver.SolveWarm(o, cold.solution.mu);
-  EXPECT_TRUE(warm.result.converged);
+  EXPECT_TRUE(warm.result.converged());
   EXPECT_LE(warm.result.iterations, cold.result.iterations);
   EXPECT_LT(warm.solution.x.MaxAbsDiff(cold.solution.x), 1e-6);
 }
@@ -210,11 +210,11 @@ TEST(DiagonalSea, WarmStartFromNonzeroMuMatchesColdFixedPoint) {
   SeaOptions o = TightOptions();
   DiagonalSea solver(p);
   const auto cold = solver.Solve(o);
-  ASSERT_TRUE(cold.result.converged);
+  ASSERT_TRUE(cold.result.converged());
 
   const Vector mu0 = rng.UniformVector(11, -5.0, 5.0);
   const auto warm = solver.SolveWarm(o, mu0);
-  ASSERT_TRUE(warm.result.converged);
+  ASSERT_TRUE(warm.result.converged());
   EXPECT_LT(warm.solution.x.MaxAbsDiff(cold.solution.x), 1e-6);
   EXPECT_NEAR(warm.result.objective, cold.result.objective,
               1e-6 * std::max(1.0, std::abs(cold.result.objective)));
@@ -229,14 +229,14 @@ TEST(DiagonalSea, ResetProblemMatchesFreshSolver) {
   SeaOptions o = TightOptions();
 
   DiagonalSea reused(p1);
-  ASSERT_TRUE(reused.Solve(o).result.converged);
+  ASSERT_TRUE(reused.Solve(o).result.converged());
   reused.ResetProblem(p2);
   const auto via_reset = reused.Solve(o);
 
   DiagonalSea fresh(p2);
   const auto via_fresh = fresh.Solve(o);
 
-  ASSERT_TRUE(via_reset.result.converged);
+  ASSERT_TRUE(via_reset.result.converged());
   EXPECT_EQ(via_reset.result.iterations, via_fresh.result.iterations);
   EXPECT_DOUBLE_EQ(
       via_reset.solution.x.MaxAbsDiff(via_fresh.solution.x), 0.0);
@@ -252,7 +252,7 @@ TEST(DiagonalSea, ProgressCallbackFiresOnCheckIterationsOnly) {
   std::vector<IterationEvent> events;
   o.progress = [&](const IterationEvent& ev) { events.push_back(ev); };
   const auto run = SolveDiagonal(p, o);
-  ASSERT_TRUE(run.result.converged);
+  ASSERT_TRUE(run.result.converged());
 
   ASSERT_FALSE(events.empty());
   for (const auto& ev : events) {
@@ -278,7 +278,7 @@ TEST(DiagonalSea, XChangeFirstCheckReportsUndefinedMeasure) {
   o.criterion = StopCriterion::kXChange;
   o.max_iterations = 1;
   const auto run = SolveDiagonal(p, o);
-  EXPECT_FALSE(run.result.converged);
+  EXPECT_FALSE(run.result.converged());
   EXPECT_EQ(run.result.checks_compared, 0u);
   EXPECT_EQ(run.result.final_residual, 0.0);
   EXPECT_TRUE(std::isfinite(run.result.final_residual));
@@ -299,7 +299,7 @@ TEST(DiagonalSea, XChangeCriterionTerminates) {
   o.criterion = StopCriterion::kXChange;
   o.epsilon = 1e-8;
   const auto run = SolveDiagonal(p, o);
-  EXPECT_TRUE(run.result.converged);
+  EXPECT_TRUE(run.result.converged());
   // x-change convergence still implies near-feasibility here.
   EXPECT_LT(CheckFeasibility(p, run.solution).MaxRel(), 1e-4);
 }
@@ -312,8 +312,8 @@ TEST(DiagonalSea, CheckEverySkipsChecks) {
   SeaOptions spaced = TightOptions();
   spaced.check_every = 4;
   const auto run4 = SolveDiagonal(p, spaced);
-  EXPECT_TRUE(run1.result.converged);
-  EXPECT_TRUE(run4.result.converged);
+  EXPECT_TRUE(run1.result.converged());
+  EXPECT_TRUE(run4.result.converged());
   // Spaced checking can only overshoot the iteration count, never converge
   // to a different point.
   EXPECT_GE(run4.result.iterations + 3, run1.result.iterations);
@@ -325,7 +325,7 @@ TEST(DiagonalSea, ColumnConstraintsExactAfterSolve) {
   Rng rng(9);
   const auto p = RandomProblem(TotalsMode::kFixed, 10, 8, rng);
   const auto run = SolveDiagonal(p, TightOptions());
-  ASSERT_TRUE(run.result.converged);
+  ASSERT_TRUE(run.result.converged());
   for (std::size_t j = 0; j < 8; ++j) {
     double cs = 0.0;
     for (std::size_t i = 0; i < 10; ++i) cs += run.solution.x(i, j);
@@ -339,7 +339,7 @@ TEST(DiagonalSea, TraceRecordsPhases) {
   SeaOptions o = TightOptions();
   o.record_trace = true;
   const auto run = SolveDiagonal(p, o);
-  ASSERT_TRUE(run.result.converged);
+  ASSERT_TRUE(run.result.converged());
   ASSERT_FALSE(run.result.trace.empty());
   // Per iteration: one row parallel phase (6 tasks), one column phase
   // (7 tasks), plus serial checks.
@@ -363,7 +363,7 @@ TEST(DiagonalSea, ObjectiveNotWorseThanReference) {
   Rng rng(11);
   const auto p = RandomProblem(TotalsMode::kElastic, 10, 12, rng);
   const auto run = SolveDiagonal(p, TightOptions());
-  ASSERT_TRUE(run.result.converged);
+  ASSERT_TRUE(run.result.converged());
   const auto ref = SolveDualGradient(p, {.grad_tol = 1e-8});
   ASSERT_TRUE(ref.converged);
   const double obj_ref =
@@ -378,7 +378,7 @@ TEST(DiagonalSea, IterationLimitReportsNonConvergence) {
   SeaOptions o = TightOptions();
   o.max_iterations = 1;
   const auto run = SolveDiagonal(p, o);
-  EXPECT_FALSE(run.result.converged);
+  EXPECT_FALSE(run.result.converged());
   EXPECT_EQ(run.result.iterations, 1u);
 }
 
@@ -389,7 +389,7 @@ TEST(DiagonalSea, FixedModeHandlesZeroTotalsRowAndColumn) {
   const auto p =
       DiagonalProblem::MakeFixed(x0, gamma, {2.0, 0.0}, {2.0, 0.0});
   const auto run = SolveDiagonal(p, TightOptions());
-  EXPECT_TRUE(run.result.converged);
+  EXPECT_TRUE(run.result.converged());
   EXPECT_NEAR(run.solution.x(1, 0), 0.0, 1e-9);
   EXPECT_NEAR(run.solution.x(0, 1), 0.0, 1e-9);
   EXPECT_NEAR(run.solution.x(1, 1), 0.0, 1e-9);

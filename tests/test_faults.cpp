@@ -1,0 +1,225 @@
+// Fault-injection suite (ctest label: faults; docs/ROBUSTNESS.md).
+//
+// Every recovery branch of the guardrail layer is forced through its
+// failure via the failpoint registry (support/failpoint.hpp) and verified
+// to degrade as documented: a poisoned iterate comes back finite with
+// kNumericalBreakdown, a throwing pool chunk surfaces on the submitting
+// thread without killing the pool, a failed trace write loses the trace but
+// never the solve, and budget/cancellation terminate with their statuses.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/diagonal_sea.hpp"
+#include "core/solve_status.hpp"
+#include "entropy/entropy_sea.hpp"
+#include "obs/trace_sink.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/cancel.hpp"
+#include "support/failpoint.hpp"
+
+namespace sea {
+namespace {
+
+// DisarmAll on both sides so a failing test can't leak an armed failpoint
+// into the rest of the binary.
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fail::DisarmAll(); }
+  void TearDown() override { fail::DisarmAll(); }
+};
+
+DiagonalProblem SmallFixedProblem() {
+  // Non-uniform weights: with uniform gamma this problem solves exactly in
+  // one iteration, which would starve later-check failpoints of checks.
+  DenseMatrix x0(3, 3), gamma(3, 3);
+  double v = 1.0;
+  for (double& c : x0.Flat()) c = v++;
+  v = 0.0;
+  for (double& c : gamma.Flat()) c = 0.5 + 0.37 * (v++ * v / 9.0);
+  Vector s0 = x0.RowSums(), d0 = x0.ColSums();
+  for (double& t : s0) t *= 1.3;
+  for (double& t : d0) t *= 1.3;
+  return DiagonalProblem::MakeFixed(x0, gamma, s0, d0);
+}
+
+SeaOptions TightOptions() {
+  SeaOptions o;
+  // Tight enough that no test instance converges within the first few
+  // checks — the poison failpoints must fire before convergence.
+  o.epsilon = 1e-12;
+  o.criterion = StopCriterion::kResidualAbs;
+  return o;
+}
+
+bool AllFinite(const DenseMatrix& m) {
+  for (double v : m.Flat())
+    if (!std::isfinite(v)) return false;
+  return true;
+}
+
+bool AllFinite(const Vector& v) {
+  for (double x : v)
+    if (!std::isfinite(x)) return false;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Failpoint registry mechanics.
+
+TEST_F(FaultTest, FailpointFiresFromArmedHitOnward) {
+  fail::Arm("test.site", 3);
+  EXPECT_FALSE(fail::Triggered("test.site"));
+  EXPECT_FALSE(fail::Triggered("test.site"));
+  EXPECT_TRUE(fail::Triggered("test.site"));
+  EXPECT_TRUE(fail::Triggered("test.site"));
+  EXPECT_EQ(fail::HitCount("test.site"), 4u);
+  fail::Disarm("test.site");
+  EXPECT_FALSE(fail::Triggered("test.site"));
+  EXPECT_EQ(fail::HitCount("test.site"), 0u);
+}
+
+TEST_F(FaultTest, DisarmedSitesCostOnlyTheFastPath) {
+  // Nothing armed: Triggered must neither fire nor record hits.
+  EXPECT_FALSE(fail::Triggered("never.armed"));
+  EXPECT_EQ(fail::HitCount("never.armed"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Numerical breakdown: poisoned measure in the engine.
+
+TEST_F(FaultTest, PoisonedMeasureReturnsLastGoodIterate) {
+  const auto p = SmallFixedProblem();
+  SeaOptions o = TightOptions();
+  // Let two checks pass so a good iterate exists, then poison the third.
+  fail::Arm("sea.engine.poison_measure", 3);
+  const auto run = SolveDiagonal(p, o);
+  EXPECT_EQ(run.result.status, SolveStatus::kNumericalBreakdown);
+  EXPECT_FALSE(run.result.converged());
+  EXPECT_TRUE(AllFinite(run.solution.x));
+  EXPECT_TRUE(AllFinite(run.solution.lambda));
+  EXPECT_TRUE(AllFinite(run.solution.mu));
+  // Only the two clean checks were counted; the poisoned one has no value.
+  EXPECT_EQ(run.result.checks_compared, 2u);
+}
+
+TEST_F(FaultTest, PoisonOnFirstCheckStillReturnsFiniteIterate) {
+  const auto p = SmallFixedProblem();
+  fail::Arm("sea.engine.poison_measure", 1);
+  const auto run = SolveDiagonal(p, TightOptions());
+  EXPECT_EQ(run.result.status, SolveStatus::kNumericalBreakdown);
+  // No check ever passed: the backend falls back to the zero duals, which
+  // still recover a finite primal.
+  EXPECT_TRUE(AllFinite(run.solution.x));
+  EXPECT_EQ(run.result.checks_compared, 0u);
+}
+
+TEST_F(FaultTest, PoisonedEntropyLambdaDegradesToBreakdown) {
+  // 4x4 with skewed totals so the scaling iteration needs several passes.
+  EntropyProblem p;
+  p.x0 = DenseMatrix(4, 4);
+  double v = 1.0;
+  for (double& c : p.x0.Flat()) c = v++ * 0.7;
+  p.s0 = p.x0.RowSums();
+  p.d0 = p.x0.ColSums();
+  p.s0[0] *= 2.0;
+  p.s0[3] *= 0.6;
+  const double scale =
+      (p.d0[0] + p.d0[1] + p.d0[2] + p.d0[3]) /
+      (p.s0[0] + p.s0[1] + p.s0[2] + p.s0[3]);
+  for (double& t : p.s0) t *= scale;
+  SeaOptions o = TightOptions();
+  // Poison the 2nd row sweep: the first check has saved a good iterate.
+  fail::Arm("sea.entropy.poison_lambda", 2);
+  const auto run = SolveEntropy(p, o);
+  EXPECT_EQ(run.result.status, SolveStatus::kNumericalBreakdown);
+  EXPECT_TRUE(AllFinite(run.x));
+  EXPECT_TRUE(AllFinite(run.lambda));
+  EXPECT_TRUE(AllFinite(run.mu));
+}
+
+// ---------------------------------------------------------------------------
+// Thread pool: a throwing chunk surfaces once, the pool survives.
+
+TEST_F(FaultTest, PoolTaskThrowReachesSubmittingThread) {
+  ThreadPool pool(4);
+  fail::Arm("sea.pool.task");
+  EXPECT_THROW(pool.ParallelFor(100, [](std::size_t, std::size_t) {}),
+               std::runtime_error);
+}
+
+TEST_F(FaultTest, PoolStaysUsableAfterChunkThrow) {
+  ThreadPool pool(4);
+  fail::Arm("sea.pool.task");
+  EXPECT_THROW(pool.ParallelFor(100, [](std::size_t, std::size_t) {}),
+               std::runtime_error);
+  fail::DisarmAll();
+  // The join protocol survived the throw: the same pool must run a full
+  // region correctly afterwards.
+  std::vector<std::atomic<int>> hits(100);
+  pool.ParallelFor(100, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_F(FaultTest, InlinePoolSharesTheExceptionContract) {
+  ThreadPool pool(1);
+  fail::Arm("sea.pool.task");
+  EXPECT_THROW(pool.ParallelFor(10, [](std::size_t, std::size_t) {}),
+               std::runtime_error);
+  fail::DisarmAll();
+  int sum = 0;
+  pool.ParallelFor(10, [&](std::size_t b, std::size_t e) {
+    sum += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(sum, 10);
+}
+
+// ---------------------------------------------------------------------------
+// Trace sink: a failed write degrades the trace, never the solve.
+
+TEST_F(FaultTest, TraceWriteFailureDoesNotAbortSolve) {
+  const auto p = SmallFixedProblem();
+  const std::string path =
+      ::testing::TempDir() + "/fault_trace.jsonl";
+  obs::JsonlTraceSink sink(path);
+  SeaOptions o = TightOptions();
+  o.trace_sink = &sink;
+  fail::Arm("sea.obs.trace_write", 2);  // first event lands, second fails
+  const auto run = SolveDiagonal(p, o);
+  EXPECT_TRUE(run.result.converged());
+  EXPECT_TRUE(sink.write_failed());
+  EXPECT_EQ(sink.events_written(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Budgets and cancellation.
+
+TEST_F(FaultTest, PreCancelledTokenStopsBeforeAnySweep) {
+  const auto p = SmallFixedProblem();
+  CancelToken cancel;
+  cancel.Cancel();
+  SeaOptions o = TightOptions();
+  o.cancel = &cancel;
+  const auto run = SolveDiagonal(p, o);
+  EXPECT_EQ(run.result.status, SolveStatus::kCancelled);
+  EXPECT_EQ(run.result.iterations, 0u);
+}
+
+TEST_F(FaultTest, TinyTimeBudgetExceedsImmediately) {
+  const auto p = SmallFixedProblem();
+  SeaOptions o = TightOptions();
+  o.max_iterations = 1000000;
+  o.time_budget_seconds = 1e-12;
+  const auto run = SolveDiagonal(p, o);
+  EXPECT_EQ(run.result.status, SolveStatus::kTimeBudgetExceeded);
+  EXPECT_FALSE(run.result.converged());
+}
+
+}  // namespace
+}  // namespace sea

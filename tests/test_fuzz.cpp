@@ -25,7 +25,7 @@ SeaOptions FuzzOptions() {
 
 void ExpectSolved(const DiagonalProblem& p, const char* tag) {
   const auto run = SolveDiagonal(p, FuzzOptions());
-  ASSERT_TRUE(run.result.converged) << tag;
+  ASSERT_TRUE(run.result.converged()) << tag;
   const auto rep = CheckFeasibility(p, run.solution);
   EXPECT_GE(rep.min_x, 0.0) << tag;
   EXPECT_LT(rep.MaxAbs(), 1e-5 * (1.0 + rep.max_row_abs + 1.0)) << tag;
@@ -80,7 +80,7 @@ TEST(Fuzz, RandomSamInstances) {
     const auto p = DiagonalProblem::MakeSam(
         x0, gamma, s0, rng.UniformVector(n, 0.01, 10.0));
     const auto run = SolveDiagonal(p, o);
-    ASSERT_TRUE(run.result.converged);
+    ASSERT_TRUE(run.result.converged());
     EXPECT_GE(CheckFeasibility(p, run.solution).min_x, 0.0);
     EXPECT_LT(KktStationarityError(p, run.solution),
               1e-4 * (1.0 + std::abs(run.result.objective)));
@@ -96,7 +96,7 @@ TEST(Fuzz, DegenerateShapes) {
     DenseMatrix gamma(1, 1, 2.0);
     const auto p = DiagonalProblem::MakeFixed(x0, gamma, {7.0}, {7.0});
     const auto run = SolveDiagonal(p, FuzzOptions());
-    ASSERT_TRUE(run.result.converged);
+    ASSERT_TRUE(run.result.converged());
     EXPECT_NEAR(run.solution.x(0, 0), 7.0, 1e-8);
   }
   // 1xN row vector: column totals pin everything.
@@ -110,7 +110,7 @@ TEST(Fuzz, DegenerateShapes) {
     for (double v : d0) total += v;
     const auto p = DiagonalProblem::MakeFixed(x0, gamma, {total}, d0);
     const auto run = SolveDiagonal(p, FuzzOptions());
-    ASSERT_TRUE(run.result.converged);
+    ASSERT_TRUE(run.result.converged());
     for (std::size_t j = 0; j < n; ++j)
       EXPECT_NEAR(run.solution.x(0, j), d0[j], 1e-7);
   }
@@ -124,7 +124,7 @@ TEST(Fuzz, DegenerateShapes) {
     for (double v : s0) total += v;
     const auto p = DiagonalProblem::MakeFixed(x0, gamma, s0, {total});
     const auto run = SolveDiagonal(p, FuzzOptions());
-    ASSERT_TRUE(run.result.converged);
+    ASSERT_TRUE(run.result.converged());
   }
   // All-zero totals: the zero matrix is the unique feasible point.
   {
@@ -132,7 +132,7 @@ TEST(Fuzz, DegenerateShapes) {
     const auto p = DiagonalProblem::MakeFixed(x0, gamma, Vector(3, 0.0),
                                               Vector(3, 0.0));
     const auto run = SolveDiagonal(p, FuzzOptions());
-    ASSERT_TRUE(run.result.converged);
+    ASSERT_TRUE(run.result.converged());
     for (double v : run.solution.x.Flat()) EXPECT_NEAR(v, 0.0, 1e-10);
   }
 }
@@ -164,7 +164,7 @@ TEST(Fuzz, HugeMagnitudes) {
   o.criterion = StopCriterion::kResidualRel;  // absolute 1e-7 is meaningless
   o.epsilon = 1e-10;                          // at 1e10 magnitudes
   const auto run = SolveDiagonal(p, o);
-  ASSERT_TRUE(run.result.converged);
+  ASSERT_TRUE(run.result.converged());
   EXPECT_LT(CheckFeasibility(p, run.solution).MaxRel(), 1e-8);
 }
 
@@ -186,7 +186,7 @@ TEST(Fuzz, EntropyRandomInstances) {
     SeaOptions o = FuzzOptions();
     o.criterion = StopCriterion::kResidualRel;
     const auto run = SolveEntropy(p, o);
-    ASSERT_TRUE(run.result.converged) << trial;
+    ASSERT_TRUE(run.result.converged()) << trial;
     EXPECT_GE(CheckFeasibility(run.x, p.s0, p.d0).min_x, 0.0);
   }
 }

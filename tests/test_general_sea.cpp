@@ -50,7 +50,7 @@ TEST(GeneralSea, DiagonalGMatchesDiagonalSea) {
   o.criterion = StopCriterion::kResidualAbs;
   const auto run_dia = SolveDiagonal(dia, o);
 
-  EXPECT_TRUE(run_gen.result.converged);
+  EXPECT_TRUE(run_gen.result.converged());
   EXPECT_LT(run_gen.solution.x.MaxAbsDiff(run_dia.solution.x), 1e-4);
   // With an exact first projection step, SEA needs very few outer steps.
   EXPECT_LE(run_gen.result.outer_iterations, 3u);
@@ -61,7 +61,7 @@ TEST(GeneralSea, FixedProblemsAreFeasibleAndStationary) {
   for (std::size_t size : {4u, 6u}) {
     const auto p = datasets::MakeGeneralDense(size, size, rng);
     const auto run = SolveGeneral(p, TightGeneral());
-    ASSERT_TRUE(run.result.converged) << size;
+    ASSERT_TRUE(run.result.converged()) << size;
     const auto rep = CheckFeasibility(run.solution.x, p.s0(), p.d0());
     EXPECT_LT(rep.MaxRel(), 1e-4) << size;
     EXPECT_GE(rep.min_x, 0.0);
@@ -93,7 +93,7 @@ TEST(GeneralSea, ElasticRegimeConverges) {
   const auto p = GeneralProblem::MakeElasticFromCenters(x0, g, s0, a, d0, b);
 
   const auto run = SolveGeneral(p, TightGeneral());
-  ASSERT_TRUE(run.result.converged);
+  ASSERT_TRUE(run.result.converged());
   const auto rep =
       CheckFeasibility(run.solution.x, run.solution.s, run.solution.d);
   EXPECT_LT(rep.MaxAbs(), 1e-4);
@@ -118,7 +118,7 @@ TEST(GeneralSea, SamRegimeConverges) {
   const auto p = GeneralProblem::MakeSamFromCenters(x0, g, s0, a);
 
   const auto run = SolveGeneral(p, TightGeneral());
-  ASSERT_TRUE(run.result.converged);
+  ASSERT_TRUE(run.result.converged());
   // Row total i equals column total i.
   for (std::size_t i = 0; i < n; ++i) {
     double rs = 0.0, cs = 0.0;
@@ -155,8 +155,8 @@ TEST(GeneralSea, ObjectiveDecreasesAcrossTolerances) {
   tight.outer_epsilon = 1e-8;
   const auto run_loose = SolveGeneral(p, loose);
   const auto run_tight = SolveGeneral(p, tight);
-  ASSERT_TRUE(run_loose.result.converged);
-  ASSERT_TRUE(run_tight.result.converged);
+  ASSERT_TRUE(run_loose.result.converged());
+  ASSERT_TRUE(run_tight.result.converged());
   EXPECT_LE(run_tight.result.objective,
             run_loose.result.objective +
                 1e-6 * std::abs(run_loose.result.objective));
@@ -168,7 +168,7 @@ TEST(GeneralSea, SingleOuterVerificationPerIterationInTrace) {
   GeneralSeaOptions o = TightGeneral();
   o.inner.record_trace = true;
   const auto run = SolveGeneral(p, o);
-  ASSERT_TRUE(run.result.converged);
+  ASSERT_TRUE(run.result.converged());
   std::size_t outer_checks = 0;
   for (const auto& ph : run.result.trace.phases())
     if (ph.label == "outer-check") ++outer_checks;
@@ -195,8 +195,8 @@ TEST(GeneralSea, StrongerDominanceConvergesFaster) {
   };
   const auto weak = SolveGeneral(make(0.01), TightGeneral());
   const auto strong = SolveGeneral(make(25.0), TightGeneral());
-  ASSERT_TRUE(weak.result.converged);
-  ASSERT_TRUE(strong.result.converged);
+  ASSERT_TRUE(weak.result.converged());
+  ASSERT_TRUE(strong.result.converged());
   EXPECT_LE(weak.result.outer_iterations, strong.result.outer_iterations);
 }
 

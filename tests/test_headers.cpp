@@ -66,7 +66,7 @@ TEST(PublicHeaders, UmbrellaUsageCompilesAndLinks) {
   o.epsilon = 1e-8;
   o.criterion = StopCriterion::kResidualAbs;
   const auto run = SolveDiagonal(p, o);
-  EXPECT_TRUE(run.result.converged);
+  EXPECT_TRUE(run.result.converged());
   EXPECT_EQ(ToString(TotalsMode::kFixed), std::string("fixed"));
   EXPECT_EQ(SparseMatrix::FromDense(x0).nnz(), 4u);
   EXPECT_GE(EntropyObjective(x0, x0), 0.0);

@@ -44,7 +44,7 @@ TEST(Integration, ThreeAlgorithmsAgreeOnGeneralProblem) {
   bk_opts.max_sweeps = 200000;
   const auto bk_run = SolveBachemKorte(p, bk_opts);
 
-  ASSERT_TRUE(sea_run.result.converged);
+  ASSERT_TRUE(sea_run.result.converged());
   ASSERT_TRUE(rc_run.result.converged);
   ASSERT_TRUE(bk_run.result.converged);
 
@@ -63,7 +63,7 @@ TEST(Integration, Table1PipelineSmall) {
   o.epsilon = 0.01;
   o.criterion = StopCriterion::kXChange;
   const auto serial = SolveDiagonal(p, o);
-  ASSERT_TRUE(serial.result.converged);
+  ASSERT_TRUE(serial.result.converged());
 
   ThreadPool pool(4);
   SeaOptions op = o;
@@ -87,7 +87,7 @@ TEST(Integration, Table2PipelineSmall) {
   o.epsilon = 1e-6;
   o.criterion = StopCriterion::kResidualRel;
   const auto run = SolveDiagonal(p, o);
-  ASSERT_TRUE(run.result.converged);
+  ASSERT_TRUE(run.result.converged());
   EXPECT_LT(KktStationarityError(p, run.solution), 1e-4);
   // Updated table respects structural support economics: entries stay
   // nonnegative and table totals hit the grown margins.
@@ -104,7 +104,7 @@ TEST(Integration, Table3PipelineSmall) {
   o.epsilon = 1e-3;
   o.criterion = StopCriterion::kResidualRel;
   const auto run = SolveDiagonal(p, o);
-  ASSERT_TRUE(run.result.converged);
+  ASSERT_TRUE(run.result.converged());
   // Balanced accounts at the solution.
   for (std::size_t i = 0; i < 30; ++i) {
     double rs = 0.0, cs = 0.0;
@@ -122,7 +122,7 @@ TEST(Integration, Table4PipelineFull48States) {
   o.epsilon = 1e-4;
   o.criterion = StopCriterion::kResidualRel;
   const auto run = SolveDiagonal(p, o);
-  ASSERT_TRUE(run.result.converged);
+  ASSERT_TRUE(run.result.converged());
   const auto rep = CheckFeasibility(p, run.solution);
   EXPECT_LT(rep.MaxRel(), 1e-3);
 }
@@ -134,7 +134,7 @@ TEST(Integration, Table5PipelineSmall) {
   o.epsilon = 1e-8;
   o.criterion = StopCriterion::kResidualAbs;
   const auto run = SolveDiagonal(spe_problem.ToDiagonalProblem(), o);
-  ASSERT_TRUE(run.result.converged);
+  ASSERT_TRUE(run.result.converged());
   EXPECT_LT(spe::CheckEquilibrium(spe_problem, run.solution.x).Max(), 1e-4);
 }
 
@@ -156,7 +156,7 @@ TEST(Integration, SeaHandlesRasInfeasibleInstance) {
   o.epsilon = 1e-9;
   o.criterion = StopCriterion::kResidualAbs;
   const auto run = SolveDiagonal(p, o);
-  ASSERT_TRUE(run.result.converged);
+  ASSERT_TRUE(run.result.converged());
   const auto oracle = SolveEnumerativeKkt(p);
   ASSERT_TRUE(oracle.has_value());
   EXPECT_LT(run.solution.x.MaxAbsDiff(oracle->x), 1e-6);
@@ -182,8 +182,8 @@ TEST(Integration, WeightSchemesChangeSolutionsPredictably) {
   const auto chi = SolveDiagonal(
       DiagonalProblem::MakeFixed(x0, datasets::ChiSquareWeights(x0), s0, d0),
       o);
-  ASSERT_TRUE(unit.result.converged);
-  ASSERT_TRUE(chi.result.converged);
+  ASSERT_TRUE(unit.result.converged());
+  ASSERT_TRUE(chi.result.converged());
   const double rel_unit = std::abs(unit.solution.x(0, 0) - 0.01) / 0.01;
   const double rel_chi = std::abs(chi.solution.x(0, 0) - 0.01) / 0.01;
   EXPECT_LT(rel_chi, rel_unit);

@@ -162,8 +162,8 @@ TEST(IntervalSea, WideBoxMatchesElastic) {
 
   const auto run_e = SolveDiagonal(elastic, TightOptions());
   const auto run_i = SolveDiagonal(interval, TightOptions());
-  ASSERT_TRUE(run_e.result.converged);
-  ASSERT_TRUE(run_i.result.converged);
+  ASSERT_TRUE(run_e.result.converged());
+  ASSERT_TRUE(run_i.result.converged());
   EXPECT_LT(run_e.solution.x.MaxAbsDiff(run_i.solution.x), 1e-6);
   for (std::size_t i = 0; i < 6; ++i)
     EXPECT_NEAR(run_e.solution.s[i], run_i.solution.s[i], 1e-6);
@@ -188,8 +188,8 @@ TEST(IntervalSea, DegenerateBoxMatchesFixed) {
 
   const auto run_f = SolveDiagonal(fixed, TightOptions());
   const auto run_i = SolveDiagonal(interval, TightOptions());
-  ASSERT_TRUE(run_f.result.converged);
-  ASSERT_TRUE(run_i.result.converged);
+  ASSERT_TRUE(run_f.result.converged());
+  ASSERT_TRUE(run_i.result.converged());
   EXPECT_LT(run_f.solution.x.MaxAbsDiff(run_i.solution.x), 1e-5);
 }
 
@@ -199,7 +199,7 @@ TEST(IntervalSea, SolutionSatisfiesKktAndBoxes) {
     for (int trial = 0; trial < 4; ++trial) {
       const auto p = RandomInterval(7, 9, rng, width);
       const auto run = SolveDiagonal(p, TightOptions());
-      ASSERT_TRUE(run.result.converged) << width << " " << trial;
+      ASSERT_TRUE(run.result.converged()) << width << " " << trial;
       const auto rep = CheckFeasibility(p, run.solution);
       EXPECT_LT(rep.MaxAbs(), 1e-6);
       EXPECT_GE(rep.min_x, 0.0);
@@ -221,7 +221,7 @@ TEST(IntervalSea, AgreesWithDualGradientReference) {
   Rng rng(8);
   const auto p = RandomInterval(5, 6, rng, 0.05);  // tight boxes that bind
   const auto run = SolveDiagonal(p, TightOptions());
-  ASSERT_TRUE(run.result.converged);
+  ASSERT_TRUE(run.result.converged());
   const auto ref = SolveDualGradient(p, {.grad_tol = 1e-8,
                                          .max_iterations = 400000});
   ASSERT_TRUE(ref.converged);
@@ -258,7 +258,7 @@ TEST(IntervalSea, TighterBoxesRaiseObjective) {
     const auto p = DiagonalProblem::MakeInterval(x0, gamma, s0, alpha, s_lo,
                                                  s_hi, d0, beta, d_lo, d_hi);
     const auto run = SolveDiagonal(p, TightOptions());
-    EXPECT_TRUE(run.result.converged);
+    EXPECT_TRUE(run.result.converged());
     return run.result.objective;
   };
   // A tighter feasible set cannot yield a lower optimum.

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "io/csv.hpp"
@@ -71,6 +72,88 @@ TEST(Csv, MatrixRoundTrip) {
 TEST(Csv, ReadMissingFileThrows) {
   EXPECT_THROW(ReadCsv("/nonexistent/definitely/missing.csv"),
                InvalidArgument);
+}
+
+// Writes raw CSV text to a temp file and returns the path.
+std::string WriteFixture(const char* name, const char* text) {
+  const std::string path = TempPath(name);
+  std::ofstream f(path);
+  f << text;
+  return path;
+}
+
+// Expects fn() to throw InvalidArgument whose message contains every
+// fragment — the errors must name the file and the offending cell.
+template <typename Fn>
+void ExpectThrowContaining(Fn fn, std::initializer_list<const char*> parts) {
+  try {
+    fn();
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    for (const char* part : parts)
+      EXPECT_NE(what.find(part), std::string::npos)
+          << "missing '" << part << "' in: " << what;
+  }
+}
+
+TEST(Csv, RejectsNanCellNamingLocation) {
+  const std::string path =
+      WriteFixture("sea_test_nan_cell.csv", "1,2\n3,nan\n");
+  ExpectThrowContaining([&] { ReadMatrixCsv(path); },
+                        {"non-finite", "nan", "row 2", "column 2"});
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RejectsInfCellNamingLocation) {
+  const std::string path =
+      WriteFixture("sea_test_inf_cell.csv", "inf,2\n3,4\n");
+  ExpectThrowContaining([&] { ReadMatrixCsv(path); },
+                        {"non-finite", "row 1", "column 1"});
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RejectsGarbageCellNamingLocation) {
+  const std::string path =
+      WriteFixture("sea_test_garbage_cell.csv", "1,2\n3,4x\n");
+  ExpectThrowContaining([&] { ReadMatrixCsv(path); },
+                        {"malformed", "4x", "row 2", "column 2"});
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RejectsRaggedRowsNamingWidths) {
+  const std::string path =
+      WriteFixture("sea_test_ragged.csv", "1,2,3\n4,5\n");
+  ExpectThrowContaining(
+      [&] { ReadMatrixCsv(path); },
+      {"ragged", "row 2", "2 cells", "expected 3"});
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RejectsEmptyCell) {
+  const std::string path =
+      WriteFixture("sea_test_empty_cell.csv", "1,\n3,4\n");
+  ExpectThrowContaining([&] { ReadMatrixCsv(path); },
+                        {"empty cell", "row 1", "column 2"});
+  std::remove(path.c_str());
+}
+
+TEST(Csv, ReadVectorAcceptsColumnAndRowLayouts) {
+  const std::string col = WriteFixture("sea_test_vec_col.csv", "1\n2\n3\n");
+  const std::string row = WriteFixture("sea_test_vec_row.csv", "1,2,3\n");
+  const std::vector<double> want{1.0, 2.0, 3.0};
+  EXPECT_EQ(ReadVectorCsv(col), want);
+  EXPECT_EQ(ReadVectorCsv(row), want);
+  std::remove(col.c_str());
+  std::remove(row.c_str());
+}
+
+TEST(Csv, ReadVectorRejectsBadCellNamingLocation) {
+  const std::string path =
+      WriteFixture("sea_test_vec_bad.csv", "1\nbogus\n");
+  ExpectThrowContaining([&] { ReadVectorCsv(path); },
+                        {"malformed", "bogus", "row 2"});
+  std::remove(path.c_str());
 }
 
 TEST(ExperimentLog, PrintsPaperComparison) {

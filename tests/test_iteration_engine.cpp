@@ -4,9 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <vector>
 
 #include "core/iteration_engine.hpp"
+#include "support/cancel.hpp"
 
 namespace sea {
 namespace {
@@ -92,7 +95,7 @@ TEST(IterationEngine, ChecksFollowCheckEverySchedule) {
   o.check_every = 3;
   const SeaResult r = RunIterationEngine(b, o);
 
-  EXPECT_FALSE(r.converged);
+  EXPECT_FALSE(r.converged());
   EXPECT_EQ(r.iterations, 10u);
   EXPECT_EQ(b.row_sweeps, 10u);
   EXPECT_EQ(b.col_sweeps, 10u);
@@ -110,7 +113,7 @@ TEST(IterationEngine, StopsOnConvergedMeasure) {
   b.residuals = {1.0, 1e-9};
   SeaOptions o = BaseOptions();
   const SeaResult r = RunIterationEngine(b, o);
-  EXPECT_TRUE(r.converged);
+  EXPECT_TRUE(r.converged());
   EXPECT_EQ(r.iterations, 2u);
   EXPECT_EQ(r.final_residual, 1e-9);
 }
@@ -142,7 +145,7 @@ TEST(IterationEngine, XChangeFirstCheckIsUndefined) {
   o.progress = [&](const IterationEvent& ev) { events.push_back(ev); };
   const SeaResult r = RunIterationEngine(b, o);
 
-  EXPECT_FALSE(r.converged);
+  EXPECT_FALSE(r.converged());
   EXPECT_EQ(r.checks_compared, 0u);
   EXPECT_EQ(r.final_residual, 0.0);
   EXPECT_EQ(b.snapshots, 1u);
@@ -160,7 +163,7 @@ TEST(IterationEngine, XChangeComparesAcrossConsecutiveChecks) {
   o.max_iterations = 5;
   const SeaResult r = RunIterationEngine(b, o);
   // First check snapshots, second compares and converges.
-  EXPECT_TRUE(r.converged);
+  EXPECT_TRUE(r.converged());
   EXPECT_EQ(r.iterations, 2u);
   EXPECT_EQ(r.checks_compared, 1u);
   EXPECT_EQ(b.snapshots, 2u);
@@ -210,6 +213,126 @@ TEST(IterationEngine, TraceAndDualValuesFollowOptions) {
   EXPECT_EQ(row_phases, 3u);
   EXPECT_EQ(col_phases, 3u);
   EXPECT_EQ(serial, 2u);  // checks at t=2 and t=3 (final)
+}
+
+// ---------------------------------------------------------------------------
+// Guardrails (docs/ROBUSTNESS.md): option validation, budgets, cancellation,
+// stall detection, and breakdown recovery at the engine level.
+
+TEST(IterationEngine, RejectsInvalidOptions) {
+  ScriptedBackend b;
+  SeaOptions o = BaseOptions();
+  o.epsilon = 0.0;
+  EXPECT_THROW(RunIterationEngine(b, o), InvalidArgument);
+  o = BaseOptions();
+  o.epsilon = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(RunIterationEngine(b, o), InvalidArgument);
+  o = BaseOptions();
+  o.check_every = 0;
+  EXPECT_THROW(RunIterationEngine(b, o), InvalidArgument);
+  o = BaseOptions();
+  o.max_iterations = 0;
+  EXPECT_THROW(RunIterationEngine(b, o), InvalidArgument);
+  o = BaseOptions();
+  o.time_budget_seconds = -1.0;
+  EXPECT_THROW(RunIterationEngine(b, o), InvalidArgument);
+  // Rejection happens before any work is done.
+  EXPECT_EQ(b.row_sweeps, 0u);
+}
+
+TEST(IterationEngine, StatusDistinguishesConvergedFromMaxIterations) {
+  ScriptedBackend a;
+  a.residuals = {1e-9};
+  EXPECT_EQ(RunIterationEngine(a, BaseOptions()).status,
+            SolveStatus::kConverged);
+
+  ScriptedBackend b;  // residual pinned at 1.0
+  SeaOptions o = BaseOptions();
+  o.max_iterations = 3;
+  const SeaResult r = RunIterationEngine(b, o);
+  EXPECT_EQ(r.status, SolveStatus::kMaxIterations);
+  EXPECT_FALSE(r.converged());
+}
+
+TEST(IterationEngine, CancellationObservedAtCheckIterations) {
+  ScriptedBackend b;
+  CancelToken cancel;
+  SeaOptions o = BaseOptions();
+  o.max_iterations = 100;
+  o.check_every = 5;
+  o.cancel = &cancel;
+  o.progress = [&](const IterationEvent& ev) {
+    if (ev.iteration == 5) cancel.Cancel();
+  };
+  const SeaResult r = RunIterationEngine(b, o);
+  EXPECT_EQ(r.status, SolveStatus::kCancelled);
+  // Cancelled at the next poll (iteration 10), before that check's sweeps:
+  // iterations 6-9 still ran, iteration 10 never started.
+  EXPECT_EQ(r.iterations, 9u);
+  EXPECT_EQ(b.row_sweeps, 9u);
+}
+
+TEST(IterationEngine, StallWhenMeasureStopsImproving) {
+  ScriptedBackend b;  // residual pinned at 1.0: zero relative improvement
+  SeaOptions o = BaseOptions();
+  o.max_iterations = 1000;
+  o.stall_checks = 4;
+  const SeaResult r = RunIterationEngine(b, o);
+  EXPECT_EQ(r.status, SolveStatus::kStalled);
+  // First check seeds stall_prev; the next 4 flat checks trip the detector.
+  EXPECT_EQ(r.iterations, 5u);
+}
+
+TEST(IterationEngine, ImprovingRunNeverStalls) {
+  // Geometric decay: every check improves by far more than stall_rtol.
+  ScriptedBackend b;
+  b.residuals.clear();
+  for (int k = 0; k < 40; ++k) b.residuals.push_back(std::pow(0.9, k));
+  SeaOptions o = BaseOptions();
+  o.epsilon = 1e-30;  // unreachable: run the full script
+  o.max_iterations = 30;
+  o.stall_checks = 3;
+  const SeaResult r = RunIterationEngine(b, o);
+  EXPECT_EQ(r.status, SolveStatus::kMaxIterations);
+}
+
+TEST(IterationEngine, StallDetectorDisabledByZeroChecks) {
+  ScriptedBackend b;
+  SeaOptions o = BaseOptions();
+  o.max_iterations = 200;
+  o.stall_checks = 0;
+  const SeaResult r = RunIterationEngine(b, o);
+  EXPECT_EQ(r.status, SolveStatus::kMaxIterations);
+  EXPECT_EQ(r.iterations, 200u);
+}
+
+TEST(IterationEngine, NonFiniteMeasureRestoresLastGoodIterate) {
+  class RecordingBackend : public ScriptedBackend {
+   public:
+    std::size_t saves = 0, restores = 0;
+    void SaveGoodIterate() override { ++saves; }
+    void RestoreGoodIterate() override { ++restores; }
+  } b;
+  b.residuals = {1.0, 0.5, std::numeric_limits<double>::quiet_NaN()};
+  SeaOptions o = BaseOptions();
+  o.max_iterations = 100;
+  const SeaResult r = RunIterationEngine(b, o);
+  EXPECT_EQ(r.status, SolveStatus::kNumericalBreakdown);
+  EXPECT_EQ(r.iterations, 3u);
+  EXPECT_EQ(b.saves, 2u);     // the two finite checks
+  EXPECT_EQ(b.restores, 1u);  // rolled back once at the NaN
+  // The poisoned check is not counted as a comparison.
+  EXPECT_EQ(r.checks_compared, 2u);
+}
+
+TEST(IterationEngine, TimeBudgetReportsDistinctStatus) {
+  ScriptedBackend b;
+  SeaOptions o = BaseOptions();
+  o.max_iterations = 1000000;
+  o.time_budget_seconds = 1e-12;
+  const SeaResult r = RunIterationEngine(b, o);
+  EXPECT_EQ(r.status, SolveStatus::kTimeBudgetExceeded);
+  EXPECT_FALSE(r.converged());
 }
 
 }  // namespace

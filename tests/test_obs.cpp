@@ -207,7 +207,7 @@ TEST(TraceContract, EventsFireOnCheckIterationsOnly) {
     EXPECT_TRUE(ev.measure_defined);  // residual criteria always defined
   }
   EXPECT_EQ(sink.checks.back().iteration, run.result.iterations);
-  EXPECT_EQ(sink.checks.back().converged, run.result.converged);
+  EXPECT_EQ(sink.checks.back().converged, run.result.converged());
   EXPECT_EQ(sink.checks.back().measure, run.result.final_residual);
 }
 
@@ -292,7 +292,7 @@ TEST(TraceContract, EngineFillsMetricsRegistry) {
   EXPECT_EQ(snap.CounterValue("sea.ops.flops"), run.result.ops.flops);
   EXPECT_EQ(snap.CounterValue("sea.solves"), 1u);
   EXPECT_DOUBLE_EQ(snap.GaugeValue("sea.converged"),
-                   run.result.converged ? 1.0 : 0.0);
+                   run.result.converged() ? 1.0 : 0.0);
   const auto* resid = snap.FindHistogram("sea.check.residual");
   ASSERT_NE(resid, nullptr);
   EXPECT_EQ(resid->total_count, run.result.checks_compared);
@@ -315,7 +315,7 @@ TEST(TraceContract, GeneralSeaEmitsOuterEvents) {
   EXPECT_FALSE(sink.checks.empty());  // inner solves share the sink
   const auto& last = sink.outers.back();
   EXPECT_EQ(last.outer_iteration, run.result.outer_iterations);
-  EXPECT_EQ(last.converged, run.result.converged);
+  EXPECT_EQ(last.converged, run.result.converged());
   EXPECT_EQ(last.inner_iterations_total, run.result.total_inner_iterations);
   EXPECT_EQ(last.change, run.result.final_outer_change);
   for (std::size_t k = 1; k < sink.outers.size(); ++k)

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cmath>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include "parallel/parallel_for.hpp"
@@ -82,6 +83,76 @@ TEST(ForRange, ZeroElementsIsNoop) {
   bool called = false;
   ForRange(&pool, 0, [&](std::size_t, std::size_t) { called = true; });
   EXPECT_FALSE(called);
+}
+
+// ---------------------------------------------------------------------------
+// Exception propagation (docs/ROBUSTNESS.md): a throwing body must surface
+// on the submitting thread after the region joins, and the pool must stay
+// fully usable afterwards. (test_faults.cpp covers the failpoint route; here
+// the user's own body throws.)
+
+TEST(ThreadPool, BodyExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  try {
+    pool.ParallelFor(100, [](std::size_t b, std::size_t) {
+      if (b == 0) throw std::runtime_error("chunk zero exploded");
+    });
+    FAIL() << "expected the body's exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk zero exploded");
+  }
+}
+
+TEST(ThreadPool, OnlyFirstOfConcurrentExceptionsSurfaces) {
+  // Every chunk throws; exactly one exception may escape the region.
+  ThreadPool pool(4);
+  std::atomic<int> caught{0};
+  try {
+    pool.ParallelFor(64, [](std::size_t, std::size_t) {
+      throw std::runtime_error("boom");
+    });
+  } catch (const std::runtime_error&) {
+    caught.fetch_add(1);
+  }
+  EXPECT_EQ(caught.load(), 1);
+}
+
+TEST(ThreadPool, PoolAndStatsSurviveBodyException) {
+  ThreadPool pool(3);
+  pool.EnableStats(true);
+  EXPECT_THROW(pool.ParallelFor(30,
+                                [](std::size_t, std::size_t) {
+                                  throw std::logic_error("bad chunk");
+                                }),
+               std::logic_error);
+  // The pool joined cleanly and still runs complete regions.
+  std::vector<std::atomic<int>> hits(100);
+  pool.ParallelFor(100, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, InlinePathPropagatesBodyException) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.ParallelFor(5,
+                                [](std::size_t, std::size_t) {
+                                  throw std::runtime_error("inline boom");
+                                }),
+               std::runtime_error);
+  int sum = 0;
+  pool.ParallelFor(5, [&](std::size_t b, std::size_t e) {
+    sum += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(sum, 5);
+}
+
+TEST(ForRange, NullPoolPropagatesBodyException) {
+  EXPECT_THROW(ForRange(nullptr, 3,
+                        [](std::size_t, std::size_t) {
+                          throw std::runtime_error("no pool boom");
+                        }),
+               std::runtime_error);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "problems/diagonal_problem.hpp"
 #include "problems/feasibility.hpp"
 #include "problems/general_problem.hpp"
 #include "problems/solution.hpp"
+#include "problems/validate.hpp"
 #include "support/rng.hpp"
 
 namespace sea {
@@ -176,6 +178,88 @@ TEST(Feasibility, KktStationarityDetectsViolation) {
   EXPECT_NEAR(KktStationarityError(p, sol), 0.0, 1e-12);
   sol.lambda = {1.0, 0.0};  // now stationarity is violated on row 0
   EXPECT_GT(KktStationarityError(p, sol), 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// ValidateProblem: structured pre-flight diagnoses (docs/ROBUSTNESS.md).
+
+TEST(ValidateProblem, CleanProblemReportsOk) {
+  Rng rng(20);
+  const auto p = RandomFixed(3, 4, rng);
+  const auto report = ValidateProblem(p);
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.Summary().empty());
+}
+
+TEST(ValidateProblem, FlagsDimensionMismatch) {
+  DenseMatrix x0(2, 2, 1.0), gamma(2, 2, 1.0);
+  const auto report =
+      ValidateProblem(x0, gamma, Vector{2.0, 2.0, 1.0}, Vector{2.0, 2.0});
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.Has(DiagnosisCode::kDimensionMismatch));
+}
+
+TEST(ValidateProblem, FlagsNonFiniteEntryWithLocation) {
+  DenseMatrix x0(2, 2, 1.0), gamma(2, 2, 1.0);
+  x0(1, 0) = std::nan("");
+  const auto report =
+      ValidateProblem(x0, gamma, Vector{2.0, 2.0}, Vector{2.0, 2.0});
+  ASSERT_TRUE(report.Has(DiagnosisCode::kNonFiniteEntry));
+  for (const auto& d : report.diagnoses)
+    if (d.code == DiagnosisCode::kNonFiniteEntry) {
+      EXPECT_EQ(d.row, 1u);
+      EXPECT_EQ(d.col, 0u);
+    }
+}
+
+TEST(ValidateProblem, FlagsNonPositiveWeight) {
+  DenseMatrix x0(2, 2, 1.0), gamma(2, 2, 1.0);
+  gamma(0, 1) = 0.0;
+  const auto report =
+      ValidateProblem(x0, gamma, Vector{2.0, 2.0}, Vector{2.0, 2.0});
+  EXPECT_TRUE(report.Has(DiagnosisCode::kNonPositiveWeight));
+}
+
+TEST(ValidateProblem, FlagsNegativeEntryAndImbalance) {
+  DenseMatrix x0(2, 2, 1.0), gamma(2, 2, 1.0);
+  x0(0, 0) = -1.0;
+  const auto report =
+      ValidateProblem(x0, gamma, Vector{2.0, 2.0}, Vector{3.0, 3.0});
+  EXPECT_TRUE(report.Has(DiagnosisCode::kNegativeEntry));
+  EXPECT_TRUE(report.Has(DiagnosisCode::kTotalsImbalance));
+}
+
+TEST(ValidateProblem, FlagsZeroSupportRowAndColumn) {
+  DenseMatrix x0(2, 2, 1.0), gamma(2, 2, 1.0);
+  x0(0, 0) = 0.0;
+  x0(0, 1) = 0.0;  // row 0 all zero, yet s0[0] > 0
+  const auto report =
+      ValidateProblem(x0, gamma, Vector{1.0, 3.0}, Vector{2.0, 2.0});
+  ASSERT_TRUE(report.Has(DiagnosisCode::kZeroSupportRow));
+  for (const auto& d : report.diagnoses)
+    if (d.code == DiagnosisCode::kZeroSupportRow) EXPECT_EQ(d.row, 0u);
+}
+
+TEST(ValidateProblem, AccumulatesMultipleDiagnosesInOneReport) {
+  // Several independent defects must all surface in a single pass — the
+  // whole point of ValidateProblem over Validate()'s throw-on-first.
+  DenseMatrix x0(2, 2, 1.0), gamma(2, 2, 1.0);
+  x0(0, 0) = -1.0;
+  gamma(1, 1) = -2.0;
+  const auto report =
+      ValidateProblem(x0, gamma, Vector{2.0, 2.0}, Vector{5.0, 5.0});
+  EXPECT_GE(report.diagnoses.size(), 3u);
+  EXPECT_TRUE(report.Has(DiagnosisCode::kNegativeEntry));
+  EXPECT_TRUE(report.Has(DiagnosisCode::kNonPositiveWeight));
+  EXPECT_TRUE(report.Has(DiagnosisCode::kTotalsImbalance));
+  // Summary: one line per diagnosis, each naming its code.
+  const std::string summary = report.Summary();
+  EXPECT_NE(summary.find(ToString(DiagnosisCode::kNonPositiveWeight)),
+            std::string::npos);
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(summary.begin(), summary.end(), '\n')) +
+                1,
+            report.diagnoses.size());
 }
 
 // ---------------------------------------------------------------------------

@@ -132,8 +132,8 @@ TEST(Rebalance, SolverWithBoundReachesSameSolution) {
     bounded.multiplier_bound = 5.0;  // aggressive: forces frequent shifts
     const auto mod = SolveDiagonal(p, bounded);
 
-    ASSERT_TRUE(base.result.converged);
-    ASSERT_TRUE(mod.result.converged);
+    ASSERT_TRUE(base.result.converged());
+    ASSERT_TRUE(mod.result.converged());
     EXPECT_LT(base.solution.x.MaxAbsDiff(mod.solution.x), 1e-5);
     // The modification bounds the multipliers without derailing KKT.
     EXPECT_LT(KktStationarityError(p, mod.solution), 1e-6);
@@ -154,7 +154,7 @@ TEST(Rebalance, SamSolverWithBoundConverges) {
   o.criterion = StopCriterion::kResidualRel;
   o.multiplier_bound = 10.0;
   const auto run = SolveDiagonal(p, o);
-  ASSERT_TRUE(run.result.converged);
+  ASSERT_TRUE(run.result.converged());
   EXPECT_LT(CheckFeasibility(p, run.solution).MaxRel(), 1e-6);
 }
 

@@ -149,8 +149,8 @@ TEST(SparseSea, FullPatternMatchesDenseSolver) {
 
     const auto run_d = SolveDiagonal(dense, TightOptions());
     const auto run_s = SolveSparse(sparse, TightOptions());
-    ASSERT_TRUE(run_d.result.converged);
-    ASSERT_TRUE(run_s.result.converged);
+    ASSERT_TRUE(run_d.result.converged());
+    ASSERT_TRUE(run_s.result.converged());
     EXPECT_EQ(run_d.result.iterations, run_s.result.iterations);
     EXPECT_LT(run_s.solution.x.ToDense().MaxAbsDiff(run_d.solution.x), 1e-9);
     for (std::size_t i = 0; i < 8; ++i)
@@ -185,7 +185,7 @@ TEST(SparseSea, SparsePatternsAreFeasibleAndStationary) {
       const auto p = RandomSparseFixed(15, 18, density, rng);
       ASSERT_TRUE(p.CheckFeasibleTotals().feasible);
       const auto run = SolveSparse(p, TightOptions());
-      ASSERT_TRUE(run.result.converged) << density << " " << trial;
+      ASSERT_TRUE(run.result.converged()) << density << " " << trial;
       const auto rep = CheckFeasibility(p, run.solution);
       EXPECT_LT(rep.MaxAbs(), 1e-6);
       EXPECT_GE(rep.min_x, 0.0);
@@ -210,7 +210,7 @@ TEST(SparseSea, ElasticAndSamModes) {
         SparseMatrix::FromDense(x0), SparseMatrix::FromDense(gamma), s0,
         Vector(10, 1.0), d0, Vector(10, 1.0));
     const auto run = SolveSparse(p, TightOptions());
-    ASSERT_TRUE(run.result.converged);
+    ASSERT_TRUE(run.result.converged());
     EXPECT_LT(KktStationarityError(p, run.solution), 1e-6);
   }
   {
@@ -230,7 +230,7 @@ TEST(SparseSea, ElasticAndSamModes) {
     SeaOptions o = TightOptions();
     o.criterion = StopCriterion::kResidualRel;
     const auto run = SolveSparse(p, o);
-    ASSERT_TRUE(run.result.converged);
+    ASSERT_TRUE(run.result.converged());
     EXPECT_LT(KktStationarityError(p, run.solution), 1e-6);
     // Accounts balance.
     const Vector rs = run.solution.x.RowSums();
@@ -249,7 +249,7 @@ TEST(SparseSea, ParallelMatchesSerial) {
   SeaOptions par = TightOptions();
   par.pool = &pool;
   const auto parallel = SolveSparse(p, par);
-  ASSERT_TRUE(serial.result.converged);
+  ASSERT_TRUE(serial.result.converged());
   EXPECT_EQ(serial.result.iterations, parallel.result.iterations);
   const auto dv = serial.solution.x.Values();
   const auto pv = parallel.solution.x.Values();
@@ -260,7 +260,7 @@ TEST(SparseSea, StructuralZerosStayZero) {
   Rng rng(9);
   const auto p = RandomSparseFixed(10, 10, 0.3, rng);
   const auto run = SolveSparse(p, TightOptions());
-  ASSERT_TRUE(run.result.converged);
+  ASSERT_TRUE(run.result.converged());
   // Off-pattern cells are simply absent from the estimate.
   EXPECT_TRUE(run.solution.x.SamePattern(p.x0()));
   const auto dense = run.solution.x.ToDense();
@@ -288,7 +288,7 @@ TEST(SparseSea, XChangeFirstCheckReportsUndefinedMeasure) {
   o.criterion = StopCriterion::kXChange;
   o.max_iterations = 1;
   const auto run = SolveSparse(p, o);
-  EXPECT_FALSE(run.result.converged);
+  EXPECT_FALSE(run.result.converged());
   EXPECT_EQ(run.result.checks_compared, 0u);
   EXPECT_EQ(run.result.final_residual, 0.0);
 

@@ -55,7 +55,7 @@ TEST(Spe, SeaSolutionIsSpatialPriceEquilibrium) {
   for (std::size_t size : {5u, 15u, 30u}) {
     const auto p = spe::Generate(size, size, rng);
     const auto run = SolveDiagonal(p.ToDiagonalProblem(), TightOptions());
-    ASSERT_TRUE(run.result.converged) << size;
+    ASSERT_TRUE(run.result.converged()) << size;
     const auto rep = spe::CheckEquilibrium(p, run.solution.x);
     EXPECT_LT(rep.Max(), 1e-5) << size;
   }
@@ -66,7 +66,7 @@ TEST(Spe, MultipliersArePrices) {
   Rng rng(4);
   const auto p = spe::Generate(6, 8, rng);
   const auto run = SolveDiagonal(p.ToDiagonalProblem(), TightOptions());
-  ASSERT_TRUE(run.result.converged);
+  ASSERT_TRUE(run.result.converged());
   const Vector s = run.solution.x.RowSums();
   const Vector d = run.solution.x.ColSums();
   for (std::size_t i = 0; i < 6; ++i)
@@ -79,7 +79,7 @@ TEST(Spe, MarketsClearConsistently) {
   Rng rng(5);
   const auto p = spe::Generate(10, 10, rng);
   const auto run = SolveDiagonal(p.ToDiagonalProblem(), TightOptions());
-  ASSERT_TRUE(run.result.converged);
+  ASSERT_TRUE(run.result.converged());
   // Estimated totals equal flow sums.
   const Vector s = run.solution.x.RowSums();
   const Vector d = run.solution.x.ColSums();
@@ -100,7 +100,7 @@ TEST(Spe, ExpensiveArcsCarryNoFlow) {
   auto p = spe::Generate(4, 4, rng);
   p.g(2, 3) = 1e6;
   const auto run = SolveDiagonal(p.ToDiagonalProblem(), TightOptions());
-  ASSERT_TRUE(run.result.converged);
+  ASSERT_TRUE(run.result.converged());
   EXPECT_NEAR(run.solution.x(2, 3), 0.0, 1e-9);
   const auto rep = spe::CheckEquilibrium(p, run.solution.x);
   EXPECT_LT(rep.Max(), 1e-5);
@@ -112,11 +112,11 @@ TEST(Spe, HigherDemandRaisesPrices) {
   Rng rng(7);
   auto p = spe::Generate(5, 5, rng);
   const auto run1 = SolveDiagonal(p.ToDiagonalProblem(), TightOptions());
-  ASSERT_TRUE(run1.result.converged);
+  ASSERT_TRUE(run1.result.converged());
   auto p2 = p;
   for (double& x : p2.u) x *= 1.5;
   const auto run2 = SolveDiagonal(p2.ToDiagonalProblem(), TightOptions());
-  ASSERT_TRUE(run2.result.converged);
+  ASSERT_TRUE(run2.result.converged());
   const Vector d1 = run1.solution.x.ColSums();
   const Vector d2 = run2.solution.x.ColSums();
   for (std::size_t j = 0; j < 5; ++j)

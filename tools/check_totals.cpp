@@ -1,9 +1,17 @@
 // check_totals — CSV estimate verifier for the CLI smoke tests.
 //
 // Reads a matrix and checks its row/column sums against target totals (or,
-// with --balance, against each other — the SAM account-balance condition).
-// Exits 0 when every sum is within tolerance, 1 otherwise, so ctest can
-// assert that sea_solve's written estimate actually meets its constraints.
+// with --balance, against each other — the SAM account-balance condition),
+// so ctest can assert that sea_solve's written estimate actually meets its
+// constraints.
+//
+// Exit codes:
+//   0  every checked sum is within tolerance
+//   1  tolerance exceeded (or --balance on a non-square matrix)
+//   2  usage error
+//   3  malformed input (unreadable file, ragged rows, NaN/Inf or garbage
+//      cells — the message names the file, row, and column)
+//   4  dimension mismatch between the matrix and a totals vector
 //
 // Usage:
 //   check_totals --matrix est.csv [--row-totals r.csv] [--col-totals c.csv]
@@ -27,18 +35,20 @@ using namespace sea;
   std::exit(2);
 }
 
-Vector ReadTotals(const std::string& path) {
-  const auto rows = ReadCsv(path);
-  Vector v;
-  for (const auto& row : rows)
-    for (const auto& cell : row)
-      if (!cell.empty()) v.push_back(std::stod(cell));
-  return v;
-}
+// Thrown for a totals vector whose length disagrees with the matrix —
+// distinct from a tolerance failure (the comparison never happened).
+struct DimensionMismatch {
+  std::string message;
+};
 
 // Worst |sums_i - targets_i| / max(1, |targets_i|).
-double MaxRelDeviation(const Vector& sums, const Vector& targets) {
-  if (sums.size() != targets.size()) return HUGE_VAL;
+double MaxRelDeviation(const Vector& sums, const Vector& targets,
+                       const std::string& what) {
+  if (sums.size() != targets.size())
+    throw DimensionMismatch{what + ": matrix has " +
+                            std::to_string(sums.size()) +
+                            " sums but totals file has " +
+                            std::to_string(targets.size()) + " entries"};
   double worst = 0.0;
   for (std::size_t i = 0; i < sums.size(); ++i)
     worst = std::max(worst, std::abs(sums[i] - targets[i]) /
@@ -74,23 +84,28 @@ int main(int argc, char** argv) {
         std::cerr << "balance check needs a square matrix\n";
         return 1;
       }
-      worst = std::max(worst, MaxRelDeviation(rows, cols));
+      worst = std::max(worst, MaxRelDeviation(rows, cols, "balance"));
       checked = true;
     }
     if (args.count("row-totals")) {
-      worst = std::max(worst,
-                       MaxRelDeviation(rows, ReadTotals(args["row-totals"])));
+      worst = std::max(
+          worst, MaxRelDeviation(rows, ReadVectorCsv(args["row-totals"]),
+                                 "row totals"));
       checked = true;
     }
     if (args.count("col-totals")) {
-      worst = std::max(worst,
-                       MaxRelDeviation(cols, ReadTotals(args["col-totals"])));
+      worst = std::max(
+          worst, MaxRelDeviation(cols, ReadVectorCsv(args["col-totals"]),
+                                 "col totals"));
       checked = true;
     }
     if (!checked) Usage(argv[0]);
 
     std::cout << "max rel deviation: " << worst << " (tol " << tol << ")\n";
     return worst <= tol ? 0 : 1;
+  } catch (const DimensionMismatch& e) {
+    std::cerr << "error: " << e.message << '\n';
+    return 4;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 3;

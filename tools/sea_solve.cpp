@@ -26,6 +26,12 @@
 // with the solve result, metric counters/histograms, and thread-pool
 // utilization; --trace-jsonl streams one JSON event per convergence check
 // (readable with tools/trace_report).
+//
+// Exit codes (docs/ROBUSTNESS.md) follow sea::ExitCodeFor:
+//   0 converged          5 time budget exceeded   8 numerical breakdown
+//   2 usage error        6 cancelled              9 infeasible input
+//   3 input/IO error     7 stalled                  (pre-flight or check
+//   4 iteration limit                                mode cut)
 #include <iostream>
 #include <fstream>
 #include <map>
@@ -34,6 +40,7 @@
 #include <string>
 
 #include "core/diagonal_sea.hpp"
+#include "core/solve_status.hpp"
 #include "datasets/weights.hpp"
 #include "io/csv.hpp"
 #include "obs/json_export.hpp"
@@ -41,6 +48,7 @@
 #include "obs/trace_sink.hpp"
 #include "parallel/thread_pool.hpp"
 #include "problems/feasibility.hpp"
+#include "problems/validate.hpp"
 #include "sparse/feasibility_flow.hpp"
 #include "support/check.hpp"
 
@@ -61,6 +69,8 @@ using namespace sea;
          "           --check-every <K>        (default 1: verify every "
          "iteration)\n"
          "           --max-iters <N>          (default 200000)\n"
+         "           --time-budget <seconds>  (wall-clock deadline; exit 5 "
+         "when exceeded)\n"
          "           --slack <frac>           (interval mode: totals may "
          "move within +-frac, default 0.05)\n"
          "           --threads <N>            (default 1)\n"
@@ -82,7 +92,7 @@ const std::set<std::string>& ValueFlags() {
       "mode",      "matrix",     "row-totals",   "col-totals", "totals",
       "weights",   "epsilon",    "criterion",    "check-every", "max-iters",
       "slack",     "threads",    "out",          "metrics-json",
-      "trace-jsonl"};
+      "trace-jsonl", "time-budget"};
   return flags;
 }
 
@@ -116,15 +126,7 @@ std::size_t ParseSize(const std::string& value, const std::string& context) {
   }
 }
 
-Vector ReadTotals(const std::string& path) {
-  const auto rows = ReadCsv(path);
-  Vector v;
-  for (const auto& row : rows)
-    for (const auto& cell : row)
-      if (!cell.empty())
-        v.push_back(ParseDouble(cell, "totals file " + path));
-  return v;
-}
+Vector ReadTotals(const std::string& path) { return ReadVectorCsv(path); }
 
 }  // namespace
 
@@ -172,7 +174,7 @@ int main(int argc, char** argv) {
         for (std::size_t j : rep.reachable_cols) std::cout << ' ' << j;
         std::cout << " }\n";
       }
-      return rep.feasible ? 0 : 1;
+      return rep.feasible ? 0 : ExitCodeFor(SolveStatus::kInfeasible);
     }
 
     const std::string scheme =
@@ -202,6 +204,20 @@ int main(int argc, char** argv) {
       Vector s0 = ReadTotals(args["row-totals"]);
       Vector d0 = ReadTotals(args["col-totals"]);
       if (mode == "fixed") {
+        // Pre-flight on the raw parts (the constructor throws on the first
+        // defect; the report lists all of them): shape, signs, Σs = Σd, and
+        // zero-support rows/columns, per the paper's Section 3 feasibility
+        // conditions.
+        const ValidationReport preflight =
+            ValidateProblem(x0, gamma, s0, d0);
+        if (!preflight.ok()) {
+          std::cerr << "infeasible problem ("
+                    << preflight.diagnoses.size() << " diagnos"
+                    << (preflight.diagnoses.size() == 1 ? "is" : "es")
+                    << "):\n"
+                    << preflight.Summary() << '\n';
+          return ExitCodeFor(SolveStatus::kInfeasible);
+        }
         problem = DiagonalProblem::MakeFixed(x0, gamma, s0, d0);
       } else if (mode == "elastic") {
         problem = DiagonalProblem::MakeElastic(
@@ -251,6 +267,12 @@ int main(int argc, char** argv) {
       opts.max_iterations = ParseSize(args["max-iters"], "--max-iters");
       if (opts.max_iterations == 0) Usage(argv[0], "--max-iters must be >= 1");
     }
+    if (args.count("time-budget")) {
+      opts.time_budget_seconds =
+          ParseDouble(args["time-budget"], "--time-budget");
+      if (opts.time_budget_seconds <= 0.0)
+        Usage(argv[0], "--time-budget must be positive");
+    }
     if (args.count("progress")) {
       opts.progress = [](const IterationEvent& ev) {
         std::cout << "progress: iter=" << ev.iteration << " residual=";
@@ -285,7 +307,8 @@ int main(int argc, char** argv) {
 
     std::cout << "mode:           " << mode << " (" << x0.rows() << " x "
               << x0.cols() << ", weights: " << scheme << ")\n"
-              << "converged:      " << (run.result.converged ? "yes" : "NO")
+              << "status:         " << ToString(run.result.status) << '\n'
+              << "converged:      " << (run.result.converged() ? "yes" : "NO")
               << " in " << run.result.iterations << " iterations\n"
               << "final measure:  " << run.result.final_residual << " ("
               << ToString(opts.criterion) << ")\n"
@@ -329,7 +352,7 @@ int main(int argc, char** argv) {
       WriteMatrixCsv(args["out"], run.solution.x);
       std::cout << "estimate:       " << args["out"] << '\n';
     }
-    return run.result.converged ? 0 : 1;
+    return ExitCodeFor(run.result.status);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 3;
