@@ -1,14 +1,57 @@
 #include "bench_common.hpp"
 
+#include <sys/resource.h>
+
 #include <cstring>
+#include <ctime>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <thread>
 
 #include "obs/json_export.hpp"
+#include "obs/profiler.hpp"
 #include "support/check.hpp"
+#include "support/stopwatch.hpp"
+
+#ifndef SEA_GIT_SHA
+#define SEA_GIT_SHA "unknown"
+#endif
+#ifndef SEA_BUILD_TYPE
+#define SEA_BUILD_TYPE "unknown"
+#endif
 
 namespace sea::bench {
+
+namespace {
+
+// Whole-run context created by ParseArgs: the wall/cpu baseline for the
+// document's timing fields and the profiler whose spans become the
+// document's phase breakdown (and the optional Chrome trace).
+struct RunContext {
+  Stopwatch wall;
+  double cpu0 = ProcessCpuSeconds();
+  obs::Profiler profiler;
+};
+RunContext* g_run = nullptr;
+
+std::string IsoTimestampUtc() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm_utc{};
+  gmtime_r(&now, &tm_utc);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  return buf;
+}
+
+double PeakRssBytes() {
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+  // Linux reports ru_maxrss in KiB.
+  return static_cast<double>(ru.ru_maxrss) * 1024.0;
+}
+
+}  // namespace
 
 BenchOptions ParseArgs(int argc, char** argv) {
   BenchOptions opts;
@@ -17,15 +60,27 @@ BenchOptions ParseArgs(int argc, char** argv) {
       opts.quick = true;
     } else if (std::strcmp(argv[i], "--progress") == 0) {
       opts.progress = true;
+    } else if (std::strcmp(argv[i], "--json-truncate") == 0) {
+      opts.json_truncate = true;
     } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
       opts.csv_path = argv[++i];
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       opts.json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--profile-json") == 0 && i + 1 < argc) {
+      opts.profile_json = argv[++i];
     } else {
       std::cerr << "usage: " << argv[0]
-                << " [--quick] [--progress] [--csv <path>] [--json <path>]\n";
+                << " [--quick] [--progress] [--csv <path>] [--json <path>]"
+                << " [--json-truncate] [--profile-json <path>]\n";
       std::exit(2);
     }
+  }
+  // Attach the whole-run profiler so every solve the bench performs lands
+  // in the document's phase breakdown. Leaked intentionally: worker threads
+  // may still hold buffer pointers at exit, and the process is ending.
+  if (g_run == nullptr) {
+    g_run = new RunContext();
+    g_run->profiler.Attach();
   }
   return opts;
 }
@@ -77,14 +132,40 @@ std::string BenchJson(const ExperimentLog& log, const BenchOptions& opts,
     rec.Field("note", r.note);
     records.Raw(rec.Str());
   }
-  return obs::JsonObj()
-      .Field("schema", obs::kTelemetrySchemaVersion)
+
+  obs::JsonObj doc;
+  doc.Field("schema", obs::kTelemetrySchemaVersion)
       .Field("bench", bench_name)
       .Field("quick", opts.quick)
       .Field("host_threads",
              static_cast<std::uint64_t>(std::thread::hardware_concurrency()))
-      .Raw("records", records.Str())
-      .Str();
+      .Field("git_sha", SEA_GIT_SHA)
+      .Field("build_type", SEA_BUILD_TYPE)
+      .Field("timestamp", IsoTimestampUtc());
+  if (g_run != nullptr) {
+    doc.Field("wall_seconds", g_run->wall.Seconds())
+        .Field("cpu_seconds", ProcessCpuSeconds() - g_run->cpu0);
+  }
+  doc.Field("peak_rss_bytes", PeakRssBytes());
+  doc.Raw("records", records.Str());
+
+  if (g_run != nullptr) {
+    const auto stats =
+        obs::SummarizeSpans(obs::ToRawSpans(g_run->profiler.Events()));
+    obs::JsonArr phases;
+    for (const auto& st : stats) {
+      phases.Raw(obs::JsonObj()
+                     .Field("phase", st.name)
+                     .Field("count", st.count)
+                     .Field("total_seconds", st.total_seconds)
+                     .Field("self_seconds", st.self_seconds)
+                     .Field("mean_seconds", st.mean_seconds)
+                     .Field("max_seconds", st.max_seconds)
+                     .Str());
+    }
+    doc.Raw("phases", phases.Str());
+  }
+  return doc.Str();
 }
 
 void Finish(const ExperimentLog& log, const BenchOptions& opts,
@@ -97,12 +178,28 @@ void Finish(const ExperimentLog& log, const BenchOptions& opts,
                                     ? "BENCH_" + bench_name + ".json"
                                     : opts.json_path;
   {
-    std::ofstream f(json_path);
+    // Append-mode JSONL: one document line per run (see header comment).
+    const auto mode = opts.json_truncate
+                          ? std::ios::out | std::ios::trunc
+                          : std::ios::out | std::ios::app;
+    std::ofstream f(json_path, mode);
     SEA_CHECK_MSG(f.good(),
                   "cannot open bench json for writing: " + json_path);
     f << BenchJson(log, opts, bench_name) << '\n';
   }
   std::cout << "\nbench json: " << json_path << '\n';
+
+  if (!opts.profile_json.empty() && g_run != nullptr) {
+    const auto spans = obs::ToRawSpans(g_run->profiler.Events());
+    if (obs::WriteChromeTrace(opts.profile_json, spans, bench_name)) {
+      std::cout << "profile trace: " << opts.profile_json << " ("
+                << spans.size() << " spans, "
+                << g_run->profiler.thread_count() << " threads)\n";
+    } else {
+      std::cerr << "warning: could not write profile trace to "
+                << opts.profile_json << '\n';
+    }
+  }
   std::cout.flush();
 }
 

@@ -1,18 +1,30 @@
 // Shared harness for the table/figure benches.
 //
 // Every bench binary accepts:
-//   --quick        scaled-down sizes (CI smoke run; full paper sizes default)
-//   --csv <path>   append paper-vs-measured records to a CSV
-//   --json <path>  machine-readable results (default BENCH_<table>.json)
-//   --progress     stream the iteration engine's residual trajectory
+//   --quick              scaled-down sizes (CI smoke; full paper sizes default)
+//   --csv <path>         append paper-vs-measured records to a CSV
+//   --json <path>        machine-readable results (default BENCH_<table>.json)
+//   --json-truncate      start the JSON file fresh instead of appending
+//   --profile-json <path> export the run's phase spans as Chrome trace JSON
+//   --progress           stream the iteration engine's residual trajectory
 //
 // Finish() always writes the JSON document (the repository's perf
-// trajectory diffs it across PRs); --json only overrides the path. Schema:
-//   {"schema":1,"bench":"table1","quick":false,"host_threads":N,
+// trajectory diffs it across PRs). The file is append-mode JSONL: each run
+// adds ONE line holding a full JSON document, so successive runs of the
+// same bench form a time series that tools/bench_diff can compare (it
+// defaults to the last two lines). Pass --json-truncate to reset the file.
+// Schema (version 2; append-only — docs/OBSERVABILITY.md):
+//   {"schema":2,"bench":"table1","quick":false,"host_threads":N,
+//    "git_sha":"..","build_type":"Release","timestamp":"2026-01-01T00:00:00Z",
+//    "wall_seconds":..,"cpu_seconds":..,"peak_rss_bytes":..,
 //    "records":[{"experiment":..,"dataset":..,"metric":..,"measured":..,
-//                "paper":..|null,"note":..}, ...]}
+//                "paper":..|null,"note":..}, ...],
+//    "phases":[{"phase":"equilibrate.rows","count":..,"total_seconds":..,
+//               "self_seconds":..,"mean_seconds":..,"max_seconds":..}, ...]}
 // Measured values are rendered with round-trip precision, so the JSON
-// carries exactly the doubles the printed table was formatted from.
+// carries exactly the doubles the printed table was formatted from. The
+// phase breakdown comes from an obs::Profiler attached for the whole bench
+// run by ParseArgs (obs/profiler.hpp).
 #pragma once
 
 #include <optional>
@@ -26,8 +38,10 @@ namespace sea::bench {
 struct BenchOptions {
   bool quick = false;
   bool progress = false;
+  bool json_truncate = false;
   std::string csv_path;
-  std::string json_path;  // empty = BENCH_<table>.json in the working dir
+  std::string json_path;     // empty = BENCH_<table>.json in the working dir
+  std::string profile_json;  // empty = no Chrome trace export
 };
 
 BenchOptions ParseArgs(int argc, char** argv);
@@ -46,11 +60,13 @@ void MaybeAttachProgress(const BenchOptions& bench_opts, SeaOptions& opts,
 void PrintHeader(const std::string& title, const std::string& protocol);
 
 // Prints the log's paper-vs-measured table, appends the CSV if requested,
-// and writes the machine-readable BENCH_<bench_name>.json.
+// appends one JSONL line to the machine-readable BENCH_<bench_name>.json,
+// and exports the Chrome trace when --profile-json was given.
 void Finish(const ExperimentLog& log, const BenchOptions& opts,
             const std::string& bench_name);
 
-// Renders the log as the BENCH json document (exposed for tests).
+// Renders the log as the BENCH json document (exposed for tests). Includes
+// the phase breakdown of the profiler attached by ParseArgs, when any.
 std::string BenchJson(const ExperimentLog& log, const BenchOptions& opts,
                       const std::string& bench_name);
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "linalg/factorizations.hpp"
+#include "obs/profiler.hpp"
 #include "support/check.hpp"
 #include "support/stopwatch.hpp"
 
@@ -52,6 +53,7 @@ BachemKorteRun SolveBachemKorte(const GeneralProblem& problem,
                 "B-K materializes Q^{-1}; use SEA or RC at this scale "
                 "(the paper likewise stopped B-K at G = 900x900)");
 
+  obs::ProfScope prof_solve("baseline.bk.solve");
   Stopwatch wall;
   const double cpu0 = ProcessCpuSeconds();
 
@@ -64,6 +66,7 @@ BachemKorteRun SolveBachemKorte(const GeneralProblem& problem,
 
   DenseMatrix qinv(mn, mn);
   {
+    obs::ProfScope prof("bk.materialize_qinv");
     Vector e(mn, 0.0);
     for (std::size_t k = 0; k < mn; ++k) {
       e[k] = 1.0;
@@ -116,6 +119,7 @@ BachemKorteRun SolveBachemKorte(const GeneralProblem& problem,
   BachemKorteResult& res = run.result;
 
   for (std::size_t sweep = 1; sweep <= opts.max_sweeps; ++sweep) {
+    obs::ProfScopeFine prof("bk.sweep");
     // Row equality multipliers: enforce a^T x = s0_i exactly.
     for (std::size_t i = 0; i < m; ++i) {
       double ax = 0.0;

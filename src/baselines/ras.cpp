@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/profiler.hpp"
 #include "support/check.hpp"
 
 namespace sea {
@@ -23,6 +24,7 @@ const char* ToString(RasStatus s) {
 
 RasResult SolveRas(const DenseMatrix& x0, const Vector& s0, const Vector& d0,
                    const RasOptions& opts) {
+  obs::ProfScope prof_solve("baseline.ras.solve");
   const std::size_t m = x0.rows(), n = x0.cols();
   SEA_CHECK(s0.size() == m && d0.size() == n);
   for (double v : x0.Flat())
@@ -44,39 +46,45 @@ RasResult SolveRas(const DenseMatrix& x0, const Vector& s0, const Vector& d0,
   for (std::size_t iter = 1; iter <= opts.max_iterations; ++iter) {
     res.iterations = iter;
     // Row scaling.
-    for (std::size_t i = 0; i < m; ++i) {
-      auto row = res.x.Row(i);
-      double sum = 0.0;
-      for (double v : row) sum += v;
-      if (sum == 0.0) {
-        if (s0[i] > 0.0) {
-          res.status = RasStatus::kInfeasibleSupport;
-          return res;
+    {
+      obs::ProfScopeFine prof("ras.row_scale");
+      for (std::size_t i = 0; i < m; ++i) {
+        auto row = res.x.Row(i);
+        double sum = 0.0;
+        for (double v : row) sum += v;
+        if (sum == 0.0) {
+          if (s0[i] > 0.0) {
+            res.status = RasStatus::kInfeasibleSupport;
+            return res;
+          }
+          continue;
         }
-        continue;
+        const double f = s0[i] / sum;
+        for (double& v : row) v *= f;
+        res.row_multipliers[i] *= f;
       }
-      const double f = s0[i] / sum;
-      for (double& v : row) v *= f;
-      res.row_multipliers[i] *= f;
     }
     // Column scaling.
-    Vector colsum(n, 0.0);
-    for (std::size_t i = 0; i < m; ++i) {
-      const auto row = res.x.Row(i);
-      for (std::size_t j = 0; j < n; ++j) colsum[j] += row[j];
-    }
-    for (std::size_t j = 0; j < n; ++j) {
-      if (colsum[j] == 0.0) {
-        if (d0[j] > 0.0) {
-          res.status = RasStatus::kInfeasibleSupport;
-          return res;
-        }
-        continue;
+    {
+      obs::ProfScopeFine prof("ras.col_scale");
+      Vector colsum(n, 0.0);
+      for (std::size_t i = 0; i < m; ++i) {
+        const auto row = res.x.Row(i);
+        for (std::size_t j = 0; j < n; ++j) colsum[j] += row[j];
       }
-      const double f = d0[j] / colsum[j];
-      if (f != 1.0)
-        for (std::size_t i = 0; i < m; ++i) res.x(i, j) *= f;
-      res.col_multipliers[j] *= f;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (colsum[j] == 0.0) {
+          if (d0[j] > 0.0) {
+            res.status = RasStatus::kInfeasibleSupport;
+            return res;
+          }
+          continue;
+        }
+        const double f = d0[j] / colsum[j];
+        if (f != 1.0)
+          for (std::size_t i = 0; i < m; ++i) res.x(i, j) *= f;
+        res.col_multipliers[j] *= f;
+      }
     }
     // Residual: after column scaling columns are exact; check rows.
     double max_rel = 0.0;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "equilibration/equilibrator.hpp"
+#include "obs/profiler.hpp"
 #include "problems/feasibility.hpp"
 #include "support/check.hpp"
 #include "support/stopwatch.hpp"
@@ -44,6 +45,7 @@ struct RcState {
 // st.lambda holds the phase's Lagrange multipliers — the market multipliers
 // of the final projection iterate. The column phase is symmetric.
 std::size_t RunPhase(RcState& st, bool by_rows, double projection_epsilon) {
+  obs::ProfScope prof(by_rows ? "rc.row_phase" : "rc.col_phase");
   const std::size_t markets = by_rows ? st.m : st.n;
   const std::size_t arcs = by_rows ? st.n : st.m;
   const GeneralProblem& p = *st.problem;
@@ -58,6 +60,8 @@ std::size_t RunPhase(RcState& st, bool by_rows, double projection_epsilon) {
   sweep_opts.sort_policy = st.opts->sort_policy;
   sweep_opts.pool = st.opts->pool;
   sweep_opts.record_task_costs = st.opts->record_trace;
+  sweep_opts.profile_phase =
+      by_rows ? "equilibrate.rows" : "equilibrate.cols";
 
   const DenseMatrix& gamma = by_rows ? st.gamma_rm : st.gamma_cm;
   st.centers = DenseMatrix(markets, arcs);
@@ -70,7 +74,10 @@ std::size_t RunPhase(RcState& st, bool by_rows, double projection_epsilon) {
     // Projection step: centers c_k = x_k - grad_k / (2 G_kk), written
     // directly in phase-major layout. The relaxation term is linear and is
     // carried by the markets' cross multipliers instead of the centers.
-    p.GradientX(st.x, st.grad, st.opts->pool);
+    {
+      obs::ProfScope prof_lin("rc.linearize");
+      p.GradientX(st.x, st.grad, st.opts->pool);
+    }
     st.result.ops.flops +=
         2 * static_cast<std::uint64_t>(st.m * st.n) * (st.m * st.n);
     if (st.opts->record_trace)
@@ -123,6 +130,7 @@ std::size_t RunPhase(RcState& st, bool by_rows, double projection_epsilon) {
 }  // namespace
 
 RcRun SolveRc(const GeneralProblem& problem, const RcOptions& opts) {
+  obs::ProfScope prof_solve("baseline.rc.solve");
   problem.Validate();
   SEA_CHECK_MSG(problem.mode() == TotalsMode::kFixed,
                 "RC handles the fixed-totals regime");

@@ -65,12 +65,14 @@ class DenseDiagonalBackend final : public SeaIterationBackend {
 
   SweepStats RowSweep() override {
     if (p_.mode() == TotalsMode::kSam) row_side_.coupling = mu_;
+    sweep_opts_.profile_phase = "equilibrate.rows";
     return EquilibrateSide(p_.x0(), p_.gamma(), mu_, row_side_, lambda_,
                            nullptr, sweep_opts_);
   }
 
   SweepStats ColSweep(bool materialize) override {
     if (p_.mode() == TotalsMode::kSam) col_side_.coupling = lambda_;
+    sweep_opts_.profile_phase = "equilibrate.cols";
     return EquilibrateSide(x0_t_, gamma_t_, lambda_, col_side_, mu_,
                            materialize ? &xt_ : nullptr, sweep_opts_);
   }

@@ -6,6 +6,7 @@
 
 #include "linalg/kernels.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace_sink.hpp"
 #include "support/check.hpp"
 #include "support/stopwatch.hpp"
@@ -41,6 +42,7 @@ GeneralSeaRun SolveGeneral(const GeneralProblem& problem,
   const std::size_t m = problem.m(), n = problem.n();
   const std::size_t mn = m * n;
 
+  obs::ProfScope prof_solve("general.solve");
   Stopwatch wall;
   const double cpu0 = ProcessCpuSeconds();
 
@@ -90,7 +92,10 @@ GeneralSeaRun SolveGeneral(const GeneralProblem& problem,
     // (one dense matvec with G and, in the elastic regimes, A/B). This is a
     // parallelizable phase: G's rows partition across processors.
     Stopwatch lin_sw;
-    diag = problem.Diagonalize(x, s, d, inner.pool);
+    {
+      obs::ProfScope prof("general.linearize");
+      diag = problem.Diagonalize(x, s, d, inner.pool);
+    }
     result.linearization_seconds += lin_sw.Seconds();
     result.ops.flops += 2 * static_cast<std::uint64_t>(mn) * mn;
     if (inner.record_trace) {
@@ -108,7 +113,10 @@ GeneralSeaRun SolveGeneral(const GeneralProblem& problem,
     } else {
       inner_solver.emplace(diag);
     }
-    DiagonalSeaRun inner_run = inner_solver->SolveWarm(inner, mu_warm);
+    DiagonalSeaRun inner_run = [&] {
+      obs::ProfScope prof("general.inner_solve");
+      return inner_solver->SolveWarm(inner, mu_warm);
+    }();
     mu_warm = inner_run.solution.mu;
     result.total_inner_iterations += inner_run.result.iterations;
     result.ops += inner_run.result.ops;
@@ -117,8 +125,11 @@ GeneralSeaRun SolveGeneral(const GeneralProblem& problem,
     // ---- Convergence verification (single serial phase; paper Fig. 4).
     const auto xf = inner_run.solution.x.Flat();
     double change = 0.0;
-    for (std::size_t k = 0; k < mn; ++k)
-      change = std::max(change, std::abs(xf[k] - x[k]));
+    {
+      obs::ProfScope prof("general.outer_check");
+      for (std::size_t k = 0; k < mn; ++k)
+        change = std::max(change, std::abs(xf[k] - x[k]));
+    }
     if (inner.record_trace)
       result.trace.AddSerialPhase("outer-check", static_cast<double>(mn));
     result.ops.flops += mn;

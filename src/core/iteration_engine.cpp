@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace_sink.hpp"
 #include "support/check.hpp"
 #include "support/failpoint.hpp"
@@ -38,6 +39,7 @@ SeaResult RunIterationEngine(SeaIterationBackend& backend,
                     !std::isnan(opts.time_budget_seconds),
                 "time_budget_seconds must be >= 0");
 
+  obs::ProfScope prof_solve("engine.solve");
   Stopwatch wall;
   const double cpu0 = ProcessCpuSeconds();
 
@@ -86,6 +88,7 @@ SeaResult RunIterationEngine(SeaIterationBackend& backend,
 
     // ---- Step 1: row equilibration (parallel across the row markets).
     {
+      obs::ProfScope prof("engine.row_sweep");
       Stopwatch sw;
       SweepStats stats = backend.RowSweep();
       result.ops += stats.total_ops;
@@ -97,6 +100,7 @@ SeaResult RunIterationEngine(SeaIterationBackend& backend,
     // ---- Step 2: column equilibration (parallel across the column
     // markets); materializes the primal iterate on check iterations.
     {
+      obs::ProfScope prof("engine.col_sweep");
       Stopwatch sw;
       SweepStats stats = backend.ColSweep(check_now);
       result.ops += stats.total_ops;
@@ -115,24 +119,27 @@ SeaResult RunIterationEngine(SeaIterationBackend& backend,
 
     // ---- Step 3: convergence verification (the serial phase; Sec. 4.2).
     Stopwatch check_sw;
-    backend.BeginCheck();
-    const StopCriterion criterion =
-        backend.EffectiveCriterion(opts.criterion);
     double measure = 0.0;
     bool defined = true;
-    if (criterion == StopCriterion::kXChange) {
-      // Compared across consecutive checks; the first check only snapshots,
-      // so its measure is undefined (nothing to compare against) and no
-      // comparison flops are charged.
-      if (have_snapshot) {
-        measure = backend.DiffFromSnapshot();
+    {
+      obs::ProfScope prof("engine.check");
+      backend.BeginCheck();
+      const StopCriterion criterion =
+          backend.EffectiveCriterion(opts.criterion);
+      if (criterion == StopCriterion::kXChange) {
+        // Compared across consecutive checks; the first check only
+        // snapshots, so its measure is undefined (nothing to compare
+        // against) and no comparison flops are charged.
+        if (have_snapshot) {
+          measure = backend.DiffFromSnapshot();
+        } else {
+          defined = false;
+        }
+        backend.SnapshotIterate();
+        have_snapshot = true;
       } else {
-        defined = false;
+        measure = backend.ResidualMeasure(criterion);
       }
-      backend.SnapshotIterate();
-      have_snapshot = true;
-    } else {
-      measure = backend.ResidualMeasure(criterion);
     }
     result.check_phase_seconds += check_sw.Seconds();
 

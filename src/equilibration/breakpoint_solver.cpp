@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/profiler.hpp"
 #include "support/check.hpp"
 
 namespace sea {
@@ -70,6 +71,7 @@ std::uint64_t Heapsort(std::vector<NodeT>& v) {
 
 BreakpointResult SolveMarket(BreakpointWorkspace& ws, double u, double v,
                              SortPolicy policy) {
+  obs::ProfScopeFine prof("breakpoint.solve");
   const auto& arcs = ws.arcs_;
   auto& nodes = ws.nodes_;
   const std::size_t n = arcs.size();
@@ -152,6 +154,7 @@ BreakpointResult SolveMarket(BreakpointWorkspace& ws, double u, double v,
 
 BreakpointResult SolveMarketBox(BreakpointWorkspace& ws, double u, double v,
                                 double lo, double hi, SortPolicy policy) {
+  obs::ProfScopeFine prof("breakpoint.solve");
   SEA_CHECK_MSG(v < 0.0, "interval clearing needs a strictly elastic slope");
   SEA_CHECK_MSG(0.0 <= lo && lo <= hi, "invalid total interval");
 

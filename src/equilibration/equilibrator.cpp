@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/profiler.hpp"
 #include "parallel/parallel_for.hpp"
 #include "support/check.hpp"
 
@@ -94,8 +95,11 @@ SweepStats EquilibrateSide(const DenseMatrix& centers,
   std::vector<BreakpointWorkspace> ws(workers);
   std::vector<OpCounts> worker_ops(workers);
 
+  const char* phase =
+      opts.profile_phase != nullptr ? opts.profile_phase : "equilibrate.sweep";
   ForRangeWorker(opts.pool, markets,
                  [&](std::size_t begin, std::size_t end, std::size_t w) {
+    obs::ProfScope prof(phase);
     BreakpointWorkspace& wksp = ws[w];
     OpCounts local;
     for (std::size_t i = begin; i < end; ++i) {

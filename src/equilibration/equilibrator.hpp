@@ -59,6 +59,10 @@ struct SweepOptions {
   SortPolicy sort_policy = SortPolicy::kAuto;
   bool record_task_costs = false;
   ThreadPool* pool = nullptr;
+  // Profiler span name wrapping each worker's chunk of the sweep (string
+  // literal; nullptr = unnamed "equilibrate.sweep"). Lets the profile tell
+  // row from column sweeps per worker track (obs/profiler.hpp).
+  const char* profile_phase = nullptr;
 };
 
 // Equilibrates all markets of one side.

@@ -2,11 +2,13 @@
 
 #include <cmath>
 
+#include "obs/profiler.hpp"
 #include "support/check.hpp"
 
 namespace sea {
 
 std::optional<Cholesky> Cholesky::Factor(const DenseMatrix& a) {
+  obs::ProfScope prof("linalg.cholesky_factor");
   SEA_CHECK(a.rows() == a.cols());
   const std::size_t n = a.rows();
   DenseMatrix l(n, n, 0.0);
@@ -28,6 +30,7 @@ std::optional<Cholesky> Cholesky::Factor(const DenseMatrix& a) {
 }
 
 void Cholesky::SolveInPlace(std::span<double> b) const {
+  obs::ProfScopeFine prof("linalg.cholesky_solve");
   const std::size_t n = dim();
   SEA_CHECK(b.size() == n);
   // Forward: L y = b.
@@ -52,6 +55,7 @@ Vector Cholesky::Solve(std::span<const double> b) const {
 }
 
 std::optional<PartialPivLU> PartialPivLU::Factor(const DenseMatrix& a) {
+  obs::ProfScope prof("linalg.lu_factor");
   SEA_CHECK(a.rows() == a.cols());
   const std::size_t n = a.rows();
   DenseMatrix lu = a;
@@ -88,6 +92,7 @@ std::optional<PartialPivLU> PartialPivLU::Factor(const DenseMatrix& a) {
 }
 
 Vector PartialPivLU::Solve(std::span<const double> b) const {
+  obs::ProfScopeFine prof("linalg.lu_solve");
   const std::size_t n = dim();
   SEA_CHECK(b.size() == n);
   Vector x(n);

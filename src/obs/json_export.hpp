@@ -9,8 +9,11 @@
 //   * ToJson overloads for the solver report types (SeaResult,
 //     GeneralSeaResult), MetricsSnapshot, and PoolStats.
 //
-// All documents carry `"schema": 1`; the schema is append-only (new fields
-// may appear, existing ones never change meaning — docs/OBSERVABILITY.md).
+// All documents carry a `"schema"` version; the schema is append-only (new
+// fields may appear, existing ones never change meaning —
+// docs/OBSERVABILITY.md). Version 2 added the bench provenance fields
+// (git_sha/build_type/timestamp/wall/cpu/peak-RSS) and the per-phase
+// profiler breakdown.
 #pragma once
 
 #include <cstdint>
@@ -28,7 +31,7 @@ struct PoolStats;
 namespace obs {
 
 // Current version stamped into every exported document and trace event.
-inline constexpr int kTelemetrySchemaVersion = 1;
+inline constexpr int kTelemetrySchemaVersion = 2;
 
 std::string JsonEscape(const std::string& s);
 // Shortest decimal that round-trips to the same double; "null" for

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/profiler.hpp"
 #include "support/check.hpp"
 #include "support/failpoint.hpp"
 #include "support/stopwatch.hpp"
@@ -64,6 +65,7 @@ void ThreadPool::RunChunk(
   const std::size_t begin = part * n / parts;
   const std::size_t end = (part + 1) * n / parts;
   if (begin >= end) return;
+  obs::ProfScope prof("pool.chunk");
   if (!stats_enabled_) {
     RunBody(body, begin, end, worker);
     return;
@@ -105,6 +107,13 @@ void ThreadPool::WorkerLoop(std::size_t worker_index) {
       seen_epoch = epoch_;
       task = task_;
     }
+    if (task.publish_ns != 0) {
+      // The publish instant was stamped because a profiler was attached;
+      // record the dispatch gap on this worker's own track.
+      if (obs::Profiler* p = obs::Profiler::Current())
+        p->RecordSpan("pool.queue_wait", task.publish_ns,
+                      obs::prof_internal::NowNs());
+    }
     RunChunk(*task.body, task.n, worker_index, num_threads_, worker_index);
     {
       std::lock_guard lk(mu_);
@@ -132,6 +141,9 @@ void ThreadPool::ParallelForWorker(
     std::lock_guard lk(mu_);
     task_.body = &body;
     task_.n = n;
+    task_.publish_ns = obs::Profiler::Current() != nullptr
+                           ? obs::prof_internal::NowNs()
+                           : 0;
     ++epoch_;
     pending_ = num_threads_ - 1;
   }

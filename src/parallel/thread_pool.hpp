@@ -91,6 +91,11 @@ class ThreadPool {
         nullptr;
     std::size_t n = 0;
     std::uint64_t epoch = 0;
+    // Monotonic instant the region was published to the workers; stamped
+    // only while a profiler is attached (0 otherwise). Each worker records
+    // the publish -> chunk-start gap as a "pool.queue_wait" span, making
+    // pool dispatch overhead a first-class profiled phase.
+    std::uint64_t publish_ns = 0;
   };
 
   // One slot per worker, cache-line padded: each worker writes only its own

@@ -7,6 +7,7 @@
 #include "core/iteration_engine.hpp"
 #include "core/stopping.hpp"
 #include "equilibration/equilibrator.hpp"
+#include "obs/profiler.hpp"
 #include "parallel/parallel_for.hpp"
 #include "support/check.hpp"
 
@@ -29,8 +30,11 @@ SweepStats SparseSweep(const SparseMatrix& centers, const SparseMatrix& weights,
   std::vector<BreakpointWorkspace> ws(workers);
   std::vector<OpCounts> worker_ops(workers);
 
+  const char* phase =
+      opts.profile_phase != nullptr ? opts.profile_phase : "equilibrate.sweep";
   ForRangeWorker(opts.pool, markets,
                  [&](std::size_t begin, std::size_t end, std::size_t w) {
+    obs::ProfScope prof(phase);
     BreakpointWorkspace& wksp = ws[w];
     OpCounts local;
     for (std::size_t i = begin; i < end; ++i) {
@@ -109,12 +113,14 @@ class SparseBackend final : public SeaIterationBackend {
 
   SweepStats RowSweep() override {
     if (p_.mode() == TotalsMode::kSam) row_side_.coupling = mu_;
+    sweep_opts_.profile_phase = "equilibrate.rows";
     return SparseSweep(p_.x0(), p_.gamma(), mu_, row_side_, lambda_, nullptr,
                        sweep_opts_);
   }
 
   SweepStats ColSweep(bool materialize) override {
     if (p_.mode() == TotalsMode::kSam) col_side_.coupling = lambda_;
+    sweep_opts_.profile_phase = "equilibrate.cols";
     return SparseSweep(x0_t_, gamma_t_, lambda_, col_side_, mu_,
                        materialize ? &xt_ : nullptr, sweep_opts_);
   }

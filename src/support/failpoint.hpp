@@ -21,6 +21,7 @@
 //   sea.entropy.poison_lambda   lambda[0] becomes NaN before a row sweep
 //   sea.pool.task               throws std::runtime_error inside a pool chunk
 //   sea.obs.trace_write         JSONL trace sink stream enters a failed state
+//   sea.obs.profile_write       profiler Chrome-trace export stream fails
 #pragma once
 
 #include <atomic>

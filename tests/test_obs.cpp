@@ -1,21 +1,27 @@
 // Telemetry-layer tests: metrics registry semantics, JSON rendering,
 // trace-sink event contract under the iteration engine, the JSONL round
-// trip, and pool-metrics registration.
+// trip, pool-metrics registration, the span profiler, and the bench-JSON
+// reader behind tools/bench_diff.
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <set>
 #include <thread>
 #include <vector>
 
 #include "core/diagonal_sea.hpp"
 #include "core/general_sea.hpp"
 #include "datasets/general_dense.hpp"
+#include "obs/bench_reader.hpp"
 #include "obs/json_export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace_reader.hpp"
 #include "obs/trace_sink.hpp"
 #include "parallel/thread_pool.hpp"
+#include "support/failpoint.hpp"
 #include "support/rng.hpp"
 
 namespace sea {
@@ -339,7 +345,7 @@ TEST(TraceContract, JsonlSinkWritesParseableFile) {
   ASSERT_FALSE(events.empty());
   for (const auto& ev : events) {
     EXPECT_EQ(ev.Type(), "check");
-    EXPECT_EQ(ev.Number("schema"), 1.0);
+    EXPECT_EQ(ev.Number("schema"), obs::kTelemetrySchemaVersion);
   }
   std::remove(path.c_str());
 }
@@ -366,6 +372,323 @@ TEST(PoolMetrics, RecordsUtilizationSnapshot) {
   EXPECT_NE(json.find("\"threads\":2"), std::string::npos);
   EXPECT_NE(json.find("\"regions\":1"), std::string::npos);
   EXPECT_NE(json.find("\"worker_busy_seconds\":["), std::string::npos);
+}
+
+// ----------------------------------------------------------------- profiler
+
+TEST(Profiler, DetachedSitesRecordNothing) {
+  ASSERT_EQ(obs::Profiler::Current(), nullptr);
+  for (int i = 0; i < 100; ++i) {
+    obs::ProfScope scope("test.detached");
+    obs::ProfScopeFine fine("test.detached_fine");
+  }
+  obs::Profiler prof;
+  prof.Attach();
+  prof.Detach();
+  EXPECT_TRUE(prof.Events().empty());
+  EXPECT_EQ(prof.thread_count(), 0u);
+  EXPECT_EQ(prof.dropped(), 0u);
+}
+
+TEST(Profiler, RecordsNestedScopes) {
+  obs::Profiler prof;
+  prof.Attach();
+  {
+    obs::ProfScope outer("test.outer");
+    { obs::ProfScope inner("test.inner"); }
+    { obs::ProfScope inner("test.inner"); }
+  }
+  prof.Detach();
+  const auto events = prof.Events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(prof.thread_count(), 1u);
+  for (const auto& ev : events) EXPECT_GE(ev.end_ns, ev.start_ns);
+
+  const auto stats = obs::SummarizeSpans(obs::ToRawSpans(events));
+  ASSERT_EQ(stats.size(), 2u);
+  const auto& outer = stats[0].name == "test.outer" ? stats[0] : stats[1];
+  const auto& inner = stats[0].name == "test.inner" ? stats[0] : stats[1];
+  EXPECT_EQ(outer.count, 1u);
+  EXPECT_EQ(inner.count, 2u);
+  // The inner spans' time is charged to them, not double counted: the
+  // outer phase's self time is its total minus the nested spans' total.
+  EXPECT_NEAR(outer.self_seconds, outer.total_seconds - inner.total_seconds,
+              1e-12);
+  EXPECT_LE(inner.total_seconds, outer.total_seconds);
+}
+
+TEST(Profiler, SummarizeAttributesChildTimeDeterministically) {
+  const std::vector<obs::RawSpan> spans = {
+      {"outer", 0, 100, 0},
+      {"inner", 10, 30, 0},
+      {"inner", 40, 60, 0},
+      {"solo", 0, 50, 1},  // other thread: never a child of thread 0's outer
+  };
+  const auto stats = obs::SummarizeSpans(spans);
+  ASSERT_EQ(stats.size(), 3u);
+  EXPECT_EQ(stats[0].name, "outer");  // sorted by descending self time
+  EXPECT_DOUBLE_EQ(stats[0].total_seconds, 100 * 1e-9);
+  EXPECT_DOUBLE_EQ(stats[0].self_seconds, 60 * 1e-9);
+  auto find = [&stats](const std::string& name) -> const obs::PhaseStat& {
+    for (const auto& st : stats)
+      if (st.name == name) return st;
+    throw InternalError("phase not found: " + name);
+  };
+  EXPECT_EQ(find("inner").count, 2u);
+  EXPECT_DOUBLE_EQ(find("inner").total_seconds, 40 * 1e-9);
+  EXPECT_DOUBLE_EQ(find("inner").self_seconds, 40 * 1e-9);
+  EXPECT_DOUBLE_EQ(find("inner").max_seconds, 20 * 1e-9);
+  EXPECT_DOUBLE_EQ(find("inner").mean_seconds, 20 * 1e-9);
+  EXPECT_DOUBLE_EQ(find("solo").self_seconds, 50 * 1e-9);
+  EXPECT_DOUBLE_EQ(obs::ProfileWallSeconds(spans), 100 * 1e-9);
+}
+
+TEST(Profiler, RecordsSpansFromMultipleThreads) {
+  obs::Profiler prof;
+  prof.Attach();
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t)
+    workers.emplace_back([] { obs::ProfScope scope("test.worker"); });
+  for (auto& w : workers) w.join();
+  prof.Detach();
+  const auto events = prof.Events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(prof.thread_count(), 4u);
+  std::set<std::uint32_t> tracks;
+  for (const auto& ev : events) tracks.insert(ev.thread);
+  EXPECT_EQ(tracks.size(), 4u);  // dense per-thread track indices
+  for (std::uint32_t t : tracks) EXPECT_LT(t, 4u);
+}
+
+TEST(Profiler, FineGrainedSitesAreGatedByOption) {
+  {
+    obs::Profiler coarse;
+    coarse.Attach();
+    { obs::ProfScopeFine fine("test.fine"); }
+    { obs::ProfScope scope("test.coarse"); }
+    coarse.Detach();
+    EXPECT_EQ(coarse.Events().size(), 1u);
+    EXPECT_EQ(coarse.Events()[0].name, std::string("test.coarse"));
+  }
+  obs::ProfilerOptions opts;
+  opts.fine_grained = true;
+  obs::Profiler fine(opts);
+  fine.Attach();
+  { obs::ProfScopeFine scope("test.fine"); }
+  fine.Detach();
+  EXPECT_EQ(fine.Events().size(), 1u);
+}
+
+TEST(Profiler, CapsPerThreadEventsAndCountsDrops) {
+  obs::ProfilerOptions opts;
+  opts.max_events_per_thread = 4;
+  obs::Profiler prof(opts);
+  prof.Attach();
+  for (int i = 0; i < 10; ++i) {
+    obs::ProfScope scope("test.capped");
+  }
+  prof.Detach();
+  EXPECT_EQ(prof.Events().size(), 4u);
+  EXPECT_EQ(prof.dropped(), 6u);
+}
+
+TEST(Profiler, EngineSpansExportAndReadBack) {
+  const std::string path = TempPath("sea_test_profile.json");
+  std::remove(path.c_str());
+  const auto problem = SmallFixedProblem(6, 8);
+  obs::Profiler prof;
+  prof.Attach();
+  SeaOptions opts;
+  opts.epsilon = 1e-8;
+  SolveDiagonal(problem, opts);
+  prof.Detach();
+
+  const auto spans = obs::ToRawSpans(prof.Events());
+  ASSERT_FALSE(spans.empty());
+  const auto stats = obs::SummarizeSpans(spans);
+  auto has = [&stats](const std::string& name) {
+    for (const auto& st : stats)
+      if (st.name == name) return true;
+    return false;
+  };
+  EXPECT_TRUE(has("engine.solve"));
+  EXPECT_TRUE(has("engine.row_sweep"));
+  EXPECT_TRUE(has("engine.col_sweep"));
+  EXPECT_TRUE(has("engine.check"));
+  // Accounting: single-thread self times partition the covered wall time,
+  // so their sum recovers (almost) the whole profile window.
+  double self_total = 0.0;
+  for (const auto& st : stats) self_total += st.self_seconds;
+  EXPECT_GE(self_total, 0.95 * obs::ProfileWallSeconds(spans));
+
+  ASSERT_TRUE(obs::WriteChromeTrace(path, spans, "test_obs"));
+  const auto back = obs::ReadChromeTrace(path);
+  ASSERT_EQ(back.size(), spans.size());
+  std::set<std::string> names, back_names;
+  for (const auto& s : spans) names.insert(s.name);
+  for (const auto& s : back) back_names.insert(s.name);
+  EXPECT_EQ(names, back_names);
+  // Timestamps survive the microsecond round trip to within rounding.
+  const auto back_stats = obs::SummarizeSpans(back);
+  for (const auto& st : back_stats) {
+    ASSERT_TRUE(has(st.name));
+    for (const auto& orig : stats)
+      if (orig.name == st.name) {
+        EXPECT_NEAR(st.total_seconds, orig.total_seconds,
+                    4e-9 * static_cast<double>(st.count) + 1e-12);
+        EXPECT_EQ(st.count, orig.count);
+      }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Profiler, ExportFailpointDegradesToFalse) {
+  const std::string path = TempPath("sea_test_profile_fail.json");
+  const std::vector<obs::RawSpan> spans = {{"phase", 0, 1000, 0}};
+  fail::Arm("sea.obs.profile_write");
+  EXPECT_FALSE(obs::WriteChromeTrace(path, spans, "test_obs"));
+  fail::DisarmAll();
+  EXPECT_TRUE(obs::WriteChromeTrace(path, spans, "test_obs"));
+  EXPECT_EQ(obs::ReadChromeTrace(path).size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(Profiler, ReadChromeTraceRejectsMalformed) {
+  EXPECT_THROW(obs::ReadChromeTrace("/nonexistent/trace.json"),
+               InvalidArgument);
+  const std::string path = TempPath("sea_test_profile_bad.json");
+  {
+    std::ofstream f(path);
+    f << "[\n{\"name\":\"x\",\"ph\":\"X\"\n]\n";  // unterminated object
+  }
+  EXPECT_THROW(obs::ReadChromeTrace(path), InvalidArgument);
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------ histogram quantiles
+
+TEST(Metrics, HistogramQuantileInterpolates) {
+  obs::HistogramSnapshot h;
+  h.bounds = {1.0, 2.0};
+  h.counts = {1, 1, 0};
+  h.total_count = 2;
+  h.sum = 2.3;
+  h.min = 0.5;
+  h.max = 1.8;
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(h, 0.0), 0.5);  // clamps to min
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(h, 0.5), 1.0);  // bucket-0 edge
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(h, 1.0), 1.8);  // clamps to max
+  EXPECT_EQ(obs::HistogramQuantile(obs::HistogramSnapshot{}, 0.5), 0.0);
+}
+
+TEST(Metrics, HistogramQuantileOnRegistryHistogram) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.GetHistogram("q.hist", {10.0, 20.0, 30.0, 40.0});
+  for (int v = 1; v <= 40; ++v) h.Observe(v);
+  const auto full = reg.Snapshot();
+  const auto* snap = full.FindHistogram("q.hist");
+  ASSERT_NE(snap, nullptr);
+  EXPECT_NEAR(obs::HistogramQuantile(*snap, 0.50), 20.0, 1e-9);
+  EXPECT_NEAR(obs::HistogramQuantile(*snap, 0.95), 38.0, 1e-9);
+  EXPECT_NEAR(obs::HistogramQuantile(*snap, 0.99), 39.6, 1e-9);
+}
+
+// ------------------------------------------------------------- bench reader
+
+std::string FixtureBenchLine(const std::string& sha) {
+  return "{\"schema\":2,\"bench\":\"fixture\",\"quick\":true,"
+         "\"host_threads\":4,\"git_sha\":\"" +
+         sha +
+         "\",\"build_type\":\"Release\","
+         "\"timestamp\":\"2026-08-06T00:00:00Z\",\"wall_seconds\":0.5,"
+         "\"cpu_seconds\":1.2,\"peak_rss_bytes\":1048576,"
+         "\"records\":["
+         "{\"experiment\":\"t6\",\"dataset\":\"IO72a\","
+         "\"metric\":\"cpu_seconds\",\"measured\":0.5,\"paper\":333.2691,"
+         "\"note\":\"converged\"},"
+         "{\"experiment\":\"t6\",\"dataset\":\"IO72a\","
+         "\"metric\":\"iterations\",\"measured\":8,\"paper\":null,"
+         "\"note\":\"\"}],"
+         "\"phases\":[{\"phase\":\"engine.row_sweep\",\"count\":16,"
+         "\"total_seconds\":0.3,\"self_seconds\":0.25,"
+         "\"mean_seconds\":0.01875,\"max_seconds\":0.05}]}";
+}
+
+TEST(BenchReader, ParsesSchema2Document) {
+  const auto doc = obs::ParseBenchDoc(FixtureBenchLine("abc1234"));
+  EXPECT_EQ(doc.meta.Number("schema"), 2.0);
+  EXPECT_EQ(doc.meta.strings.at("git_sha"), "abc1234");
+  EXPECT_EQ(doc.meta.strings.at("timestamp"), "2026-08-06T00:00:00Z");
+  EXPECT_DOUBLE_EQ(doc.meta.Number("peak_rss_bytes"), 1048576.0);
+  ASSERT_EQ(doc.records.size(), 2u);
+  EXPECT_EQ(doc.records[0].dataset, "IO72a");
+  EXPECT_EQ(doc.records[0].metric, "cpu_seconds");
+  EXPECT_DOUBLE_EQ(doc.records[0].measured, 0.5);
+  ASSERT_TRUE(doc.records[0].paper.has_value());
+  EXPECT_DOUBLE_EQ(*doc.records[0].paper, 333.2691);
+  EXPECT_FALSE(doc.records[1].paper.has_value());  // JSON null stays absent
+  ASSERT_EQ(doc.phases.size(), 1u);
+  EXPECT_EQ(doc.phases[0].phase, "engine.row_sweep");
+  EXPECT_DOUBLE_EQ(doc.phases[0].count, 16.0);
+  EXPECT_DOUBLE_EQ(doc.phases[0].self_seconds, 0.25);
+}
+
+TEST(BenchReader, ToleratesSchema1AndUnknownSections) {
+  const auto doc = obs::ParseBenchDoc(
+      "{\"schema\":1,\"bench\":\"table2\",\"records\":[{\"experiment\":\"t\","
+      "\"dataset\":\"d\",\"metric\":\"cpu_seconds\",\"measured\":1.5,"
+      "\"paper\":null,\"note\":\"\"}],\"future_array\":[1,2],"
+      "\"future_obj\":{\"x\":{\"y\":[0]}}}");
+  EXPECT_EQ(doc.meta.Number("schema"), 1.0);
+  EXPECT_EQ(doc.meta.strings.count("git_sha"), 0u);  // v1: no provenance
+  ASSERT_EQ(doc.records.size(), 1u);
+  EXPECT_DOUBLE_EQ(doc.records[0].measured, 1.5);
+  EXPECT_TRUE(doc.phases.empty());
+}
+
+TEST(BenchReader, ReadsJsonlOldestFirstAndNamesBadLines) {
+  const std::string path = TempPath("sea_test_bench.jsonl");
+  {
+    std::ofstream f(path);
+    f << FixtureBenchLine("run1") << "\n\n" << FixtureBenchLine("run2")
+      << "\n";
+  }
+  const auto docs = obs::ReadBenchJsonl(path);
+  ASSERT_EQ(docs.size(), 2u);
+  EXPECT_EQ(docs[0].meta.strings.at("git_sha"), "run1");
+  EXPECT_EQ(docs[1].meta.strings.at("git_sha"), "run2");
+
+  {
+    std::ofstream f(path, std::ios::app);
+    f << "{broken\n";
+  }
+  try {
+    obs::ReadBenchJsonl(path);
+    FAIL() << "expected InvalidArgument for the malformed line";
+  } catch (const InvalidArgument& err) {
+    EXPECT_NE(std::string(err.what()).find("line 4"), std::string::npos);
+  }
+  std::remove(path.c_str());
+  EXPECT_THROW(obs::ReadBenchJsonl(path), InvalidArgument);
+}
+
+TEST(BenchReader, JsonObjectFieldsSplitsRawValues) {
+  const auto fields = obs::JsonObjectFields(
+      "{\"a\":1,\"b\":\"s,{}\",\"c\":[1,2],\"d\":{\"e\":[3]},\"f\":true}");
+  ASSERT_EQ(fields.size(), 5u);
+  EXPECT_EQ(fields[0].first, "a");
+  EXPECT_EQ(fields[0].second, "1");
+  EXPECT_EQ(fields[1].second, "\"s,{}\"");  // braces inside strings ignored
+  EXPECT_EQ(fields[2].second, "[1,2]");
+  EXPECT_EQ(fields[3].second, "{\"e\":[3]}");
+  EXPECT_EQ(fields[4].second, "true");
+  EXPECT_THROW(obs::JsonObjectFields("{\"a\":1"), InvalidArgument);
+
+  const auto nums = obs::JsonNumberArray("[1, 2.5 ,\"x\",3]");
+  ASSERT_EQ(nums.size(), 3u);
+  EXPECT_DOUBLE_EQ(nums[0], 1.0);
+  EXPECT_DOUBLE_EQ(nums[1], 2.5);
+  EXPECT_DOUBLE_EQ(nums[2], 3.0);
 }
 
 }  // namespace

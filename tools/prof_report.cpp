@@ -1,0 +1,59 @@
+// prof_report — aggregated per-phase table from a Chrome trace JSON file
+// written by `sea_solve --profile-json`, a bench binary's --profile-json,
+// or any obs::WriteChromeTrace export (docs/OBSERVABILITY.md, "Profiling").
+//
+// Usage:
+//   prof_report <trace.json> [--top N]
+//
+// Prints, per phase: span count, total/self/mean/max seconds, and the self
+// time's share of the profile's wall clock. Self time excludes spans nested
+// inside on the same thread, so the per-thread shares partition the covered
+// wall time. Exit codes: 0 on success, 1 if the trace has no spans, 3 on a
+// missing/malformed file.
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "obs/profiler.hpp"
+#include "support/check.hpp"
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::size_t top = 0;  // 0 = all
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+      top = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (argv[i][0] != '-' && path.empty()) {
+      path = argv[i];
+    } else {
+      std::cerr << "usage: " << argv[0] << " <trace.json> [--top N]\n";
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::cerr << "usage: " << argv[0] << " <trace.json> [--top N]\n";
+    return 2;
+  }
+
+  try {
+    const auto spans = sea::obs::ReadChromeTrace(path);
+    if (spans.empty()) {
+      std::cerr << "no profile spans found in " << path << '\n';
+      return 1;
+    }
+    std::size_t threads = 0;
+    for (const auto& s : spans)
+      threads = std::max<std::size_t>(threads, s.thread + 1);
+    auto stats = sea::obs::SummarizeSpans(spans);
+    const double wall = sea::obs::ProfileWallSeconds(spans);
+    if (top > 0 && stats.size() > top) stats.resize(top);
+    std::cout << "profile:         " << path << " — " << spans.size()
+              << " spans across " << threads << " thread"
+              << (threads == 1 ? "" : "s") << '\n';
+    sea::obs::PrintProfileSummary(std::cout, stats, wall);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 3;
+  }
+}

@@ -45,6 +45,7 @@
 #include "io/csv.hpp"
 #include "obs/json_export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace_sink.hpp"
 #include "parallel/thread_pool.hpp"
 #include "problems/feasibility.hpp"
@@ -81,7 +82,11 @@ using namespace sea;
          "           --metrics-json <path>    (write result + metrics as "
          "JSON)\n"
          "           --trace-jsonl <path>     (stream per-check trace "
-         "events)\n";
+         "events)\n"
+         "           --profile-json <path>    (export phase spans as Chrome "
+         "trace JSON for Perfetto)\n"
+         "           --profile-summary        (print the per-phase profile "
+         "table)\n";
   std::exit(2);
 }
 
@@ -92,12 +97,12 @@ const std::set<std::string>& ValueFlags() {
       "mode",      "matrix",     "row-totals",   "col-totals", "totals",
       "weights",   "epsilon",    "criterion",    "check-every", "max-iters",
       "slack",     "threads",    "out",          "metrics-json",
-      "trace-jsonl", "time-budget"};
+      "trace-jsonl", "time-budget", "profile-json"};
   return flags;
 }
 
 const std::set<std::string>& SwitchFlags() {
-  static const std::set<std::string> flags{"progress"};
+  static const std::set<std::string> flags{"progress", "profile-summary"};
   return flags;
 }
 
@@ -302,7 +307,16 @@ int main(int argc, char** argv) {
       pool.EnableStats(true);
     }
 
+    // Profiler: attached for the solve only, so the trace/summary covers
+    // exactly the algorithm (docs/OBSERVABILITY.md, "Profiling").
+    const bool profiling =
+        args.count("profile-json") || args.count("profile-summary");
+    obs::Profiler profiler;
+    if (profiling) profiler.Attach();
+
     const auto run = SolveDiagonal(problem, opts);
+
+    if (profiling) profiler.Detach();
     const auto rep = CheckFeasibility(problem, run.solution);
 
     std::cout << "mode:           " << mode << " (" << x0.rows() << " x "
@@ -316,6 +330,30 @@ int main(int argc, char** argv) {
               << "max residual:   " << rep.MaxAbs() << " (abs), "
               << rep.MaxRel() << " (rel)\n"
               << "cpu seconds:    " << run.result.cpu_seconds << '\n';
+
+    if (profiling) {
+      const auto spans = obs::ToRawSpans(profiler.Events());
+      if (args.count("profile-summary")) {
+        std::cout << '\n';
+        obs::PrintProfileSummary(std::cout, obs::SummarizeSpans(spans),
+                                 run.result.wall_seconds);
+      }
+      if (args.count("profile-json")) {
+        // Fail-soft: a trace-write failure degrades the export, never the
+        // solve or its exit code (docs/ROBUSTNESS.md).
+        if (obs::WriteChromeTrace(args["profile-json"], spans, "sea_solve")) {
+          std::cout << "profile trace:  " << args["profile-json"] << " ("
+                    << spans.size() << " spans, " << profiler.thread_count()
+                    << " threads)\n";
+        } else {
+          std::cerr << "warning: could not write profile trace to "
+                    << args["profile-json"] << '\n';
+        }
+      }
+      if (profiler.dropped() > 0)
+        std::cerr << "warning: profiler dropped " << profiler.dropped()
+                  << " spans (per-thread buffer cap)\n";
+    }
 
     if (trace_sink) {
       trace_sink->Flush();

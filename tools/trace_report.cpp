@@ -10,14 +10,25 @@
 //   * the serial/parallel phase split and the serial-fraction estimate of
 //     Section 4.2: the convergence-verification phase is the Amdahl
 //     bottleneck, so 1/serial_fraction bounds any parallel speedup;
-//   * for general-SEA traces, the outer projection trajectory.
+//   * for general-SEA traces, the outer projection trajectory;
+//   * with --metrics <metrics.json>, p50/p95/p99 for every histogram the
+//     metrics export contains (bucket-interpolated, obs::HistogramQuantile).
 //
-// Usage: trace_report <trace.jsonl>
+// Event kinds this tool does not know are counted and noted, not errors —
+// the trace schema is append-only and newer solvers may emit new kinds.
+//
+// Usage: trace_report <trace.jsonl> [--metrics <metrics.json>]
 #include <cmath>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
 #include <vector>
 
+#include "obs/bench_reader.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace_reader.hpp"
 
 namespace {
@@ -100,32 +111,115 @@ void PrintOuterSummary(const std::vector<const TraceEvent*>& outers) {
             << "linearize secs:  " << last.Number("linearize_seconds") << '\n';
 }
 
+// Reconstructs each histogram under "metrics"/"histograms" (or a top-level
+// "histograms") in a metrics JSON export and prints interpolated
+// percentiles. Fail-soft by design: a missing section just prints a note.
+void PrintHistogramPercentiles(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::cerr << "error: cannot open metrics json: " << path << '\n';
+    return;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string hist_json;
+  auto find = [](const std::string& obj,
+                 const std::string& key) -> std::string {
+    for (auto& [k, v] : sea::obs::JsonObjectFields(obj))
+      if (k == key) return v;
+    return std::string();
+  };
+  const std::string metrics = find(buf.str(), "metrics");
+  hist_json = metrics.empty() ? find(buf.str(), "histograms")
+                              : find(metrics, "histograms");
+  if (hist_json.empty()) {
+    std::cout << "histograms:      none in " << path << '\n';
+    return;
+  }
+  const auto hists = sea::obs::JsonObjectFields(hist_json);
+  std::cout << "histogram percentiles (" << path << "):\n";
+  if (hists.empty()) std::cout << "  (none recorded)\n";
+  for (const auto& [name, body] : hists) {
+    sea::obs::HistogramSnapshot h;
+    for (const auto& [k, v] : sea::obs::JsonObjectFields(body)) {
+      if (k == "bounds") {
+        h.bounds = sea::obs::JsonNumberArray(v);
+      } else if (k == "counts") {
+        for (double c : sea::obs::JsonNumberArray(v))
+          h.counts.push_back(static_cast<std::uint64_t>(c));
+      } else if (k == "count") {
+        h.total_count = static_cast<std::uint64_t>(std::stod(v));
+      } else if (k == "sum") {
+        h.sum = std::stod(v);
+      } else if (k == "min") {
+        h.min = std::stod(v);
+      } else if (k == "max") {
+        h.max = std::stod(v);
+      }
+    }
+    std::cout << "  " << name << ":  count "
+              << h.total_count;
+    if (h.total_count == 0) {
+      std::cout << " (empty)\n";
+      continue;
+    }
+    std::cout << "  mean " << h.sum / static_cast<double>(h.total_count)
+              << "  p50 " << sea::obs::HistogramQuantile(h, 0.50) << "  p95 "
+              << sea::obs::HistogramQuantile(h, 0.95) << "  p99 "
+              << sea::obs::HistogramQuantile(h, 0.99) << "  max " << h.max
+              << '\n';
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2 || std::strncmp(argv[1], "--", 2) == 0) {
-    std::cerr << "usage: " << argv[0] << " <trace.jsonl>\n";
+  std::string trace_path, metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--", 2) != 0 && trace_path.empty()) {
+      trace_path = argv[i];
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " <trace.jsonl> [--metrics <metrics.json>]\n";
+      return 2;
+    }
+  }
+  if (trace_path.empty()) {
+    std::cerr << "usage: " << argv[0]
+              << " <trace.jsonl> [--metrics <metrics.json>]\n";
     return 2;
   }
   try {
-    const auto events = sea::obs::ReadTraceJsonl(argv[1]);
+    const auto events = sea::obs::ReadTraceJsonl(trace_path);
     std::vector<const TraceEvent*> checks, outers;
+    std::map<std::string, std::size_t> unknown_kinds;
     int schema = 0;
     for (const auto& ev : events) {
       if (ev.Has("schema"))
         schema = std::max(schema, static_cast<int>(ev.Number("schema")));
-      if (ev.Type() == "check") checks.push_back(&ev);
-      if (ev.Type() == "outer") outers.push_back(&ev);
+      if (ev.Type() == "check")
+        checks.push_back(&ev);
+      else if (ev.Type() == "outer")
+        outers.push_back(&ev);
+      else
+        ++unknown_kinds[ev.Type()];
     }
-    std::cout << "trace:           " << argv[1] << " — " << checks.size()
+    std::cout << "trace:           " << trace_path << " — " << checks.size()
               << " check events, " << outers.size()
               << " outer events (schema " << schema << ")\n";
-    if (checks.empty() && outers.empty()) {
+    // Append-only schema: unknown kinds are future additions, not errors.
+    for (const auto& [kind, count] : unknown_kinds)
+      std::cout << "note: skipped " << count << " event(s) of unknown kind \""
+                << (kind.empty() ? "(untyped)" : kind) << "\"\n";
+    if (checks.empty() && outers.empty() && metrics_path.empty()) {
       std::cerr << "error: no trace events found\n";
       return 1;
     }
     if (!checks.empty()) PrintCheckSummary(checks);
     if (!outers.empty()) PrintOuterSummary(outers);
+    if (!metrics_path.empty()) PrintHistogramPercentiles(metrics_path);
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
