@@ -62,6 +62,31 @@ int main(int argc, char** argv) {
     log.Add("table5", name, "iterations",
             static_cast<double>(run.result.iterations));
     log.Add("table5", name, "final_residual", run.result.final_residual);
+
+    // Sort-reuse kernel: same solve with the persisted-order repair path.
+    // Multipliers are bit-identical (total-order tie break), so the CPU
+    // ratio and the comparison-count drop are the whole story.
+    SeaOptions reuse_opts = sea_opts;
+    reuse_opts.sort_policy = SortPolicy::kReuse;
+    const auto reuse_run = SolveDiagonal(diag, reuse_opts);
+    const double cmp_ratio =
+        run.result.ops.comparisons > 0
+            ? static_cast<double>(reuse_run.result.ops.comparisons) /
+                  static_cast<double>(run.result.ops.comparisons)
+            : 1.0;
+    std::cout << "  " << name << " sort reuse: cpu "
+              << TablePrinter::Num(reuse_run.result.cpu_seconds) << "s vs "
+              << TablePrinter::Num(run.result.cpu_seconds)
+              << "s heapsort, comparisons x"
+              << TablePrinter::Num(cmp_ratio, 3) << ", "
+              << reuse_run.result.order_reuses << " order reuses\n";
+    log.Add("table5", name, "cpu_seconds_reuse",
+            reuse_run.result.cpu_seconds, std::nullopt,
+            "SortPolicy::kReuse kernel");
+    log.Add("table5", name, "reuse_comparison_ratio", cmp_ratio, std::nullopt,
+            "reuse/heapsort sort+sweep comparisons");
+    log.Add("table5", name, "order_reuses",
+            static_cast<double>(reuse_run.result.order_reuses));
   }
 
   table.Print(std::cout);

@@ -135,18 +135,48 @@ int main(int argc, char** argv) {
               paper_row.speedup, "simulated schedule");
     }
 
-    // Real thread-pool wall time at the host's concurrency, for reference.
+    // Real thread-pool wall times at the host's concurrency, one run per
+    // sweep schedule (docs/PARALLELISM.md). The schedules are bit-identical
+    // in results, so the comparison isolates partitioning overhead/balance;
+    // the cost-guided run also flips on sort reuse to show the combined
+    // kernel+schedule effect.
     const std::size_t hw = std::thread::hardware_concurrency();
     if (hw >= 2) {
-      ThreadPool pool(hw);
-      SeaOptions par = ex.opts;
-      par.record_trace = false;
-      par.pool = &pool;
-      const auto par_run = SolveDiagonal(ex.problem, par);
+      struct SchedCase {
+        const char* name;
+        ScheduleKind kind;
+        SortPolicy sort;
+      };
+      const SchedCase cases[] = {
+          {"static", ScheduleKind::kStatic, SortPolicy::kHeapsort},
+          {"dynamic", ScheduleKind::kDynamic, SortPolicy::kHeapsort},
+          {"cost", ScheduleKind::kCostGuided, SortPolicy::kHeapsort},
+          {"cost+reuse", ScheduleKind::kCostGuided, SortPolicy::kReuse},
+      };
       std::cout << "    real wall time 1 thread: "
-                << TablePrinter::Num(run.result.wall_seconds, 3) << "s, "
-                << hw << " threads: "
-                << TablePrinter::Num(par_run.result.wall_seconds, 3) << "s\n";
+                << TablePrinter::Num(run.result.wall_seconds, 3) << "s; " << hw
+                << " threads:";
+      for (const auto& c : cases) {
+        ThreadPool pool(hw);
+        SeaOptions par = ex.opts;
+        par.record_trace = false;
+        par.pool = &pool;
+        par.sweep_schedule = c.kind;
+        par.sort_policy = c.sort;
+        const auto par_run = SolveDiagonal(ex.problem, par);
+        std::cout << ' ' << c.name << '='
+                  << TablePrinter::Num(par_run.result.wall_seconds, 3) << 's';
+        log.Add("table6", ex.name,
+                std::string("wall_seconds_") + c.name + "_t" +
+                    std::to_string(hw),
+                par_run.result.wall_seconds, std::nullopt,
+                "host-concurrency wall time");
+        if (c.sort == SortPolicy::kReuse)
+          log.Add("table6", ex.name, "order_reuses",
+                  static_cast<double>(par_run.result.order_reuses),
+                  std::nullopt, "markets solved by order repair");
+      }
+      std::cout << '\n';
     }
   }
 

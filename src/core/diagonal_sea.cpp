@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <optional>
 
 #include "core/iteration_engine.hpp"
+#include "parallel/schedule.hpp"
 #include "core/multiplier_rebalance.hpp"
 #include "core/stopping.hpp"
 #include "equilibration/equilibrator.hpp"
@@ -61,11 +63,22 @@ class DenseDiagonalBackend final : public SeaIterationBackend {
     sweep_opts_.sort_policy = opts.sort_policy;
     sweep_opts_.pool = opts.pool;
     sweep_opts_.record_task_costs = opts.record_trace;
+    if (opts.sweep_schedule != ScheduleKind::kStatic) {
+      row_scheduler_.emplace(opts.sweep_schedule, opts.sweep_grain);
+      col_scheduler_.emplace(opts.sweep_schedule, opts.sweep_grain);
+    }
+    if (opts.sort_policy == SortPolicy::kReuse) {
+      row_orders_.Reset(p.m());
+      col_orders_.Reset(p.n());
+    }
   }
 
   SweepStats RowSweep() override {
     if (p_.mode() == TotalsMode::kSam) row_side_.coupling = mu_;
     sweep_opts_.profile_phase = "equilibrate.rows";
+    sweep_opts_.scheduler =
+        row_scheduler_.has_value() ? &*row_scheduler_ : nullptr;
+    sweep_opts_.sort_cache = row_orders_.size() > 0 ? &row_orders_ : nullptr;
     return EquilibrateSide(p_.x0(), p_.gamma(), mu_, row_side_, lambda_,
                            nullptr, sweep_opts_);
   }
@@ -73,6 +86,9 @@ class DenseDiagonalBackend final : public SeaIterationBackend {
   SweepStats ColSweep(bool materialize) override {
     if (p_.mode() == TotalsMode::kSam) col_side_.coupling = lambda_;
     sweep_opts_.profile_phase = "equilibrate.cols";
+    sweep_opts_.scheduler =
+        col_scheduler_.has_value() ? &*col_scheduler_ : nullptr;
+    sweep_opts_.sort_cache = col_orders_.size() > 0 ? &col_orders_ : nullptr;
     return EquilibrateSide(x0_t_, gamma_t_, lambda_, col_side_, mu_,
                            materialize ? &xt_ : nullptr, sweep_opts_);
   }
@@ -149,6 +165,10 @@ class DenseDiagonalBackend final : public SeaIterationBackend {
   MarketSide row_side_;
   MarketSide col_side_;
   SweepOptions sweep_opts_;
+  // Cost feedback + persisted sort orders, one of each per sweep side (the
+  // sides differ in market count, and costs do not transfer between them).
+  std::optional<SweepScheduler> row_scheduler_, col_scheduler_;
+  SortOrderCache row_orders_, col_orders_;
   // Column-major primal (x^T), materialized on check iterations.
   DenseMatrix xt_;
   DenseMatrix xt_prev_;

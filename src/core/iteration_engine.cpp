@@ -92,6 +92,7 @@ SeaResult RunIterationEngine(SeaIterationBackend& backend,
       Stopwatch sw;
       SweepStats stats = backend.RowSweep();
       result.ops += stats.total_ops;
+      result.order_reuses += stats.order_reuses;
       result.row_phase_seconds += sw.Seconds();
       if (opts.record_trace && !stats.task_costs.empty())
         result.trace.AddParallelPhase("row", std::move(stats.task_costs));
@@ -104,6 +105,7 @@ SeaResult RunIterationEngine(SeaIterationBackend& backend,
       Stopwatch sw;
       SweepStats stats = backend.ColSweep(check_now);
       result.ops += stats.total_ops;
+      result.order_reuses += stats.order_reuses;
       result.col_phase_seconds += sw.Seconds();
       if (opts.record_trace && !stats.task_costs.empty())
         result.trace.AddParallelPhase("col", std::move(stats.task_costs));
@@ -218,6 +220,8 @@ SeaResult RunIterationEngine(SeaIterationBackend& backend,
     m.GetCounter("sea.ops.flops").Add(result.ops.flops);
     m.GetCounter("sea.ops.comparisons").Add(result.ops.comparisons);
     m.GetCounter("sea.ops.breakpoints").Add(result.ops.breakpoints);
+    m.GetCounter("sea.ops.inversions").Add(result.ops.inversions);
+    m.GetCounter("sea.sweep.order_reuses").Add(result.order_reuses);
     m.GetCounter("sea.solves").Add(1);
     if (result.converged()) m.GetCounter("sea.solves_converged").Add(1);
     m.GetCounter(std::string("solver.status.") + ToString(result.status))

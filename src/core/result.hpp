@@ -30,6 +30,9 @@ struct SeaResult {
   double col_phase_seconds = 0.0;
   double check_phase_seconds = 0.0;
   OpCounts ops;
+  // Market solves answered by repairing a persisted breakpoint order
+  // (SortPolicy::kReuse); 0 under the other sort policies.
+  std::uint64_t order_reuses = 0;
   // Filled when SeaOptions::record_trace is set.
   ExecutionTrace trace;
   // Filled when SeaOptions::record_dual_values is set: zeta_l(lambda^{t+1},

@@ -20,20 +20,36 @@ double EvaluateSupply(std::span<const Arc> arcs, double lambda) {
 
 namespace detail {
 
+// Strict weak order on breakpoint nodes: by breakpoint value, ties broken
+// by original arc index. One TOTAL order shared by every sort policy, so
+// the prefix sums of the segment sweep — and therefore the clearing
+// multiplier — are bit-identical whichever sort produced the array.
 template <typename NodeT>
-std::uint64_t InsertionSort(std::vector<NodeT>& v) {
+inline bool NodeLess(const NodeT& a, const NodeT& b) {
+  return a.b < b.b || (a.b == b.b && a.idx < b.idx);
+}
+
+// Straight insertion sort. `moves`, when non-null, receives the number of
+// element shifts — for a nearly-sorted input this is the inversion count
+// the sort-reuse path reports.
+template <typename NodeT>
+std::uint64_t InsertionSort(std::vector<NodeT>& v,
+                            std::uint64_t* moves = nullptr) {
   std::uint64_t comparisons = 0;
+  std::uint64_t shifted = 0;
   for (std::size_t i = 1; i < v.size(); ++i) {
     NodeT key = v[i];
     std::size_t j = i;
     while (j > 0) {
       ++comparisons;
-      if (v[j - 1].b <= key.b) break;
+      if (!NodeLess(key, v[j - 1])) break;
       v[j] = v[j - 1];
+      ++shifted;
       --j;
     }
     v[j] = key;
   }
+  if (moves != nullptr) *moves += shifted;
   return comparisons;
 }
 
@@ -50,10 +66,10 @@ std::uint64_t Heapsort(std::vector<NodeT>& v) {
       if (child > end) break;
       if (child < end) {
         ++comparisons;
-        if (v[child].b < v[child + 1].b) ++child;
+        if (NodeLess(v[child], v[child + 1])) ++child;
       }
       ++comparisons;
-      if (v[root].b >= v[child].b) break;
+      if (!NodeLess(v[root], v[child])) break;
       std::swap(v[root], v[child]);
       root = child;
     }
@@ -70,7 +86,7 @@ std::uint64_t Heapsort(std::vector<NodeT>& v) {
 }  // namespace detail
 
 BreakpointResult SolveMarket(BreakpointWorkspace& ws, double u, double v,
-                             SortPolicy policy) {
+                             SortPolicy policy, MarketOrder* order) {
   obs::ProfScopeFine prof("breakpoint.solve");
   const auto& arcs = ws.arcs_;
   auto& nodes = ws.nodes_;
@@ -93,20 +109,45 @@ BreakpointResult SolveMarket(BreakpointWorkspace& ws, double u, double v,
     return result;
   }
 
-  // Build breakpoint nodes.
+  // Build breakpoint nodes — in the persisted order when reusing (the array
+  // is then nearly sorted and insertion repairs it in O(n + inversions)),
+  // in natural arc order otherwise.
+  const bool reuse = policy == SortPolicy::kReuse && order != nullptr &&
+                     order->perm.size() == n;
   nodes.resize(n);
-  for (std::size_t j = 0; j < n; ++j) {
-    SEA_DCHECK(arcs[j].q > 0.0);
-    nodes[j] = {-arcs[j].p / arcs[j].q, arcs[j].p, arcs[j].q};
+  if (reuse) {
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::uint32_t j = order->perm[k];
+      SEA_DCHECK(j < n && arcs[j].q > 0.0);
+      nodes[k] = {-arcs[j].p / arcs[j].q, arcs[j].p, arcs[j].q, j};
+    }
+  } else {
+    for (std::size_t j = 0; j < n; ++j) {
+      SEA_DCHECK(arcs[j].q > 0.0);
+      nodes[j] = {-arcs[j].p / arcs[j].q, arcs[j].p, arcs[j].q,
+                  static_cast<std::uint32_t>(j)};
+    }
   }
   result.ops.flops += n;  // breakpoint divisions
   result.ops.breakpoints = n;
 
-  const bool use_insertion =
-      policy == SortPolicy::kInsertion ||
-      (policy == SortPolicy::kAuto && n <= kInsertionThreshold);
-  result.ops.comparisons +=
-      use_insertion ? detail::InsertionSort(nodes) : detail::Heapsort(nodes);
+  if (reuse) {
+    result.ops.comparisons +=
+        detail::InsertionSort(nodes, &result.ops.inversions);
+    result.order_reused = true;
+    ++order->reuses;
+  } else {
+    const bool use_insertion =
+        policy == SortPolicy::kInsertion ||
+        (policy != SortPolicy::kHeapsort && n <= kInsertionThreshold);
+    result.ops.comparisons +=
+        use_insertion ? detail::InsertionSort(nodes) : detail::Heapsort(nodes);
+  }
+  if (policy == SortPolicy::kReuse && order != nullptr) {
+    // Persist the (repaired or freshly established) order for the next sweep.
+    order->perm.resize(n);
+    for (std::size_t k = 0; k < n; ++k) order->perm[k] = nodes[k].idx;
+  }
 
   // Segment before the first breakpoint: supply is 0.
   // Clearing: 0 = u + v*lambda.
@@ -153,7 +194,8 @@ BreakpointResult SolveMarket(BreakpointWorkspace& ws, double u, double v,
 }
 
 BreakpointResult SolveMarketBox(BreakpointWorkspace& ws, double u, double v,
-                                double lo, double hi, SortPolicy policy) {
+                                double lo, double hi, SortPolicy policy,
+                                MarketOrder* order) {
   obs::ProfScopeFine prof("breakpoint.solve");
   SEA_CHECK_MSG(v < 0.0, "interval clearing needs a strictly elastic slope");
   SEA_CHECK_MSG(0.0 <= lo && lo <= hi, "invalid total interval");
@@ -163,26 +205,31 @@ BreakpointResult SolveMarketBox(BreakpointWorkspace& ws, double u, double v,
   // piece in between, and sits at lo for lambda >= (lo - u)/v. Solve against
   // each piece and accept the candidate that lands on its own piece;
   // monotonicity guarantees exactly one does (ties at junctions agree).
+  // With sort reuse, the first inner solve repairs the persisted order and
+  // the later pieces start from an already-sorted permutation.
   const double enter_mid = (hi - u) / v;  // lambda where response leaves hi
   const double leave_mid = (lo - u) / v;  // lambda where response hits lo
 
   // Upper piece: constant hi.
-  BreakpointResult r = SolveMarket(ws, hi, 0.0, policy);
+  BreakpointResult r = SolveMarket(ws, hi, 0.0, policy, order);
   if (r.lambda <= enter_mid) return r;
   OpCounts ops = r.ops;
+  const bool reused = r.order_reused;
 
   // Middle piece: the affine response itself.
-  r = SolveMarket(ws, u, v, policy);
+  r = SolveMarket(ws, u, v, policy, order);
   ops += r.ops;
   if (r.lambda >= enter_mid && r.lambda <= leave_mid) {
     r.ops = ops;
+    r.order_reused = reused;
     return r;
   }
 
   // Lower piece: constant lo.
-  r = SolveMarket(ws, lo, 0.0, policy);
+  r = SolveMarket(ws, lo, 0.0, policy, order);
   ops += r.ops;
   r.ops = ops;
+  r.order_reused = reused;
   SEA_INTERNAL_CHECK(r.feasible);
   // On this piece the candidate must sit at or beyond the junction; clamp
   // against degenerate ties.

@@ -23,9 +23,20 @@
 // STRAIGHT INSERTION for arrays of 10..120 elements (Section 5.1.1). We
 // implement both and pick by length (overridable), and count comparisons so
 // the complexity model (7n + n ln n + 2n per market) can be validated.
+//
+// Sort reuse (SortPolicy::kReuse, docs/PARALLELISM.md): across SEA sweeps a
+// market's breakpoint ORDER stabilizes as the multipliers converge — the same
+// nearly-sorted regime accelerated iterative-scaling methods exploit. When a
+// MarketOrder carrying the previous sweep's permutation is supplied, the
+// solver builds the breakpoint array already permuted and repairs it with
+// straight insertion — O(n + inversions) instead of a fresh O(n log n)
+// heapsort — then persists the updated permutation for the next sweep. Ties
+// are broken by original arc index in EVERY policy, so all sort paths produce
+// one total order and bit-identical clearing multipliers.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -43,6 +54,8 @@ enum class SortPolicy {
   kAuto,       // insertion sort below kInsertionThreshold, heapsort above
   kInsertion,  // straight insertion sort (paper Section 5.1.1)
   kHeapsort,   // heapsort (paper Section 4.1.1)
+  kReuse,      // repair the previous sweep's order; needs a MarketOrder
+               // (falls back to kAuto when none is supplied)
 };
 
 inline constexpr std::size_t kInsertionThreshold = 128;
@@ -51,7 +64,17 @@ struct BreakpointResult {
   double lambda = 0.0;
   std::size_t active_count = 0;  // arcs with x_j(lambda) > 0
   bool feasible = true;          // false only if v == 0 and u < 0
+  bool order_reused = false;     // solved by repairing a persisted order
   OpCounts ops;
+};
+
+// One market's breakpoint order, persisted across sweeps for
+// SortPolicy::kReuse. `perm` is the sorted order as indices into the arc
+// array (empty until the first solve establishes it; invalidated by the
+// solver whenever the arc count changes).
+struct MarketOrder {
+  std::vector<std::uint32_t> perm;
+  std::uint64_t reuses = 0;  // solves that repaired instead of re-sorting
 };
 
 // Reusable scratch for one solver call; reuse across calls to avoid
@@ -63,11 +86,12 @@ class BreakpointWorkspace {
 
  private:
   friend BreakpointResult SolveMarket(BreakpointWorkspace&, double, double,
-                                      SortPolicy);
+                                      SortPolicy, MarketOrder*);
   struct Node {
     double b;  // breakpoint -p/q
     double p;
     double q;
+    std::uint32_t idx;  // original arc index; total-order tie break
   };
   std::vector<Arc> arcs_;
   std::vector<Node> nodes_;
@@ -75,9 +99,12 @@ class BreakpointWorkspace {
 
 // Solves sum_j max(0, p_j + q_j*lambda) = u + v*lambda over the arcs
 // currently in ws.arcs(). Preconditions: all q_j > 0, v <= 0, and u >= 0
-// when v == 0. The arcs vector is left unchanged.
+// when v == 0. The arcs vector is left unchanged. With policy == kReuse and
+// a non-null order, the previous permutation seeds the sort (see header
+// comment); the updated permutation is written back to *order.
 BreakpointResult SolveMarket(BreakpointWorkspace& ws, double u, double v,
-                             SortPolicy policy = SortPolicy::kAuto);
+                             SortPolicy policy = SortPolicy::kAuto,
+                             MarketOrder* order = nullptr);
 
 // Interval-total variant (Harrigan & Buchanan 1984 extension): clears
 // against the *clamped* response
@@ -90,7 +117,8 @@ BreakpointResult SolveMarket(BreakpointWorkspace& ws, double u, double v,
 // crossing is unique; it is found by testing the three response pieces.
 BreakpointResult SolveMarketBox(BreakpointWorkspace& ws, double u, double v,
                                 double lo, double hi,
-                                SortPolicy policy = SortPolicy::kAuto);
+                                SortPolicy policy = SortPolicy::kAuto,
+                                MarketOrder* order = nullptr);
 
 // Evaluates sum_j max(0, p_j + q_j*lambda) for the given arcs — the
 // left-hand side of the clearing equation, used by tests and by callers that

@@ -5,6 +5,7 @@
 
 #include "obs/profiler.hpp"
 #include "parallel/parallel_for.hpp"
+#include "parallel/schedule.hpp"
 #include "support/check.hpp"
 
 namespace sea {
@@ -53,11 +54,11 @@ BreakpointResult EquilibrateMarket(std::span<const double> centers,
                                    std::span<const double> other_mult,
                                    double u, double v, BreakpointWorkspace& ws,
                                    std::span<double> x_out,
-                                   SortPolicy policy) {
+                                   SortPolicy policy, MarketOrder* order) {
   SEA_DCHECK(centers.size() == weights.size());
   SEA_DCHECK(centers.size() == other_mult.size());
   BuildArcs(centers, weights, other_mult, ws);
-  BreakpointResult res = SolveMarket(ws, u, v, policy);
+  BreakpointResult res = SolveMarket(ws, u, v, policy, order);
   res.ops.flops += 2 * centers.size();  // arc construction
   if (!x_out.empty()) {
     SEA_DCHECK(x_out.size() == centers.size());
@@ -89,29 +90,44 @@ SweepStats EquilibrateSide(const DenseMatrix& centers,
   if (x_out != nullptr) SEA_CHECK(x_out->SameShape(centers));
 
   SweepStats stats;
-  if (opts.record_task_costs) stats.task_costs.assign(markets, 0.0);
+  // The scheduler's cost feedback rides on the same per-market work numbers
+  // the simulator uses, so its presence forces recording.
+  const bool record_costs = opts.record_task_costs || opts.scheduler != nullptr;
+  if (record_costs) stats.task_costs.assign(markets, 0.0);
+  if (opts.sort_cache != nullptr)
+    SEA_CHECK_MSG(opts.sort_cache->size() == markets,
+                  "sort cache not sized for this sweep side");
 
   const std::size_t workers = WorkerCount(opts.pool);
   std::vector<BreakpointWorkspace> ws(workers);
   std::vector<OpCounts> worker_ops(workers);
+  std::vector<std::uint64_t> worker_reuses(workers, 0);
+
+  ScheduleSpec sched;
+  if (opts.scheduler != nullptr) sched = opts.scheduler->Next(markets, workers);
 
   const char* phase =
       opts.profile_phase != nullptr ? opts.profile_phase : "equilibrate.sweep";
+  // Under a dynamic schedule a worker runs this body once per claimed chunk,
+  // so per-worker accumulators use += throughout.
   ForRangeWorker(opts.pool, markets,
                  [&](std::size_t begin, std::size_t end, std::size_t w) {
     obs::ProfScope prof(phase);
     BreakpointWorkspace& wksp = ws[w];
     OpCounts local;
+    std::uint64_t reuses = 0;
     for (std::size_t i = begin; i < end; ++i) {
       double u = 0.0, v = 0.0;
       ClearingTarget(side, i, u, v);
       std::span<double> xrow =
           (x_out != nullptr) ? x_out->Row(i) : std::span<double>{};
+      MarketOrder* order =
+          opts.sort_cache != nullptr ? opts.sort_cache->At(i) : nullptr;
       BreakpointResult res;
       if (side.mode == TotalsMode::kInterval) {
         BuildArcs(centers.Row(i), weights.Row(i), other_mult, wksp);
         res = SolveMarketBox(wksp, u, v, side.lo[i], side.hi[i],
-                             opts.sort_policy);
+                             opts.sort_policy, order);
         res.ops.flops += 2 * arcs;
         if (!xrow.empty()) {
           const auto& a = wksp.arcs();
@@ -121,17 +137,24 @@ SweepStats EquilibrateSide(const DenseMatrix& centers,
         }
       } else {
         res = EquilibrateMarket(centers.Row(i), weights.Row(i), other_mult, u,
-                                v, wksp, xrow, opts.sort_policy);
+                                v, wksp, xrow, opts.sort_policy, order);
       }
       SEA_INTERNAL_CHECK(res.feasible);
       mult_out[i] = res.lambda;
-      if (opts.record_task_costs) stats.task_costs[i] = res.ops.Work();
+      if (record_costs) stats.task_costs[i] = res.ops.Work();
+      if (res.order_reused) ++reuses;
       local += res.ops;
     }
-    worker_ops[w] = local;
-  });
+    worker_ops[w] += local;
+    worker_reuses[w] += reuses;
+  }, sched);
 
   for (const auto& o : worker_ops) stats.total_ops += o;
+  for (std::uint64_t r : worker_reuses) stats.order_reuses += r;
+  if (opts.scheduler != nullptr) {
+    opts.scheduler->Update(stats.task_costs);
+    if (!opts.record_task_costs) stats.task_costs.clear();
+  }
   return stats;
 }
 

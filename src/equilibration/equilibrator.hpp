@@ -18,6 +18,7 @@
 // (see MarketSide below).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <vector>
@@ -29,6 +30,33 @@
 namespace sea {
 
 class ThreadPool;
+class SweepScheduler;
+
+// Per-market breakpoint orders persisted across sweeps for
+// SortPolicy::kReuse (docs/PARALLELISM.md, "Sort reuse"). One cache per
+// sweep side (markets keep their index between sweeps); each market is
+// touched by exactly one worker per sweep, so slots need no synchronization.
+class SortOrderCache {
+ public:
+  // Drops all learned orders and sizes the cache for `markets` markets.
+  void Reset(std::size_t markets) {
+    orders_.clear();
+    orders_.resize(markets);
+  }
+  std::size_t size() const { return orders_.size(); }
+  MarketOrder* At(std::size_t market) {
+    return market < orders_.size() ? &orders_[market] : nullptr;
+  }
+  // Total repair-instead-of-sort solves across all markets.
+  std::uint64_t TotalReuses() const {
+    std::uint64_t total = 0;
+    for (const auto& o : orders_) total += o.reuses;
+    return total;
+  }
+
+ private:
+  std::vector<MarketOrder> orders_;
+};
 
 // Describes the constraint side being equilibrated.
 struct MarketSide {
@@ -53,12 +81,24 @@ struct SweepStats {
   // Per-market work (operation counts) for the schedule simulator; filled
   // only when requested.
   std::vector<double> task_costs;
+  // Markets solved by repairing a persisted breakpoint order this sweep
+  // (SortPolicy::kReuse; 0 otherwise).
+  std::uint64_t order_reuses = 0;
 };
 
 struct SweepOptions {
   SortPolicy sort_policy = SortPolicy::kAuto;
   bool record_task_costs = false;
   ThreadPool* pool = nullptr;
+  // Cost-feedback scheduler (parallel/schedule.hpp): when set, the sweep is
+  // partitioned by the scheduler (cost-guided once costs exist, dynamic
+  // claiming before) and this sweep's measured per-market costs are fed
+  // back for the next one. Null = the classic static partition.
+  SweepScheduler* scheduler = nullptr;
+  // Persisted per-market breakpoint orders; required for sort_policy ==
+  // kReuse to take effect (kReuse without a cache degrades to kAuto). Must
+  // be sized to this side's market count.
+  SortOrderCache* sort_cache = nullptr;
   // Profiler span name wrapping each worker's chunk of the sweep (string
   // literal; nullptr = unnamed "equilibrate.sweep"). Lets the profile tell
   // row from column sweeps per worker track (obs/profiler.hpp).
@@ -93,6 +133,7 @@ BreakpointResult EquilibrateMarket(std::span<const double> centers,
                                    std::span<const double> other_mult,
                                    double u, double v, BreakpointWorkspace& ws,
                                    std::span<double> x_out,
-                                   SortPolicy policy = SortPolicy::kAuto);
+                                   SortPolicy policy = SortPolicy::kAuto,
+                                   MarketOrder* order = nullptr);
 
 }  // namespace sea

@@ -98,6 +98,7 @@ std::string OpsJson(const OpCounts& ops) {
       .Field("comparisons", ops.comparisons)
       .Field("flops", ops.flops)
       .Field("breakpoints", ops.breakpoints)
+      .Field("inversions", ops.inversions)
       .Str();
 }
 
@@ -116,6 +117,7 @@ std::string ToJson(const SeaResult& r) {
       .Field("row_phase_seconds", r.row_phase_seconds)
       .Field("col_phase_seconds", r.col_phase_seconds)
       .Field("check_phase_seconds", r.check_phase_seconds)
+      .Field("order_reuses", r.order_reuses)
       .Raw("ops", OpsJson(r.ops))
       .Str();
 }
@@ -177,6 +179,8 @@ std::string ToJson(const PoolStats& stats) {
       .Field("busy_seconds_total", busy_total)
       .Field("max_imbalance", stats.max_imbalance)
       .Field("mean_imbalance", stats.mean_imbalance)
+      .Field("chunks", stats.chunks)
+      .Field("claims", stats.claims)
       .Str();
 }
 

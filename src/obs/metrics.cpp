@@ -149,6 +149,8 @@ void RecordPoolMetrics(MetricsRegistry& registry, const PoolStats& stats) {
   registry.GetGauge("pool.region_wall_seconds").Add(stats.region_wall_seconds);
   registry.GetGauge("pool.chunk_imbalance.max").Set(stats.max_imbalance);
   registry.GetGauge("pool.chunk_imbalance.mean").Set(stats.mean_imbalance);
+  registry.GetCounter("pool.chunks").Add(stats.chunks);
+  registry.GetCounter("pool.claims").Add(stats.claims);
   double busy = 0.0;
   for (std::size_t w = 0; w < stats.worker_busy_seconds.size(); ++w) {
     registry.GetGauge("pool.worker." + std::to_string(w) + ".busy_seconds")

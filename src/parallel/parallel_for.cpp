@@ -2,8 +2,7 @@
 
 namespace sea {
 
-void ForRange(ThreadPool* pool, std::size_t n,
-              const std::function<void(std::size_t, std::size_t)>& body) {
+void ForRange(ThreadPool* pool, std::size_t n, ThreadPool::Body2 body) {
   if (n == 0) return;
   if (pool == nullptr || pool->num_threads() == 1) {
     body(0, n);
@@ -12,15 +11,14 @@ void ForRange(ThreadPool* pool, std::size_t n,
   pool->ParallelFor(n, body);
 }
 
-void ForRangeWorker(
-    ThreadPool* pool, std::size_t n,
-    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+void ForRangeWorker(ThreadPool* pool, std::size_t n, ThreadPool::Body3 body,
+                    const ScheduleSpec& sched) {
   if (n == 0) return;
   if (pool == nullptr || pool->num_threads() == 1) {
     body(0, n, 0);
     return;
   }
-  pool->ParallelForWorker(n, body);
+  pool->ParallelForWorker(n, body, sched);
 }
 
 std::size_t WorkerCount(const ThreadPool* pool) {

@@ -1,24 +1,24 @@
 // Convenience wrappers over ThreadPool used by the solvers.
 //
 // Solvers take an optional ThreadPool*; a null pool means "serial". These
-// helpers keep the call sites free of that branching.
+// helpers keep the call sites free of that branching. Bodies travel as
+// FunctionRef (support/function_ref.hpp), so the hot-path sweep lambdas are
+// never heap-allocated the way a std::function parameter would force.
 #pragma once
 
 #include <cstddef>
-#include <functional>
 
 #include "parallel/thread_pool.hpp"
 
 namespace sea {
 
 // Runs body(begin, end) over [0, n), on the pool if given, inline otherwise.
-void ForRange(ThreadPool* pool, std::size_t n,
-              const std::function<void(std::size_t, std::size_t)>& body);
+void ForRange(ThreadPool* pool, std::size_t n, ThreadPool::Body2 body);
 
-// Runs body(begin, end, worker) with worker in [0, WorkerCount(pool)).
-void ForRangeWorker(
-    ThreadPool* pool, std::size_t n,
-    const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
+// Runs body(begin, end, worker) with worker in [0, WorkerCount(pool)),
+// under the given region schedule (parallel/schedule.hpp; default static).
+void ForRangeWorker(ThreadPool* pool, std::size_t n, ThreadPool::Body3 body,
+                    const ScheduleSpec& sched = {});
 
 // Number of workers a ForRangeWorker call will use (>= 1).
 std::size_t WorkerCount(const ThreadPool* pool);

@@ -1,0 +1,82 @@
+#include "parallel/schedule.hpp"
+
+#include <cmath>
+
+#include "obs/profiler.hpp"
+
+namespace sea {
+
+const char* ToString(ScheduleKind k) {
+  switch (k) {
+    case ScheduleKind::kStatic:
+      return "static";
+    case ScheduleKind::kCostGuided:
+      return "cost-guided";
+    case ScheduleKind::kDynamic:
+      return "dynamic";
+  }
+  return "?";
+}
+
+std::vector<std::size_t> BalancedPartition(std::span<const double> costs,
+                                           std::size_t parts) {
+  const std::size_t n = costs.size();
+  if (parts == 0) parts = 1;
+  std::vector<std::size_t> bounds(parts + 1, 0);
+
+  double total = 0.0;
+  bool degenerate = false;
+  for (double c : costs) {
+    if (!(c >= 0.0) || !std::isfinite(c)) {
+      degenerate = true;
+      break;
+    }
+    total += c;
+  }
+  if (degenerate || total <= 0.0) {
+    for (std::size_t p = 0; p <= parts; ++p) bounds[p] = p * n / parts;
+    return bounds;
+  }
+
+  // Prefix-sum walk: boundary p sits where the running cost crosses the
+  // p-th equal-cost target; the midpoint rule sends a straddling task to
+  // whichever side leaves the smaller deviation.
+  double cum = 0.0;
+  std::size_t i = 0;
+  for (std::size_t p = 1; p < parts; ++p) {
+    const double target =
+        total * static_cast<double>(p) / static_cast<double>(parts);
+    while (i < n && cum + 0.5 * costs[i] < target) cum += costs[i++];
+    bounds[p] = i;
+  }
+  bounds[parts] = n;
+  return bounds;
+}
+
+ScheduleSpec SweepScheduler::Next(std::size_t n, std::size_t workers) {
+  ScheduleSpec spec;
+  if (kind_ == ScheduleKind::kStatic || workers <= 1) {
+    spec.kind = ScheduleKind::kStatic;
+    return spec;
+  }
+  if (kind_ == ScheduleKind::kDynamic || costs_.size() != n) {
+    // No predictor for this task count (first sweep, or the sweep shape
+    // changed): claim chunks dynamically.
+    ++dynamic_plans_;
+    spec.kind = ScheduleKind::kDynamic;
+    spec.grain = grain_;
+    return spec;
+  }
+  obs::ProfScopeFine prof("sweep.plan");
+  bounds_ = BalancedPartition(costs_, workers);
+  ++cost_guided_plans_;
+  spec.kind = ScheduleKind::kCostGuided;
+  spec.bounds = bounds_;
+  return spec;
+}
+
+void SweepScheduler::Update(std::span<const double> costs) {
+  costs_.assign(costs.begin(), costs.end());
+}
+
+}  // namespace sea

@@ -1,0 +1,91 @@
+// Region schedules for ThreadPool::ParallelFor and the cost-feedback loop
+// that drives them.
+//
+// The paper's parallel phase dispatches the m (resp. n) independent market
+// subproblems of one sweep to distinct processors and assumes near-perfect
+// load balance (Section 4.2). A plain static equal-count partition delivers
+// that only when per-market costs are uniform; on skewed datasets (SPE,
+// migration tables) the slowest contiguous chunk bounds the sweep. The
+// remedies here:
+//
+//   kStatic     — the classic equal-count contiguous partition (default).
+//   kCostGuided — contiguous chunks whose *total previous-sweep cost* is
+//                 balanced: EquilibrateSide already measures exact per-market
+//                 operation counts (SweepStats::task_costs), and consecutive
+//                 sweeps have strongly correlated cost profiles, so the last
+//                 sweep's costs are an excellent predictor for the next.
+//   kDynamic    — atomic chunk claiming with a fixed grain; no predictor
+//                 needed, used as the fallback for the very first sweep.
+//
+// All three schedules assign each index to exactly one body invocation, so
+// for independent per-index work (each market writes only its own outputs)
+// results are bit-identical to the serial path regardless of schedule.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sea {
+
+enum class ScheduleKind {
+  kStatic,      // contiguous equal-count chunks, one per worker
+  kCostGuided,  // contiguous chunks balanced by per-index costs
+  kDynamic,     // atomic chunk claiming with a fixed grain
+};
+
+const char* ToString(ScheduleKind k);
+
+// Schedule of one ParallelFor region. Default-constructed = kStatic.
+struct ScheduleSpec {
+  ScheduleKind kind = ScheduleKind::kStatic;
+  // kCostGuided only: workers + 1 ascending chunk boundaries over [0, n]
+  // (chunk p is [bounds[p], bounds[p+1])). Must outlive the region.
+  std::span<const std::size_t> bounds;
+  // kDynamic only: indices per claim; 0 = auto (n / (8 * workers), >= 1).
+  std::size_t grain = 0;
+};
+
+// Splits [0, costs.size()) into `parts` contiguous chunks whose total costs
+// are balanced by a prefix-sum walk (each boundary is placed where the
+// running cost crosses the next equal-cost target, with a midpoint rule so
+// a task straddling a target goes to the cheaper side). Returns parts + 1
+// ascending boundaries. Deterministic in its inputs; degenerate cost
+// vectors (all zero / non-finite) fall back to the equal-count split.
+std::vector<std::size_t> BalancedPartition(std::span<const double> costs,
+                                           std::size_t parts);
+
+// Cost-feedback loop for a repeated sweep over a fixed set of tasks: feed
+// each sweep's measured per-task costs back in (Update) and get a balanced
+// schedule for the next sweep (Next). Until the first Update — or whenever
+// the task count changes — Next falls back to dynamic claiming, which needs
+// no predictor. A scheduler constructed with kDynamic always claims
+// dynamically. Not thread-safe; owned by the (serial) sweep caller.
+class SweepScheduler {
+ public:
+  explicit SweepScheduler(ScheduleKind kind = ScheduleKind::kCostGuided,
+                          std::size_t grain = 0)
+      : kind_(kind), grain_(grain) {}
+
+  // Schedule for the next sweep of n tasks on `workers` workers.
+  ScheduleSpec Next(std::size_t n, std::size_t workers);
+
+  // Records the just-finished sweep's per-task costs as the predictor for
+  // the next Next() call.
+  void Update(std::span<const double> costs);
+
+  // Sweeps scheduled from cost feedback (vs. the dynamic fallback).
+  std::uint64_t cost_guided_plans() const { return cost_guided_plans_; }
+  std::uint64_t dynamic_plans() const { return dynamic_plans_; }
+
+ private:
+  ScheduleKind kind_;
+  std::size_t grain_;
+  std::vector<double> costs_;
+  std::vector<std::size_t> bounds_;
+  std::uint64_t cost_guided_plans_ = 0;
+  std::uint64_t dynamic_plans_ = 0;
+};
+
+}  // namespace sea

@@ -33,9 +33,8 @@ ThreadPool::~ThreadPool() {
   for (auto& t : workers_) t.join();
 }
 
-void ThreadPool::RunBody(
-    const std::function<void(std::size_t, std::size_t, std::size_t)>& body,
-    std::size_t begin, std::size_t end, std::size_t worker) {
+void ThreadPool::RunBody(const Body3& body, std::size_t begin, std::size_t end,
+                         std::size_t worker) {
   // A chunk that throws must not tear down the region: capture the first
   // exception for the submitting thread and let every other chunk finish,
   // so the pool's join protocol (and the pool itself) stays intact.
@@ -58,12 +57,8 @@ void ThreadPool::RethrowPendingError() {
   if (err) std::rethrow_exception(err);
 }
 
-void ThreadPool::RunChunk(
-    const std::function<void(std::size_t, std::size_t, std::size_t)>& body,
-    std::size_t n, std::size_t part, std::size_t parts, std::size_t worker) {
-  // Static partition: part p gets [p*n/parts, (p+1)*n/parts).
-  const std::size_t begin = part * n / parts;
-  const std::size_t end = (part + 1) * n / parts;
+void ThreadPool::RunChunkRange(const Body3& body, std::size_t begin,
+                               std::size_t end, std::size_t worker) {
   if (begin >= end) return;
   obs::ProfScope prof("pool.chunk");
   if (!stats_enabled_) {
@@ -73,24 +68,73 @@ void ThreadPool::RunChunk(
   Stopwatch sw;
   RunBody(body, begin, end, worker);
   const double seconds = sw.Seconds();
-  // Exclusive slots; the join barrier publishes them to the caller.
+  // Exclusive slots; the join barrier publishes them to the caller. Under
+  // kDynamic a worker accumulates across its claimed chunks.
   worker_busy_[worker].v += seconds;
-  region_chunk_seconds_[worker].v = seconds;
+  region_chunk_seconds_[worker].v += seconds;
 }
 
-void ThreadPool::FinishRegionStats(std::size_t n, double wall_seconds) {
+void ThreadPool::RunShare(const Task& task, std::size_t worker) {
+  switch (task.kind) {
+    case ScheduleKind::kStatic: {
+      // Static partition: part w gets [w*n/parts, (w+1)*n/parts).
+      const std::size_t begin = worker * task.n / num_threads_;
+      const std::size_t end = (worker + 1) * task.n / num_threads_;
+      RunChunkRange(*task.body, begin, end, worker);
+      return;
+    }
+    case ScheduleKind::kCostGuided:
+      RunChunkRange(*task.body, task.bounds[worker], task.bounds[worker + 1],
+                    worker);
+      return;
+    case ScheduleKind::kDynamic: {
+      for (;;) {
+        const std::size_t begin =
+            next_index_.fetch_add(task.grain, std::memory_order_relaxed);
+        if (begin >= task.n) return;
+        RunChunkRange(*task.body, begin, std::min(begin + task.grain, task.n),
+                      worker);
+      }
+    }
+  }
+}
+
+void ThreadPool::FinishRegionStats(const Task& task, double wall_seconds) {
   ++stat_regions_;
   stat_region_wall_ += wall_seconds;
-  // With the static partition, exactly min(n, parts) chunks are nonempty,
-  // but they are not necessarily assigned to the lowest worker indices —
-  // scan every slot (empty chunks contribute zero).
-  const std::size_t chunks = std::min(n, num_threads_);
+  // Chunks that ran this region, per schedule; for the static partitions
+  // they are not necessarily assigned to the lowest worker indices, so scan
+  // every slot (empty chunks contribute zero).
+  std::size_t chunks = 0;
+  switch (task.kind) {
+    case ScheduleKind::kStatic:
+      chunks = std::min(task.n, num_threads_);
+      break;
+    case ScheduleKind::kCostGuided:
+      for (std::size_t w = 0; w < num_threads_; ++w)
+        if (task.bounds[w + 1] > task.bounds[w]) ++chunks;
+      break;
+    case ScheduleKind::kDynamic: {
+      const std::uint64_t claims =
+          (task.n + task.grain - 1) / task.grain;  // grain >= 1
+      stat_claims_ += claims;
+      chunks = static_cast<std::size_t>(claims);
+      break;
+    }
+  }
+  stat_chunks_ += chunks;
   double max_chunk = 0.0, sum_chunk = 0.0;
   for (std::size_t w = 0; w < num_threads_; ++w) {
     max_chunk = std::max(max_chunk, region_chunk_seconds_[w].v);
     sum_chunk += region_chunk_seconds_[w].v;
   }
-  const double mean_chunk = sum_chunk / static_cast<double>(chunks);
+  // Imbalance compares per-worker shares, so its denominator is the number
+  // of workers that held work — for dynamic regions every claim lands on
+  // some worker and the per-worker accumulation already folds them in.
+  const std::size_t shares =
+      std::min(static_cast<std::size_t>(chunks), num_threads_);
+  const double mean_chunk =
+      shares > 0 ? sum_chunk / static_cast<double>(shares) : 0.0;
   const double imbalance = mean_chunk > 0.0 ? max_chunk / mean_chunk : 1.0;
   stat_imbalance_sum_ += imbalance;
   stat_imbalance_max_ = std::max(stat_imbalance_max_, imbalance);
@@ -114,7 +158,7 @@ void ThreadPool::WorkerLoop(std::size_t worker_index) {
         p->RecordSpan("pool.queue_wait", task.publish_ns,
                       obs::prof_internal::NowNs());
     }
-    RunChunk(*task.body, task.n, worker_index, num_threads_, worker_index);
+    RunShare(task, worker_index);
     {
       std::lock_guard lk(mu_);
       if (--pending_ == 0) cv_done_.notify_one();
@@ -122,25 +166,51 @@ void ThreadPool::WorkerLoop(std::size_t worker_index) {
   }
 }
 
-void ThreadPool::ParallelForWorker(
-    std::size_t n,
-    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+void ThreadPool::ParallelForWorker(std::size_t n, Body3 body,
+                                   const ScheduleSpec& sched) {
   if (n == 0) return;
   Stopwatch region_sw;
+  Task task;
+  task.body = &body;
+  task.n = n;
+  task.kind = sched.kind;
+  if (sched.kind == ScheduleKind::kCostGuided) {
+    SEA_CHECK_MSG(sched.bounds.size() == num_threads_ + 1,
+                  "cost-guided schedule needs num_threads + 1 bounds");
+    SEA_DCHECK(sched.bounds.front() == 0 && sched.bounds.back() == n);
+    task.bounds = sched.bounds.data();
+  } else if (sched.kind == ScheduleKind::kDynamic) {
+    task.grain = sched.grain > 0
+                     ? sched.grain
+                     : std::max<std::size_t>(1, n / (8 * num_threads_));
+  }
   if (num_threads_ == 1) {
-    // Inline execution shares RunChunk's capture-then-rethrow path so the
-    // exception contract is identical with and without workers.
-    RunChunk(body, n, 0, 1, 0);
-    if (stats_enabled_) FinishRegionStats(1, region_sw.Seconds());
+    // Inline execution: one chunk covering the range, sharing the
+    // capture-then-rethrow path so the exception contract is identical with
+    // and without workers. Schedules collapse to a single chunk.
+    if (stats_enabled_) region_chunk_seconds_[0].v = 0.0;
+    obs::ProfScope prof("pool.chunk");
+    if (stats_enabled_) {
+      Stopwatch sw;
+      RunBody(body, 0, n, 0);
+      const double seconds = sw.Seconds();
+      worker_busy_[0].v += seconds;
+      region_chunk_seconds_[0].v += seconds;
+      Task inline_task = task;
+      inline_task.kind = ScheduleKind::kStatic;
+      FinishRegionStats(inline_task, region_sw.Seconds());
+    } else {
+      RunBody(body, 0, n, 0);
+    }
     RethrowPendingError();
     return;
   }
   if (stats_enabled_)
     for (auto& slot : region_chunk_seconds_) slot.v = 0.0;
+  next_index_.store(0, std::memory_order_relaxed);
   {
     std::lock_guard lk(mu_);
-    task_.body = &body;
-    task_.n = n;
+    task_ = task;
     task_.publish_ns = obs::Profiler::Current() != nullptr
                            ? obs::prof_internal::NowNs()
                            : 0;
@@ -148,21 +218,21 @@ void ThreadPool::ParallelForWorker(
     pending_ = num_threads_ - 1;
   }
   cv_start_.notify_all();
-  // The calling thread executes part 0 as worker 0.
-  RunChunk(body, n, 0, num_threads_, 0);
+  // The calling thread executes its share as worker 0.
+  RunShare(task, 0);
   {
     std::unique_lock lk(mu_);
     cv_done_.wait(lk, [&] { return pending_ == 0; });
   }
-  if (stats_enabled_) FinishRegionStats(n, region_sw.Seconds());
+  if (stats_enabled_) FinishRegionStats(task, region_sw.Seconds());
   RethrowPendingError();
 }
 
-void ThreadPool::ParallelFor(
-    std::size_t n,
-    const std::function<void(std::size_t, std::size_t)>& body) {
+void ThreadPool::ParallelFor(std::size_t n, Body2 body,
+                             const ScheduleSpec& sched) {
   ParallelForWorker(
-      n, [&body](std::size_t b, std::size_t e, std::size_t) { body(b, e); });
+      n, [&body](std::size_t b, std::size_t e, std::size_t) { body(b, e); },
+      sched);
 }
 
 PoolStats ThreadPool::Stats() const {
@@ -178,6 +248,8 @@ PoolStats ThreadPool::Stats() const {
       stat_regions_ > 0
           ? stat_imbalance_sum_ / static_cast<double>(stat_regions_)
           : 0.0;
+  stats.chunks = stat_chunks_;
+  stats.claims = stat_claims_;
   return stats;
 }
 
@@ -186,6 +258,8 @@ void ThreadPool::ResetStats() {
   stat_region_wall_ = 0.0;
   stat_imbalance_sum_ = 0.0;
   stat_imbalance_max_ = 0.0;
+  stat_chunks_ = 0;
+  stat_claims_ = 0;
   for (auto& slot : worker_busy_) slot.v = 0.0;
   for (auto& slot : region_chunk_seconds_) slot.v = 0.0;
 }

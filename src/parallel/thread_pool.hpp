@@ -5,32 +5,43 @@
 // subproblems of one half-step are independent and are dispatched to distinct
 // processors, with a serial convergence-verification phase between sweeps
 // (Section 4.2). This ThreadPool is the modern equivalent: a fixed set of
-// workers, blocking ParallelFor with static chunking (deterministic
-// assignment, so parallel runs are bit-identical to serial runs), and no
-// work executed on pool threads outside ParallelFor regions.
+// workers, blocking ParallelFor regions, and no work executed on pool threads
+// outside ParallelFor regions.
+//
+// Schedules (parallel/schedule.hpp, docs/PARALLELISM.md): a region runs under
+// the classic static equal-count partition (default; deterministic chunk
+// boundaries), a cost-guided partition whose contiguous chunk boundaries come
+// from measured per-index costs, or dynamic chunk claiming (atomic counter,
+// configurable grain). Per-index work that writes only its own outputs — the
+// equilibration sweeps — produces bit-identical results under every schedule.
 //
 // Utilization telemetry: EnableStats(true) makes every ParallelFor region
-// record per-worker busy seconds, region wall time, and static-chunk
-// imbalance, exposed as a PoolStats snapshot — the measured counterpart to
-// the schedule simulator's idealized makespans (parallel/speedup_model.hpp).
-// Stats are off by default and the disabled path adds only a branch.
+// record per-worker busy seconds, region wall time, static-chunk imbalance,
+// and chunk/claim counts, exposed as a PoolStats snapshot — the measured
+// counterpart to the schedule simulator's idealized makespans
+// (parallel/speedup_model.hpp). Stats are off by default and the disabled
+// path adds only a branch.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
-#include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "parallel/schedule.hpp"
+#include "support/function_ref.hpp"
+
 namespace sea {
 
 // Point-in-time utilization snapshot of a ThreadPool (valid only between
-// ParallelFor regions). Imbalance of one region is max chunk time / mean
-// chunk time over the chunks that ran — 1.0 is a perfectly even split; the
-// gap to 1.0 is wall time the fastest workers spent idle at the join.
+// ParallelFor regions). Imbalance of one region is max worker chunk time /
+// mean worker chunk time over the workers that ran — 1.0 is a perfectly even
+// split; the gap to 1.0 is wall time the fastest workers spent idle at the
+// join.
 struct PoolStats {
   std::size_t threads = 0;
   std::uint64_t regions = 0;           // completed ParallelFor regions
@@ -38,6 +49,11 @@ struct PoolStats {
   std::vector<double> worker_busy_seconds;  // chunk-body time per worker
   double max_imbalance = 0.0;   // worst region
   double mean_imbalance = 0.0;  // mean over regions
+  // Chunk bodies executed across regions: one per worker for the static
+  // partitions, one per claim for dynamic regions.
+  std::uint64_t chunks = 0;
+  // Successful dynamic claims (subset of `chunks` from dynamic regions).
+  std::uint64_t claims = 0;
 
   double BusySecondsTotal() const {
     double total = 0.0;
@@ -48,6 +64,9 @@ struct PoolStats {
 
 class ThreadPool {
  public:
+  using Body2 = FunctionRef<void(std::size_t, std::size_t)>;
+  using Body3 = FunctionRef<void(std::size_t, std::size_t, std::size_t)>;
+
   // n_threads == 0 selects the hardware concurrency. n_threads == 1 creates
   // no worker threads; ParallelFor then runs inline on the caller.
   explicit ThreadPool(std::size_t n_threads = 0);
@@ -58,24 +77,27 @@ class ThreadPool {
 
   std::size_t num_threads() const { return num_threads_; }
 
-  // Runs body(begin, end) over a static partition of [0, n) across the pool
+  // Runs body(begin, end) over a partition of [0, n) across the pool
   // (including the calling thread). Blocks until every chunk completes.
-  // Chunks are contiguous and their boundaries depend only on (n,
-  // num_threads), never on timing — results are deterministic.
+  // Under the default static schedule, chunks are contiguous and their
+  // boundaries depend only on (n, num_threads), never on timing; under
+  // kCostGuided they are the caller-supplied bounds; under kDynamic the
+  // chunk-to-worker assignment is timing-dependent but every index still
+  // runs exactly once.
   //
   // Exception safety (docs/ROBUSTNESS.md): a throw from any chunk is
   // captured, every other chunk still runs to completion (no worker is
   // abandoned mid-region), and the FIRST captured exception is rethrown on
   // the calling thread after the join. The pool remains fully usable for
   // subsequent regions.
-  void ParallelFor(std::size_t n,
-                   const std::function<void(std::size_t, std::size_t)>& body);
+  void ParallelFor(std::size_t n, Body2 body,
+                   const ScheduleSpec& sched = {});
 
   // Variant passing the worker index (0 .. num_threads-1) for per-thread
-  // scratch buffers.
-  void ParallelForWorker(
-      std::size_t n,
-      const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
+  // scratch buffers. Under kDynamic a worker's body may run several times
+  // (once per claimed chunk), always with its own worker index.
+  void ParallelForWorker(std::size_t n, Body3 body,
+                         const ScheduleSpec& sched = {});
 
   // Toggle utilization accounting. Call only between regions; the flag is
   // read unsynchronized inside them.
@@ -87,9 +109,11 @@ class ThreadPool {
 
  private:
   struct Task {
-    const std::function<void(std::size_t, std::size_t, std::size_t)>* body =
-        nullptr;
+    const Body3* body = nullptr;
     std::size_t n = 0;
+    ScheduleKind kind = ScheduleKind::kStatic;
+    const std::size_t* bounds = nullptr;  // kCostGuided: num_threads+1 edges
+    std::size_t grain = 0;                // kDynamic: resolved (>= 1)
     std::uint64_t epoch = 0;
     // Monotonic instant the region was published to the workers; stamped
     // only while a profiler is attached (0 otherwise). Each worker records
@@ -105,16 +129,17 @@ class ThreadPool {
   };
 
   void WorkerLoop(std::size_t worker_index);
-  void RunChunk(
-      const std::function<void(std::size_t, std::size_t, std::size_t)>& body,
-      std::size_t n, std::size_t part, std::size_t parts, std::size_t worker);
+  // Runs this worker's share of the region under the task's schedule.
+  void RunShare(const Task& task, std::size_t worker);
+  // Executes one chunk [begin, end) with profiling/stats accounting.
+  void RunChunkRange(const Body3& body, std::size_t begin, std::size_t end,
+                     std::size_t worker);
   // Invokes one chunk body, capturing the first exception for the caller.
-  void RunBody(
-      const std::function<void(std::size_t, std::size_t, std::size_t)>& body,
-      std::size_t begin, std::size_t end, std::size_t worker);
+  void RunBody(const Body3& body, std::size_t begin, std::size_t end,
+               std::size_t worker);
   // Rethrows the region's first captured exception, if any (caller thread).
   void RethrowPendingError();
-  void FinishRegionStats(std::size_t n, double wall_seconds);
+  void FinishRegionStats(const Task& task, double wall_seconds);
 
   std::size_t num_threads_;
   std::vector<std::thread> workers_;
@@ -129,6 +154,9 @@ class ThreadPool {
   // First exception thrown by any chunk of the current region (guarded by
   // mu_); moved out and rethrown on the submitting thread after the join.
   std::exception_ptr first_error_;
+  // Claim cursor for kDynamic regions; reset by the submitter while the
+  // workers are parked, published with the region under mu_.
+  std::atomic<std::size_t> next_index_{0};
 
   // Utilization accounting (written inside regions only when enabled).
   bool stats_enabled_ = false;
@@ -136,6 +164,8 @@ class ThreadPool {
   double stat_region_wall_ = 0.0;
   double stat_imbalance_sum_ = 0.0;
   double stat_imbalance_max_ = 0.0;
+  std::uint64_t stat_chunks_ = 0;
+  std::uint64_t stat_claims_ = 0;
   std::vector<WorkerSeconds> worker_busy_;
   std::vector<WorkerSeconds> region_chunk_seconds_;
 };

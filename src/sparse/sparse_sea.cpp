@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <optional>
 
 #include "core/iteration_engine.hpp"
 #include "core/stopping.hpp"
 #include "equilibration/equilibrator.hpp"
 #include "obs/profiler.hpp"
 #include "parallel/parallel_for.hpp"
+#include "parallel/schedule.hpp"
 #include "support/check.hpp"
 
 namespace sea {
@@ -24,19 +26,30 @@ SweepStats SparseSweep(const SparseMatrix& centers, const SparseMatrix& weights,
                        SparseMatrix* x_out, const SweepOptions& opts) {
   const std::size_t markets = centers.rows();
   SweepStats stats;
-  if (opts.record_task_costs) stats.task_costs.assign(markets, 0.0);
+  const bool record_costs = opts.record_task_costs || opts.scheduler != nullptr;
+  if (record_costs) stats.task_costs.assign(markets, 0.0);
+  if (opts.sort_cache != nullptr)
+    SEA_CHECK_MSG(opts.sort_cache->size() == markets,
+                  "sort cache not sized for this sweep side");
 
   const std::size_t workers = WorkerCount(opts.pool);
   std::vector<BreakpointWorkspace> ws(workers);
   std::vector<OpCounts> worker_ops(workers);
+  std::vector<std::uint64_t> worker_reuses(workers, 0);
+
+  ScheduleSpec sched;
+  if (opts.scheduler != nullptr) sched = opts.scheduler->Next(markets, workers);
 
   const char* phase =
       opts.profile_phase != nullptr ? opts.profile_phase : "equilibrate.sweep";
+  // Dynamic schedules invoke the body once per claimed chunk: accumulate
+  // per-worker state with +=.
   ForRangeWorker(opts.pool, markets,
                  [&](std::size_t begin, std::size_t end, std::size_t w) {
     obs::ProfScope prof(phase);
     BreakpointWorkspace& wksp = ws[w];
     OpCounts local;
+    std::uint64_t reuses = 0;
     for (std::size_t i = begin; i < end; ++i) {
       const auto cols = centers.RowCols(i);
       const auto cvals = centers.RowValues(i);
@@ -49,7 +62,9 @@ SweepStats SparseSweep(const SparseMatrix& centers, const SparseMatrix& weights,
       }
       double u = 0.0, v = 0.0;
       ClearingTarget(side, i, u, v);
-      BreakpointResult res = SolveMarket(wksp, u, v, opts.sort_policy);
+      MarketOrder* order =
+          opts.sort_cache != nullptr ? opts.sort_cache->At(i) : nullptr;
+      BreakpointResult res = SolveMarket(wksp, u, v, opts.sort_policy, order);
       res.ops.flops += 2 * cols.size();
       SEA_INTERNAL_CHECK(res.feasible);
       mult_out[i] = res.lambda;
@@ -59,12 +74,19 @@ SweepStats SparseSweep(const SparseMatrix& centers, const SparseMatrix& weights,
           xvals[k] = std::max(0.0, arcs[k].p + arcs[k].q * res.lambda);
         res.ops.flops += 2 * cols.size();
       }
-      if (opts.record_task_costs) stats.task_costs[i] = res.ops.Work();
+      if (record_costs) stats.task_costs[i] = res.ops.Work();
+      if (res.order_reused) ++reuses;
       local += res.ops;
     }
-    worker_ops[w] = local;
-  });
+    worker_ops[w] += local;
+    worker_reuses[w] += reuses;
+  }, sched);
   for (const auto& o : worker_ops) stats.total_ops += o;
+  for (std::uint64_t r : worker_reuses) stats.order_reuses += r;
+  if (opts.scheduler != nullptr) {
+    opts.scheduler->Update(stats.task_costs);
+    if (!opts.record_task_costs) stats.task_costs.clear();
+  }
   return stats;
 }
 
@@ -109,11 +131,22 @@ class SparseBackend final : public SeaIterationBackend {
     sweep_opts_.sort_policy = opts.sort_policy;
     sweep_opts_.pool = opts.pool;
     sweep_opts_.record_task_costs = opts.record_trace;
+    if (opts.sweep_schedule != ScheduleKind::kStatic) {
+      row_scheduler_.emplace(opts.sweep_schedule, opts.sweep_grain);
+      col_scheduler_.emplace(opts.sweep_schedule, opts.sweep_grain);
+    }
+    if (opts.sort_policy == SortPolicy::kReuse) {
+      row_orders_.Reset(p.m());
+      col_orders_.Reset(p.n());
+    }
   }
 
   SweepStats RowSweep() override {
     if (p_.mode() == TotalsMode::kSam) row_side_.coupling = mu_;
     sweep_opts_.profile_phase = "equilibrate.rows";
+    sweep_opts_.scheduler =
+        row_scheduler_.has_value() ? &*row_scheduler_ : nullptr;
+    sweep_opts_.sort_cache = row_orders_.size() > 0 ? &row_orders_ : nullptr;
     return SparseSweep(p_.x0(), p_.gamma(), mu_, row_side_, lambda_, nullptr,
                        sweep_opts_);
   }
@@ -121,6 +154,9 @@ class SparseBackend final : public SeaIterationBackend {
   SweepStats ColSweep(bool materialize) override {
     if (p_.mode() == TotalsMode::kSam) col_side_.coupling = lambda_;
     sweep_opts_.profile_phase = "equilibrate.cols";
+    sweep_opts_.scheduler =
+        col_scheduler_.has_value() ? &*col_scheduler_ : nullptr;
+    sweep_opts_.sort_cache = col_orders_.size() > 0 ? &col_orders_ : nullptr;
     return SparseSweep(x0_t_, gamma_t_, lambda_, col_side_, mu_,
                        materialize ? &xt_ : nullptr, sweep_opts_);
   }
@@ -179,6 +215,10 @@ class SparseBackend final : public SeaIterationBackend {
   MarketSide row_side_;
   MarketSide col_side_;
   SweepOptions sweep_opts_;
+  // Cost feedback + persisted sort orders are per sweep side: the two sides
+  // have different market counts and their costs do not transfer.
+  std::optional<SweepScheduler> row_scheduler_, col_scheduler_;
+  SortOrderCache row_orders_, col_orders_;
   SparseMatrix xt_;
   std::vector<double> xt_prev_;
   Vector rowsum_;

@@ -1,0 +1,48 @@
+// Non-owning, non-allocating reference to a callable.
+//
+// The parallel runtime's region bodies used to travel as `const
+// std::function&`, which type-erases through a heap allocation on every
+// sweep invocation — measurable overhead on the equilibration hot path,
+// where a solve runs thousands of ParallelFor regions. FunctionRef erases
+// through two words (object pointer + trampoline) with no allocation and no
+// virtual dispatch. It does NOT extend lifetimes: the referenced callable
+// must outlive every call, which holds for blocking ParallelFor regions
+// (the body is a stack lambda alive across the join).
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace sea {
+
+template <typename Sig>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  // Implicit by design: call sites pass lambdas directly, exactly as they
+  // would to a std::function parameter.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f)  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace sea

@@ -16,11 +16,16 @@ struct OpCounts {
   std::uint64_t comparisons = 0;  // sort + sweep comparisons
   std::uint64_t flops = 0;        // floating-point add/mul in kernel + sweeps
   std::uint64_t breakpoints = 0;  // segments examined
+  // Element moves performed by the sort-reuse repair pass (SortPolicy::
+  // kReuse): how far the market's breakpoint order drifted since the
+  // previous sweep. Near zero once the multipliers converge.
+  std::uint64_t inversions = 0;
 
   OpCounts& operator+=(const OpCounts& o) {
     comparisons += o.comparisons;
     flops += o.flops;
     breakpoints += o.breakpoints;
+    inversions += o.inversions;
     return *this;
   }
 
@@ -30,6 +35,7 @@ struct OpCounts {
     comparisons -= o.comparisons;
     flops -= o.flops;
     breakpoints -= o.breakpoints;
+    inversions -= o.inversions;
     return *this;
   }
 

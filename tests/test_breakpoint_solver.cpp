@@ -163,6 +163,154 @@ INSTANTIATE_TEST_SUITE_P(
                                                       500),
                        ::testing::Bool(), ::testing::Values(1, 2, 3)));
 
+// ---------------------------------------------------------------------------
+// Sort-policy equivalence and the kReuse repair path. Ties are broken by
+// original arc index in every policy (one total order), so the multipliers
+// must agree BIT-FOR-BIT, not just to tolerance.
+
+TEST(SortPolicies, AllPoliciesBitIdenticalIncludingTies) {
+  Rng rng(11);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t n = 1 + rng.NextIndex(300);
+    BreakpointWorkspace wi, wh, wr;
+    wi.arcs().resize(n);
+    for (auto& a : wi.arcs()) {
+      a = {rng.Uniform(-10, 10), rng.Uniform(0.05, 3.0)};
+      // Force frequent exact breakpoint ties: quantize some breakpoints by
+      // snapping p to a multiple of q.
+      if (rng.Bernoulli(0.5)) a.p = -std::round(-a.p / a.q) * a.q;
+    }
+    wh.arcs() = wi.arcs();
+    wr.arcs() = wi.arcs();
+    const double u = rng.Uniform(0.0, 50.0);
+    const double v = rng.Bernoulli(0.5) ? 0.0 : -rng.Uniform(0.01, 2.0);
+
+    MarketOrder order;
+    const auto ri = SolveMarket(wi, u, v, SortPolicy::kInsertion);
+    const auto rh = SolveMarket(wh, u, v, SortPolicy::kHeapsort);
+    // Twice with the same order: establish, then repair.
+    auto rr = SolveMarket(wr, u, v, SortPolicy::kReuse, &order);
+    EXPECT_FALSE(rr.order_reused);
+    rr = SolveMarket(wr, u, v, SortPolicy::kReuse, &order);
+    EXPECT_TRUE(rr.order_reused);
+    EXPECT_EQ(order.reuses, 1u);
+
+    EXPECT_EQ(ri.lambda, rh.lambda);  // exact: same total order
+    EXPECT_EQ(ri.lambda, rr.lambda);
+    EXPECT_EQ(ri.active_count, rh.active_count);
+    EXPECT_EQ(ri.active_count, rr.active_count);
+    EXPECT_EQ(ri.feasible, rr.feasible);
+
+    // Identical allocations, elementwise exact.
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto& a = wi.arcs()[j];
+      const double xi = std::max(0.0, a.p + a.q * ri.lambda);
+      const auto& b = wr.arcs()[j];
+      const double xr = std::max(0.0, b.p + b.q * rr.lambda);
+      EXPECT_EQ(xi, xr);
+    }
+  }
+}
+
+TEST(SortPolicies, SingleArcMarketAllPolicies) {
+  for (auto policy : {SortPolicy::kAuto, SortPolicy::kInsertion,
+                      SortPolicy::kHeapsort, SortPolicy::kReuse}) {
+    BreakpointWorkspace ws;
+    ws.arcs() = {{2.0, 0.5}};
+    MarketOrder order;
+    const auto res = SolveMarket(ws, 5.0, 0.0, policy, &order);
+    EXPECT_TRUE(res.feasible);
+    EXPECT_EQ(res.lambda, 6.0);
+    EXPECT_EQ(res.active_count, 1u);
+  }
+}
+
+TEST(SortPolicies, ReuseWithoutOrderFallsBackToAuto) {
+  BreakpointWorkspace w1, w2;
+  Rng rng(12);
+  w1.arcs().resize(64);
+  for (auto& a : w1.arcs()) a = {rng.Uniform(-5, 5), rng.Uniform(0.1, 2.0)};
+  w2.arcs() = w1.arcs();
+  const auto ra = SolveMarket(w1, 20.0, 0.0, SortPolicy::kAuto);
+  const auto rr = SolveMarket(w2, 20.0, 0.0, SortPolicy::kReuse, nullptr);
+  EXPECT_EQ(ra.lambda, rr.lambda);
+  EXPECT_FALSE(rr.order_reused);
+  EXPECT_EQ(ra.ops.comparisons, rr.ops.comparisons);
+}
+
+TEST(SortPolicies, RepairOfUnchangedMarketCostsNoInversions) {
+  BreakpointWorkspace ws;
+  Rng rng(13);
+  ws.arcs().resize(400);
+  for (auto& a : ws.arcs()) a = {rng.Uniform(-10, 10), rng.Uniform(0.1, 2.0)};
+  MarketOrder order;
+  const auto first = SolveMarket(ws, 50.0, 0.0, SortPolicy::kReuse, &order);
+  EXPECT_EQ(first.ops.inversions, 0u);  // established, not repaired
+  const auto second = SolveMarket(ws, 50.0, 0.0, SortPolicy::kReuse, &order);
+  EXPECT_TRUE(second.order_reused);
+  EXPECT_EQ(second.ops.inversions, 0u);  // already sorted: pure verify pass
+  // The repair pass of an in-order array is one comparison per adjacent
+  // pair — far below the fresh heapsort.
+  EXPECT_LT(second.ops.comparisons, first.ops.comparisons);
+}
+
+TEST(SortPolicies, RepairTracksDriftingMarket) {
+  // Perturb arcs slightly between solves: the order stays nearly sorted, the
+  // repair stays cheap, and the result still matches a from-scratch solve.
+  Rng rng(14);
+  BreakpointWorkspace ws;
+  ws.arcs().resize(200);
+  for (auto& a : ws.arcs()) a = {rng.Uniform(-10, 10), rng.Uniform(0.1, 2.0)};
+  MarketOrder order;
+  (void)SolveMarket(ws, 30.0, 0.0, SortPolicy::kReuse, &order);
+  for (int sweep = 0; sweep < 10; ++sweep) {
+    for (auto& a : ws.arcs()) a.p += rng.Uniform(-0.01, 0.01);
+    BreakpointWorkspace fresh;
+    fresh.arcs() = ws.arcs();
+    const auto repaired = SolveMarket(ws, 30.0, 0.0, SortPolicy::kReuse, &order);
+    const auto scratch = SolveMarket(fresh, 30.0, 0.0, SortPolicy::kHeapsort);
+    EXPECT_TRUE(repaired.order_reused);
+    EXPECT_EQ(repaired.lambda, scratch.lambda);
+  }
+  EXPECT_EQ(order.reuses, 10u);
+}
+
+TEST(SortPolicies, ArcCountChangeInvalidatesPersistedOrder) {
+  BreakpointWorkspace ws;
+  ws.arcs() = {{1.0, 1.0}, {2.0, 1.0}, {3.0, 1.0}};
+  MarketOrder order;
+  (void)SolveMarket(ws, 5.0, 0.0, SortPolicy::kReuse, &order);
+  EXPECT_EQ(order.perm.size(), 3u);
+  ws.arcs().push_back({0.5, 2.0});
+  const auto res = SolveMarket(ws, 5.0, 0.0, SortPolicy::kReuse, &order);
+  EXPECT_FALSE(res.order_reused);  // stale perm ignored, then re-established
+  EXPECT_EQ(order.perm.size(), 4u);
+  const auto again = SolveMarket(ws, 5.0, 0.0, SortPolicy::kReuse, &order);
+  EXPECT_TRUE(again.order_reused);
+}
+
+TEST(SortPolicies, BoxSolveAgreesAcrossPoliciesAndReuses) {
+  Rng rng(15);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 1 + rng.NextIndex(100);
+    BreakpointWorkspace wh, wr;
+    wh.arcs().resize(n);
+    for (auto& a : wh.arcs())
+      a = {rng.Uniform(-10, 10), rng.Uniform(0.05, 3.0)};
+    wr.arcs() = wh.arcs();
+    const double u = rng.Uniform(1.0, 50.0);
+    const double v = -rng.Uniform(0.01, 2.0);
+    const double lo = rng.Uniform(0.0, 10.0);
+    const double hi = lo + rng.Uniform(0.0, 20.0);
+    MarketOrder order;
+    const auto rh = SolveMarketBox(wh, u, v, lo, hi, SortPolicy::kHeapsort);
+    (void)SolveMarketBox(wr, u, v, lo, hi, SortPolicy::kReuse, &order);
+    const auto rr = SolveMarketBox(wr, u, v, lo, hi, SortPolicy::kReuse, &order);
+    EXPECT_EQ(rh.lambda, rr.lambda);
+    EXPECT_TRUE(rr.order_reused);
+  }
+}
+
 TEST(BreakpointSolver, ComplexityMatchesNLogN) {
   // The paper charges each market ~ n log n comparisons; check the heapsort
   // path's comparison count is Theta(n log n).

@@ -187,6 +187,174 @@ TEST(EquilibrateSide, SamCouplingEntersTarget) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Sweep scheduling: every ScheduleKind must produce identical mult_out and
+// identical SweepStats::total_ops — the markets are independent, so the
+// partition cannot change what is computed, only who computes it.
+
+TEST(SweepScheduling, CostGuidedAndDynamicMatchStaticExactly) {
+  Rng rng(7);
+  const std::size_t m = 57, n = 23;
+  const auto centers = RandomPositiveMatrix(m, n, rng, -3.0, 10.0);
+  const auto weights = RandomPositiveMatrix(m, n, rng, 0.2, 2.0);
+  const Vector mu = rng.UniformVector(n, -1.0, 1.0);
+  const Vector s0 = rng.UniformVector(m, 5.0, 50.0);
+
+  MarketSide side;
+  side.mode = TotalsMode::kFixed;
+  side.t0 = s0;
+
+  ThreadPool pool(4);
+  Vector mult_static(m);
+  DenseMatrix x_static(m, n);
+  SweepOptions static_opts;
+  static_opts.pool = &pool;
+  const auto stats_static = EquilibrateSide(centers, weights, mu, side,
+                                            mult_static, &x_static,
+                                            static_opts);
+
+  for (auto kind : {ScheduleKind::kCostGuided, ScheduleKind::kDynamic}) {
+    SweepScheduler scheduler(kind, /*grain=*/3);
+    // Several sweeps so a cost-guided scheduler actually reaches its
+    // cost-partitioned plan (the first sweep claims dynamically).
+    for (int sweep = 0; sweep < 4; ++sweep) {
+      Vector mult(m);
+      DenseMatrix x(m, n);
+      SweepOptions opts;
+      opts.pool = &pool;
+      opts.scheduler = &scheduler;
+      const auto stats =
+          EquilibrateSide(centers, weights, mu, side, mult, &x, opts);
+      for (std::size_t i = 0; i < m; ++i)
+        EXPECT_EQ(mult_static[i], mult[i]) << "sweep " << sweep;
+      EXPECT_DOUBLE_EQ(x_static.MaxAbsDiff(x), 0.0);
+      EXPECT_EQ(stats_static.total_ops.comparisons, stats.total_ops.comparisons);
+      EXPECT_EQ(stats_static.total_ops.flops, stats.total_ops.flops);
+      EXPECT_EQ(stats_static.total_ops.breakpoints, stats.total_ops.breakpoints);
+    }
+    if (kind == ScheduleKind::kCostGuided) {
+      EXPECT_EQ(scheduler.dynamic_plans(), 1u);     // first sweep only
+      EXPECT_EQ(scheduler.cost_guided_plans(), 3u);  // the rest
+    } else {
+      EXPECT_EQ(scheduler.dynamic_plans(), 4u);
+    }
+  }
+}
+
+TEST(SweepScheduling, SchedulerForcesCostRecordingInternally) {
+  // A scheduler must get cost feedback even when the caller did not ask for
+  // task costs — and the caller must not see them in that case.
+  Rng rng(8);
+  const std::size_t m = 12, n = 9;
+  const auto centers = RandomPositiveMatrix(m, n, rng, 0.0, 5.0);
+  const auto weights = RandomPositiveMatrix(m, n, rng, 0.5, 1.5);
+  const Vector mu(n, 0.0);
+  const Vector s0 = rng.UniformVector(m, 1.0, 10.0);
+  MarketSide side;
+  side.mode = TotalsMode::kFixed;
+  side.t0 = s0;
+
+  ThreadPool pool(2);
+  SweepScheduler scheduler(ScheduleKind::kCostGuided);
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    Vector mult(m);
+    SweepOptions opts;
+    opts.pool = &pool;
+    opts.scheduler = &scheduler;
+    const auto stats =
+        EquilibrateSide(centers, weights, mu, side, mult, nullptr, opts);
+    EXPECT_TRUE(stats.task_costs.empty());
+  }
+  EXPECT_EQ(scheduler.cost_guided_plans(), 1u);
+}
+
+TEST(SweepScheduling, ReuseAcrossSweepsViaCache) {
+  Rng rng(9);
+  const std::size_t m = 15, n = 140;  // n > insertion threshold: heap vs repair
+  const auto centers = RandomPositiveMatrix(m, n, rng, -3.0, 10.0);
+  const auto weights = RandomPositiveMatrix(m, n, rng, 0.2, 2.0);
+  const Vector mu = rng.UniformVector(n, -1.0, 1.0);
+  const Vector s0 = rng.UniformVector(m, 5.0, 50.0);
+  MarketSide side;
+  side.mode = TotalsMode::kFixed;
+  side.t0 = s0;
+
+  Vector mult_heap(m);
+  SweepOptions heap_opts;
+  heap_opts.sort_policy = SortPolicy::kHeapsort;
+  const auto heap_stats =
+      EquilibrateSide(centers, weights, mu, side, mult_heap, nullptr,
+                      heap_opts);
+
+  SortOrderCache cache;
+  cache.Reset(m);
+  SweepOptions reuse_opts;
+  reuse_opts.sort_policy = SortPolicy::kReuse;
+  reuse_opts.sort_cache = &cache;
+  Vector mult_reuse(m);
+  auto stats =
+      EquilibrateSide(centers, weights, mu, side, mult_reuse, nullptr,
+                      reuse_opts);
+  EXPECT_EQ(stats.order_reuses, 0u);  // first sweep establishes the orders
+  stats = EquilibrateSide(centers, weights, mu, side, mult_reuse, nullptr,
+                          reuse_opts);
+  EXPECT_EQ(stats.order_reuses, static_cast<std::uint64_t>(m));
+  EXPECT_EQ(cache.TotalReuses(), static_cast<std::uint64_t>(m));
+  EXPECT_LT(stats.total_ops.comparisons, heap_stats.total_ops.comparisons);
+  for (std::size_t i = 0; i < m; ++i)
+    EXPECT_EQ(mult_heap[i], mult_reuse[i]) << i;
+}
+
+TEST(SweepScheduling, ReuseUnderEverySchedule) {
+  // The cache is safe under any schedule (each market solved exactly once
+  // per sweep); dynamic claiming must not corrupt the per-market orders.
+  Rng rng(10);
+  const std::size_t m = 33, n = 20;
+  const auto centers = RandomPositiveMatrix(m, n, rng, -3.0, 10.0);
+  const auto weights = RandomPositiveMatrix(m, n, rng, 0.2, 2.0);
+  const Vector mu = rng.UniformVector(n, -1.0, 1.0);
+  const Vector s0 = rng.UniformVector(m, 5.0, 50.0);
+  MarketSide side;
+  side.mode = TotalsMode::kFixed;
+  side.t0 = s0;
+
+  Vector mult_ref(m);
+  SweepOptions ref_opts;
+  EquilibrateSide(centers, weights, mu, side, mult_ref, nullptr, ref_opts);
+
+  ThreadPool pool(4);
+  SweepScheduler scheduler(ScheduleKind::kDynamic, /*grain=*/2);
+  SortOrderCache cache;
+  cache.Reset(m);
+  for (int sweep = 0; sweep < 3; ++sweep) {
+    Vector mult(m);
+    SweepOptions opts;
+    opts.pool = &pool;
+    opts.scheduler = &scheduler;
+    opts.sort_policy = SortPolicy::kReuse;
+    opts.sort_cache = &cache;
+    const auto stats =
+        EquilibrateSide(centers, weights, mu, side, mult, nullptr, opts);
+    for (std::size_t i = 0; i < m; ++i) EXPECT_EQ(mult_ref[i], mult[i]);
+    if (sweep > 0) EXPECT_EQ(stats.order_reuses, static_cast<std::uint64_t>(m));
+  }
+}
+
+TEST(SweepScheduling, MisSizedSortCacheRejected) {
+  DenseMatrix centers(3, 2, 1.0), weights(3, 2, 1.0);
+  Vector mu(2, 0.0), mult(3), s0{1.0, 2.0, 3.0};
+  MarketSide side;
+  side.mode = TotalsMode::kFixed;
+  side.t0 = s0;
+  SortOrderCache cache;
+  cache.Reset(2);  // wrong: 3 markets
+  SweepOptions opts;
+  opts.sort_cache = &cache;
+  EXPECT_THROW(
+      EquilibrateSide(centers, weights, mu, side, mult, nullptr, opts),
+      InvalidArgument);
+}
+
 TEST(EquilibrateSide, RejectsShapeMismatch) {
   DenseMatrix centers(2, 3, 1.0), weights(2, 3, 1.0);
   Vector bad_mu(2, 0.0), mult(2), s0{1.0, 2.0};

@@ -75,6 +75,12 @@ using namespace sea;
          "           --slack <frac>           (interval mode: totals may "
          "move within +-frac, default 0.05)\n"
          "           --threads <N>            (default 1)\n"
+         "           --schedule static|cost|dynamic (sweep partitioning; "
+         "default static)\n"
+         "           --grain <N>              (dynamic-schedule chunk size; "
+         "0 = auto)\n"
+         "           --sort auto|insertion|heapsort|reuse (breakpoint sort "
+         "policy; default auto)\n"
          "           --progress               (print residual per check "
          "iteration)\n"
          "           --out estimate.csv       (default: stdout summary "
@@ -97,7 +103,8 @@ const std::set<std::string>& ValueFlags() {
       "mode",      "matrix",     "row-totals",   "col-totals", "totals",
       "weights",   "epsilon",    "criterion",    "check-every", "max-iters",
       "slack",     "threads",    "out",          "metrics-json",
-      "trace-jsonl", "time-budget", "profile-json"};
+      "trace-jsonl", "time-budget", "profile-json",
+      "schedule",  "grain",      "sort"};
   return flags;
 }
 
@@ -294,6 +301,31 @@ int main(int argc, char** argv) {
         args.count("threads") ? ParseSize(args["threads"], "--threads") : 1;
     ThreadPool pool(threads);
     if (threads > 1) opts.pool = &pool;
+    const std::string schedule =
+        args.count("schedule") ? args["schedule"] : "static";
+    if (schedule == "static") {
+      opts.sweep_schedule = ScheduleKind::kStatic;
+    } else if (schedule == "cost") {
+      opts.sweep_schedule = ScheduleKind::kCostGuided;
+    } else if (schedule == "dynamic") {
+      opts.sweep_schedule = ScheduleKind::kDynamic;
+    } else {
+      Usage(argv[0], "unknown schedule '" + schedule + "'");
+    }
+    if (args.count("grain"))
+      opts.sweep_grain = ParseSize(args["grain"], "--grain");
+    const std::string sort = args.count("sort") ? args["sort"] : "auto";
+    if (sort == "auto") {
+      opts.sort_policy = SortPolicy::kAuto;
+    } else if (sort == "insertion") {
+      opts.sort_policy = SortPolicy::kInsertion;
+    } else if (sort == "heapsort") {
+      opts.sort_policy = SortPolicy::kHeapsort;
+    } else if (sort == "reuse") {
+      opts.sort_policy = SortPolicy::kReuse;
+    } else {
+      Usage(argv[0], "unknown sort policy '" + sort + "'");
+    }
 
     // Opt-in telemetry: structured trace + metrics registry + pool stats.
     obs::MetricsRegistry metrics;
@@ -375,6 +407,8 @@ int main(int argc, char** argv) {
           .Field("epsilon", opts.epsilon)
           .Field("criterion", ToString(opts.criterion))
           .Field("threads", static_cast<std::uint64_t>(threads))
+          .Field("schedule", schedule)
+          .Field("sort", sort)
           .Raw("result", obs::ToJson(run.result))
           .Raw("feasibility", obs::JsonObj()
                                   .Field("max_abs", rep.MaxAbs())
