@@ -1,32 +1,173 @@
-// google-benchmark microbenchmarks for the library's hot kernels: the exact
-// equilibration market solver (both sort paths), full row/column sweeps,
-// and the dense matvec that dominates the general algorithms' projection
-// step. These are the quantities behind the paper's per-iteration cost model
-// N = T n^2 (9 + log n).
+// Microbenchmarks for the library's hot kernels, in two parts.
+//
+// 1. A kernel-backend comparison (scalar vs simd market solves across market
+//    sizes, cold kAuto and warm kReuse) that always runs and emits the bench
+//    schema v2 JSON (BENCH_micro_kernels.json) so tools/bench_diff can gate
+//    the SIMD speedup across PRs. Accepts the standard bench flags
+//    (--quick/--csv/--json/...; see bench_common.hpp).
+//
+// 2. The original google-benchmark suite (sort paths, row sweeps, dense
+//    matvec — the quantities behind the paper's per-iteration cost model
+//    N = T n^2 (9 + log n)). Runs only when a --benchmark* flag is passed
+//    (e.g. --benchmark_filter=.*), keeping part 1 cheap for CI perf-smoke.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstring>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
 #include "equilibration/breakpoint_solver.hpp"
 #include "equilibration/equilibrator.hpp"
+#include "equilibration/kernel_backend.hpp"
+#include "io/table_printer.hpp"
 #include "linalg/kernels.hpp"
 #include "support/rng.hpp"
+#include "support/simd.hpp"
+#include "support/stopwatch.hpp"
 
 namespace {
 
 using namespace sea;
 
-void FillArcs(BreakpointWorkspace& ws, std::size_t n, Rng& rng) {
-  ws.arcs().resize(n);
-  for (auto& a : ws.arcs())
+void FillArcs(std::vector<Arc>& arcs, std::size_t n, Rng& rng) {
+  arcs.resize(n);
+  for (auto& a : arcs)
     a = {rng.Uniform(-100.0, 100.0), rng.Uniform(0.01, 5.0)};
 }
+
+// ---------------------------------------------------------------------------
+// Part 1: scalar vs simd backend comparison (always runs; feeds bench_diff).
+
+// One full market pipeline through a backend: arc build + clearing solve +
+// allocation writeback — the exact per-market work of a sweep.
+double TimeBackendUs(const KernelBackend& kb, std::size_t n, std::size_t reps,
+                     SortPolicy policy) {
+  Rng rng(7);
+  std::vector<double> centers(n), weights(n), other(n), x(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    centers[j] = rng.Uniform(-100.0, 100.0);
+    weights[j] = rng.Uniform(0.05, 5.0);
+    other[j] = rng.Uniform(-10.0, 10.0);
+  }
+  const double u = 0.6 * static_cast<double>(n);
+  BreakpointWorkspace ws;
+  MarketOrder order;
+  MarketOrder* order_ptr = policy == SortPolicy::kReuse ? &order : nullptr;
+  // Warm-up solve (establishes the kReuse permutation, faults pages).
+  ws.Resize(n);
+  kb.BuildArcs(centers, weights, other, ws.p(), ws.q());
+  (void)kb.Solve(ws, u, 0.0, policy, order_ptr);
+  // Best of three repetition means: this container has no CPU pinning, so a
+  // single mean is at the mercy of scheduler migrations.
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 3; ++rep) {
+    Stopwatch sw;
+    for (std::size_t r = 0; r < reps; ++r) {
+      ws.Resize(n);
+      kb.BuildArcs(centers, weights, other, ws.p(), ws.q());
+      const auto res = kb.Solve(ws, u, 0.0, policy, order_ptr);
+      kb.Writeback(ws.p(), ws.q(), res.lambda, x);
+      benchmark::DoNotOptimize(x.data());
+    }
+    best = std::min(best, sw.Seconds() * 1e6 / static_cast<double>(reps));
+  }
+  return best;
+}
+
+// The vectorized elementwise stages alone (arc build, breakpoints,
+// writeback), without the shared scalar sort/driver: the per-element
+// throughput a wider backend can actually move. The full-solve rows above
+// bound the end-to-end win (Amdahl over the shared sort and the
+// latency-bound prefix-sum sweep).
+double TimeStagesUs(const KernelBackend& kb, std::size_t n, std::size_t reps) {
+  Rng rng(11);
+  std::vector<double> centers(n), weights(n), other(n), b(n), x(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    centers[j] = rng.Uniform(-100.0, 100.0);
+    weights[j] = rng.Uniform(0.05, 5.0);
+    other[j] = rng.Uniform(-10.0, 10.0);
+  }
+  std::vector<double> p(n), q(n);
+  kb.BuildArcs(centers, weights, other, p, q);  // warm-up
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 3; ++rep) {
+    Stopwatch sw;
+    for (std::size_t r = 0; r < reps; ++r) {
+      kb.BuildArcs(centers, weights, other, p, q);
+      kb.Breakpoints(p, q, b);
+      kb.Writeback(p, q, 0.25, x);
+      benchmark::DoNotOptimize(x.data());
+    }
+    best = std::min(best, sw.Seconds() * 1e6 / static_cast<double>(reps));
+  }
+  return best;
+}
+
+void RunBackendComparison(const bench::BenchOptions& opts,
+                          ExperimentLog& log) {
+  std::cout << "kernel backends: compiled="
+            << simd::ToString(simd::CompiledIsa())
+            << " runtime=" << simd::ToString(simd::RuntimeIsa())
+            << " simd_available=" << (SimdKernelAvailable() ? "yes" : "no")
+            << "\n";
+  TablePrinter t({"market n", "sort", "scalar (us)", "simd (us)", "speedup"});
+  for (std::size_t n : {10u, 120u, 1000u, 10000u}) {
+    std::size_t reps = std::max<std::size_t>(20, 200000 / n);
+    if (opts.quick) reps = std::max<std::size_t>(5, reps / 10);
+    for (SortPolicy policy : {SortPolicy::kAuto, SortPolicy::kReuse}) {
+      const char* sort_name = policy == SortPolicy::kReuse ? "reuse" : "auto";
+      const double us_scalar = TimeBackendUs(ScalarKernel(), n, reps, policy);
+      const double us_simd = TimeBackendUs(SimdKernel(), n, reps, policy);
+      const double speedup = us_simd > 0.0 ? us_scalar / us_simd : 0.0;
+      t.AddRow({TablePrinter::Int(static_cast<long>(n)), sort_name,
+                TablePrinter::Num(us_scalar, 3), TablePrinter::Num(us_simd, 3),
+                TablePrinter::Num(speedup, 2)});
+      const std::string ds = "n=" + std::to_string(n) + ",sort=" + sort_name;
+      log.Add("kernel_backend", ds, "scalar_us_per_solve", us_scalar);
+      log.Add("kernel_backend", ds, "simd_us_per_solve", us_simd);
+      log.Add("kernel_backend", ds, "simd_speedup", speedup, std::nullopt,
+              SimdKernelAvailable() ? "simd vector bodies"
+                                    : "simd degraded to scalar bodies");
+    }
+  }
+  t.Print(std::cout);
+
+  std::cout << "\nelementwise stages only (arc build + breakpoints + "
+               "writeback, no sort/sweep):\n";
+  TablePrinter ts({"market n", "scalar (us)", "simd (us)", "speedup"});
+  for (std::size_t n : {120u, 1000u, 10000u}) {
+    std::size_t reps = std::max<std::size_t>(50, 400000 / n);
+    if (opts.quick) reps = std::max<std::size_t>(10, reps / 10);
+    const double us_scalar = TimeStagesUs(ScalarKernel(), n, reps);
+    const double us_simd = TimeStagesUs(SimdKernel(), n, reps);
+    const double speedup = us_simd > 0.0 ? us_scalar / us_simd : 0.0;
+    ts.AddRow({TablePrinter::Int(static_cast<long>(n)),
+               TablePrinter::Num(us_scalar, 3), TablePrinter::Num(us_simd, 3),
+               TablePrinter::Num(speedup, 2)});
+    const std::string ds = "n=" + std::to_string(n) + ",stages=elementwise";
+    log.Add("kernel_backend", ds, "scalar_us_per_pass", us_scalar);
+    log.Add("kernel_backend", ds, "simd_us_per_pass", us_simd);
+    log.Add("kernel_backend", ds, "simd_speedup", speedup);
+  }
+  ts.Print(std::cout);
+}
+
+// ---------------------------------------------------------------------------
+// Part 2: google-benchmark suite (opt-in via --benchmark* flags).
 
 void BM_MarketSolveHeapsort(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   Rng rng(1);
+  std::vector<Arc> arcs;
   BreakpointWorkspace ws;
   for (auto _ : state) {
     state.PauseTiming();
-    FillArcs(ws, n, rng);
+    FillArcs(arcs, n, rng);
+    ws.Assign(arcs);
     state.ResumeTiming();
     benchmark::DoNotOptimize(
         SolveMarket(ws, 100.0, 0.0, SortPolicy::kHeapsort));
@@ -39,10 +180,12 @@ BENCHMARK(BM_MarketSolveHeapsort)->RangeMultiplier(4)->Range(64, 4096)
 void BM_MarketSolveInsertion(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   Rng rng(2);
+  std::vector<Arc> arcs;
   BreakpointWorkspace ws;
   for (auto _ : state) {
     state.PauseTiming();
-    FillArcs(ws, n, rng);
+    FillArcs(arcs, n, rng);
+    ws.Assign(arcs);
     state.ResumeTiming();
     benchmark::DoNotOptimize(
         SolveMarket(ws, 100.0, 0.0, SortPolicy::kInsertion));
@@ -88,3 +231,37 @@ void BM_DenseGemv(benchmark::State& state) {
 BENCHMARK(BM_DenseGemv)->Arg(512)->Arg(2304)->Arg(4096);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  // Split the command line: --benchmark* flags go to google-benchmark, the
+  // rest to the shared bench harness (which rejects flags it doesn't know).
+  std::vector<char*> bench_args{argv[0]};
+  std::vector<char*> gbench_args{argv[0]};
+  bool run_gbench = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark", 11) == 0) {
+      gbench_args.push_back(argv[i]);
+      run_gbench = true;
+    } else {
+      bench_args.push_back(argv[i]);
+    }
+  }
+  int bench_argc = static_cast<int>(bench_args.size());
+  const auto opts = sea::bench::ParseArgs(bench_argc, bench_args.data());
+
+  sea::bench::PrintHeader(
+      "micro_kernels: kernel-backend comparison (scalar vs simd)",
+      "full market pipeline (arc build + clearing solve + writeback), "
+      "single thread, median-free mean over fixed reps");
+  sea::ExperimentLog log;
+  RunBackendComparison(opts, log);
+  sea::bench::Finish(log, opts, "micro_kernels");
+
+  if (run_gbench) {
+    int gbench_argc = static_cast<int>(gbench_args.size());
+    benchmark::Initialize(&gbench_argc, gbench_args.data());
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  return 0;
+}

@@ -9,6 +9,7 @@
 #include "core/multiplier_rebalance.hpp"
 #include "core/stopping.hpp"
 #include "equilibration/equilibrator.hpp"
+#include "equilibration/kernel_backend.hpp"
 #include "problems/feasibility.hpp"
 #include "support/check.hpp"
 
@@ -63,6 +64,7 @@ class DenseDiagonalBackend final : public SeaIterationBackend {
     sweep_opts_.sort_policy = opts.sort_policy;
     sweep_opts_.pool = opts.pool;
     sweep_opts_.record_task_costs = opts.record_trace;
+    sweep_opts_.kernel = ResolveKernelBackend(opts.backend).kernel;
     if (opts.sweep_schedule != ScheduleKind::kStatic) {
       row_scheduler_.emplace(opts.sweep_schedule, opts.sweep_grain);
       col_scheduler_.emplace(opts.sweep_schedule, opts.sweep_grain);

@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <limits>
+#include <string_view>
 #include <utility>
 
+#include "equilibration/kernel_backend.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/trace_sink.hpp"
@@ -44,6 +46,10 @@ SeaResult RunIterationEngine(SeaIterationBackend& backend,
   const double cpu0 = ProcessCpuSeconds();
 
   SeaResult result;
+  // The backends resolve opts.backend themselves when building their sweep
+  // options; resolution is deterministic per process + environment, so
+  // re-resolving here names the same kernel the sweeps use.
+  result.kernel_backend = ResolveKernelBackend(opts.backend).kernel->name();
   bool have_snapshot = false;
 
   // Stall detection state: the previous check's measure and the run of
@@ -93,6 +99,7 @@ SeaResult RunIterationEngine(SeaIterationBackend& backend,
       SweepStats stats = backend.RowSweep();
       result.ops += stats.total_ops;
       result.order_reuses += stats.order_reuses;
+      result.kernel_markets += stats.markets;
       result.row_phase_seconds += sw.Seconds();
       if (opts.record_trace && !stats.task_costs.empty())
         result.trace.AddParallelPhase("row", std::move(stats.task_costs));
@@ -106,6 +113,7 @@ SeaResult RunIterationEngine(SeaIterationBackend& backend,
       SweepStats stats = backend.ColSweep(check_now);
       result.ops += stats.total_ops;
       result.order_reuses += stats.order_reuses;
+      result.kernel_markets += stats.markets;
       result.col_phase_seconds += sw.Seconds();
       if (opts.record_trace && !stats.task_costs.empty())
         result.trace.AddParallelPhase("col", std::move(stats.task_costs));
@@ -222,6 +230,13 @@ SeaResult RunIterationEngine(SeaIterationBackend& backend,
     m.GetCounter("sea.ops.breakpoints").Add(result.ops.breakpoints);
     m.GetCounter("sea.ops.inversions").Add(result.ops.inversions);
     m.GetCounter("sea.sweep.order_reuses").Add(result.order_reuses);
+    // Per-backend market-solve counters plus a which-backend gauge
+    // (docs/OBSERVABILITY.md): 0 = scalar, 1 = simd.
+    m.GetCounter(std::string("sea.kernel.") + result.kernel_backend +
+                 ".markets")
+        .Add(result.kernel_markets);
+    m.GetGauge("sea.kernel.backend")
+        .Set(std::string_view(result.kernel_backend) == "simd" ? 1.0 : 0.0);
     m.GetCounter("sea.solves").Add(1);
     if (result.converged()) m.GetCounter("sea.solves_converged").Add(1);
     m.GetCounter(std::string("solver.status.") + ToString(result.status))

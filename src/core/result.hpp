@@ -33,6 +33,11 @@ struct SeaResult {
   // Market solves answered by repairing a persisted breakpoint order
   // (SortPolicy::kReuse); 0 under the other sort policies.
   std::uint64_t order_reuses = 0;
+  // Kernel backend that executed the market solves ("scalar" or "simd";
+  // stable string literal from KernelBackend::name), and how many market
+  // solves it performed across all sweeps.
+  const char* kernel_backend = "scalar";
+  std::uint64_t kernel_markets = 0;
   // Filled when SeaOptions::record_trace is set.
   ExecutionTrace trace;
   // Filled when SeaOptions::record_dual_values is set: zeta_l(lambda^{t+1},

@@ -1,0 +1,56 @@
+// The scalar kernel backend: the reference implementation of the
+// elementwise stages (kernel_scalar_ops.hpp bodies, unvectorized). Compiled
+// with -ffp-contract=off so its arithmetic is the fixed point the SIMD
+// backend must match bit for bit.
+#include "equilibration/kernel_backend.hpp"
+#include "equilibration/kernel_scalar_ops.hpp"
+
+namespace sea {
+
+namespace {
+
+class ScalarBackend final : public KernelBackend {
+ public:
+  const char* name() const override { return "scalar"; }
+
+  void BuildArcs(std::span<const double> centers,
+                 std::span<const double> weights,
+                 std::span<const double> other_mult, std::span<double> p,
+                 std::span<double> q) const override {
+    kernel_ops::BuildArcsScalar(centers, weights, other_mult, p, q);
+  }
+
+  void BuildArcsGather(std::span<const double> centers,
+                       std::span<const double> weights,
+                       std::span<const double> other_mult,
+                       std::span<const std::size_t> cols, std::span<double> p,
+                       std::span<double> q) const override {
+    kernel_ops::BuildArcsGatherScalar(centers, weights, other_mult, cols, p,
+                                      q);
+  }
+
+  void Breakpoints(std::span<const double> p, std::span<const double> q,
+                   std::span<double> b) const override {
+    kernel_ops::BreakpointsScalar(p, q, b);
+  }
+
+  void Writeback(std::span<const double> p, std::span<const double> q,
+                 double lambda, std::span<double> x) const override {
+    kernel_ops::WritebackScalar(p, q, lambda, x);
+  }
+
+  SweepHit SweepSearch(std::span<const double> bs, std::span<const double> ps,
+                       std::span<const double> qs, std::size_t n, double u,
+                       double v) const override {
+    return kernel_ops::SweepSearchScalar(bs, ps, qs, n, u, v);
+  }
+};
+
+}  // namespace
+
+const KernelBackend& ScalarKernel() {
+  static const ScalarBackend backend;
+  return backend;
+}
+
+}  // namespace sea

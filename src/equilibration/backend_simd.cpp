@@ -1,0 +1,352 @@
+// The vectorized kernel backend: AVX2 on x86-64, Advanced SIMD on aarch64,
+// the scalar bodies everywhere else (including per-call degradation when the
+// CPU cannot run the compiled ISA — see support/simd.hpp).
+//
+// Bit-identity with the scalar backend (kernel_backend.hpp contract) is by
+// construction: every lane performs the exact scalar operation sequence —
+// negate-then-divide breakpoints, separate multiply and add (this file and
+// backend_scalar.cpp are compiled with -ffp-contract=off, so neither side
+// fuses), max forms chosen to reproduce std::max(0.0, v) on ±0/NaN, and
+// sequential prefix sums feeding a per-lane copy of the multiply-form
+// acceptance test. AVX2 bodies carry per-function target attributes instead
+// of a global -mavx2, so the object file links and runs on any x86-64; the
+// probe in simd::RuntimeIsa() guards every entry.
+#include <cstddef>
+#include <span>
+
+#include "equilibration/kernel_backend.hpp"
+#include "equilibration/kernel_scalar_ops.hpp"
+#include "support/simd.hpp"
+
+#if SEA_SIMD_COMPILED_AVX2
+#include <immintrin.h>
+#endif
+#if SEA_SIMD_COMPILED_NEON
+#include <arm_neon.h>
+#endif
+
+namespace sea {
+
+namespace {
+
+#if SEA_SIMD_COMPILED_AVX2
+
+#define SEA_TARGET_AVX2 __attribute__((target("avx2")))
+
+SEA_TARGET_AVX2 void BuildArcsAvx2(std::span<const double> centers,
+                                   std::span<const double> weights,
+                                   std::span<const double> other_mult,
+                                   std::span<double> p, std::span<double> q) {
+  const std::size_t n = centers.size();
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d two = _mm256_set1_pd(2.0);
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256d w = _mm256_loadu_pd(weights.data() + j);
+    const __m256d qj = _mm256_div_pd(one, _mm256_mul_pd(two, w));
+    const __m256d m = _mm256_loadu_pd(other_mult.data() + j);
+    const __m256d c = _mm256_loadu_pd(centers.data() + j);
+    _mm256_storeu_pd(q.data() + j, qj);
+    _mm256_storeu_pd(p.data() + j, _mm256_add_pd(c, _mm256_mul_pd(m, qj)));
+  }
+  kernel_ops::BuildArcsScalar(centers.subspan(j), weights.subspan(j),
+                              other_mult.subspan(j), p.subspan(j),
+                              q.subspan(j));
+}
+
+SEA_TARGET_AVX2 void BuildArcsGatherAvx2(std::span<const double> centers,
+                                         std::span<const double> weights,
+                                         std::span<const double> other_mult,
+                                         std::span<const std::size_t> cols,
+                                         std::span<double> p,
+                                         std::span<double> q) {
+  static_assert(sizeof(std::size_t) == 8, "i64 gather expects 64-bit ids");
+  const std::size_t n = centers.size();
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d two = _mm256_set1_pd(2.0);
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    const __m256d w = _mm256_loadu_pd(weights.data() + k);
+    const __m256d qk = _mm256_div_pd(one, _mm256_mul_pd(two, w));
+    const __m256i idx = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(cols.data() + k));
+    const __m256d m = _mm256_i64gather_pd(other_mult.data(), idx, 8);
+    const __m256d c = _mm256_loadu_pd(centers.data() + k);
+    _mm256_storeu_pd(q.data() + k, qk);
+    _mm256_storeu_pd(p.data() + k, _mm256_add_pd(c, _mm256_mul_pd(m, qk)));
+  }
+  kernel_ops::BuildArcsGatherScalar(centers.subspan(k), weights.subspan(k),
+                                    other_mult, cols.subspan(k), p.subspan(k),
+                                    q.subspan(k));
+}
+
+SEA_TARGET_AVX2 void BreakpointsAvx2(std::span<const double> p,
+                                     std::span<const double> q,
+                                     std::span<double> b) {
+  const std::size_t n = p.size();
+  // XOR with the sign mask is exact negation — bit-identical to scalar -p
+  // (0.0 - p would flip the sign of -0.0 breakpoints).
+  const __m256d sign = _mm256_set1_pd(-0.0);
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256d pj = _mm256_loadu_pd(p.data() + j);
+    const __m256d qj = _mm256_loadu_pd(q.data() + j);
+    _mm256_storeu_pd(b.data() + j,
+                     _mm256_div_pd(_mm256_xor_pd(pj, sign), qj));
+  }
+  kernel_ops::BreakpointsScalar(p.subspan(j), q.subspan(j), b.subspan(j));
+}
+
+SEA_TARGET_AVX2 void WritebackAvx2(std::span<const double> p,
+                                   std::span<const double> q, double lambda,
+                                   std::span<double> x) {
+  const std::size_t n = p.size();
+  const __m256d lam = _mm256_set1_pd(lambda);
+  const __m256d zero = _mm256_setzero_pd();
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256d val = _mm256_add_pd(
+        _mm256_loadu_pd(p.data() + j),
+        _mm256_mul_pd(_mm256_loadu_pd(q.data() + j), lam));
+    // max_pd returns its SECOND operand on NaN or equal-valued inputs, so
+    // (val, zero) reproduces std::max(0.0, val): NaN -> +0.0, -0.0 -> +0.0.
+    _mm256_storeu_pd(x.data() + j, _mm256_max_pd(val, zero));
+  }
+  kernel_ops::WritebackScalar(p.subspan(j), q.subspan(j), lambda, x.subspan(j));
+}
+
+SEA_TARGET_AVX2 KernelBackend::SweepHit SweepSearchAvx2(
+    std::span<const double> bs, std::span<const double> ps,
+    std::span<const double> qs, std::size_t n, double u, double v) {
+  KernelBackend::SweepHit hit;
+  const __m256d u4 = _mm256_set1_pd(u);
+  const __m256d v4 = _mm256_set1_pd(v);
+  double p_sum = 0.0;
+  double q_sum = 0.0;
+  for (std::size_t k = 0; k < n; k += 4) {
+    // Prefix sums stay sequential (scalar addition order = scalar backend)
+    // and live in registers — a store/vector-reload here forwards badly and
+    // costs more than the vector compare saves. The pad arcs are zero, so
+    // lanes past the end replicate the last sums.
+    const double p0 = p_sum + ps[k];
+    const double p1 = p0 + ps[k + 1];
+    const double p2 = p1 + ps[k + 2];
+    const double p3 = p2 + ps[k + 3];
+    const double q0 = q_sum + qs[k];
+    const double q1 = q0 + qs[k + 1];
+    const double q2 = q1 + qs[k + 2];
+    const double q3 = q2 + qs[k + 3];
+    p_sum = p3;
+    q_sum = q3;
+    const __m256d pl = _mm256_set_pd(p3, p2, p1, p0);
+    const __m256d ql = _mm256_set_pd(q3, q2, q1, q0);
+    const __m256d denom = _mm256_sub_pd(ql, v4);
+    const __m256d rhs =
+        _mm256_mul_pd(_mm256_loadu_pd(bs.data() + k + 1), denom);
+    const __m256d lhs = _mm256_sub_pd(u4, pl);
+    // Per lane this is exactly the scalar acceptance test (ordered <=, so
+    // NaN lanes never accept); the first set lane is the first accepting
+    // segment. The +inf pad keeps any accepting pad lane behind the real
+    // last segment, which itself always accepts on finite data.
+    const int mask =
+        _mm256_movemask_pd(_mm256_cmp_pd(lhs, rhs, _CMP_LE_OQ));
+    if (mask != 0) {
+      alignas(32) double plb[4];
+      alignas(32) double qlb[4];
+      _mm256_store_pd(plb, pl);
+      _mm256_store_pd(qlb, ql);
+      const std::size_t lane =
+          static_cast<std::size_t>(__builtin_ctz(static_cast<unsigned>(mask)));
+      hit.k = k + lane;
+      hit.lambda = (u - plb[lane]) / (qlb[lane] - v);
+      hit.found = true;
+      return hit;
+    }
+  }
+  return hit;
+}
+
+#undef SEA_TARGET_AVX2
+
+#endif  // SEA_SIMD_COMPILED_AVX2
+
+#if SEA_SIMD_COMPILED_NEON
+
+void BuildArcsNeon(std::span<const double> centers,
+                   std::span<const double> weights,
+                   std::span<const double> other_mult, std::span<double> p,
+                   std::span<double> q) {
+  const std::size_t n = centers.size();
+  const float64x2_t one = vdupq_n_f64(1.0);
+  const float64x2_t two = vdupq_n_f64(2.0);
+  std::size_t j = 0;
+  for (; j + 2 <= n; j += 2) {
+    const float64x2_t w = vld1q_f64(weights.data() + j);
+    const float64x2_t qj = vdivq_f64(one, vmulq_f64(two, w));
+    const float64x2_t m = vld1q_f64(other_mult.data() + j);
+    const float64x2_t c = vld1q_f64(centers.data() + j);
+    vst1q_f64(q.data() + j, qj);
+    vst1q_f64(p.data() + j, vaddq_f64(c, vmulq_f64(m, qj)));
+  }
+  kernel_ops::BuildArcsScalar(centers.subspan(j), weights.subspan(j),
+                              other_mult.subspan(j), p.subspan(j),
+                              q.subspan(j));
+}
+
+void BreakpointsNeon(std::span<const double> p, std::span<const double> q,
+                     std::span<double> b) {
+  const std::size_t n = p.size();
+  std::size_t j = 0;
+  for (; j + 2 <= n; j += 2) {
+    const float64x2_t pj = vld1q_f64(p.data() + j);
+    const float64x2_t qj = vld1q_f64(q.data() + j);
+    vst1q_f64(b.data() + j, vdivq_f64(vnegq_f64(pj), qj));
+  }
+  kernel_ops::BreakpointsScalar(p.subspan(j), q.subspan(j), b.subspan(j));
+}
+
+void WritebackNeon(std::span<const double> p, std::span<const double> q,
+                   double lambda, std::span<double> x) {
+  const std::size_t n = p.size();
+  const float64x2_t lam = vdupq_n_f64(lambda);
+  const float64x2_t zero = vdupq_n_f64(0.0);
+  std::size_t j = 0;
+  for (; j + 2 <= n; j += 2) {
+    const float64x2_t val =
+        vaddq_f64(vld1q_f64(p.data() + j),
+                  vmulq_f64(vld1q_f64(q.data() + j), lam));
+    // Compare-and-select rather than vmaxq (which would propagate NaN):
+    // val > 0 ? val : +0.0 matches std::max(0.0, val) on ±0 and NaN.
+    vst1q_f64(x.data() + j, vbslq_f64(vcgtq_f64(val, zero), val, zero));
+  }
+  kernel_ops::WritebackScalar(p.subspan(j), q.subspan(j), lambda, x.subspan(j));
+}
+
+KernelBackend::SweepHit SweepSearchNeon(std::span<const double> bs,
+                                        std::span<const double> ps,
+                                        std::span<const double> qs,
+                                        std::size_t n, double u, double v) {
+  KernelBackend::SweepHit hit;
+  const float64x2_t u2 = vdupq_n_f64(u);
+  const float64x2_t v2 = vdupq_n_f64(v);
+  double p_sum = 0.0;
+  double q_sum = 0.0;
+  for (std::size_t k = 0; k < n; k += 2) {
+    // Sequential register-resident prefix sums, as in the AVX2 body.
+    const double p0 = p_sum + ps[k];
+    const double p1 = p0 + ps[k + 1];
+    const double q0 = q_sum + qs[k];
+    const double q1 = q0 + qs[k + 1];
+    p_sum = p1;
+    q_sum = q1;
+    float64x2_t pl = vsetq_lane_f64(p1, vdupq_n_f64(p0), 1);
+    float64x2_t ql = vsetq_lane_f64(q1, vdupq_n_f64(q0), 1);
+    const float64x2_t denom = vsubq_f64(ql, v2);
+    const float64x2_t rhs = vmulq_f64(vld1q_f64(bs.data() + k + 1), denom);
+    const float64x2_t lhs = vsubq_f64(u2, pl);
+    const uint64x2_t le = vcleq_f64(lhs, rhs);
+    const std::size_t lane =
+        vgetq_lane_u64(le, 0) != 0 ? 0 : (vgetq_lane_u64(le, 1) != 0 ? 1 : 2);
+    if (lane < 2) {
+      hit.k = k + lane;
+      hit.lambda = lane == 0 ? (u - p0) / (q0 - v) : (u - p1) / (q1 - v);
+      hit.found = true;
+      return hit;
+    }
+  }
+  return hit;
+}
+
+#endif  // SEA_SIMD_COMPILED_NEON
+
+class SimdBackend final : public KernelBackend {
+ public:
+  const char* name() const override { return "simd"; }
+
+  // Below this many elements the vector bodies' setup and tail handling
+  // cost more than they save; the scalar bodies are bit-identical, so the
+  // cutover is invisible to results.
+  static constexpr std::size_t kSmallMarket = 16;
+
+  void BuildArcs(std::span<const double> centers,
+                 std::span<const double> weights,
+                 std::span<const double> other_mult, std::span<double> p,
+                 std::span<double> q) const override {
+#if SEA_SIMD_COMPILED_AVX2
+    if (Avx2() && centers.size() >= kSmallMarket)
+      return BuildArcsAvx2(centers, weights, other_mult, p, q);
+#elif SEA_SIMD_COMPILED_NEON
+    if (Neon() && centers.size() >= kSmallMarket)
+      return BuildArcsNeon(centers, weights, other_mult, p, q);
+#endif
+    kernel_ops::BuildArcsScalar(centers, weights, other_mult, p, q);
+  }
+
+  void BuildArcsGather(std::span<const double> centers,
+                       std::span<const double> weights,
+                       std::span<const double> other_mult,
+                       std::span<const std::size_t> cols, std::span<double> p,
+                       std::span<double> q) const override {
+#if SEA_SIMD_COMPILED_AVX2
+    if (Avx2() && centers.size() >= kSmallMarket)
+      return BuildArcsGatherAvx2(centers, weights, other_mult, cols, p, q);
+#endif
+    // aarch64 has no gather; the scalar body is the vector body there.
+    kernel_ops::BuildArcsGatherScalar(centers, weights, other_mult, cols, p,
+                                      q);
+  }
+
+  void Breakpoints(std::span<const double> p, std::span<const double> q,
+                   std::span<double> b) const override {
+#if SEA_SIMD_COMPILED_AVX2
+    if (Avx2() && p.size() >= kSmallMarket) return BreakpointsAvx2(p, q, b);
+#elif SEA_SIMD_COMPILED_NEON
+    if (Neon() && p.size() >= kSmallMarket) return BreakpointsNeon(p, q, b);
+#endif
+    kernel_ops::BreakpointsScalar(p, q, b);
+  }
+
+  void Writeback(std::span<const double> p, std::span<const double> q,
+                 double lambda, std::span<double> x) const override {
+#if SEA_SIMD_COMPILED_AVX2
+    if (Avx2() && p.size() >= kSmallMarket)
+      return WritebackAvx2(p, q, lambda, x);
+#elif SEA_SIMD_COMPILED_NEON
+    if (Neon() && p.size() >= kSmallMarket)
+      return WritebackNeon(p, q, lambda, x);
+#endif
+    kernel_ops::WritebackScalar(p, q, lambda, x);
+  }
+
+  SweepHit SweepSearch(std::span<const double> bs, std::span<const double> ps,
+                       std::span<const double> qs, std::size_t n, double u,
+                       double v) const override {
+#if SEA_SIMD_COMPILED_AVX2
+    if (Avx2() && n >= kSmallMarket)
+      return SweepSearchAvx2(bs, ps, qs, n, u, v);
+#elif SEA_SIMD_COMPILED_NEON
+    if (Neon() && n >= kSmallMarket)
+      return SweepSearchNeon(bs, ps, qs, n, u, v);
+#endif
+    return kernel_ops::SweepSearchScalar(bs, ps, qs, n, u, v);
+  }
+
+ private:
+  // Per-call probes (one cached atomic load) so a test override of the
+  // runtime ISA takes effect immediately, even mid-solve.
+#if SEA_SIMD_COMPILED_AVX2
+  static bool Avx2() { return simd::RuntimeIsa() == simd::Isa::kAvx2; }
+#endif
+#if SEA_SIMD_COMPILED_NEON
+  static bool Neon() { return simd::RuntimeIsa() == simd::Isa::kNeon; }
+#endif
+};
+
+}  // namespace
+
+const KernelBackend& SimdKernel() {
+  static const SimdBackend backend;
+  return backend;
+}
+
+}  // namespace sea

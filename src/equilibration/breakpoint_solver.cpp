@@ -1,11 +1,11 @@
+// Compatibility shims over the kernel-backend interface: SolveMarket and
+// SolveMarketBox predate the multi-backend refactor and now forward to the
+// scalar backend's shared drivers (equilibration/kernel_backend.hpp). The
+// solver implementation itself lives in kernel_backend.cpp (drivers) and
+// kernel_scalar_ops.hpp / backend_simd.cpp (elementwise stages).
 #include "equilibration/breakpoint_solver.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
-
-#include "obs/profiler.hpp"
-#include "support/check.hpp"
+#include "equilibration/kernel_backend.hpp"
 
 namespace sea {
 
@@ -18,223 +18,25 @@ double EvaluateSupply(std::span<const Arc> arcs, double lambda) {
   return s;
 }
 
-namespace detail {
-
-// Strict weak order on breakpoint nodes: by breakpoint value, ties broken
-// by original arc index. One TOTAL order shared by every sort policy, so
-// the prefix sums of the segment sweep — and therefore the clearing
-// multiplier — are bit-identical whichever sort produced the array.
-template <typename NodeT>
-inline bool NodeLess(const NodeT& a, const NodeT& b) {
-  return a.b < b.b || (a.b == b.b && a.idx < b.idx);
-}
-
-// Straight insertion sort. `moves`, when non-null, receives the number of
-// element shifts — for a nearly-sorted input this is the inversion count
-// the sort-reuse path reports.
-template <typename NodeT>
-std::uint64_t InsertionSort(std::vector<NodeT>& v,
-                            std::uint64_t* moves = nullptr) {
-  std::uint64_t comparisons = 0;
-  std::uint64_t shifted = 0;
-  for (std::size_t i = 1; i < v.size(); ++i) {
-    NodeT key = v[i];
-    std::size_t j = i;
-    while (j > 0) {
-      ++comparisons;
-      if (!NodeLess(key, v[j - 1])) break;
-      v[j] = v[j - 1];
-      ++shifted;
-      --j;
-    }
-    v[j] = key;
+double EvaluateSupply(std::span<const double> p, std::span<const double> q,
+                      double lambda) {
+  double s = 0.0;
+  for (std::size_t j = 0; j < p.size(); ++j) {
+    const double x = p[j] + q[j] * lambda;
+    if (x > 0.0) s += x;
   }
-  if (moves != nullptr) *moves += shifted;
-  return comparisons;
+  return s;
 }
-
-template <typename NodeT>
-std::uint64_t Heapsort(std::vector<NodeT>& v) {
-  std::uint64_t comparisons = 0;
-  const std::size_t n = v.size();
-  if (n < 2) return 0;
-
-  auto sift_down = [&](std::size_t start, std::size_t end) {
-    std::size_t root = start;
-    for (;;) {
-      std::size_t child = 2 * root + 1;
-      if (child > end) break;
-      if (child < end) {
-        ++comparisons;
-        if (NodeLess(v[child], v[child + 1])) ++child;
-      }
-      ++comparisons;
-      if (!NodeLess(v[root], v[child])) break;
-      std::swap(v[root], v[child]);
-      root = child;
-    }
-  };
-
-  for (std::size_t start = n / 2; start-- > 0;) sift_down(start, n - 1);
-  for (std::size_t end = n - 1; end > 0; --end) {
-    std::swap(v[0], v[end]);
-    sift_down(0, end - 1);
-  }
-  return comparisons;
-}
-
-}  // namespace detail
 
 BreakpointResult SolveMarket(BreakpointWorkspace& ws, double u, double v,
                              SortPolicy policy, MarketOrder* order) {
-  obs::ProfScopeFine prof("breakpoint.solve");
-  const auto& arcs = ws.arcs_;
-  auto& nodes = ws.nodes_;
-  const std::size_t n = arcs.size();
-
-  BreakpointResult result;
-  SEA_CHECK_MSG(v <= 0.0, "elastic slope must be nonpositive");
-  if (n == 0) {
-    // No arcs: total supply is 0; clearing requires u + v*lambda = 0.
-    if (v < 0.0) {
-      result.lambda = -u / v;
-    } else {
-      result.feasible = (u == 0.0);
-      result.lambda = 0.0;
-    }
-    return result;
-  }
-  if (v == 0.0 && u < 0.0) {
-    result.feasible = false;
-    return result;
-  }
-
-  // Build breakpoint nodes — in the persisted order when reusing (the array
-  // is then nearly sorted and insertion repairs it in O(n + inversions)),
-  // in natural arc order otherwise.
-  const bool reuse = policy == SortPolicy::kReuse && order != nullptr &&
-                     order->perm.size() == n;
-  nodes.resize(n);
-  if (reuse) {
-    for (std::size_t k = 0; k < n; ++k) {
-      const std::uint32_t j = order->perm[k];
-      SEA_DCHECK(j < n && arcs[j].q > 0.0);
-      nodes[k] = {-arcs[j].p / arcs[j].q, arcs[j].p, arcs[j].q, j};
-    }
-  } else {
-    for (std::size_t j = 0; j < n; ++j) {
-      SEA_DCHECK(arcs[j].q > 0.0);
-      nodes[j] = {-arcs[j].p / arcs[j].q, arcs[j].p, arcs[j].q,
-                  static_cast<std::uint32_t>(j)};
-    }
-  }
-  result.ops.flops += n;  // breakpoint divisions
-  result.ops.breakpoints = n;
-
-  if (reuse) {
-    result.ops.comparisons +=
-        detail::InsertionSort(nodes, &result.ops.inversions);
-    result.order_reused = true;
-    ++order->reuses;
-  } else {
-    const bool use_insertion =
-        policy == SortPolicy::kInsertion ||
-        (policy != SortPolicy::kHeapsort && n <= kInsertionThreshold);
-    result.ops.comparisons +=
-        use_insertion ? detail::InsertionSort(nodes) : detail::Heapsort(nodes);
-  }
-  if (policy == SortPolicy::kReuse && order != nullptr) {
-    // Persist the (repaired or freshly established) order for the next sweep.
-    order->perm.resize(n);
-    for (std::size_t k = 0; k < n; ++k) order->perm[k] = nodes[k].idx;
-  }
-
-  // Segment before the first breakpoint: supply is 0.
-  // Clearing: 0 = u + v*lambda.
-  if (v < 0.0) {
-    const double lam = -u / v;
-    ++result.ops.flops;
-    ++result.ops.comparisons;
-    if (lam <= nodes.front().b) {
-      result.lambda = lam;
-      result.active_count = 0;
-      return result;
-    }
-  } else if (u == 0.0) {
-    // Degenerate fixed total of zero: every lambda <= first breakpoint
-    // clears; return the boundary (all allocations zero).
-    result.lambda = nodes.front().b;
-    result.active_count = 0;
-    return result;
-  }
-
-  // Sweep segments. After activating nodes[0..k], supply(lambda) =
-  // P + Q*lambda on [nodes[k].b, nodes[k+1].b].
-  double p_sum = 0.0;
-  double q_sum = 0.0;
-  for (std::size_t k = 0; k < n; ++k) {
-    p_sum += nodes[k].p;
-    q_sum += nodes[k].q;
-    result.ops.flops += 4;
-    const double denom = q_sum - v;  // > 0
-    const double lam = (u - p_sum) / denom;
-    const double seg_end =
-        (k + 1 < n) ? nodes[k + 1].b : std::numeric_limits<double>::infinity();
-    ++result.ops.comparisons;
-    // lam >= nodes[k].b holds automatically given monotonicity; accept the
-    // first segment whose candidate does not overshoot its right edge.
-    if (lam <= seg_end) {
-      result.lambda = lam;
-      result.active_count = k + 1;
-      return result;
-    }
-  }
-  SEA_INTERNAL_CHECK(false);  // unreachable: last segment always accepts
-  return result;
+  return ScalarKernel().Solve(ws, u, v, policy, order);
 }
 
 BreakpointResult SolveMarketBox(BreakpointWorkspace& ws, double u, double v,
                                 double lo, double hi, SortPolicy policy,
                                 MarketOrder* order) {
-  obs::ProfScopeFine prof("breakpoint.solve");
-  SEA_CHECK_MSG(v < 0.0, "interval clearing needs a strictly elastic slope");
-  SEA_CHECK_MSG(0.0 <= lo && lo <= hi, "invalid total interval");
-
-  // The response u + v*lambda is decreasing (v < 0): it sits at hi while
-  // u + v*lambda >= hi, i.e. lambda <= (hi - u)/v, follows the affine middle
-  // piece in between, and sits at lo for lambda >= (lo - u)/v. Solve against
-  // each piece and accept the candidate that lands on its own piece;
-  // monotonicity guarantees exactly one does (ties at junctions agree).
-  // With sort reuse, the first inner solve repairs the persisted order and
-  // the later pieces start from an already-sorted permutation.
-  const double enter_mid = (hi - u) / v;  // lambda where response leaves hi
-  const double leave_mid = (lo - u) / v;  // lambda where response hits lo
-
-  // Upper piece: constant hi.
-  BreakpointResult r = SolveMarket(ws, hi, 0.0, policy, order);
-  if (r.lambda <= enter_mid) return r;
-  OpCounts ops = r.ops;
-  const bool reused = r.order_reused;
-
-  // Middle piece: the affine response itself.
-  r = SolveMarket(ws, u, v, policy, order);
-  ops += r.ops;
-  if (r.lambda >= enter_mid && r.lambda <= leave_mid) {
-    r.ops = ops;
-    r.order_reused = reused;
-    return r;
-  }
-
-  // Lower piece: constant lo.
-  r = SolveMarket(ws, lo, 0.0, policy, order);
-  ops += r.ops;
-  r.ops = ops;
-  r.order_reused = reused;
-  SEA_INTERNAL_CHECK(r.feasible);
-  // On this piece the candidate must sit at or beyond the junction; clamp
-  // against degenerate ties.
-  if (r.lambda < leave_mid) r.lambda = leave_mid;
-  return r;
+  return ScalarKernel().SolveBox(ws, u, v, lo, hi, policy, order);
 }
 
 }  // namespace sea

@@ -33,10 +33,18 @@
 // heapsort — then persists the updated permutation for the next sweep. Ties
 // are broken by original arc index in EVERY policy, so all sort paths produce
 // one total order and bit-identical clearing multipliers.
+//
+// Since the multi-backend refactor (docs/KERNELS.md), the workspace holds the
+// market as a structure of arrays (contiguous p[], q[] the caller fills, plus
+// breakpoint/sort/sweep scratch) and the solve itself lives behind the
+// runtime sea::KernelBackend interface (equilibration/kernel_backend.hpp).
+// The free functions below are thin compatibility shims over the scalar
+// backend.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <initializer_list>
 #include <span>
 #include <vector>
 
@@ -44,7 +52,11 @@
 
 namespace sea {
 
+class KernelBackend;
+
 // One allocation arc of the market: x_j(lambda) = max(0, p + q*lambda).
+// Convenience AoS view for tests and one-off callers; the hot paths fill the
+// workspace's SoA arrays directly.
 struct Arc {
   double p = 0.0;
   double q = 0.0;  // must be > 0
@@ -58,6 +70,12 @@ enum class SortPolicy {
                // (falls back to kAuto when none is supplied)
 };
 
+// kAuto crossover between straight insertion and heapsort. The paper quotes
+// insertion for 10..120 elements (Section 5.1.1) — on its 1989 testbed; the
+// measured crossover on current x86-64 (bench/micro_kernels.cpp,
+// BM_MarketSolveInsertion vs BM_MarketSolveHeapsort) sits at roughly 100-150
+// elements, so we keep the next binary magnitude above the paper's 120. If
+// the microbenches move the crossover on new hardware, re-tune here.
 inline constexpr std::size_t kInsertionThreshold = 128;
 
 struct BreakpointResult {
@@ -77,31 +95,75 @@ struct MarketOrder {
   std::uint64_t reuses = 0;  // solves that repaired instead of re-sorting
 };
 
-// Reusable scratch for one solver call; reuse across calls to avoid
-// per-market allocation on the hot path.
-class BreakpointWorkspace {
- public:
-  // Arcs for the caller to fill before Solve (resized as needed).
-  std::vector<Arc>& arcs() { return arcs_; }
+namespace detail {
 
- private:
-  friend BreakpointResult SolveMarket(BreakpointWorkspace&, double, double,
-                                      SortPolicy, MarketOrder*);
-  struct Node {
-    double b;  // breakpoint -p/q
-    double p;
-    double q;
-    std::uint32_t idx;  // original arc index; total-order tie break
-  };
-  std::vector<Arc> arcs_;
-  std::vector<Node> nodes_;
+// Sort element: breakpoint value plus the original arc index that breaks
+// ties (16 bytes — half the old {b,p,q,idx} node, so every sort moves half
+// the data; p/q are gathered into sweep order after the sort instead).
+struct SortKey {
+  double b = 0.0;
+  std::uint32_t idx = 0;
 };
 
-// Solves sum_j max(0, p_j + q_j*lambda) = u + v*lambda over the arcs
-// currently in ws.arcs(). Preconditions: all q_j > 0, v <= 0, and u >= 0
-// when v == 0. The arcs vector is left unchanged. With policy == kReuse and
-// a non-null order, the previous permutation seeds the sort (see header
+}  // namespace detail
+
+// Reusable per-worker scratch arena for market solves; reuse across calls to
+// avoid per-market allocation on the hot path. The market itself is the SoA
+// pair p()/q(): callers Resize() then fill the spans (typically through
+// KernelBackend::BuildArcs), and the solver keeps its breakpoint, sort-key,
+// and sorted-sweep arrays alongside.
+class BreakpointWorkspace {
+ public:
+  // Sizes the market to n arcs; existing p/q contents beyond n are dropped.
+  void Resize(std::size_t n) {
+    n_ = n;
+    if (p_.size() < n) {
+      p_.resize(n);
+      q_.resize(n);
+    }
+  }
+  std::size_t size() const { return n_; }
+
+  // The market bundle, valid after Resize: x_j(lambda) = max(0, p[j] +
+  // q[j]*lambda) with q[j] > 0.
+  std::span<double> p() { return {p_.data(), n_}; }
+  std::span<double> q() { return {q_.data(), n_}; }
+  std::span<const double> p() const { return {p_.data(), n_}; }
+  std::span<const double> q() const { return {q_.data(), n_}; }
+
+  // AoS convenience for tests and one-off callers.
+  void Assign(std::span<const Arc> arcs) {
+    Resize(arcs.size());
+    for (std::size_t j = 0; j < arcs.size(); ++j) {
+      p_[j] = arcs[j].p;
+      q_[j] = arcs[j].q;
+    }
+  }
+  void Assign(std::initializer_list<Arc> arcs) {
+    Assign(std::span<const Arc>(arcs.begin(), arcs.size()));
+  }
+
+ private:
+  friend class KernelBackend;
+  std::size_t n_ = 0;
+  // The market bundle (caller-filled; only the first n_ entries are live).
+  std::vector<double> p_;
+  std::vector<double> q_;
+  // Solver scratch: unsorted breakpoints, sort keys, and the sorted SoA view
+  // (padded by simd::kPadLanes so vector sweeps may run past the end).
+  std::vector<double> b_;
+  std::vector<detail::SortKey> keys_;
+  std::vector<double> bs_;
+  std::vector<double> ps_;
+  std::vector<double> qs_;
+};
+
+// Solves sum_j max(0, p_j + q_j*lambda) = u + v*lambda over the market
+// currently in ws. Preconditions: all q_j > 0, v <= 0, and u >= 0 when
+// v == 0. The p/q arrays are left unchanged. With policy == kReuse and a
+// non-null order, the previous permutation seeds the sort (see header
 // comment); the updated permutation is written back to *order.
+// Compatibility shim over ScalarKernel().Solve (kernel_backend.hpp).
 BreakpointResult SolveMarket(BreakpointWorkspace& ws, double u, double v,
                              SortPolicy policy = SortPolicy::kAuto,
                              MarketOrder* order = nullptr);
@@ -115,14 +177,18 @@ BreakpointResult SolveMarket(BreakpointWorkspace& ws, double u, double v,
 // constrained (lo <= total <= hi). Requires v < 0 and 0 <= lo <= hi. The
 // left side is nondecreasing and the right side nonincreasing, so the
 // crossing is unique; it is found by testing the three response pieces.
+// Compatibility shim over ScalarKernel().SolveBox (kernel_backend.hpp).
 BreakpointResult SolveMarketBox(BreakpointWorkspace& ws, double u, double v,
                                 double lo, double hi,
                                 SortPolicy policy = SortPolicy::kAuto,
                                 MarketOrder* order = nullptr);
 
-// Evaluates sum_j max(0, p_j + q_j*lambda) for the given arcs — the
-// left-hand side of the clearing equation, used by tests and by callers that
-// need allocations after solving.
+// Evaluates sum_j max(0, p_j + q_j*lambda) — the left-hand side of the
+// clearing equation, used by tests and by callers that need allocations
+// after solving. Sequential summation (order-dependent), deliberately NOT a
+// backend method.
 double EvaluateSupply(std::span<const Arc> arcs, double lambda);
+double EvaluateSupply(std::span<const double> p, std::span<const double> q,
+                      double lambda);
 
 }  // namespace sea

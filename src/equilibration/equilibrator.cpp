@@ -3,29 +3,13 @@
 #include <algorithm>
 #include <cmath>
 
+#include "equilibration/kernel_backend.hpp"
 #include "obs/profiler.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/schedule.hpp"
 #include "support/check.hpp"
 
 namespace sea {
-
-namespace {
-
-// Fills ws.arcs() for one market and returns the clearing target (u, v).
-// centers/weights/other_mult are the market's contiguous data.
-void BuildArcs(std::span<const double> centers, std::span<const double> weights,
-               std::span<const double> other_mult, BreakpointWorkspace& ws) {
-  const std::size_t n = centers.size();
-  auto& arcs = ws.arcs();
-  arcs.resize(n);
-  for (std::size_t j = 0; j < n; ++j) {
-    const double q = 1.0 / (2.0 * weights[j]);
-    arcs[j] = {centers[j] + other_mult[j] * q, q};
-  }
-}
-
-}  // namespace
 
 // Clearing target for market i of the given side.
 void ClearingTarget(const MarketSide& side, std::size_t i, double& u,
@@ -54,17 +38,18 @@ BreakpointResult EquilibrateMarket(std::span<const double> centers,
                                    std::span<const double> other_mult,
                                    double u, double v, BreakpointWorkspace& ws,
                                    std::span<double> x_out,
-                                   SortPolicy policy, MarketOrder* order) {
+                                   SortPolicy policy, MarketOrder* order,
+                                   const KernelBackend* kernel) {
   SEA_DCHECK(centers.size() == weights.size());
   SEA_DCHECK(centers.size() == other_mult.size());
-  BuildArcs(centers, weights, other_mult, ws);
-  BreakpointResult res = SolveMarket(ws, u, v, policy, order);
+  const KernelBackend& kb = kernel != nullptr ? *kernel : ScalarKernel();
+  ws.Resize(centers.size());
+  kb.BuildArcs(centers, weights, other_mult, ws.p(), ws.q());
+  BreakpointResult res = kb.Solve(ws, u, v, policy, order);
   res.ops.flops += 2 * centers.size();  // arc construction
   if (!x_out.empty()) {
     SEA_DCHECK(x_out.size() == centers.size());
-    const auto& arcs = ws.arcs();
-    for (std::size_t j = 0; j < arcs.size(); ++j)
-      x_out[j] = std::max(0.0, arcs[j].p + arcs[j].q * res.lambda);
+    kb.Writeback(ws.p(), ws.q(), res.lambda, x_out);
     res.ops.flops += 2 * centers.size();
   }
   return res;
@@ -98,6 +83,8 @@ SweepStats EquilibrateSide(const DenseMatrix& centers,
     SEA_CHECK_MSG(opts.sort_cache->size() == markets,
                   "sort cache not sized for this sweep side");
 
+  const KernelBackend& kb =
+      opts.kernel != nullptr ? *opts.kernel : ScalarKernel();
   const std::size_t workers = WorkerCount(opts.pool);
   std::vector<BreakpointWorkspace> ws(workers);
   std::vector<OpCounts> worker_ops(workers);
@@ -125,19 +112,19 @@ SweepStats EquilibrateSide(const DenseMatrix& centers,
           opts.sort_cache != nullptr ? opts.sort_cache->At(i) : nullptr;
       BreakpointResult res;
       if (side.mode == TotalsMode::kInterval) {
-        BuildArcs(centers.Row(i), weights.Row(i), other_mult, wksp);
-        res = SolveMarketBox(wksp, u, v, side.lo[i], side.hi[i],
-                             opts.sort_policy, order);
+        wksp.Resize(arcs);
+        kb.BuildArcs(centers.Row(i), weights.Row(i), other_mult, wksp.p(),
+                     wksp.q());
+        res = kb.SolveBox(wksp, u, v, side.lo[i], side.hi[i], opts.sort_policy,
+                          order);
         res.ops.flops += 2 * arcs;
         if (!xrow.empty()) {
-          const auto& a = wksp.arcs();
-          for (std::size_t j = 0; j < arcs; ++j)
-            xrow[j] = std::max(0.0, a[j].p + a[j].q * res.lambda);
+          kb.Writeback(wksp.p(), wksp.q(), res.lambda, xrow);
           res.ops.flops += 2 * arcs;
         }
       } else {
         res = EquilibrateMarket(centers.Row(i), weights.Row(i), other_mult, u,
-                                v, wksp, xrow, opts.sort_policy, order);
+                                v, wksp, xrow, opts.sort_policy, order, &kb);
       }
       SEA_INTERNAL_CHECK(res.feasible);
       mult_out[i] = res.lambda;
@@ -151,6 +138,7 @@ SweepStats EquilibrateSide(const DenseMatrix& centers,
 
   for (const auto& o : worker_ops) stats.total_ops += o;
   for (std::uint64_t r : worker_reuses) stats.order_reuses += r;
+  stats.markets = markets;
   if (opts.scheduler != nullptr) {
     opts.scheduler->Update(stats.task_costs);
     if (!opts.record_task_costs) stats.task_costs.clear();

@@ -84,6 +84,9 @@ struct SweepStats {
   // Markets solved by repairing a persisted breakpoint order this sweep
   // (SortPolicy::kReuse; 0 otherwise).
   std::uint64_t order_reuses = 0;
+  // Markets solved this sweep (feeds SeaResult::kernel_markets and the
+  // sea.kernel.<backend>.markets counter).
+  std::uint64_t markets = 0;
 };
 
 struct SweepOptions {
@@ -103,6 +106,9 @@ struct SweepOptions {
   // literal; nullptr = unnamed "equilibrate.sweep"). Lets the profile tell
   // row from column sweeps per worker track (obs/profiler.hpp).
   const char* profile_phase = nullptr;
+  // Kernel backend executing the market solves (kernel_backend.hpp);
+  // null = ScalarKernel(). Typically ResolveKernelBackend(opts.backend).
+  const KernelBackend* kernel = nullptr;
 };
 
 // Equilibrates all markets of one side.
@@ -134,6 +140,7 @@ BreakpointResult EquilibrateMarket(std::span<const double> centers,
                                    double u, double v, BreakpointWorkspace& ws,
                                    std::span<double> x_out,
                                    SortPolicy policy = SortPolicy::kAuto,
-                                   MarketOrder* order = nullptr);
+                                   MarketOrder* order = nullptr,
+                                   const KernelBackend* kernel = nullptr);
 
 }  // namespace sea

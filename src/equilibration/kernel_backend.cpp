@@ -1,0 +1,313 @@
+#include "equilibration/kernel_backend.hpp"
+
+#include <cstdlib>
+#include <limits>
+
+#include "obs/profiler.hpp"
+#include "support/check.hpp"
+#include "support/simd.hpp"
+
+namespace sea {
+
+const char* ToString(KernelBackendKind kind) {
+  switch (kind) {
+    case KernelBackendKind::kAuto:
+      return "auto";
+    case KernelBackendKind::kScalar:
+      return "scalar";
+    case KernelBackendKind::kSimd:
+      return "simd";
+  }
+  return "unknown";
+}
+
+std::optional<KernelBackendKind> ParseKernelBackendKind(std::string_view text) {
+  if (text == "auto") return KernelBackendKind::kAuto;
+  if (text == "scalar") return KernelBackendKind::kScalar;
+  if (text == "simd") return KernelBackendKind::kSimd;
+  return std::nullopt;
+}
+
+namespace {
+
+using detail::SortKey;
+
+// Strict weak order on sort keys: by breakpoint value, ties broken by
+// original arc index. One TOTAL order shared by every sort policy, so the
+// prefix sums of the segment sweep — and therefore the clearing multiplier —
+// are bit-identical whichever sort produced the array.
+inline bool KeyLess(const SortKey& a, const SortKey& b) {
+  return a.b < b.b || (a.b == b.b && a.idx < b.idx);
+}
+
+// Straight insertion sort. `moves`, when non-null, receives the number of
+// element shifts — for a nearly-sorted input this is the inversion count
+// the sort-reuse path reports.
+std::uint64_t InsertionSort(std::vector<SortKey>& v,
+                            std::uint64_t* moves = nullptr) {
+  std::uint64_t comparisons = 0;
+  std::uint64_t shifted = 0;
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    SortKey key = v[i];
+    std::size_t j = i;
+    while (j > 0) {
+      ++comparisons;
+      if (!KeyLess(key, v[j - 1])) break;
+      v[j] = v[j - 1];
+      ++shifted;
+      --j;
+    }
+    v[j] = key;
+  }
+  if (moves != nullptr) *moves += shifted;
+  return comparisons;
+}
+
+std::uint64_t Heapsort(std::vector<SortKey>& v) {
+  std::uint64_t comparisons = 0;
+  const std::size_t n = v.size();
+  if (n < 2) return 0;
+
+  auto sift_down = [&](std::size_t start, std::size_t end) {
+    std::size_t root = start;
+    for (;;) {
+      std::size_t child = 2 * root + 1;
+      if (child > end) break;
+      if (child < end) {
+        ++comparisons;
+        if (KeyLess(v[child], v[child + 1])) ++child;
+      }
+      ++comparisons;
+      if (!KeyLess(v[root], v[child])) break;
+      std::swap(v[root], v[child]);
+      root = child;
+    }
+  };
+
+  for (std::size_t start = n / 2; start-- > 0;) sift_down(start, n - 1);
+  for (std::size_t end = n - 1; end > 0; --end) {
+    std::swap(v[0], v[end]);
+    sift_down(0, end - 1);
+  }
+  return comparisons;
+}
+
+}  // namespace
+
+BreakpointResult KernelBackend::Solve(BreakpointWorkspace& ws, double u,
+                                      double v, SortPolicy policy,
+                                      MarketOrder* order) const {
+  obs::ProfScopeFine prof("breakpoint.solve");
+  const std::size_t n = ws.n_;
+
+  BreakpointResult result;
+  SEA_CHECK_MSG(v <= 0.0, "elastic slope must be nonpositive");
+  if (n == 0) {
+    // No arcs: total supply is 0; clearing requires u + v*lambda = 0.
+    if (v < 0.0) {
+      result.lambda = -u / v;
+    } else {
+      result.feasible = (u == 0.0);
+      result.lambda = 0.0;
+    }
+    return result;
+  }
+  if (v == 0.0 && u < 0.0) {
+    result.feasible = false;
+    return result;
+  }
+
+  // Breakpoints b_j = -p_j/q_j, elementwise (backend-vectorized), in natural
+  // arc order.
+  auto& b = ws.b_;
+  if (b.size() < n) b.resize(n);
+  Breakpoints(std::span<const double>(ws.p_.data(), n),
+              std::span<const double>(ws.q_.data(), n),
+              std::span<double>(b.data(), n));
+  result.ops.flops += n;  // breakpoint divisions
+  result.ops.breakpoints = n;
+
+  // Build sort keys — in the persisted order when reusing (the array is then
+  // nearly sorted and insertion repairs it in O(n + inversions)), in natural
+  // arc order otherwise.
+  auto& keys = ws.keys_;
+  keys.resize(n);
+  const bool reuse = policy == SortPolicy::kReuse && order != nullptr &&
+                     order->perm.size() == n;
+  if (reuse) {
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::uint32_t j = order->perm[k];
+      SEA_DCHECK(j < n && ws.q_[j] > 0.0);
+      keys[k] = {b[j], j};
+    }
+  } else {
+    for (std::size_t j = 0; j < n; ++j) {
+      SEA_DCHECK(ws.q_[j] > 0.0);
+      keys[j] = {b[j], static_cast<std::uint32_t>(j)};
+    }
+  }
+
+  // The sort stays scalar in every backend: its comparison count is part of
+  // the complexity model, and a shared sort is what makes the total order —
+  // and thus the multiplier — backend-independent by construction.
+  if (reuse) {
+    result.ops.comparisons += InsertionSort(keys, &result.ops.inversions);
+    result.order_reused = true;
+    ++order->reuses;
+  } else {
+    const bool use_insertion =
+        policy == SortPolicy::kInsertion ||
+        (policy != SortPolicy::kHeapsort && n <= kInsertionThreshold);
+    result.ops.comparisons +=
+        use_insertion ? InsertionSort(keys) : Heapsort(keys);
+  }
+  if (policy == SortPolicy::kReuse && order != nullptr) {
+    // Persist the (repaired or freshly established) order for the next sweep.
+    order->perm.resize(n);
+    for (std::size_t k = 0; k < n; ++k) order->perm[k] = keys[k].idx;
+  }
+
+  // Gather the sorted SoA view, padded so vector sweep blocks may run past
+  // the logical end: +inf breakpoints make the tail always-accepting, zero
+  // arcs leave the prefix sums untouched.
+  const std::size_t padded = n + simd::kPadLanes;
+  if (ws.bs_.size() < padded) {
+    ws.bs_.resize(padded);
+    ws.ps_.resize(padded);
+    ws.qs_.resize(padded);
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    ws.bs_[k] = keys[k].b;
+    ws.ps_[k] = ws.p_[keys[k].idx];
+    ws.qs_[k] = ws.q_[keys[k].idx];
+  }
+  for (std::size_t k = n; k < padded; ++k) {
+    ws.bs_[k] = std::numeric_limits<double>::infinity();
+    ws.ps_[k] = 0.0;
+    ws.qs_[k] = 0.0;
+  }
+
+  // Segment before the first breakpoint: supply is 0.
+  // Clearing: 0 = u + v*lambda.
+  if (v < 0.0) {
+    const double lam = -u / v;
+    ++result.ops.flops;
+    ++result.ops.comparisons;
+    if (lam <= ws.bs_[0]) {
+      result.lambda = lam;
+      result.active_count = 0;
+      return result;
+    }
+  } else if (u == 0.0) {
+    // Degenerate fixed total of zero: every lambda <= first breakpoint
+    // clears; return the boundary (all allocations zero).
+    result.lambda = ws.bs_[0];
+    result.active_count = 0;
+    return result;
+  }
+
+  // Sweep segments (backend-vectorized search). After activating nodes
+  // [0..k], supply(lambda) = P_k + Q_k*lambda on [bs[k], bs[k+1]].
+  const SweepHit hit =
+      SweepSearch(std::span<const double>(ws.bs_.data(), padded),
+                  std::span<const double>(ws.ps_.data(), padded),
+                  std::span<const double>(ws.qs_.data(), padded), n, u, v);
+  // The last segment always accepts (its right edge is +inf), so a miss can
+  // only mean non-finite arc data poisoned the prefix sums.
+  SEA_INTERNAL_CHECK(hit.found);
+  result.ops.flops += 4 * (hit.k + 1);
+  result.ops.comparisons += hit.k + 1;
+  result.lambda = hit.lambda;
+  result.active_count = hit.k + 1;
+  return result;
+}
+
+BreakpointResult KernelBackend::SolveBox(BreakpointWorkspace& ws, double u,
+                                         double v, double lo, double hi,
+                                         SortPolicy policy,
+                                         MarketOrder* order) const {
+  obs::ProfScopeFine prof("breakpoint.solve");
+  SEA_CHECK_MSG(v < 0.0, "interval clearing needs a strictly elastic slope");
+  SEA_CHECK_MSG(0.0 <= lo && lo <= hi, "invalid total interval");
+
+  // The response u + v*lambda is decreasing (v < 0): it sits at hi while
+  // u + v*lambda >= hi, i.e. lambda <= (hi - u)/v, follows the affine middle
+  // piece in between, and sits at lo for lambda >= (lo - u)/v. Solve against
+  // each piece and accept the candidate that lands on its own piece;
+  // monotonicity guarantees exactly one does (ties at junctions agree).
+  // With sort reuse, the first inner solve repairs the persisted order and
+  // the later pieces start from an already-sorted permutation.
+  const double enter_mid = (hi - u) / v;  // lambda where response leaves hi
+  const double leave_mid = (lo - u) / v;  // lambda where response hits lo
+
+  // Upper piece: constant hi.
+  BreakpointResult r = Solve(ws, hi, 0.0, policy, order);
+  if (r.lambda <= enter_mid) return r;
+  OpCounts ops = r.ops;
+  const bool reused = r.order_reused;
+
+  // Middle piece: the affine response itself.
+  r = Solve(ws, u, v, policy, order);
+  ops += r.ops;
+  if (r.lambda >= enter_mid && r.lambda <= leave_mid) {
+    r.ops = ops;
+    r.order_reused = reused;
+    return r;
+  }
+
+  // Lower piece: constant lo.
+  r = Solve(ws, lo, 0.0, policy, order);
+  ops += r.ops;
+  r.ops = ops;
+  r.order_reused = reused;
+  SEA_INTERNAL_CHECK(r.feasible);
+  // On this piece the candidate must sit at or beyond the junction; clamp
+  // against degenerate ties.
+  if (r.lambda < leave_mid) r.lambda = leave_mid;
+  return r;
+}
+
+bool SimdKernelAvailable() {
+  return simd::RuntimeIsa() != simd::Isa::kScalar;
+}
+
+KernelResolution ResolveKernelBackend(KernelBackendKind requested) {
+  KernelResolution res;
+  res.requested = requested;
+
+  KernelBackendKind effective = requested;
+  const char* via = "requested";
+  if (effective == KernelBackendKind::kAuto) {
+    // Deployment override without recompiling callers; unknown values are
+    // ignored (auto), never fatal — this is a tuning knob, not an input.
+    if (const char* env = std::getenv("SEA_BACKEND");
+        env != nullptr && *env != '\0') {
+      if (const auto parsed = ParseKernelBackendKind(env);
+          parsed.has_value() && *parsed != KernelBackendKind::kAuto) {
+        effective = *parsed;
+        via = "SEA_BACKEND";
+      }
+    }
+  }
+
+  if (effective == KernelBackendKind::kScalar) {
+    res.kernel = &ScalarKernel();
+    return res;
+  }
+  if (SimdKernelAvailable()) {
+    res.kernel = &SimdKernel();
+    return res;
+  }
+  res.kernel = &ScalarKernel();
+  if (effective == KernelBackendKind::kSimd) {
+    res.fell_back = true;
+    res.note = std::string("simd backend ") + via +
+               " but unavailable (build supports " +
+               simd::ToString(simd::CompiledIsa()) + ", this CPU runs " +
+               simd::ToString(simd::RuntimeIsa()) +
+               "); falling back to scalar";
+  }
+  return res;
+}
+
+}  // namespace sea

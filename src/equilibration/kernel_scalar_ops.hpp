@@ -1,0 +1,85 @@
+// Scalar bodies of the elementwise kernel stages, shared by the scalar
+// backend and by the SIMD backend's degradation/tail paths. Both including
+// translation units are compiled with -ffp-contract=off (src/CMakeLists.txt)
+// so these bodies have ONE floating-point meaning everywhere — the reference
+// semantics the bit-identity contract in kernel_backend.hpp is stated
+// against. Internal header: not part of the public surface.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+
+#include "equilibration/kernel_backend.hpp"
+
+namespace sea::kernel_ops {
+
+inline void BuildArcsScalar(std::span<const double> centers,
+                            std::span<const double> weights,
+                            std::span<const double> other_mult,
+                            std::span<double> p, std::span<double> q) {
+  const std::size_t n = centers.size();
+  for (std::size_t j = 0; j < n; ++j) {
+    const double qj = 1.0 / (2.0 * weights[j]);
+    q[j] = qj;
+    p[j] = centers[j] + other_mult[j] * qj;
+  }
+}
+
+inline void BuildArcsGatherScalar(std::span<const double> centers,
+                                  std::span<const double> weights,
+                                  std::span<const double> other_mult,
+                                  std::span<const std::size_t> cols,
+                                  std::span<double> p, std::span<double> q) {
+  const std::size_t n = centers.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    const double qk = 1.0 / (2.0 * weights[k]);
+    q[k] = qk;
+    p[k] = centers[k] + other_mult[cols[k]] * qk;
+  }
+}
+
+inline void BreakpointsScalar(std::span<const double> p,
+                              std::span<const double> q,
+                              std::span<double> b) {
+  const std::size_t n = p.size();
+  for (std::size_t j = 0; j < n; ++j) b[j] = -p[j] / q[j];
+}
+
+inline void WritebackScalar(std::span<const double> p,
+                            std::span<const double> q, double lambda,
+                            std::span<double> x) {
+  const std::size_t n = p.size();
+  // std::max(0.0, v) returns +0.0 for v in {-0.0, NaN}; the vector bodies
+  // reproduce exactly this (docs/KERNELS.md, "Writeback semantics").
+  for (std::size_t j = 0; j < n; ++j)
+    x[j] = std::max(0.0, p[j] + q[j] * lambda);
+}
+
+inline KernelBackend::SweepHit SweepSearchScalar(std::span<const double> bs,
+                                                 std::span<const double> ps,
+                                                 std::span<const double> qs,
+                                                 std::size_t n, double u,
+                                                 double v) {
+  KernelBackend::SweepHit hit;
+  double p_sum = 0.0;
+  double q_sum = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    p_sum += ps[k];
+    q_sum += qs[k];
+    const double denom = q_sum - v;  // > 0
+    // Multiply-form acceptance (kernel_backend.hpp): equivalent to
+    // (u - P)/denom <= bs[k+1] since denom > 0, but division-free per
+    // segment and elementwise for the vector backends. bs[n] is the +inf
+    // pad, so the last segment always accepts on finite data.
+    if (u - p_sum <= bs[k + 1] * denom) {
+      hit.k = k;
+      hit.lambda = (u - p_sum) / denom;
+      hit.found = true;
+      return hit;
+    }
+  }
+  return hit;  // non-finite data poisoned the sums; driver reports breakdown
+}
+
+}  // namespace sea::kernel_ops

@@ -118,6 +118,8 @@ std::string ToJson(const SeaResult& r) {
       .Field("col_phase_seconds", r.col_phase_seconds)
       .Field("check_phase_seconds", r.check_phase_seconds)
       .Field("order_reuses", r.order_reuses)
+      .Field("kernel_backend", r.kernel_backend)
+      .Field("kernel_markets", r.kernel_markets)
       .Raw("ops", OpsJson(r.ops))
       .Str();
 }

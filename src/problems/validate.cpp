@@ -24,6 +24,8 @@ const char* ToString(DiagnosisCode code) {
       return "zero-support-row";
     case DiagnosisCode::kZeroSupportCol:
       return "zero-support-col";
+    case DiagnosisCode::kBackendUnavailable:
+      return "backend-unavailable";
   }
   return "unknown";
 }

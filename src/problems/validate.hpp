@@ -38,6 +38,10 @@ enum class DiagnosisCode {
   kTotalsImbalance,   // fixed regime: Σs != Σd
   kZeroSupportRow,    // row of zeros with a positive required total
   kZeroSupportCol,    // column of zeros with a positive required total
+  // Not an input defect: a requested kernel backend (--backend simd /
+  // SEA_BACKEND) that this build or CPU cannot run; the solve proceeds on
+  // the scalar backend and tools surface this as a warning.
+  kBackendUnavailable,
 };
 
 const char* ToString(DiagnosisCode code);

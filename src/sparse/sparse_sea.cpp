@@ -8,6 +8,7 @@
 #include "core/iteration_engine.hpp"
 #include "core/stopping.hpp"
 #include "equilibration/equilibrator.hpp"
+#include "equilibration/kernel_backend.hpp"
 #include "obs/profiler.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/schedule.hpp"
@@ -40,6 +41,8 @@ SweepStats SparseSweep(const SparseMatrix& centers, const SparseMatrix& weights,
   ScheduleSpec sched;
   if (opts.scheduler != nullptr) sched = opts.scheduler->Next(markets, workers);
 
+  const KernelBackend& kb =
+      opts.kernel != nullptr ? *opts.kernel : ScalarKernel();
   const char* phase =
       opts.profile_phase != nullptr ? opts.profile_phase : "equilibrate.sweep";
   // Dynamic schedules invoke the body once per claimed chunk: accumulate
@@ -52,26 +55,20 @@ SweepStats SparseSweep(const SparseMatrix& centers, const SparseMatrix& weights,
     std::uint64_t reuses = 0;
     for (std::size_t i = begin; i < end; ++i) {
       const auto cols = centers.RowCols(i);
-      const auto cvals = centers.RowValues(i);
-      const auto gvals = weights.RowValues(i);
-      auto& arcs = wksp.arcs();
-      arcs.resize(cols.size());
-      for (std::size_t k = 0; k < cols.size(); ++k) {
-        const double q = 1.0 / (2.0 * gvals[k]);
-        arcs[k] = {cvals[k] + other_mult[cols[k]] * q, q};
-      }
+      wksp.Resize(cols.size());
+      kb.BuildArcsGather(centers.RowValues(i), weights.RowValues(i),
+                         other_mult, cols, wksp.p(), wksp.q());
       double u = 0.0, v = 0.0;
       ClearingTarget(side, i, u, v);
       MarketOrder* order =
           opts.sort_cache != nullptr ? opts.sort_cache->At(i) : nullptr;
-      BreakpointResult res = SolveMarket(wksp, u, v, opts.sort_policy, order);
+      BreakpointResult res = kb.Solve(wksp, u, v, opts.sort_policy, order);
       res.ops.flops += 2 * cols.size();
       SEA_INTERNAL_CHECK(res.feasible);
       mult_out[i] = res.lambda;
       if (x_out != nullptr) {
-        auto xvals = x_out->MutableRowValues(i);
-        for (std::size_t k = 0; k < arcs.size(); ++k)
-          xvals[k] = std::max(0.0, arcs[k].p + arcs[k].q * res.lambda);
+        kb.Writeback(wksp.p(), wksp.q(), res.lambda,
+                     x_out->MutableRowValues(i));
         res.ops.flops += 2 * cols.size();
       }
       if (record_costs) stats.task_costs[i] = res.ops.Work();
@@ -83,6 +80,7 @@ SweepStats SparseSweep(const SparseMatrix& centers, const SparseMatrix& weights,
   }, sched);
   for (const auto& o : worker_ops) stats.total_ops += o;
   for (std::uint64_t r : worker_reuses) stats.order_reuses += r;
+  stats.markets = markets;
   if (opts.scheduler != nullptr) {
     opts.scheduler->Update(stats.task_costs);
     if (!opts.record_task_costs) stats.task_costs.clear();
@@ -131,6 +129,7 @@ class SparseBackend final : public SeaIterationBackend {
     sweep_opts_.sort_policy = opts.sort_policy;
     sweep_opts_.pool = opts.pool;
     sweep_opts_.record_task_costs = opts.record_trace;
+    sweep_opts_.kernel = ResolveKernelBackend(opts.backend).kernel;
     if (opts.sweep_schedule != ScheduleKind::kStatic) {
       row_scheduler_.emplace(opts.sweep_schedule, opts.sweep_grain);
       col_scheduler_.emplace(opts.sweep_schedule, opts.sweep_grain);

@@ -1,0 +1,71 @@
+#include "support/simd.hpp"
+
+#include <atomic>
+
+namespace sea::simd {
+
+const char* ToString(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+Isa CompiledIsa() {
+#if SEA_SIMD_COMPILED_AVX2
+  return Isa::kAvx2;
+#elif SEA_SIMD_COMPILED_NEON
+  return Isa::kNeon;
+#else
+  return Isa::kScalar;
+#endif
+}
+
+namespace {
+
+Isa DetectIsa() {
+#if SEA_SIMD_COMPILED_AVX2
+  // The AVX2 bodies are compiled behind per-function target attributes, so
+  // this probe is the only thing standing between them and SIGILL on an
+  // older x86-64 host.
+#if defined(__GNUC__) || defined(__clang__)
+  if (__builtin_cpu_supports("avx2")) return Isa::kAvx2;
+#endif
+  return Isa::kScalar;
+#elif SEA_SIMD_COMPILED_NEON
+  // Advanced SIMD is part of the aarch64 baseline: compiled implies runnable.
+  return Isa::kNeon;
+#else
+  return Isa::kScalar;
+#endif
+}
+
+// -1 = no override; otherwise the forced Isa (already capped at compiled).
+std::atomic<int> g_isa_override{-1};
+
+}  // namespace
+
+Isa RuntimeIsa() {
+  const int forced = g_isa_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<Isa>(forced);
+  static const Isa detected = DetectIsa();
+  return detected;
+}
+
+void SetRuntimeIsaForTest(Isa isa) {
+  // Never force an ISA the build cannot execute: the override widens test
+  // coverage of the degradation paths, not of illegal instructions.
+  if (isa != Isa::kScalar && isa != CompiledIsa()) isa = Isa::kScalar;
+  g_isa_override.store(static_cast<int>(isa), std::memory_order_relaxed);
+}
+
+void ClearRuntimeIsaForTest() {
+  g_isa_override.store(-1, std::memory_order_relaxed);
+}
+
+}  // namespace sea::simd

@@ -1,0 +1,58 @@
+// Portable SIMD capability layer for the kernel backends
+// (equilibration/kernel_backend.hpp, docs/KERNELS.md).
+//
+// Dispatch is two-staged:
+//   - compile time: the build either can emit AVX2/NEON bodies or it cannot
+//     (CompiledIsa; the SEA_SIMD=OFF build and unknown architectures compile
+//     scalar bodies only). AVX2 bodies are compiled with per-function target
+//     attributes, so the binary itself stays runnable on any x86-64.
+//   - run time: the host CPU either executes the compiled ISA or it does not
+//     (RuntimeIsa; cached cpuid probe on x86-64, baseline on aarch64).
+// RuntimeIsa() never exceeds CompiledIsa(), so callers can branch on it
+// alone; when it reports kScalar the SIMD backend degrades to the scalar
+// bodies instead of faulting on an illegal instruction.
+#pragma once
+
+#include <cstddef>
+
+// Which vector bodies this translation unit MAY contain. SEA_NO_SIMD (the
+// SEA_SIMD=OFF CMake leg) forces the scalar-only build on any architecture.
+#if !defined(SEA_NO_SIMD) && (defined(__x86_64__) || defined(_M_X64))
+#define SEA_SIMD_COMPILED_AVX2 1
+#else
+#define SEA_SIMD_COMPILED_AVX2 0
+#endif
+#if !defined(SEA_NO_SIMD) && defined(__aarch64__)
+#define SEA_SIMD_COMPILED_NEON 1
+#else
+#define SEA_SIMD_COMPILED_NEON 0
+#endif
+
+namespace sea::simd {
+
+enum class Isa {
+  kScalar,  // no vector bodies available (or CPU cannot run them)
+  kAvx2,    // x86-64 AVX2, 4 doubles per lane group
+  kNeon,    // aarch64 Advanced SIMD, 2 doubles per lane group
+};
+
+const char* ToString(Isa isa);
+
+// Widest lane group any backend uses; sorted sweep arrays are padded by this
+// many elements so vector blocks may run past the logical end
+// (kernel_backend.cpp pads with +inf breakpoints and zero arcs).
+inline constexpr std::size_t kPadLanes = 4;
+
+// Best ISA the build can emit (fixed at compile time).
+Isa CompiledIsa();
+
+// Best ISA the build can emit AND this CPU can execute; cached after the
+// first probe. Never exceeds CompiledIsa().
+Isa RuntimeIsa();
+
+// Test hooks: force RuntimeIsa() to report `isa` (capped at CompiledIsa())
+// until cleared, to exercise the scalar-degradation paths on capable hosts.
+void SetRuntimeIsaForTest(Isa isa);
+void ClearRuntimeIsaForTest();
+
+}  // namespace sea::simd

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <tuple>
+#include <vector>
 
 #include "equilibration/breakpoint_solver.hpp"
 #include "support/rng.hpp"
@@ -28,7 +29,7 @@ double Bisect(const std::vector<Arc>& arcs, double u, double v) {
 TEST(BreakpointSolver, SingleArcFixedTotal) {
   // max(0, 2 + 0.5 lambda) = 5  =>  lambda = 6.
   BreakpointWorkspace ws;
-  ws.arcs() = {{2.0, 0.5}};
+  ws.Assign({{2.0, 0.5}});
   const auto res = SolveMarket(ws, 5.0, 0.0);
   EXPECT_TRUE(res.feasible);
   EXPECT_NEAR(res.lambda, 6.0, 1e-12);
@@ -39,7 +40,7 @@ TEST(BreakpointSolver, TwoArcsOneInactive) {
   // Arcs: max(0, 1 + lambda), max(0, -10 + lambda). Total 3 => first arc
   // alone supplies 3 at lambda = 2 (second still at breakpoint 10).
   BreakpointWorkspace ws;
-  ws.arcs() = {{1.0, 1.0}, {-10.0, 1.0}};
+  ws.Assign({{1.0, 1.0}, {-10.0, 1.0}});
   const auto res = SolveMarket(ws, 3.0, 0.0);
   EXPECT_NEAR(res.lambda, 2.0, 1e-12);
   EXPECT_EQ(res.active_count, 1u);
@@ -49,7 +50,7 @@ TEST(BreakpointSolver, ElasticClearsBeforeFirstBreakpoint) {
   // Supply zero until lambda = 10; demand side 4 + (-2) lambda hits zero at
   // lambda = 2 < 10: all allocations zero.
   BreakpointWorkspace ws;
-  ws.arcs() = {{-10.0, 1.0}};
+  ws.Assign({{-10.0, 1.0}});
   const auto res = SolveMarket(ws, 4.0, -2.0);
   EXPECT_NEAR(res.lambda, 2.0, 1e-12);
   EXPECT_EQ(res.active_count, 0u);
@@ -57,23 +58,23 @@ TEST(BreakpointSolver, ElasticClearsBeforeFirstBreakpoint) {
 
 TEST(BreakpointSolver, ZeroFixedTotalAllZero) {
   BreakpointWorkspace ws;
-  ws.arcs() = {{3.0, 1.0}, {5.0, 2.0}};
+  ws.Assign({{3.0, 1.0}, {5.0, 2.0}});
   const auto res = SolveMarket(ws, 0.0, 0.0);
   EXPECT_TRUE(res.feasible);
   EXPECT_EQ(res.active_count, 0u);
-  EXPECT_NEAR(EvaluateSupply(ws.arcs(), res.lambda), 0.0, 1e-12);
+  EXPECT_NEAR(EvaluateSupply(ws.p(), ws.q(), res.lambda), 0.0, 1e-12);
 }
 
 TEST(BreakpointSolver, NegativeFixedTotalInfeasible) {
   BreakpointWorkspace ws;
-  ws.arcs() = {{1.0, 1.0}};
+  ws.Assign({{1.0, 1.0}});
   const auto res = SolveMarket(ws, -1.0, 0.0);
   EXPECT_FALSE(res.feasible);
 }
 
 TEST(BreakpointSolver, EmptyMarketElastic) {
   BreakpointWorkspace ws;
-  ws.arcs() = {};
+  ws.Resize(0);
   const auto res = SolveMarket(ws, 6.0, -3.0);
   EXPECT_TRUE(res.feasible);
   EXPECT_NEAR(res.lambda, 2.0, 1e-12);
@@ -81,7 +82,7 @@ TEST(BreakpointSolver, EmptyMarketElastic) {
 
 TEST(BreakpointSolver, TiedBreakpoints) {
   BreakpointWorkspace ws;
-  ws.arcs() = {{-2.0, 1.0}, {-2.0, 1.0}, {-2.0, 1.0}};
+  ws.Assign({{-2.0, 1.0}, {-2.0, 1.0}, {-2.0, 1.0}});
   // All activate at lambda = 2; total 6 requires 3 (lambda - 2) = 6.
   const auto res = SolveMarket(ws, 6.0, 0.0);
   EXPECT_NEAR(res.lambda, 4.0, 1e-12);
@@ -91,8 +92,9 @@ TEST(BreakpointSolver, TiedBreakpoints) {
 TEST(BreakpointSolver, OpCountsPopulated) {
   BreakpointWorkspace ws;
   Rng rng(5);
-  ws.arcs().resize(300);
-  for (auto& a : ws.arcs()) a = {rng.Uniform(-5, 5), rng.Uniform(0.1, 2.0)};
+  std::vector<Arc> arcs(300);
+  for (auto& a : arcs) a = {rng.Uniform(-5, 5), rng.Uniform(0.1, 2.0)};
+  ws.Assign(arcs);
   const auto res = SolveMarket(ws, 100.0, 0.0);
   EXPECT_EQ(res.ops.breakpoints, 300u);
   EXPECT_GT(res.ops.comparisons, 300u);  // at least the sort
@@ -103,11 +105,11 @@ TEST(BreakpointSolver, InsertionVsHeapsortIdentical) {
   Rng rng(6);
   for (int trial = 0; trial < 50; ++trial) {
     const std::size_t n = 1 + rng.NextIndex(200);
+    std::vector<Arc> arcs(n);
+    for (auto& a : arcs) a = {rng.Uniform(-10, 10), rng.Uniform(0.05, 3.0)};
     BreakpointWorkspace w1, w2;
-    w1.arcs().resize(n);
-    for (auto& a : w1.arcs())
-      a = {rng.Uniform(-10, 10), rng.Uniform(0.05, 3.0)};
-    w2.arcs() = w1.arcs();
+    w1.Assign(arcs);
+    w2.Assign(arcs);
     const double u = rng.Uniform(0.0, 50.0);
     const double v = rng.Bernoulli(0.5) ? 0.0 : -rng.Uniform(0.01, 2.0);
     const auto r1 = SolveMarket(w1, u, v, SortPolicy::kInsertion);
@@ -125,34 +127,34 @@ class BreakpointProperty
 TEST_P(BreakpointProperty, ClearsMarketExactly) {
   const auto [n, elastic, seed] = GetParam();
   Rng rng(static_cast<std::uint64_t>(seed) * 7919 + n);
-  BreakpointWorkspace ws;
-  ws.arcs().resize(n);
-  for (auto& a : ws.arcs())
+  std::vector<Arc> arcs(n);
+  for (auto& a : arcs)
     a = {rng.Uniform(-100.0, 100.0), rng.Uniform(0.01, 5.0)};
+  BreakpointWorkspace ws;
+  ws.Assign(arcs);
   const double u = rng.Uniform(0.0, 200.0);
   const double v = elastic ? -rng.Uniform(0.01, 3.0) : 0.0;
 
   const auto res = SolveMarket(ws, u, v);
   ASSERT_TRUE(res.feasible);
-  const double supply = EvaluateSupply(ws.arcs(), res.lambda);
+  const double supply = EvaluateSupply(arcs, res.lambda);
   const double target = u + v * res.lambda;
   const double scale = std::max({1.0, std::abs(supply), std::abs(target)});
   EXPECT_LT(std::abs(supply - target) / scale, 1e-10);
 
   // Active count consistent with the allocations.
   std::size_t active = 0;
-  for (const auto& a : ws.arcs())
+  for (const auto& a : arcs)
     if (a.p + a.q * res.lambda > 1e-12) ++active;
   EXPECT_LE(active, res.active_count);
   EXPECT_GE(active + 2, res.active_count);  // ties may sit at zero
 
   // Agreement with bisection (bisection itself is ~1e-12 accurate here).
   if (supply > 1e-9 || v < 0.0) {
-    const double ref = Bisect(ws.arcs(), u, v);
-    EXPECT_NEAR(EvaluateSupply(ws.arcs(), ref) - (u + v * ref), 0.0, 1e-6);
+    const double ref = Bisect(arcs, u, v);
+    EXPECT_NEAR(EvaluateSupply(arcs, ref) - (u + v * ref), 0.0, 1e-6);
     // lambda may differ on flat segments; compare cleared quantities.
-    EXPECT_NEAR(EvaluateSupply(ws.arcs(), res.lambda),
-                EvaluateSupply(ws.arcs(), ref),
+    EXPECT_NEAR(EvaluateSupply(arcs, res.lambda), EvaluateSupply(arcs, ref),
                 1e-6 * scale);
   }
 }
@@ -172,16 +174,17 @@ TEST(SortPolicies, AllPoliciesBitIdenticalIncludingTies) {
   Rng rng(11);
   for (int trial = 0; trial < 100; ++trial) {
     const std::size_t n = 1 + rng.NextIndex(300);
-    BreakpointWorkspace wi, wh, wr;
-    wi.arcs().resize(n);
-    for (auto& a : wi.arcs()) {
+    std::vector<Arc> arcs(n);
+    for (auto& a : arcs) {
       a = {rng.Uniform(-10, 10), rng.Uniform(0.05, 3.0)};
       // Force frequent exact breakpoint ties: quantize some breakpoints by
       // snapping p to a multiple of q.
       if (rng.Bernoulli(0.5)) a.p = -std::round(-a.p / a.q) * a.q;
     }
-    wh.arcs() = wi.arcs();
-    wr.arcs() = wi.arcs();
+    BreakpointWorkspace wi, wh, wr;
+    wi.Assign(arcs);
+    wh.Assign(arcs);
+    wr.Assign(arcs);
     const double u = rng.Uniform(0.0, 50.0);
     const double v = rng.Bernoulli(0.5) ? 0.0 : -rng.Uniform(0.01, 2.0);
 
@@ -203,10 +206,9 @@ TEST(SortPolicies, AllPoliciesBitIdenticalIncludingTies) {
 
     // Identical allocations, elementwise exact.
     for (std::size_t j = 0; j < n; ++j) {
-      const auto& a = wi.arcs()[j];
+      const auto& a = arcs[j];
       const double xi = std::max(0.0, a.p + a.q * ri.lambda);
-      const auto& b = wr.arcs()[j];
-      const double xr = std::max(0.0, b.p + b.q * rr.lambda);
+      const double xr = std::max(0.0, a.p + a.q * rr.lambda);
       EXPECT_EQ(xi, xr);
     }
   }
@@ -216,7 +218,7 @@ TEST(SortPolicies, SingleArcMarketAllPolicies) {
   for (auto policy : {SortPolicy::kAuto, SortPolicy::kInsertion,
                       SortPolicy::kHeapsort, SortPolicy::kReuse}) {
     BreakpointWorkspace ws;
-    ws.arcs() = {{2.0, 0.5}};
+    ws.Assign({{2.0, 0.5}});
     MarketOrder order;
     const auto res = SolveMarket(ws, 5.0, 0.0, policy, &order);
     EXPECT_TRUE(res.feasible);
@@ -226,11 +228,12 @@ TEST(SortPolicies, SingleArcMarketAllPolicies) {
 }
 
 TEST(SortPolicies, ReuseWithoutOrderFallsBackToAuto) {
-  BreakpointWorkspace w1, w2;
   Rng rng(12);
-  w1.arcs().resize(64);
-  for (auto& a : w1.arcs()) a = {rng.Uniform(-5, 5), rng.Uniform(0.1, 2.0)};
-  w2.arcs() = w1.arcs();
+  std::vector<Arc> arcs(64);
+  for (auto& a : arcs) a = {rng.Uniform(-5, 5), rng.Uniform(0.1, 2.0)};
+  BreakpointWorkspace w1, w2;
+  w1.Assign(arcs);
+  w2.Assign(arcs);
   const auto ra = SolveMarket(w1, 20.0, 0.0, SortPolicy::kAuto);
   const auto rr = SolveMarket(w2, 20.0, 0.0, SortPolicy::kReuse, nullptr);
   EXPECT_EQ(ra.lambda, rr.lambda);
@@ -241,8 +244,9 @@ TEST(SortPolicies, ReuseWithoutOrderFallsBackToAuto) {
 TEST(SortPolicies, RepairOfUnchangedMarketCostsNoInversions) {
   BreakpointWorkspace ws;
   Rng rng(13);
-  ws.arcs().resize(400);
-  for (auto& a : ws.arcs()) a = {rng.Uniform(-10, 10), rng.Uniform(0.1, 2.0)};
+  std::vector<Arc> arcs(400);
+  for (auto& a : arcs) a = {rng.Uniform(-10, 10), rng.Uniform(0.1, 2.0)};
+  ws.Assign(arcs);
   MarketOrder order;
   const auto first = SolveMarket(ws, 50.0, 0.0, SortPolicy::kReuse, &order);
   EXPECT_EQ(first.ops.inversions, 0u);  // established, not repaired
@@ -258,15 +262,17 @@ TEST(SortPolicies, RepairTracksDriftingMarket) {
   // Perturb arcs slightly between solves: the order stays nearly sorted, the
   // repair stays cheap, and the result still matches a from-scratch solve.
   Rng rng(14);
+  std::vector<Arc> arcs(200);
+  for (auto& a : arcs) a = {rng.Uniform(-10, 10), rng.Uniform(0.1, 2.0)};
   BreakpointWorkspace ws;
-  ws.arcs().resize(200);
-  for (auto& a : ws.arcs()) a = {rng.Uniform(-10, 10), rng.Uniform(0.1, 2.0)};
+  ws.Assign(arcs);
   MarketOrder order;
   (void)SolveMarket(ws, 30.0, 0.0, SortPolicy::kReuse, &order);
   for (int sweep = 0; sweep < 10; ++sweep) {
-    for (auto& a : ws.arcs()) a.p += rng.Uniform(-0.01, 0.01);
+    for (auto& a : arcs) a.p += rng.Uniform(-0.01, 0.01);
+    ws.Assign(arcs);
     BreakpointWorkspace fresh;
-    fresh.arcs() = ws.arcs();
+    fresh.Assign(arcs);
     const auto repaired = SolveMarket(ws, 30.0, 0.0, SortPolicy::kReuse, &order);
     const auto scratch = SolveMarket(fresh, 30.0, 0.0, SortPolicy::kHeapsort);
     EXPECT_TRUE(repaired.order_reused);
@@ -276,12 +282,14 @@ TEST(SortPolicies, RepairTracksDriftingMarket) {
 }
 
 TEST(SortPolicies, ArcCountChangeInvalidatesPersistedOrder) {
+  std::vector<Arc> arcs = {{1.0, 1.0}, {2.0, 1.0}, {3.0, 1.0}};
   BreakpointWorkspace ws;
-  ws.arcs() = {{1.0, 1.0}, {2.0, 1.0}, {3.0, 1.0}};
+  ws.Assign(arcs);
   MarketOrder order;
   (void)SolveMarket(ws, 5.0, 0.0, SortPolicy::kReuse, &order);
   EXPECT_EQ(order.perm.size(), 3u);
-  ws.arcs().push_back({0.5, 2.0});
+  arcs.push_back({0.5, 2.0});
+  ws.Assign(arcs);
   const auto res = SolveMarket(ws, 5.0, 0.0, SortPolicy::kReuse, &order);
   EXPECT_FALSE(res.order_reused);  // stale perm ignored, then re-established
   EXPECT_EQ(order.perm.size(), 4u);
@@ -293,11 +301,11 @@ TEST(SortPolicies, BoxSolveAgreesAcrossPoliciesAndReuses) {
   Rng rng(15);
   for (int trial = 0; trial < 30; ++trial) {
     const std::size_t n = 1 + rng.NextIndex(100);
+    std::vector<Arc> arcs(n);
+    for (auto& a : arcs) a = {rng.Uniform(-10, 10), rng.Uniform(0.05, 3.0)};
     BreakpointWorkspace wh, wr;
-    wh.arcs().resize(n);
-    for (auto& a : wh.arcs())
-      a = {rng.Uniform(-10, 10), rng.Uniform(0.05, 3.0)};
-    wr.arcs() = wh.arcs();
+    wh.Assign(arcs);
+    wr.Assign(arcs);
     const double u = rng.Uniform(1.0, 50.0);
     const double v = -rng.Uniform(0.01, 2.0);
     const double lo = rng.Uniform(0.0, 10.0);
@@ -316,10 +324,10 @@ TEST(BreakpointSolver, ComplexityMatchesNLogN) {
   // path's comparison count is Theta(n log n).
   Rng rng(9);
   for (std::size_t n : {256u, 1024u, 4096u}) {
+    std::vector<Arc> arcs(n);
+    for (auto& a : arcs) a = {rng.Uniform(-10, 10), rng.Uniform(0.1, 1.0)};
     BreakpointWorkspace ws;
-    ws.arcs().resize(n);
-    for (auto& a : ws.arcs())
-      a = {rng.Uniform(-10, 10), rng.Uniform(0.1, 1.0)};
+    ws.Assign(arcs);
     const auto res = SolveMarket(ws, 10.0, 0.0, SortPolicy::kHeapsort);
     const double nlogn = static_cast<double>(n) * std::log2(double(n));
     EXPECT_GT(static_cast<double>(res.ops.comparisons), 0.5 * nlogn);

@@ -24,6 +24,7 @@
 #include "entropy/entropy_sea.hpp"
 #include "equilibration/breakpoint_solver.hpp"
 #include "equilibration/equilibrator.hpp"
+#include "equilibration/kernel_backend.hpp"
 #include "io/csv.hpp"
 #include "io/experiment_record.hpp"
 #include "io/table_printer.hpp"
@@ -48,6 +49,7 @@
 #include "support/check.hpp"
 #include "support/op_counter.hpp"
 #include "support/rng.hpp"
+#include "support/simd.hpp"
 #include "support/stopwatch.hpp"
 
 #include <gtest/gtest.h>

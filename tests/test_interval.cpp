@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "baselines/reference_solvers.hpp"
 #include "core/diagonal_sea.hpp"
@@ -36,11 +37,12 @@ TEST(SolveMarketBox, MiddlePieceMatchesElastic) {
   Rng rng(1);
   for (int trial = 0; trial < 30; ++trial) {
     const std::size_t n = 1 + rng.NextIndex(60);
-    BreakpointWorkspace w1, w2;
-    w1.arcs().resize(n);
-    for (auto& a : w1.arcs())
+    std::vector<Arc> arcs(n);
+    for (auto& a : arcs)
       a = {rng.Uniform(-20.0, 20.0), rng.Uniform(0.05, 3.0)};
-    w2.arcs() = w1.arcs();
+    BreakpointWorkspace w1, w2;
+    w1.Assign(arcs);
+    w2.Assign(arcs);
     const double u = rng.Uniform(0.0, 50.0);
     const double v = -rng.Uniform(0.05, 2.0);
     const auto plain = SolveMarket(w1, u, v);
@@ -55,18 +57,19 @@ TEST(SolveMarketBox, DegenerateBoxMatchesFixedTotal) {
   Rng rng(2);
   for (int trial = 0; trial < 30; ++trial) {
     const std::size_t n = 1 + rng.NextIndex(40);
-    BreakpointWorkspace w1, w2;
-    w1.arcs().resize(n);
-    for (auto& a : w1.arcs())
+    std::vector<Arc> arcs(n);
+    for (auto& a : arcs)
       a = {rng.Uniform(-20.0, 20.0), rng.Uniform(0.05, 3.0)};
-    w2.arcs() = w1.arcs();
+    BreakpointWorkspace w1, w2;
+    w1.Assign(arcs);
+    w2.Assign(arcs);
     const double total = rng.Uniform(0.5, 40.0);
     const auto fixed = SolveMarket(w1, total, 0.0);
     const auto boxed =
         SolveMarketBox(w2, rng.Uniform(0.0, 80.0), -1.0, total, total);
-    EXPECT_NEAR(EvaluateSupply(w2.arcs(), boxed.lambda), total,
+    EXPECT_NEAR(EvaluateSupply(arcs, boxed.lambda), total,
                 1e-8 * std::max(1.0, total));
-    EXPECT_NEAR(EvaluateSupply(w1.arcs(), fixed.lambda), total,
+    EXPECT_NEAR(EvaluateSupply(arcs, fixed.lambda), total,
                 1e-8 * std::max(1.0, total));
   }
 }
@@ -75,16 +78,17 @@ TEST(SolveMarketBox, ClearsClampedResponse) {
   Rng rng(3);
   for (int trial = 0; trial < 60; ++trial) {
     const std::size_t n = 1 + rng.NextIndex(50);
-    BreakpointWorkspace ws;
-    ws.arcs().resize(n);
-    for (auto& a : ws.arcs())
+    std::vector<Arc> arcs(n);
+    for (auto& a : arcs)
       a = {rng.Uniform(-20.0, 20.0), rng.Uniform(0.05, 3.0)};
+    BreakpointWorkspace ws;
+    ws.Assign(arcs);
     const double u = rng.Uniform(0.0, 60.0);
     const double v = -rng.Uniform(0.05, 2.0);
     double lo = rng.Uniform(0.0, 20.0);
     double hi = lo + rng.Uniform(0.0, 20.0);
     const auto res = SolveMarketBox(ws, u, v, lo, hi);
-    const double supply = EvaluateSupply(ws.arcs(), res.lambda);
+    const double supply = EvaluateSupply(arcs, res.lambda);
     const double response =
         std::clamp(u + v * res.lambda, lo, hi);
     EXPECT_NEAR(supply, response, 1e-8 * std::max(1.0, supply))
@@ -94,7 +98,7 @@ TEST(SolveMarketBox, ClearsClampedResponse) {
 
 TEST(SolveMarketBox, RejectsBadArguments) {
   BreakpointWorkspace ws;
-  ws.arcs() = {{1.0, 1.0}};
+  ws.Assign({{1.0, 1.0}});
   EXPECT_THROW(SolveMarketBox(ws, 1.0, 0.0, 0.0, 1.0), InvalidArgument);
   EXPECT_THROW(SolveMarketBox(ws, 1.0, -1.0, 2.0, 1.0), InvalidArgument);
   EXPECT_THROW(SolveMarketBox(ws, 1.0, -1.0, -1.0, 1.0), InvalidArgument);

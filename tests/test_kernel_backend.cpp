@@ -1,0 +1,399 @@
+// Backend-equivalence suite for the equilibration kernel backends
+// (equilibration/kernel_backend.hpp, docs/KERNELS.md).
+//
+// The bit-identity contract says every backend produces bit-identical
+// results to ScalarKernel() on every input: same clearing multiplier, same
+// active count, same operation counts, same allocations. These tests enforce
+// it at three levels — elementwise stages, single-market solves (all sort
+// policies, both fixed and box-constrained), and full DiagonalSea / sparse
+// solves whose residual trajectories must match check by check — plus the
+// resolution logic (explicit request, kAuto, SEA_BACKEND override, and the
+// scalar fallback when the CPU cannot run the compiled vector ISA).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/diagonal_sea.hpp"
+#include "equilibration/kernel_backend.hpp"
+#include "sparse/sparse_sea.hpp"
+#include "support/rng.hpp"
+#include "support/simd.hpp"
+
+namespace sea {
+namespace {
+
+// Bitwise double equality: distinguishes +0.0 from -0.0 and treats equal
+// NaN payloads as equal, which "==" does not.
+bool SameBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+::testing::AssertionResult BitEq(const char* ae, const char* be, double a,
+                                 double b) {
+  if (SameBits(a, b)) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << ae << " and " << be << " differ bitwise: " << a << " vs " << b;
+}
+#define EXPECT_BITEQ(a, b) EXPECT_PRED_FORMAT2(BitEq, a, b)
+#define ASSERT_BITEQ(a, b) ASSERT_PRED_FORMAT2(BitEq, a, b)
+
+void ExpectSameResult(const BreakpointResult& s, const BreakpointResult& v,
+                      const std::string& tag) {
+  ASSERT_BITEQ(s.lambda, v.lambda) << tag;
+  EXPECT_EQ(s.active_count, v.active_count) << tag;
+  EXPECT_EQ(s.feasible, v.feasible) << tag;
+  EXPECT_EQ(s.order_reused, v.order_reused) << tag;
+  EXPECT_EQ(s.ops.comparisons, v.ops.comparisons) << tag;
+  EXPECT_EQ(s.ops.flops, v.ops.flops) << tag;
+  EXPECT_EQ(s.ops.breakpoints, v.ops.breakpoints) << tag;
+  EXPECT_EQ(s.ops.inversions, v.ops.inversions) << tag;
+}
+
+// Random market with deliberate breakpoint ties (duplicated arcs) so the
+// tie-breaking total order is exercised, not just distinct values.
+std::vector<Arc> RandomMarket(std::size_t n, Rng& rng) {
+  std::vector<Arc> arcs(n);
+  for (auto& a : arcs)
+    a = {rng.Uniform(-100.0, 100.0), rng.Uniform(0.01, 5.0)};
+  for (std::size_t j = 3; j + 1 < n; j += 4) arcs[j + 1] = arcs[j];
+  return arcs;
+}
+
+TEST(KernelBackendEquivalence, SolveBitIdenticalAcrossSizesAndPolicies) {
+  const KernelBackend& sc = ScalarKernel();
+  const KernelBackend& vc = SimdKernel();
+  Rng rng(0xBEEF);
+  BreakpointWorkspace ws_s, ws_v;
+  for (std::size_t n :
+       {0u, 1u, 2u, 3u, 4u, 5u, 7u, 8u, 10u, 31u, 120u, 128u, 129u, 1000u}) {
+    const auto arcs = RandomMarket(n, rng);
+    const double u = rng.Uniform(-10.0, 0.9 * double(n));
+    for (double v : {0.0, -0.5}) {
+      for (SortPolicy pol : {SortPolicy::kAuto, SortPolicy::kInsertion,
+                             SortPolicy::kHeapsort, SortPolicy::kReuse}) {
+        const std::string tag = "n=" + std::to_string(n) +
+                                " v=" + std::to_string(v) +
+                                " pol=" + std::to_string(int(pol));
+        MarketOrder order_s, order_v;
+        // Two solves per backend so kReuse exercises both the establishing
+        // sort and the repair pass.
+        for (int round = 0; round < 2; ++round) {
+          ws_s.Assign(arcs);
+          ws_v.Assign(arcs);
+          const auto rs = sc.Solve(ws_s, u, v, pol, &order_s);
+          const auto rv = vc.Solve(ws_v, u, v, pol, &order_v);
+          ExpectSameResult(rs, rv, tag + " round=" + std::to_string(round));
+          std::vector<double> xs(n), xv(n);
+          sc.Writeback(ws_s.p(), ws_s.q(), rs.lambda, xs);
+          vc.Writeback(ws_v.p(), ws_v.q(), rv.lambda, xv);
+          for (std::size_t j = 0; j < n; ++j) EXPECT_BITEQ(xs[j], xv[j]);
+        }
+        EXPECT_EQ(order_s.perm, order_v.perm) << tag;
+        EXPECT_EQ(order_s.reuses, order_v.reuses) << tag;
+      }
+    }
+  }
+}
+
+TEST(KernelBackendEquivalence, SolveBoxBitIdentical) {
+  const KernelBackend& sc = ScalarKernel();
+  const KernelBackend& vc = SimdKernel();
+  Rng rng(0xB0C5);
+  BreakpointWorkspace ws_s, ws_v;
+  for (std::size_t n : {1u, 2u, 6u, 17u, 120u, 300u}) {
+    for (int trial = 0; trial < 8; ++trial) {
+      const auto arcs = RandomMarket(n, rng);
+      const double u = rng.Uniform(-5.0, 2.0 * double(n));
+      const double lo = rng.Uniform(0.0, 0.5 * double(n));
+      const double hi = lo + rng.Uniform(0.0, double(n));
+      ws_s.Assign(arcs);
+      ws_v.Assign(arcs);
+      const auto rs = sc.SolveBox(ws_s, u, -1.0, lo, hi);
+      const auto rv = vc.SolveBox(ws_v, u, -1.0, lo, hi);
+      ExpectSameResult(rs, rv,
+                       "box n=" + std::to_string(n) + " trial=" +
+                           std::to_string(trial));
+    }
+  }
+}
+
+TEST(KernelBackendEquivalence, ElementwiseStagesBitIdentical) {
+  const KernelBackend& sc = ScalarKernel();
+  const KernelBackend& vc = SimdKernel();
+  Rng rng(0xE1E3);
+  for (std::size_t n : {0u, 1u, 3u, 4u, 5u, 9u, 64u, 257u}) {
+    std::vector<double> centers(n), weights(n), mult(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      centers[j] = rng.Uniform(-50.0, 50.0);
+      weights[j] = rng.Uniform(0.01, 10.0);
+      mult[j] = rng.Uniform(-20.0, 20.0);
+    }
+    std::vector<double> ps(n), qs(n), pv(n), qv(n);
+    sc.BuildArcs(centers, weights, mult, ps, qs);
+    vc.BuildArcs(centers, weights, mult, pv, qv);
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_BITEQ(ps[j], pv[j]);
+      EXPECT_BITEQ(qs[j], qv[j]);
+    }
+    // Gather variant: reversed column indices into a longer multiplier row.
+    std::vector<double> wide(2 * n + 1);
+    for (double& x : wide) x = rng.Uniform(-20.0, 20.0);
+    std::vector<std::size_t> cols(n);
+    for (std::size_t j = 0; j < n; ++j) cols[j] = 2 * (n - 1 - j);
+    sc.BuildArcsGather(centers, weights, wide, cols, ps, qs);
+    vc.BuildArcsGather(centers, weights, wide, cols, pv, qv);
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_BITEQ(ps[j], pv[j]);
+      EXPECT_BITEQ(qs[j], qv[j]);
+    }
+    std::vector<double> bs(n), bv(n);
+    sc.Breakpoints(ps, qs, bs);
+    vc.Breakpoints(ps, qs, bv);
+    for (std::size_t j = 0; j < n; ++j) EXPECT_BITEQ(bs[j], bv[j]);
+    std::vector<double> xs(n), xv(n);
+    sc.Writeback(ps, qs, 0.37, xs);
+    vc.Writeback(ps, qs, 0.37, xv);
+    for (std::size_t j = 0; j < n; ++j) EXPECT_BITEQ(xs[j], xv[j]);
+  }
+}
+
+TEST(KernelBackendEquivalence, WritebackEdgeSemantics) {
+  // std::max(0.0, v) semantics: -0.0 products, exact-zero products, and NaN
+  // all come out as +0.0 bitwise — in both backends, in every lane position.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (const KernelBackend* kb : {&ScalarKernel(), &SimdKernel()}) {
+    // p + q*lambda per element: -0.0, +0.0, NaN, -5, +5, then filler so the
+    // interesting cases land in different vector-lane positions.
+    std::vector<double> p = {-0.0, 0.0, nan, -6.0, 4.0, -0.0, nan, 1.0, 2.0};
+    std::vector<double> q(p.size(), 1.0);
+    std::vector<double> x(p.size(), -1.0);
+    kb->Writeback(p, q, 0.0, x);
+    EXPECT_BITEQ(x[0], 0.0) << kb->name();  // max(0, -0.0) = +0.0
+    EXPECT_BITEQ(x[1], 0.0) << kb->name();
+    EXPECT_BITEQ(x[2], 0.0) << kb->name();  // max(0, NaN) = first arg
+    EXPECT_BITEQ(x[3], 0.0) << kb->name();
+    EXPECT_BITEQ(x[4], 4.0) << kb->name();
+    EXPECT_BITEQ(x[5], 0.0) << kb->name();
+    EXPECT_BITEQ(x[6], 0.0) << kb->name();
+    EXPECT_BITEQ(x[7], 1.0) << kb->name();
+    EXPECT_BITEQ(x[8], 2.0) << kb->name();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: a full solve must produce bitwise-identical iterates AND the
+// same residual trajectory under both backends, for every totals regime.
+
+struct Trajectory {
+  std::vector<double> measures;
+  std::vector<std::size_t> iterations;
+};
+
+DiagonalSeaRun SolveTracked(const DiagonalProblem& p,
+                            KernelBackendKind backend, Trajectory& traj) {
+  SeaOptions o;
+  o.epsilon = 1e-8;
+  o.criterion = StopCriterion::kResidualAbs;
+  o.max_iterations = 200000;
+  o.backend = backend;
+  o.progress = [&traj](const IterationEvent& ev) {
+    if (ev.measure_defined) {
+      traj.measures.push_back(ev.measure);
+      traj.iterations.push_back(ev.iteration);
+    }
+  };
+  return SolveDiagonal(p, o);
+}
+
+void ExpectSameTrajectory(const DiagonalProblem& p, const char* tag) {
+  Trajectory ts, tv;
+  const auto rs = SolveTracked(p, KernelBackendKind::kScalar, ts);
+  const auto rv = SolveTracked(p, KernelBackendKind::kSimd, tv);
+  EXPECT_STREQ(rs.result.kernel_backend, "scalar") << tag;
+  EXPECT_STREQ(rv.result.kernel_backend,
+               SimdKernelAvailable() ? "simd" : "scalar")
+      << tag;
+  EXPECT_EQ(rs.result.status, rv.result.status) << tag;
+  EXPECT_EQ(rs.result.iterations, rv.result.iterations) << tag;
+  EXPECT_EQ(rs.result.kernel_markets, rv.result.kernel_markets) << tag;
+  EXPECT_GT(rs.result.kernel_markets, 0u) << tag;
+  ASSERT_EQ(ts.measures.size(), tv.measures.size()) << tag;
+  for (std::size_t i = 0; i < ts.measures.size(); ++i)
+    ASSERT_BITEQ(ts.measures[i], tv.measures[i])
+        << tag << " check " << i << " (iteration " << ts.iterations[i] << ")";
+  const auto& xs = rs.solution.x.Flat();
+  const auto& xv = rv.solution.x.Flat();
+  ASSERT_EQ(xs.size(), xv.size()) << tag;
+  for (std::size_t k = 0; k < xs.size(); ++k) ASSERT_BITEQ(xs[k], xv[k]);
+}
+
+TEST(KernelBackendEquivalence, DiagonalSolveTrajectoriesMatchAllRegimes) {
+  Rng rng(0x5EA6);
+  const std::size_t m = 23, n = 17;
+  DenseMatrix x0(m, n), gamma(m, n);
+  for (double& v : x0.Flat()) v = rng.Uniform(0.0, 100.0);
+  for (double& v : gamma.Flat()) v = rng.Uniform(1e-2, 1e2);
+  Vector s0 = x0.RowSums(), d0 = x0.ColSums();
+  for (double& v : s0) v *= 1.3;
+  for (double& v : d0) v *= 1.3;
+
+  ExpectSameTrajectory(DiagonalProblem::MakeFixed(x0, gamma, s0, d0),
+                       "fixed");
+  ExpectSameTrajectory(
+      DiagonalProblem::MakeElastic(x0, gamma, s0,
+                                   rng.UniformVector(m, 0.1, 5.0), d0,
+                                   rng.UniformVector(n, 0.1, 5.0)),
+      "elastic");
+  {
+    DenseMatrix sq(n, n), gq(n, n);
+    for (double& v : sq.Flat()) v = rng.Uniform(0.0, 50.0);
+    for (double& v : gq.Flat()) v = rng.Uniform(1e-2, 1e2);
+    ExpectSameTrajectory(
+        DiagonalProblem::MakeSam(sq, gq, rng.UniformVector(n, 1.0, 200.0),
+                                 rng.UniformVector(n, 0.1, 5.0)),
+        "sam");
+  }
+  {
+    Vector s_lo = s0, s_hi = s0, d_lo = d0, d_hi = d0;
+    for (double& v : s_lo) v *= 0.9;
+    for (double& v : s_hi) v *= 1.1;
+    for (double& v : d_lo) v *= 0.9;
+    for (double& v : d_hi) v *= 1.1;
+    ExpectSameTrajectory(
+        DiagonalProblem::MakeInterval(x0, gamma, s0,
+                                      rng.UniformVector(m, 0.1, 5.0), s_lo,
+                                      s_hi, d0, rng.UniformVector(n, 0.1, 5.0),
+                                      d_lo, d_hi),
+        "interval");
+  }
+}
+
+TEST(KernelBackendEquivalence, SparseSolveBitIdentical) {
+  Rng rng(0x59A2);
+  const std::size_t n = 40;
+  DenseMatrix x0(n, n, 0.0);
+  for (double& v : x0.Flat())
+    if (rng.Bernoulli(0.25)) v = rng.Uniform(0.1, 100.0);
+  for (std::size_t i = 0; i < n; ++i)
+    if (x0(i, i) == 0.0) x0(i, i) = 1.0;
+  Vector s0 = x0.RowSums(), d0 = x0.ColSums();
+  DenseMatrix gamma(n, n, 0.0);
+  for (std::size_t k = 0; k < x0.size(); ++k)
+    if (x0.Flat()[k] > 0.0) gamma.Flat()[k] = 1.0 / x0.Flat()[k];
+  const auto p = SparseDiagonalProblem::MakeFixed(
+      SparseMatrix::FromDense(x0), SparseMatrix::FromDense(gamma), s0, d0);
+
+  SeaOptions o;
+  o.epsilon = 1e-9;
+  o.criterion = StopCriterion::kResidualRel;
+  o.backend = KernelBackendKind::kScalar;
+  const auto rs = SolveSparse(p, o);
+  o.backend = KernelBackendKind::kSimd;
+  const auto rv = SolveSparse(p, o);
+  EXPECT_EQ(rs.result.status, rv.result.status);
+  EXPECT_EQ(rs.result.iterations, rv.result.iterations);
+  EXPECT_EQ(rs.result.kernel_markets, rv.result.kernel_markets);
+  const auto xs = rs.solution.x.Values();
+  const auto xv = rv.solution.x.Values();
+  ASSERT_EQ(xs.size(), xv.size());
+  for (std::size_t k = 0; k < xs.size(); ++k) ASSERT_BITEQ(xs[k], xv[k]);
+}
+
+// ---------------------------------------------------------------------------
+// Resolution: explicit requests, kAuto, SEA_BACKEND, and fallback.
+
+class ResolutionTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    simd::ClearRuntimeIsaForTest();
+    unsetenv("SEA_BACKEND");
+  }
+};
+
+TEST_F(ResolutionTest, ParseAndToStringRoundTrip) {
+  EXPECT_EQ(ParseKernelBackendKind("auto"), KernelBackendKind::kAuto);
+  EXPECT_EQ(ParseKernelBackendKind("scalar"), KernelBackendKind::kScalar);
+  EXPECT_EQ(ParseKernelBackendKind("simd"), KernelBackendKind::kSimd);
+  EXPECT_FALSE(ParseKernelBackendKind("avx2").has_value());
+  EXPECT_FALSE(ParseKernelBackendKind("").has_value());
+  EXPECT_FALSE(ParseKernelBackendKind("Scalar").has_value());
+  EXPECT_STREQ(ToString(KernelBackendKind::kAuto), "auto");
+  EXPECT_STREQ(ToString(KernelBackendKind::kScalar), "scalar");
+  EXPECT_STREQ(ToString(KernelBackendKind::kSimd), "simd");
+}
+
+TEST_F(ResolutionTest, ScalarRequestAlwaysHonored) {
+  const auto res = ResolveKernelBackend(KernelBackendKind::kScalar);
+  EXPECT_EQ(res.kernel, &ScalarKernel());
+  EXPECT_FALSE(res.fell_back);
+  EXPECT_STREQ(res.kernel->name(), "scalar");
+}
+
+TEST_F(ResolutionTest, AutoPicksSimdExactlyWhenAvailable) {
+  const auto res = ResolveKernelBackend(KernelBackendKind::kAuto);
+  EXPECT_FALSE(res.fell_back);  // kAuto never reports a fallback
+  if (SimdKernelAvailable()) {
+    EXPECT_EQ(res.kernel, &SimdKernel());
+  } else {
+    EXPECT_EQ(res.kernel, &ScalarKernel());
+  }
+}
+
+TEST_F(ResolutionTest, EnvOverridesAutoButNotExplicitRequests) {
+  setenv("SEA_BACKEND", "scalar", 1);
+  EXPECT_EQ(ResolveKernelBackend(KernelBackendKind::kAuto).kernel,
+            &ScalarKernel());
+  if (SimdKernelAvailable()) {
+    // An explicit request beats the environment.
+    EXPECT_EQ(ResolveKernelBackend(KernelBackendKind::kSimd).kernel,
+              &SimdKernel());
+  }
+  // Unknown values are ignored (tuning knob, not an input): behaves as auto.
+  setenv("SEA_BACKEND", "turbo", 1);
+  const auto res = ResolveKernelBackend(KernelBackendKind::kAuto);
+  EXPECT_EQ(res.kernel, SimdKernelAvailable()
+                            ? &SimdKernel()
+                            : &ScalarKernel());
+}
+
+TEST_F(ResolutionTest, SimdRequestFallsBackWithNoteOnScalarRuntime) {
+  simd::SetRuntimeIsaForTest(simd::Isa::kScalar);
+  ASSERT_FALSE(SimdKernelAvailable());
+  const auto res = ResolveKernelBackend(KernelBackendKind::kSimd);
+  EXPECT_EQ(res.kernel, &ScalarKernel());
+  EXPECT_TRUE(res.fell_back);
+  EXPECT_NE(res.note.find("unavailable"), std::string::npos) << res.note;
+  EXPECT_NE(res.note.find("scalar"), std::string::npos) << res.note;
+  // SEA_BACKEND=simd on the same host: kAuto resolves the env request and
+  // reports the same structured fallback.
+  setenv("SEA_BACKEND", "simd", 1);
+  const auto env_res = ResolveKernelBackend(KernelBackendKind::kAuto);
+  EXPECT_EQ(env_res.kernel, &ScalarKernel());
+  EXPECT_TRUE(env_res.fell_back);
+  EXPECT_NE(env_res.note.find("SEA_BACKEND"), std::string::npos)
+      << env_res.note;
+}
+
+TEST_F(ResolutionTest, SimdKernelDegradesToScalarBodiesNotACrash) {
+  // Force the scalar runtime and run the full suite of stages through
+  // SimdKernel(): every result must still match ScalarKernel() bitwise
+  // (the degradation path swaps in the scalar bodies).
+  simd::SetRuntimeIsaForTest(simd::Isa::kScalar);
+  Rng rng(0xDE6A);
+  BreakpointWorkspace ws_s, ws_v;
+  const auto arcs = RandomMarket(97, rng);
+  ws_s.Assign(arcs);
+  ws_v.Assign(arcs);
+  const auto rs = ScalarKernel().Solve(ws_s, 31.0, -0.25);
+  const auto rv = SimdKernel().Solve(ws_v, 31.0, -0.25);
+  ExpectSameResult(rs, rv, "degraded");
+  EXPECT_STREQ(SimdKernel().name(), "simd");
+}
+
+}  // namespace
+}  // namespace sea

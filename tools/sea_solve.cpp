@@ -42,6 +42,7 @@
 #include "core/diagonal_sea.hpp"
 #include "core/solve_status.hpp"
 #include "datasets/weights.hpp"
+#include "equilibration/kernel_backend.hpp"
 #include "io/csv.hpp"
 #include "obs/json_export.hpp"
 #include "obs/metrics.hpp"
@@ -81,6 +82,8 @@ using namespace sea;
          "0 = auto)\n"
          "           --sort auto|insertion|heapsort|reuse (breakpoint sort "
          "policy; default auto)\n"
+         "           --backend scalar|simd|auto (equilibration kernel "
+         "backend; default auto)\n"
          "           --progress               (print residual per check "
          "iteration)\n"
          "           --out estimate.csv       (default: stdout summary "
@@ -104,7 +107,7 @@ const std::set<std::string>& ValueFlags() {
       "weights",   "epsilon",    "criterion",    "check-every", "max-iters",
       "slack",     "threads",    "out",          "metrics-json",
       "trace-jsonl", "time-budget", "profile-json",
-      "schedule",  "grain",      "sort"};
+      "schedule",  "grain",      "sort",         "backend"};
   return flags;
 }
 
@@ -326,6 +329,23 @@ int main(int argc, char** argv) {
     } else {
       Usage(argv[0], "unknown sort policy '" + sort + "'");
     }
+    const std::string backend =
+        args.count("backend") ? args["backend"] : "auto";
+    if (const auto parsed = ParseKernelBackendKind(backend)) {
+      opts.backend = *parsed;
+    } else {
+      Usage(argv[0], "unknown backend '" + backend + "'");
+    }
+    // Surface an explicit-but-unavailable SIMD request as a structured
+    // diagnosis (the solve still runs, on the scalar backend).
+    const KernelResolution kres = ResolveKernelBackend(opts.backend);
+    if (kres.fell_back) {
+      Diagnosis d;
+      d.code = DiagnosisCode::kBackendUnavailable;
+      d.message = kres.note;
+      std::cerr << "warning: " << ToString(d.code) << ": " << d.message
+                << '\n';
+    }
 
     // Opt-in telemetry: structured trace + metrics registry + pool stats.
     obs::MetricsRegistry metrics;
@@ -361,6 +381,7 @@ int main(int argc, char** argv) {
               << "objective:      " << run.result.objective << '\n'
               << "max residual:   " << rep.MaxAbs() << " (abs), "
               << rep.MaxRel() << " (rel)\n"
+              << "kernel backend: " << run.result.kernel_backend << '\n'
               << "cpu seconds:    " << run.result.cpu_seconds << '\n';
 
     if (profiling) {
@@ -409,6 +430,7 @@ int main(int argc, char** argv) {
           .Field("threads", static_cast<std::uint64_t>(threads))
           .Field("schedule", schedule)
           .Field("sort", sort)
+          .Field("backend", run.result.kernel_backend)
           .Raw("result", obs::ToJson(run.result))
           .Raw("feasibility", obs::JsonObj()
                                   .Field("max_abs", rep.MaxAbs())
