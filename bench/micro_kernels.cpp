@@ -20,11 +20,14 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "core/diagonal_sea.hpp"
+#include "datasets/large_diagonal.hpp"
 #include "equilibration/breakpoint_solver.hpp"
 #include "equilibration/equilibrator.hpp"
 #include "equilibration/kernel_backend.hpp"
 #include "io/table_printer.hpp"
 #include "linalg/kernels.hpp"
+#include "obs/market_stats.hpp"
 #include "support/rng.hpp"
 #include "support/simd.hpp"
 #include "support/stopwatch.hpp"
@@ -157,6 +160,58 @@ void RunBackendComparison(const bench::BenchOptions& opts,
 }
 
 // ---------------------------------------------------------------------------
+// Attribution overhead: full SolveDiagonal on a table1-style dense instance
+// with per-market attribution off vs on. The disabled path is a single
+// pointer test per sweep, so the "on" column upper-bounds it; the trajectory
+// record lets bench_diff flag any PR that makes forensics stop being
+// pay-for-what-you-use (the <2% wall-clock claim in OBSERVABILITY.md).
+// Rounds are interleaved off/on so scheduler drift hits both arms equally.
+
+void RunAttributionOverhead(const bench::BenchOptions& opts,
+                            ExperimentLog& log) {
+  std::cout << "\nattribution overhead (full solve, table1-style dense):\n";
+  TablePrinter t({"m x n", "off (ms)", "on (ms)", "on/off"});
+  const std::size_t rounds = opts.quick ? 9 : 25;
+  for (std::size_t n : {96u, 160u}) {
+    if (opts.quick && n > 96u) continue;
+    Rng rng(11);
+    const auto p = datasets::MakeLargeDiagonal(n, n, rng);
+    SeaOptions base;
+    base.epsilon = 1e-8;
+    obs::MarketAttribution attr;
+    const auto solve_ms = [&](bool enabled) {
+      SeaOptions o = base;
+      o.attribution = enabled ? &attr : nullptr;
+      Stopwatch sw;
+      const auto res = SolveDiagonal(p, o);
+      benchmark::DoNotOptimize(&res);
+      return sw.Seconds() * 1e3;
+    };
+    // Warm-ups fault pages and settle the allocator before timing.
+    (void)solve_ms(false);
+    (void)solve_ms(true);
+    double off = std::numeric_limits<double>::infinity();
+    double on = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < rounds; ++r) {
+      off = std::min(off, solve_ms(false));
+      on = std::min(on, solve_ms(true));
+    }
+    const double ratio = off > 0.0 ? on / off : 0.0;
+    const std::string dim =
+        std::to_string(n) + " x " + std::to_string(n);
+    t.AddRow({dim, TablePrinter::Num(off, 3), TablePrinter::Num(on, 3),
+              TablePrinter::Num(ratio, 4)});
+    const std::string ds = "n=" + std::to_string(n) + ",dense";
+    log.Add("attribution_overhead", ds, "solve_off_ms", off);
+    log.Add("attribution_overhead", ds, "solve_on_ms", on);
+    log.Add("attribution_overhead", ds, "overhead_ratio", ratio, std::nullopt,
+            "on/off, min over interleaved rounds; disabled path is one "
+            "branch per sweep");
+  }
+  t.Print(std::cout);
+}
+
+// ---------------------------------------------------------------------------
 // Part 2: google-benchmark suite (opt-in via --benchmark* flags).
 
 void BM_MarketSolveHeapsort(benchmark::State& state) {
@@ -255,6 +310,7 @@ int main(int argc, char** argv) {
       "single thread, median-free mean over fixed reps");
   sea::ExperimentLog log;
   RunBackendComparison(opts, log);
+  RunAttributionOverhead(opts, log);
   sea::bench::Finish(log, opts, "micro_kernels");
 
   if (run_gbench) {

@@ -10,6 +10,7 @@
 #include "core/stopping.hpp"
 #include "equilibration/equilibrator.hpp"
 #include "equilibration/kernel_backend.hpp"
+#include "obs/market_stats.hpp"
 #include "problems/feasibility.hpp"
 #include "support/check.hpp"
 
@@ -65,6 +66,8 @@ class DenseDiagonalBackend final : public SeaIterationBackend {
     sweep_opts_.pool = opts.pool;
     sweep_opts_.record_task_costs = opts.record_trace;
     sweep_opts_.kernel = ResolveKernelBackend(opts.backend).kernel;
+    sweep_opts_.attribution = opts.attribution;
+    if (opts.attribution != nullptr) opts.attribution->Reset(p.m(), p.n());
     if (opts.sweep_schedule != ScheduleKind::kStatic) {
       row_scheduler_.emplace(opts.sweep_schedule, opts.sweep_grain);
       col_scheduler_.emplace(opts.sweep_schedule, opts.sweep_grain);
@@ -81,6 +84,7 @@ class DenseDiagonalBackend final : public SeaIterationBackend {
     sweep_opts_.scheduler =
         row_scheduler_.has_value() ? &*row_scheduler_ : nullptr;
     sweep_opts_.sort_cache = row_orders_.size() > 0 ? &row_orders_ : nullptr;
+    sweep_opts_.attribution_base = 0;  // row markets: slots [0, m)
     return EquilibrateSide(p_.x0(), p_.gamma(), mu_, row_side_, lambda_,
                            nullptr, sweep_opts_);
   }
@@ -91,6 +95,7 @@ class DenseDiagonalBackend final : public SeaIterationBackend {
     sweep_opts_.scheduler =
         col_scheduler_.has_value() ? &*col_scheduler_ : nullptr;
     sweep_opts_.sort_cache = col_orders_.size() > 0 ? &col_orders_ : nullptr;
+    sweep_opts_.attribution_base = p_.m();  // column markets: slots [m, m+n)
     return EquilibrateSide(x0_t_, gamma_t_, lambda_, col_side_, mu_,
                            materialize ? &xt_ : nullptr, sweep_opts_);
   }
@@ -99,23 +104,21 @@ class DenseDiagonalBackend final : public SeaIterationBackend {
     // Row residual of the column-feasible iterate: after the column sweep
     // the column constraints hold exactly, so (by eq. (25)) the row residual
     // is the remaining dual-gradient component.
-    std::fill(rowsum_.begin(), rowsum_.end(), 0.0);
-    const std::size_t m = p_.m(), n = p_.n();
-    for (std::size_t j = 0; j < n; ++j) {
-      const auto col = xt_.Row(j);
-      for (std::size_t i = 0; i < m; ++i) rowsum_[i] += col[i];
+    AccumulateRowSums();
+    return MaxRowResidual(c, rowsum_, Targets());
+  }
+
+  double AttributeResidual(StopCriterion c, std::span<double> out) override {
+    // Same per-row terms the aggregate measure maxes over; FoldRowResidual
+    // from a zero running max yields exactly one row's contribution.
+    AccumulateRowSums();
+    const ResidualTargets targets = Targets();
+    double l1 = 0.0;
+    for (std::size_t i = 0; i < rowsum_.size(); ++i) {
+      out[i] = FoldRowResidual(c, rowsum_[i], RowTarget(targets, i), 0.0);
+      l1 += out[i];
     }
-    ResidualTargets targets;
-    targets.mode = p_.mode();
-    targets.s0 = p_.s0();
-    targets.alpha = p_.alpha();
-    targets.lambda = lambda_;
-    targets.mu = mu_;
-    if (p_.mode() == TotalsMode::kInterval) {
-      targets.s_lo = p_.s_lo();
-      targets.s_hi = p_.s_hi();
-    }
-    return MaxRowResidual(c, rowsum_, targets);
+    return l1;
   }
 
   double DiffFromSnapshot() override { return xt_.MaxAbsDiff(xt_prev_); }
@@ -158,6 +161,29 @@ class DenseDiagonalBackend final : public SeaIterationBackend {
   }
 
  private:
+  void AccumulateRowSums() {
+    std::fill(rowsum_.begin(), rowsum_.end(), 0.0);
+    const std::size_t m = p_.m(), n = p_.n();
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto col = xt_.Row(j);
+      for (std::size_t i = 0; i < m; ++i) rowsum_[i] += col[i];
+    }
+  }
+
+  ResidualTargets Targets() const {
+    ResidualTargets targets;
+    targets.mode = p_.mode();
+    targets.s0 = p_.s0();
+    targets.alpha = p_.alpha();
+    targets.lambda = lambda_;
+    targets.mu = mu_;
+    if (p_.mode() == TotalsMode::kInterval) {
+      targets.s_lo = p_.s_lo();
+      targets.s_hi = p_.s_hi();
+    }
+    return targets;
+  }
+
   const DiagonalProblem& p_;
   const DenseMatrix& x0_t_;
   const DenseMatrix& gamma_t_;

@@ -6,8 +6,11 @@
 #include <utility>
 
 #include "equilibration/kernel_backend.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/market_stats.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
+#include "obs/status_file.hpp"
 #include "obs/trace_sink.hpp"
 #include "support/check.hpp"
 #include "support/failpoint.hpp"
@@ -60,7 +63,12 @@ SeaResult RunIterationEngine(SeaIterationBackend& backend,
 
   // Telemetry is pay-for-use: everything below is skipped when no observer
   // is attached (acceptance bar: a plain solve must not slow down).
-  const bool observing = opts.progress || opts.trace_sink || opts.metrics;
+  const bool observing = opts.progress || opts.trace_sink || opts.metrics ||
+                         opts.flight_recorder || opts.status_file;
+  obs::FlightRecorder* recorder = opts.flight_recorder;
+  if (recorder)
+    recorder->Record(obs::FlightRecorder::EventKind::kBegin, 0,
+                     static_cast<double>(opts.max_iterations));
   OpCounts ops_at_last_event;
   std::size_t last_check_iteration = 0;
   obs::Histogram* residual_hist = nullptr;
@@ -83,11 +91,17 @@ SeaResult RunIterationEngine(SeaIterationBackend& backend,
     if (check_now) {
       if (opts.cancel && opts.cancel->cancelled()) {
         result.status = SolveStatus::kCancelled;
+        if (recorder)
+          recorder->Record(obs::FlightRecorder::EventKind::kCancelPoll, t,
+                           0.0);
         break;
       }
       if (opts.time_budget_seconds > 0.0 &&
           wall.Seconds() >= opts.time_budget_seconds) {
         result.status = SolveStatus::kTimeBudgetExceeded;
+        if (recorder)
+          recorder->Record(obs::FlightRecorder::EventKind::kBudgetPoll, t,
+                           wall.Seconds());
         break;
       }
     }
@@ -131,11 +145,10 @@ SeaResult RunIterationEngine(SeaIterationBackend& backend,
     Stopwatch check_sw;
     double measure = 0.0;
     bool defined = true;
+    const StopCriterion criterion = backend.EffectiveCriterion(opts.criterion);
     {
       obs::ProfScope prof("engine.check");
       backend.BeginCheck();
-      const StopCriterion criterion =
-          backend.EffectiveCriterion(opts.criterion);
       if (criterion == StopCriterion::kXChange) {
         // Compared across consecutive checks; the first check only
         // snapshots, so its measure is undefined (nothing to compare
@@ -156,6 +169,13 @@ SeaResult RunIterationEngine(SeaIterationBackend& backend,
     SEA_FAILPOINT_SITE("sea.engine.poison_measure")
     if (defined && fail::Triggered("sea.engine.poison_measure"))
       measure = std::numeric_limits<double>::quiet_NaN();
+    // Pins the measure at the previous check's value — exactly zero
+    // improvement — which drives the stall detector deterministically (the
+    // CI forensics smoke and fault tests arm this via SEA_FAILPOINTS).
+    SEA_FAILPOINT_SITE("sea.engine.freeze_measure")
+    if (fail::Triggered("sea.engine.freeze_measure") && defined &&
+        std::isfinite(stall_prev))
+      measure = stall_prev;
 
     if (defined && !std::isfinite(measure)) {
       // Numerical breakdown: the iterate went NaN/Inf. Hand back the last
@@ -164,6 +184,9 @@ SeaResult RunIterationEngine(SeaIterationBackend& backend,
       // no value).
       result.status = SolveStatus::kNumericalBreakdown;
       backend.RestoreGoodIterate();
+      if (recorder)
+        recorder->Record(obs::FlightRecorder::EventKind::kBreakdown, t,
+                         measure);
     } else if (defined) {
       ++result.checks_compared;
       result.final_residual = measure;
@@ -182,9 +205,26 @@ SeaResult RunIterationEngine(SeaIterationBackend& backend,
       } else if (opts.stall_checks > 0 &&
                  ++stall_streak >= opts.stall_checks) {
         result.status = SolveStatus::kStalled;
+        if (recorder)
+          recorder->Record(obs::FlightRecorder::EventKind::kStallTrip, t,
+                           measure);
       }
       stall_prev = measure;
       backend.SaveGoodIterate();
+      if (recorder) recorder->NoteGoodIterate(t, measure);
+      // Per-market attribution rides the check schedule: the backend fills
+      // the scratch row with per-row-market contributions under the
+      // residual form of the active criterion (kXChange attributes the
+      // absolute residual of the same materialized iterate), and the
+      // commit snapshots active-set churn.
+      if (opts.attribution && std::isfinite(measure)) {
+        const StopCriterion ac = criterion == StopCriterion::kXChange
+                                     ? StopCriterion::kResidualAbs
+                                     : criterion;
+        const double l1 =
+            backend.AttributeResidual(ac, opts.attribution->residual_scratch());
+        if (l1 >= 0.0) opts.attribution->CommitCheck(t, measure, l1);
+      }
     }
 
     if (observing) {
@@ -210,6 +250,11 @@ SeaResult RunIterationEngine(SeaIterationBackend& backend,
 
       if (opts.progress) opts.progress(ev);
       if (opts.trace_sink) opts.trace_sink->OnCheck(ev);
+      if (recorder)
+        recorder->Record(obs::FlightRecorder::EventKind::kCheck, t,
+                         defined ? measure
+                                 : std::numeric_limits<double>::quiet_NaN());
+      if (opts.status_file) opts.status_file->OnCheck(ev);
     }
 
     // Any terminal condition (convergence, breakdown, stall) has replaced
@@ -220,6 +265,11 @@ SeaResult RunIterationEngine(SeaIterationBackend& backend,
 
   result.wall_seconds = wall.Seconds();
   result.cpu_seconds = ProcessCpuSeconds() - cpu0;
+
+  if (recorder)
+    recorder->OnTermination(result.status, result.iterations,
+                            result.final_residual, result.wall_seconds);
+  if (opts.status_file) opts.status_file->OnTermination(result.status);
 
   if (opts.metrics) {
     obs::MetricsRegistry& m = *opts.metrics;
@@ -250,6 +300,15 @@ SeaResult RunIterationEngine(SeaIterationBackend& backend,
     m.GetGauge("sea.cpu_seconds").Add(result.cpu_seconds);
     m.GetGauge("sea.final_residual").Set(result.final_residual);
     m.GetGauge("sea.converged").Set(result.converged() ? 1.0 : 0.0);
+    if (opts.attribution) {
+      // Attribution summary counters (docs/OBSERVABILITY.md): population,
+      // committed checks, per-market solves, and total active-set churn.
+      m.GetCounter("sea.market.tracked").Add(opts.attribution->markets());
+      m.GetCounter("sea.market.checks")
+          .Add(opts.attribution->checks().size());
+      m.GetCounter("sea.market.solves").Add(opts.attribution->total_solves());
+      m.GetCounter("sea.market.churn").Add(opts.attribution->total_churn());
+    }
   }
   return result;
 }

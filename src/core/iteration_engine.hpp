@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/options.hpp"
@@ -91,6 +92,23 @@ class SeaIterationBackend {
   // iteration when SeaOptions::record_dual_values is set). Default: the
   // backend records nothing.
   virtual void RecordDualValue(std::vector<double>& out) { (void)out; }
+
+  // Per-market attribution (obs/market_stats.hpp): fills out[i] with ROW
+  // market i's residual contribution of the materialized check iterate —
+  // |rowsum_i - target_i| under criterion c, exactly the per-row term
+  // FoldRowResidual folds into the aggregate measure — and returns the
+  // sequential (index-ascending) sum of the filled values, so the export's
+  // per-market contributions re-sum bit-identically to the returned
+  // aggregate. Column markets contribute zero by construction (the column
+  // half-step satisfies them exactly) and are not represented. Called only
+  // at check iterations with a finite measure, after ResidualMeasure /
+  // DiffFromSnapshot. Returns a negative value when the variant does not
+  // support attribution (the engine then commits nothing).
+  virtual double AttributeResidual(StopCriterion c, std::span<double> out) {
+    (void)c;
+    (void)out;
+    return -1.0;
+  }
 };
 
 // Runs the t-loop on the backend and returns the filled result (everything

@@ -17,6 +17,9 @@ class ThreadPool;
 namespace obs {
 class TraceSink;
 class MetricsRegistry;
+class MarketAttribution;
+class FlightRecorder;
+class StatusFileWriter;
 }  // namespace obs
 
 // Stopping rules used in the paper's experiments.
@@ -128,6 +131,21 @@ struct SeaOptions {
   // phase-seconds gauges, and per-check residual / check-interval
   // histograms into it. Null = no metrics overhead.
   obs::MetricsRegistry* metrics = nullptr;
+  // Per-market attribution table (obs/market_stats.hpp): the backend sizes
+  // it for the problem, the sweeps record per-market solve tallies, and the
+  // engine commits residual contributions + active-set churn at every check
+  // whose measure is finite. Null = no attribution overhead (the sweeps pay
+  // one branch per market). Exported via sea_solve --attribution-json and
+  // summarized by tools/market_report.
+  obs::MarketAttribution* attribution = nullptr;
+  // Flight recorder (obs/flight_recorder.hpp): receives begin/check/
+  // guardrail/termination events; on a guardrail failure (stall, breakdown,
+  // cancel, time budget) it dumps a postmortem if a dump path is set.
+  // Null = no recording.
+  obs::FlightRecorder* flight_recorder = nullptr;
+  // Live status snapshot (obs/status_file.hpp): rewritten atomically on
+  // check iterations and at termination. Null = no status file.
+  obs::StatusFileWriter* status_file = nullptr;
 };
 
 struct GeneralSeaOptions {

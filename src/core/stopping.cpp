@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "support/check.hpp"
 
@@ -40,6 +41,19 @@ double MaxRowResidual(StopCriterion c, std::span<const double> rowsums,
   for (std::size_t i = 0; i < rowsums.size(); ++i)
     measure = FoldRowResidual(c, rowsums[i], RowTarget(t, i), measure);
   return measure;
+}
+
+double EstimateItersToEpsilon(std::size_t it0, double m0, std::size_t it1,
+                              double m1, double epsilon) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  if (!(m0 > 0.0) || !(m1 > 0.0) || !std::isfinite(m0) ||
+      !std::isfinite(m1) || it1 <= it0)
+    return nan;
+  if (m1 <= epsilon) return 0.0;
+  const double rho =
+      std::pow(m1 / m0, 1.0 / static_cast<double>(it1 - it0));
+  if (!(rho < 1.0)) return nan;  // no contraction: extrapolation is undefined
+  return std::log(epsilon / m1) / std::log(rho);
 }
 
 }  // namespace sea

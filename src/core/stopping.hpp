@@ -43,4 +43,14 @@ double FoldRowResidual(StopCriterion c, double rowsum, double target,
 double MaxRowResidual(StopCriterion c, std::span<const double> rowsums,
                       const ResidualTargets& t);
 
+// ETA model for live introspection (obs/status_file.hpp): assuming the
+// linear-convergence regime measure_t ~ C * rho^t of iterative scaling,
+// fits rho to two consecutive defined measures (it0, m0) and (it1, m1) and
+// returns the expected number of FURTHER iterations until the measure
+// reaches epsilon. Returns 0 when m1 <= epsilon already, and NaN when no
+// estimate exists (non-positive or non-finite measures, it1 <= it0, or no
+// contraction observed — rho >= 1).
+double EstimateItersToEpsilon(std::size_t it0, double m0, std::size_t it1,
+                              double m1, double epsilon);
+
 }  // namespace sea

@@ -4,10 +4,12 @@
 #include <cmath>
 
 #include "equilibration/kernel_backend.hpp"
+#include "obs/market_stats.hpp"
 #include "obs/profiler.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/schedule.hpp"
 #include "support/check.hpp"
+#include "support/stopwatch.hpp"
 
 namespace sea {
 
@@ -97,12 +99,14 @@ SweepStats EquilibrateSide(const DenseMatrix& centers,
       opts.profile_phase != nullptr ? opts.profile_phase : "equilibrate.sweep";
   // Under a dynamic schedule a worker runs this body once per claimed chunk,
   // so per-worker accumulators use += throughout.
+  obs::MarketAttribution* attr = opts.attribution;
   ForRangeWorker(opts.pool, markets,
                  [&](std::size_t begin, std::size_t end, std::size_t w) {
     obs::ProfScope prof(phase);
     BreakpointWorkspace& wksp = ws[w];
     OpCounts local;
     std::uint64_t reuses = 0;
+    Stopwatch market_sw;
     for (std::size_t i = begin; i < end; ++i) {
       double u = 0.0, v = 0.0;
       ClearingTarget(side, i, u, v);
@@ -110,6 +114,7 @@ SweepStats EquilibrateSide(const DenseMatrix& centers,
           (x_out != nullptr) ? x_out->Row(i) : std::span<double>{};
       MarketOrder* order =
           opts.sort_cache != nullptr ? opts.sort_cache->At(i) : nullptr;
+      if (attr != nullptr) market_sw.Restart();
       BreakpointResult res;
       if (side.mode == TotalsMode::kInterval) {
         wksp.Resize(arcs);
@@ -128,6 +133,9 @@ SweepStats EquilibrateSide(const DenseMatrix& centers,
       }
       SEA_INTERNAL_CHECK(res.feasible);
       mult_out[i] = res.lambda;
+      if (attr != nullptr)
+        attr->RecordSolve(opts.attribution_base + i, res.active_count,
+                          res.ops.breakpoints, market_sw.Seconds());
       if (record_costs) stats.task_costs[i] = res.ops.Work();
       if (res.order_reused) ++reuses;
       local += res.ops;

@@ -32,6 +32,10 @@ namespace sea {
 class ThreadPool;
 class SweepScheduler;
 
+namespace obs {
+class MarketAttribution;
+}  // namespace obs
+
 // Per-market breakpoint orders persisted across sweeps for
 // SortPolicy::kReuse (docs/PARALLELISM.md, "Sort reuse"). One cache per
 // sweep side (markets keep their index between sweeps); each market is
@@ -109,6 +113,14 @@ struct SweepOptions {
   // Kernel backend executing the market solves (kernel_backend.hpp);
   // null = ScalarKernel(). Typically ResolveKernelBackend(opts.backend).
   const KernelBackend* kernel = nullptr;
+  // Per-market attribution (obs/market_stats.hpp): when set, every market
+  // solve records its active-set size, breakpoint count, and kernel seconds
+  // under slot attribution_base + market index (the caller maps sweep sides
+  // into the table: rows at base 0, columns at base m). Each market is
+  // touched by exactly one worker per sweep, so the recording is
+  // synchronization-free; null costs one branch per market.
+  obs::MarketAttribution* attribution = nullptr;
+  std::size_t attribution_base = 0;
 };
 
 // Equilibrates all markets of one side.

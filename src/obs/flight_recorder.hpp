@@ -1,0 +1,95 @@
+// In-memory flight recorder for solver postmortems (docs/ROBUSTNESS.md,
+// docs/OBSERVABILITY.md "Flight recorder").
+//
+// The guardrail statuses (stalled, numerical-breakdown, cancelled,
+// time-budget-exceeded) used to surface as a bare enum with no evidence
+// trail. The FlightRecorder keeps a fixed-capacity ring of recent engine
+// events (begin/check/breakdown/stall/guardrail/termination) plus a
+// last-good-iterate summary; when a solve terminates in one of the four
+// guardrail failure classes and a dump path is set, it writes the ring
+// atomically (temp file + rename) to a JSONL postmortem that the flat trace
+// parser (obs/trace_reader.hpp) can read back.
+//
+// Recording is O(1) per event into preallocated storage, single-threaded
+// (the engine records only from the solve thread, never inside a sweep),
+// and the ring survives across chained solves (general SEA's inner runs),
+// so the postmortem shows the events leading up to the failure even when
+// the failing solve was warm-started. Pay-for-use as usual:
+// SeaOptions::flight_recorder is null by default.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/solve_status.hpp"
+#include "support/stopwatch.hpp"
+
+namespace sea::obs {
+
+class FlightRecorder {
+ public:
+  // Kinds of recorded events; serialized under these stable names.
+  enum class EventKind : std::uint8_t {
+    kBegin,        // engine run started (value = max_iterations)
+    kCheck,        // check iteration (value = measure; NaN when undefined)
+    kBreakdown,    // non-finite measure observed, last-good iterate restored
+    kStallTrip,    // stall detector tripped (value = frozen measure)
+    kCancelPoll,   // cancellation observed at a check poll
+    kBudgetPoll,   // time budget observed expired at a check poll
+    kTermination,  // engine returned (value = final residual)
+  };
+  static const char* ToString(EventKind k);
+
+  explicit FlightRecorder(std::size_t capacity = 256);
+
+  // Enables the automatic postmortem dump on guardrail termination.
+  void SetDumpPath(std::string path) { dump_path_ = std::move(path); }
+  const std::string& dump_path() const { return dump_path_; }
+
+  // Engine hooks (solve thread only).
+  void Record(EventKind kind, std::size_t iteration, double value);
+  void NoteGoodIterate(std::size_t iteration, double measure) {
+    last_good_iteration_ = iteration;
+    last_good_measure_ = measure;
+    have_good_ = true;
+  }
+  // Records the termination event and, when `status` is one of the four
+  // guardrail failure classes and a dump path is set, writes the postmortem.
+  void OnTermination(SolveStatus status, std::size_t iterations,
+                     double final_residual, double wall_seconds);
+
+  // Writes the postmortem JSONL (header, last-good summary, ring events
+  // oldest to newest) atomically. Fail-soft: returns false and leaves any
+  // existing file untouched on a write failure (failpoint
+  // sea.obs.postmortem_write forces that path).
+  bool WritePostmortem(const std::string& path) const;
+
+  std::size_t capacity() const { return ring_.size(); }
+  std::size_t recorded() const { return recorded_; }
+  bool dumped() const { return dumped_; }
+
+ private:
+  struct Event {
+    double seconds = 0.0;  // since recorder construction
+    EventKind kind = EventKind::kBegin;
+    std::size_t iteration = 0;
+    double value = 0.0;
+  };
+
+  std::vector<Event> ring_;
+  std::size_t recorded_ = 0;  // total events ever recorded
+  Stopwatch clock_;           // one time base across chained solves
+  std::string dump_path_;
+  SolveStatus last_status_ = SolveStatus::kMaxIterations;
+  double wall_seconds_ = 0.0;
+  std::size_t iterations_ = 0;
+  double final_residual_ = 0.0;
+  std::size_t last_good_iteration_ = 0;
+  double last_good_measure_ = 0.0;
+  bool have_good_ = false;
+  bool dumped_ = false;
+};
+
+}  // namespace sea::obs

@@ -13,7 +13,10 @@
 // fields may appear, existing ones never change meaning —
 // docs/OBSERVABILITY.md). Version 2 added the bench provenance fields
 // (git_sha/build_type/timestamp/wall/cpu/peak-RSS) and the per-phase
-// profiler breakdown.
+// profiler breakdown. Version 3 added the forensics documents: per-market
+// attribution JSONL, flight-recorder postmortems, and the --status-file
+// snapshot (obs/market_stats.hpp, obs/flight_recorder.hpp,
+// obs/status_file.hpp).
 #pragma once
 
 #include <cstdint>
@@ -31,7 +34,7 @@ struct PoolStats;
 namespace obs {
 
 // Current version stamped into every exported document and trace event.
-inline constexpr int kTelemetrySchemaVersion = 2;
+inline constexpr int kTelemetrySchemaVersion = 3;
 
 std::string JsonEscape(const std::string& s);
 // Shortest decimal that round-trips to the same double; "null" for

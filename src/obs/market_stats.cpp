@@ -1,0 +1,130 @@
+#include "obs/market_stats.hpp"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "obs/json_export.hpp"
+#include "support/check.hpp"
+
+namespace sea::obs {
+
+void MarketAttribution::Reset(std::size_t rows, std::size_t cols,
+                              std::size_t reserve_checks) {
+  rows_ = rows;
+  cols_ = cols;
+  const std::size_t markets = rows + cols;
+  solves_.assign(markets, 0);
+  breakpoints_.assign(markets, 0);
+  kernel_seconds_.assign(markets, 0.0);
+  active_.assign(markets, 0);
+  prev_active_.assign(markets, 0);
+  churn_.assign(markets, 0);
+  residual_scratch_.assign(rows, 0.0);
+  checks_.clear();
+  checks_.reserve(reserve_checks);
+  residuals_.clear();
+  residuals_.reserve(reserve_checks * rows);
+  baselined_ = false;
+}
+
+void MarketAttribution::CommitCheck(std::size_t iteration, double measure,
+                                    double residual_l1) {
+  CheckRow row;
+  row.iteration = iteration;
+  row.measure = measure;
+  row.residual_l1 = residual_l1;
+  if (baselined_) {
+    std::uint64_t total = 0;
+    for (std::size_t s = 0; s < active_.size(); ++s) {
+      const std::uint64_t d = active_[s] >= prev_active_[s]
+                                  ? active_[s] - prev_active_[s]
+                                  : prev_active_[s] - active_[s];
+      churn_[s] += d;
+      total += d;
+    }
+    row.churn = total;
+  }
+  prev_active_ = active_;
+  baselined_ = true;
+  checks_.push_back(row);
+  residuals_.insert(residuals_.end(), residual_scratch_.begin(),
+                    residual_scratch_.end());
+}
+
+std::span<const double> MarketAttribution::residuals_at(
+    std::size_t check) const {
+  SEA_CHECK(check < checks_.size());
+  return {residuals_.data() + check * rows_, rows_};
+}
+
+std::uint64_t MarketAttribution::total_solves() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t s : solves_) total += s;
+  return total;
+}
+
+std::uint64_t MarketAttribution::total_churn() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t c : churn_) total += c;
+  return total;
+}
+
+bool MarketAttribution::WriteJsonl(const std::string& path, double epsilon,
+                                   const char* criterion) const {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f.good()) return false;
+
+  f << JsonObj()
+           .Field("schema", kTelemetrySchemaVersion)
+           .Field("type", "attribution")
+           .Field("rows", static_cast<std::uint64_t>(rows_))
+           .Field("cols", static_cast<std::uint64_t>(cols_))
+           .Field("checks", static_cast<std::uint64_t>(checks_.size()))
+           .Field("epsilon", epsilon)
+           .Field("criterion", criterion)
+           .Str()
+    << '\n';
+
+  for (std::size_t c = 0; c < checks_.size(); ++c) {
+    const CheckRow& row = checks_[c];
+    f << JsonObj()
+             .Field("type", "attribution_check")
+             .Field("iter", static_cast<std::uint64_t>(row.iteration))
+             .Field("measure", row.measure)
+             .Field("residual_l1", row.residual_l1)
+             .Field("churn", row.churn)
+             .Str()
+      << '\n';
+    const std::span<const double> res = residuals_at(c);
+    for (std::size_t i = 0; i < res.size(); ++i) {
+      f << JsonObj()
+               .Field("type", "attribution_residual")
+               .Field("iter", static_cast<std::uint64_t>(row.iteration))
+               .Field("market", static_cast<std::uint64_t>(i))
+               .Field("residual", res[i])
+               .Str()
+        << '\n';
+    }
+  }
+
+  for (std::size_t s = 0; s < markets(); ++s) {
+    const bool is_row = s < rows_;
+    f << JsonObj()
+             .Field("type", "attribution_market")
+             .Field("market", static_cast<std::uint64_t>(s))
+             .Field("side", is_row ? "row" : "col")
+             .Field("index", static_cast<std::uint64_t>(is_row ? s : s - rows_))
+             .Field("solves", solves_[s])
+             .Field("breakpoints", breakpoints_[s])
+             .Field("kernel_seconds", kernel_seconds_[s])
+             .Field("active", static_cast<std::uint64_t>(active_[s]))
+             .Field("churn", churn_[s])
+             .Str()
+      << '\n';
+  }
+
+  f.flush();
+  return f.good();
+}
+
+}  // namespace sea::obs

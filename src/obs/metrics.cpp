@@ -1,8 +1,11 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <ostream>
 
+#include "obs/json_export.hpp"
 #include "parallel/thread_pool.hpp"
 #include "support/check.hpp"
 
@@ -139,6 +142,62 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   for (const auto& e : histograms_)
     snap.histograms.emplace_back(e.name, e.metric->Snapshot());
   return snap;
+}
+
+// --------------------------------------------------------------- prometheus
+
+namespace {
+
+// Metric-name charset per the exposition format: [a-zA-Z0-9_:], with dots
+// (our canonical separator) and anything else mapped to '_'.
+std::string PromName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+// Prometheus renders values as Go floats: unlike JSON it HAS NaN/Inf
+// spellings, so this differs from JsonNumber only on non-finite values.
+std::string PromNumber(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  return JsonNumber(v);
+}
+
+}  // namespace
+
+void WritePrometheus(std::ostream& os, const MetricsSnapshot& snapshot) {
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string n = PromName(name) + "_total";
+    os << "# TYPE " << n << " counter\n" << n << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string n = PromName(name);
+    os << "# TYPE " << n << " gauge\n" << n << ' ' << PromNumber(value)
+       << '\n';
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string n = PromName(name);
+    os << "# TYPE " << n << " histogram\n";
+    // Buckets are cumulative in the exposition format; ours are disjoint.
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      cum += h.counts[b];
+      os << n << "_bucket{le=\"" << PromNumber(h.bounds[b]) << "\"} " << cum
+         << '\n';
+    }
+    os << n << "_bucket{le=\"+Inf\"} " << h.total_count << '\n';
+    os << n << "_sum " << PromNumber(h.sum) << '\n';
+    os << n << "_count " << h.total_count << '\n';
+  }
+}
+
+void MetricsRegistry::WritePrometheus(std::ostream& os) const {
+  obs::WritePrometheus(os, Snapshot());
 }
 
 // --------------------------------------------------------- pool utilization

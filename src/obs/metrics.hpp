@@ -16,6 +16,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -140,6 +141,10 @@ class MetricsRegistry {
 
   MetricsSnapshot Snapshot() const;
 
+  // Convenience: Snapshot() rendered in Prometheus text exposition format
+  // (see the free WritePrometheus below).
+  void WritePrometheus(std::ostream& os) const;
+
  private:
   template <typename T>
   struct Entry {
@@ -157,6 +162,16 @@ class MetricsRegistry {
 // under the "pool." prefix: region count, region wall seconds, per-worker
 // busy seconds, and chunk-imbalance gauges.
 void RecordPoolMetrics(MetricsRegistry& registry, const PoolStats& stats);
+
+// Renders a snapshot in the Prometheus text exposition format (version
+// 0.0.4) for scraping — the wire format the future sea_serve daemon
+// exposes. Dotted metric names are sanitized (every character outside
+// [a-zA-Z0-9_:] becomes '_', so "sea.check.residual" exports as
+// "sea_check_residual"); counters gain the conventional "_total" suffix;
+// histograms export as cumulative <name>_bucket{le="..."} series ending in
+// le="+Inf", plus <name>_sum and <name>_count. Every family is preceded by
+// its "# TYPE" line.
+void WritePrometheus(std::ostream& os, const MetricsSnapshot& snapshot);
 
 // Quantile estimate (q in [0, 1]) from a fixed-bucket snapshot: finds the
 // bucket containing the q-th ranked observation and interpolates linearly

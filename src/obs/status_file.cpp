@@ -1,0 +1,84 @@
+#include "obs/status_file.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <utility>
+
+#include "core/stopping.hpp"
+#include "obs/json_export.hpp"
+
+namespace sea::obs {
+
+StatusFileWriter::StatusFileWriter(std::string path, double epsilon,
+                                   double min_interval_seconds)
+    : path_(std::move(path)),
+      epsilon_(epsilon),
+      min_interval_(min_interval_seconds),
+      eta_iterations_(std::numeric_limits<double>::quiet_NaN()) {}
+
+void StatusFileWriter::OnCheck(const IterationEvent& ev) {
+  last_event_ = ev;
+  if (ev.measure_defined && std::isfinite(ev.measure)) {
+    if (have_prev_)
+      eta_iterations_ = EstimateItersToEpsilon(
+          prev_iteration_, prev_measure_, ev.iteration, ev.measure, epsilon_);
+    prev_iteration_ = ev.iteration;
+    prev_measure_ = ev.measure;
+    have_prev_ = true;
+  }
+  const double now = clock_.Seconds();
+  if (last_write_seconds_ >= 0.0 && now - last_write_seconds_ < min_interval_)
+    return;  // throttled; the snapshot catches up at the next check
+  if (WriteSnapshot(ev, "iterating", "")) last_write_seconds_ = now;
+}
+
+void StatusFileWriter::OnTermination(SolveStatus status) {
+  WriteSnapshot(last_event_, "terminated", sea::ToString(status));
+}
+
+bool StatusFileWriter::WriteSnapshot(const IterationEvent& ev,
+                                     const char* phase, const char* status) {
+  const double elapsed = clock_.Seconds();
+  // Seconds-per-iteration so far scales the iteration ETA to wall time.
+  const double eta_seconds =
+      ev.iteration > 0
+          ? eta_iterations_ * (elapsed / static_cast<double>(ev.iteration))
+          : std::numeric_limits<double>::quiet_NaN();
+
+  JsonObj obj;
+  obj.Field("schema", kTelemetrySchemaVersion)
+      .Field("type", "status")
+      .Field("phase", phase);
+  if (*status != '\0') obj.Field("status", status);
+  obj.Field("iter", static_cast<std::uint64_t>(ev.iteration))
+      .Field("measure_defined", ev.measure_defined)
+      .Field("measure", ev.measure_defined
+                            ? ev.measure
+                            : std::numeric_limits<double>::quiet_NaN())
+      .Field("converged", ev.converged)
+      .Field("checks_compared", static_cast<std::uint64_t>(ev.checks_compared))
+      .Field("epsilon", epsilon_)
+      // NaN renders as null: "no estimate yet" is distinguishable from 0.
+      .Field("eta_iterations", eta_iterations_)
+      .Field("eta_seconds", eta_seconds)
+      .Field("elapsed_seconds", elapsed)
+      .Field("row_phase_seconds", ev.row_phase_seconds)
+      .Field("col_phase_seconds", ev.col_phase_seconds)
+      .Field("check_phase_seconds", ev.check_phase_seconds);
+
+  const std::string tmp = path_ + ".tmp";
+  std::ofstream f(tmp, std::ios::trunc);
+  if (!f.good()) return false;
+  f << obj.Str() << '\n';
+  f.close();
+  if (!f.good() || std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  ++writes_;
+  return true;
+}
+
+}  // namespace sea::obs

@@ -1,0 +1,57 @@
+// Live solve introspection via an atomically-replaced status file
+// (docs/OBSERVABILITY.md, "Live status file").
+//
+// A long-running solve is a black box to the outside world until it
+// returns. StatusFileWriter receives the engine's per-check IterationEvents
+// and maintains a single-line flat-JSON snapshot on disk — iteration,
+// stopping measure, phase seconds, and an ETA extrapolated from the
+// geometric convergence rate of the last two defined measures
+// (core/stopping.hpp, EstimateItersToEpsilon) — replaced atomically (temp
+// file + rename) so a dashboard, the future sea_serve daemon, or a plain
+// `watch cat` polls it without ever seeing a torn write. Writes are
+// throttled to min_interval_seconds; the first check and the termination
+// snapshot always write. Pay-for-use: SeaOptions::status_file is null by
+// default.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/options.hpp"
+#include "core/solve_status.hpp"
+#include "support/stopwatch.hpp"
+
+namespace sea::obs {
+
+class StatusFileWriter {
+ public:
+  // `epsilon` is the solve's stopping tolerance (feeds the ETA model).
+  StatusFileWriter(std::string path, double epsilon,
+                   double min_interval_seconds = 0.05);
+
+  // Engine hooks (solve thread only).
+  void OnCheck(const IterationEvent& ev);
+  void OnTermination(SolveStatus status);
+
+  const std::string& path() const { return path_; }
+  std::size_t writes() const { return writes_; }
+
+ private:
+  bool WriteSnapshot(const IterationEvent& ev, const char* phase,
+                     const char* status);
+
+  std::string path_;
+  double epsilon_;
+  double min_interval_;
+  Stopwatch clock_;
+  double last_write_seconds_ = -1.0;
+  std::size_t writes_ = 0;
+  // Previous defined (iteration, measure) pair for the rate estimate.
+  std::size_t prev_iteration_ = 0;
+  double prev_measure_ = 0.0;
+  bool have_prev_ = false;
+  double eta_iterations_ = 0.0;  // NaN until estimable
+  IterationEvent last_event_;
+};
+
+}  // namespace sea::obs

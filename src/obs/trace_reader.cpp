@@ -151,18 +151,24 @@ TraceEvent ParseTraceLine(const std::string& line) {
   return Parser(line).ParseObject();
 }
 
-std::vector<TraceEvent> ReadTraceJsonl(const std::string& path) {
+std::vector<TraceEvent> ReadTraceJsonl(const std::string& path,
+                                       std::size_t* lines_skipped) {
   std::ifstream f(path);
   SEA_CHECK_MSG(f.good(), "cannot open trace file: " + path);
   std::vector<TraceEvent> events;
   std::string line;
   std::size_t lineno = 0;
+  if (lines_skipped != nullptr) *lines_skipped = 0;
   while (std::getline(f, line)) {
     ++lineno;
     if (line.empty()) continue;
     try {
       events.push_back(ParseTraceLine(line));
     } catch (const std::exception& e) {
+      if (lines_skipped != nullptr) {
+        ++*lines_skipped;
+        continue;
+      }
       SEA_CHECK_MSG(false, path + ":" + std::to_string(lineno) + ": " +
                                e.what());
     }

@@ -30,8 +30,14 @@ struct TraceEvent {
 // Parses one flat JSON object; throws InvalidArgument on malformed input.
 TraceEvent ParseTraceLine(const std::string& line);
 
-// Reads every non-empty line of a JSONL file. Throws InvalidArgument on a
-// missing file or an unparsable line (the message names the line number).
-std::vector<TraceEvent> ReadTraceJsonl(const std::string& path);
+// Reads every non-empty line of a JSONL file. A missing file always throws
+// InvalidArgument. With lines_skipped == nullptr (strict mode) an
+// unparsable line throws too, the message naming the line number. With
+// lines_skipped non-null (tolerant mode) malformed or truncated lines —
+// e.g. the torn tail of a trace whose writer died mid-flush — are skipped
+// and counted into *lines_skipped instead, and every well-formed line still
+// parses; reports should surface the count rather than lose the whole run.
+std::vector<TraceEvent> ReadTraceJsonl(const std::string& path,
+                                       std::size_t* lines_skipped = nullptr);
 
 }  // namespace sea::obs

@@ -9,10 +9,12 @@
 #include "core/stopping.hpp"
 #include "equilibration/equilibrator.hpp"
 #include "equilibration/kernel_backend.hpp"
+#include "obs/market_stats.hpp"
 #include "obs/profiler.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/schedule.hpp"
 #include "support/check.hpp"
+#include "support/stopwatch.hpp"
 
 namespace sea {
 
@@ -47,13 +49,16 @@ SweepStats SparseSweep(const SparseMatrix& centers, const SparseMatrix& weights,
       opts.profile_phase != nullptr ? opts.profile_phase : "equilibrate.sweep";
   // Dynamic schedules invoke the body once per claimed chunk: accumulate
   // per-worker state with +=.
+  obs::MarketAttribution* attr = opts.attribution;
   ForRangeWorker(opts.pool, markets,
                  [&](std::size_t begin, std::size_t end, std::size_t w) {
     obs::ProfScope prof(phase);
     BreakpointWorkspace& wksp = ws[w];
     OpCounts local;
     std::uint64_t reuses = 0;
+    Stopwatch market_sw;
     for (std::size_t i = begin; i < end; ++i) {
+      if (attr != nullptr) market_sw.Restart();
       const auto cols = centers.RowCols(i);
       wksp.Resize(cols.size());
       kb.BuildArcsGather(centers.RowValues(i), weights.RowValues(i),
@@ -71,6 +76,9 @@ SweepStats SparseSweep(const SparseMatrix& centers, const SparseMatrix& weights,
                      x_out->MutableRowValues(i));
         res.ops.flops += 2 * cols.size();
       }
+      if (attr != nullptr)
+        attr->RecordSolve(opts.attribution_base + i, res.active_count,
+                          res.ops.breakpoints, market_sw.Seconds());
       if (record_costs) stats.task_costs[i] = res.ops.Work();
       if (res.order_reused) ++reuses;
       local += res.ops;
@@ -130,6 +138,8 @@ class SparseBackend final : public SeaIterationBackend {
     sweep_opts_.pool = opts.pool;
     sweep_opts_.record_task_costs = opts.record_trace;
     sweep_opts_.kernel = ResolveKernelBackend(opts.backend).kernel;
+    sweep_opts_.attribution = opts.attribution;
+    if (opts.attribution != nullptr) opts.attribution->Reset(p.m(), p.n());
     if (opts.sweep_schedule != ScheduleKind::kStatic) {
       row_scheduler_.emplace(opts.sweep_schedule, opts.sweep_grain);
       col_scheduler_.emplace(opts.sweep_schedule, opts.sweep_grain);
@@ -146,6 +156,7 @@ class SparseBackend final : public SeaIterationBackend {
     sweep_opts_.scheduler =
         row_scheduler_.has_value() ? &*row_scheduler_ : nullptr;
     sweep_opts_.sort_cache = row_orders_.size() > 0 ? &row_orders_ : nullptr;
+    sweep_opts_.attribution_base = 0;  // row markets: slots [0, m)
     return SparseSweep(p_.x0(), p_.gamma(), mu_, row_side_, lambda_, nullptr,
                        sweep_opts_);
   }
@@ -156,22 +167,25 @@ class SparseBackend final : public SeaIterationBackend {
     sweep_opts_.scheduler =
         col_scheduler_.has_value() ? &*col_scheduler_ : nullptr;
     sweep_opts_.sort_cache = col_orders_.size() > 0 ? &col_orders_ : nullptr;
+    sweep_opts_.attribution_base = p_.m();  // column markets: slots [m, m+n)
     return SparseSweep(x0_t_, gamma_t_, lambda_, col_side_, mu_,
                        materialize ? &xt_ : nullptr, sweep_opts_);
   }
 
   double ResidualMeasure(StopCriterion c) override {
-    std::fill(rowsum_.begin(), rowsum_.end(), 0.0);
-    // xt's rows are the original columns; its column ids are original rows.
-    for (std::size_t k = 0; k < xt_.nnz(); ++k)
-      rowsum_[xt_.ColIdx()[k]] += xt_.Values()[k];
-    ResidualTargets targets;
-    targets.mode = p_.mode();
-    targets.s0 = p_.s0();
-    targets.alpha = p_.alpha();
-    targets.lambda = lambda_;
-    targets.mu = mu_;
-    return MaxRowResidual(c, rowsum_, targets);
+    AccumulateRowSums();
+    return MaxRowResidual(c, rowsum_, Targets());
+  }
+
+  double AttributeResidual(StopCriterion c, std::span<double> out) override {
+    AccumulateRowSums();
+    const ResidualTargets targets = Targets();
+    double l1 = 0.0;
+    for (std::size_t i = 0; i < rowsum_.size(); ++i) {
+      out[i] = FoldRowResidual(c, rowsum_[i], RowTarget(targets, i), 0.0);
+      l1 += out[i];
+    }
+    return l1;
   }
 
   double DiffFromSnapshot() override {
@@ -206,6 +220,23 @@ class SparseBackend final : public SeaIterationBackend {
   }
 
  private:
+  void AccumulateRowSums() {
+    std::fill(rowsum_.begin(), rowsum_.end(), 0.0);
+    // xt's rows are the original columns; its column ids are original rows.
+    for (std::size_t k = 0; k < xt_.nnz(); ++k)
+      rowsum_[xt_.ColIdx()[k]] += xt_.Values()[k];
+  }
+
+  ResidualTargets Targets() const {
+    ResidualTargets targets;
+    targets.mode = p_.mode();
+    targets.s0 = p_.s0();
+    targets.alpha = p_.alpha();
+    targets.lambda = lambda_;
+    targets.mu = mu_;
+    return targets;
+  }
+
   const SparseDiagonalProblem& p_;
   const SparseMatrix& x0_t_;
   const SparseMatrix& gamma_t_;

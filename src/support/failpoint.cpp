@@ -1,5 +1,6 @@
 #include "support/failpoint.hpp"
 
+#include <cstdlib>
 #include <map>
 #include <mutex>
 #include <stdexcept>
@@ -70,6 +71,40 @@ std::uint64_t HitCount(const std::string& name) {
 void MaybeThrow(const char* name) {
   if (Triggered(name))
     throw std::runtime_error(std::string("failpoint ") + name + " fired");
+}
+
+std::size_t ArmFromSpec(const std::string& spec) {
+  std::size_t armed = 0;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string entry = spec.substr(start, comma - start);
+    start = comma + 1;
+    // Trim surrounding whitespace.
+    const std::size_t b = entry.find_first_not_of(" \t");
+    if (b == std::string::npos) continue;
+    const std::size_t e = entry.find_last_not_of(" \t");
+    entry = entry.substr(b, e - b + 1);
+    std::uint64_t at_hit = 1;
+    const std::size_t colon = entry.find(':');
+    std::string name = entry.substr(0, colon);
+    if (colon != std::string::npos) {
+      const std::uint64_t parsed =
+          std::strtoull(entry.c_str() + colon + 1, nullptr, 10);
+      if (parsed > 0) at_hit = parsed;
+    }
+    if (name.empty()) continue;
+    Arm(name, at_hit);
+    ++armed;
+  }
+  return armed;
+}
+
+std::size_t ArmFromEnv() {
+  const char* spec = std::getenv("SEA_FAILPOINTS");
+  if (spec == nullptr || *spec == '\0') return 0;
+  return ArmFromSpec(spec);
 }
 
 }  // namespace sea::fail

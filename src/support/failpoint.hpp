@@ -18,13 +18,22 @@
 //
 // Registered sites (append-only; grep SEA_FAILPOINT_SITE for ground truth):
 //   sea.engine.poison_measure   check measure becomes NaN (iteration engine)
+//   sea.engine.freeze_measure   check measure pinned at the previous check's
+//                               value (drives the stall detector)
 //   sea.entropy.poison_lambda   lambda[0] becomes NaN before a row sweep
 //   sea.pool.task               throws std::runtime_error inside a pool chunk
 //   sea.obs.trace_write         JSONL trace sink stream enters a failed state
 //   sea.obs.profile_write       profiler Chrome-trace export stream fails
+//   sea.obs.postmortem_write    flight-recorder postmortem write fails
+//
+// CLI fault injection: tools call ArmFromEnv() at startup, so CI smokes can
+// force a failure class on a production binary via the SEA_FAILPOINTS
+// environment variable ("site[:at_hit],site[:at_hit],..."). Library code
+// never reads the environment.
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -56,6 +65,15 @@ inline bool Triggered(const char* name) {
 
 // Throw-style site: throws std::runtime_error("failpoint <name> fired").
 void MaybeThrow(const char* name);
+
+// Arms every failpoint named in a "site[:at_hit],site[:at_hit],..." spec
+// (whitespace around separators tolerated; empty entries skipped; a missing
+// or unparsable :at_hit defaults to 1). Returns the number of sites armed.
+std::size_t ArmFromSpec(const std::string& spec);
+
+// ArmFromSpec over the SEA_FAILPOINTS environment variable; unset or empty
+// arms nothing. Call from tool main()s only.
+std::size_t ArmFromEnv();
 
 }  // namespace sea::fail
 

@@ -10,6 +10,8 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -17,6 +19,8 @@
 #include "core/diagonal_sea.hpp"
 #include "core/solve_status.hpp"
 #include "entropy/entropy_sea.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/trace_reader.hpp"
 #include "obs/trace_sink.hpp"
 #include "parallel/thread_pool.hpp"
 #include "support/cancel.hpp"
@@ -219,6 +223,133 @@ TEST_F(FaultTest, TinyTimeBudgetExceedsImmediately) {
   const auto run = SolveDiagonal(p, o);
   EXPECT_EQ(run.result.status, SolveStatus::kTimeBudgetExceeded);
   EXPECT_FALSE(run.result.converged());
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder: each guardrail failure class dumps a parseable
+// postmortem; a converged solve never does; a failed dump write degrades.
+
+// Strict-mode parse (a malformed postmortem fails the test) plus the
+// structural contract: header first with the failing status, a termination
+// event somewhere in the ring.
+void ExpectPostmortem(const std::string& path, const char* status) {
+  const auto events = obs::ReadTraceJsonl(path);
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.front().Type(), "postmortem");
+  ASSERT_TRUE(events.front().strings.count("status"));
+  EXPECT_EQ(events.front().strings.at("status"), status);
+  bool has_termination = false;
+  for (const auto& ev : events)
+    if (ev.Type() == "event" && ev.strings.count("kind") &&
+        ev.strings.at("kind") == "termination")
+      has_termination = true;
+  EXPECT_TRUE(has_termination);
+}
+
+TEST_F(FaultTest, StalledSolveDumpsPostmortem) {
+  const auto p = SmallFixedProblem();
+  SeaOptions o = TightOptions();
+  o.stall_checks = 3;
+  fail::Arm("sea.engine.freeze_measure", 2);  // pin from the 2nd check on
+  obs::FlightRecorder recorder;
+  const std::string path = ::testing::TempDir() + "/postmortem_stall.jsonl";
+  std::remove(path.c_str());
+  recorder.SetDumpPath(path);
+  o.flight_recorder = &recorder;
+  const auto run = SolveDiagonal(p, o);
+  EXPECT_EQ(run.result.status, SolveStatus::kStalled);
+  EXPECT_TRUE(recorder.dumped());
+  ExpectPostmortem(path, "stalled");
+}
+
+TEST_F(FaultTest, BreakdownDumpsPostmortem) {
+  const auto p = SmallFixedProblem();
+  SeaOptions o = TightOptions();
+  fail::Arm("sea.engine.poison_measure", 3);
+  obs::FlightRecorder recorder;
+  const std::string path =
+      ::testing::TempDir() + "/postmortem_breakdown.jsonl";
+  std::remove(path.c_str());
+  recorder.SetDumpPath(path);
+  o.flight_recorder = &recorder;
+  const auto run = SolveDiagonal(p, o);
+  EXPECT_EQ(run.result.status, SolveStatus::kNumericalBreakdown);
+  EXPECT_TRUE(recorder.dumped());
+  ExpectPostmortem(path, "numerical-breakdown");
+}
+
+TEST_F(FaultTest, CancelledSolveDumpsPostmortem) {
+  const auto p = SmallFixedProblem();
+  CancelToken cancel;
+  SeaOptions o = TightOptions();
+  o.cancel = &cancel;
+  // Cancel mid-run from the progress callback; the engine observes it at
+  // the next check-iteration poll.
+  o.progress = [&cancel](const IterationEvent& ev) {
+    if (ev.iteration >= 2) cancel.Cancel();
+  };
+  obs::FlightRecorder recorder;
+  const std::string path = ::testing::TempDir() + "/postmortem_cancel.jsonl";
+  std::remove(path.c_str());
+  recorder.SetDumpPath(path);
+  o.flight_recorder = &recorder;
+  const auto run = SolveDiagonal(p, o);
+  EXPECT_EQ(run.result.status, SolveStatus::kCancelled);
+  EXPECT_TRUE(recorder.dumped());
+  ExpectPostmortem(path, "cancelled");
+}
+
+TEST_F(FaultTest, BudgetExceededDumpsPostmortem) {
+  const auto p = SmallFixedProblem();
+  SeaOptions o = TightOptions();
+  o.max_iterations = 1000000;
+  o.time_budget_seconds = 1e-12;
+  obs::FlightRecorder recorder;
+  const std::string path = ::testing::TempDir() + "/postmortem_budget.jsonl";
+  std::remove(path.c_str());
+  recorder.SetDumpPath(path);
+  o.flight_recorder = &recorder;
+  const auto run = SolveDiagonal(p, o);
+  EXPECT_EQ(run.result.status, SolveStatus::kTimeBudgetExceeded);
+  EXPECT_TRUE(recorder.dumped());
+  ExpectPostmortem(path, "time-budget-exceeded");
+}
+
+TEST_F(FaultTest, ConvergedSolveDoesNotDump) {
+  const auto p = SmallFixedProblem();
+  SeaOptions o;  // default epsilon: converges
+  obs::FlightRecorder recorder;
+  const std::string path = ::testing::TempDir() + "/postmortem_none.jsonl";
+  std::remove(path.c_str());
+  recorder.SetDumpPath(path);
+  o.flight_recorder = &recorder;
+  const auto run = SolveDiagonal(p, o);
+  EXPECT_TRUE(run.result.converged());
+  EXPECT_FALSE(recorder.dumped());
+  std::ifstream check(path);
+  EXPECT_FALSE(check.good());  // no file on the success path
+  // The recorder still holds the run's events for a manual dump.
+  EXPECT_GE(recorder.recorded(), 2u);  // begin + termination at minimum
+}
+
+TEST_F(FaultTest, PostmortemWriteFailureDegradesNotTheResult) {
+  const auto p = SmallFixedProblem();
+  SeaOptions o = TightOptions();
+  o.stall_checks = 3;
+  fail::Arm("sea.engine.freeze_measure", 2);
+  fail::Arm("sea.obs.postmortem_write");
+  obs::FlightRecorder recorder;
+  const std::string path = ::testing::TempDir() + "/postmortem_fail.jsonl";
+  std::remove(path.c_str());
+  recorder.SetDumpPath(path);
+  o.flight_recorder = &recorder;
+  const auto run = SolveDiagonal(p, o);
+  // The solve result is untouched by the failed dump, and no partial file
+  // is published (the temp never got renamed into place).
+  EXPECT_EQ(run.result.status, SolveStatus::kStalled);
+  EXPECT_FALSE(recorder.dumped());
+  std::ifstream check(path);
+  EXPECT_FALSE(check.good());
 }
 
 }  // namespace

@@ -24,8 +24,18 @@
 // Totals files: one value per line (or a single CSV row).
 // Telemetry (docs/OBSERVABILITY.md): --metrics-json writes one JSON document
 // with the solve result, metric counters/histograms, and thread-pool
-// utilization; --trace-jsonl streams one JSON event per convergence check
-// (readable with tools/trace_report).
+// utilization; --metrics-prom writes the same registry in Prometheus text
+// exposition format; --trace-jsonl streams one JSON event per convergence
+// check (readable with tools/trace_report).
+//
+// Convergence forensics (docs/OBSERVABILITY.md, "Convergence forensics"):
+// --attribution-json records per-market residual/breakpoint/active-set
+// attribution (summarize with tools/market_report); --postmortem-json arms
+// the flight recorder to dump a JSONL postmortem when the solve ends in a
+// guardrail failure class; --status-file maintains a live, atomically
+// replaced JSON snapshot of the running solve. The SEA_FAILPOINTS
+// environment variable ("site[:at_hit],...") arms fault-injection
+// failpoints for CI smokes (docs/ROBUSTNESS.md).
 //
 // Exit codes (docs/ROBUSTNESS.md) follow sea::ExitCodeFor:
 //   0 converged          5 time budget exceeded   8 numerical breakdown
@@ -44,15 +54,19 @@
 #include "datasets/weights.hpp"
 #include "equilibration/kernel_backend.hpp"
 #include "io/csv.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/json_export.hpp"
+#include "obs/market_stats.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
+#include "obs/status_file.hpp"
 #include "obs/trace_sink.hpp"
 #include "parallel/thread_pool.hpp"
 #include "problems/feasibility.hpp"
 #include "problems/validate.hpp"
 #include "sparse/feasibility_flow.hpp"
 #include "support/check.hpp"
+#include "support/failpoint.hpp"
 
 namespace {
 
@@ -88,10 +102,20 @@ using namespace sea;
          "iteration)\n"
          "           --out estimate.csv       (default: stdout summary "
          "only)\n"
+         "           --stall-checks <N>       (stall detector window; 0 "
+         "disables, default 50)\n"
          "           --metrics-json <path>    (write result + metrics as "
          "JSON)\n"
+         "           --metrics-prom <path>    (write metrics in Prometheus "
+         "text exposition format)\n"
          "           --trace-jsonl <path>     (stream per-check trace "
          "events)\n"
+         "           --attribution-json <path> (per-market attribution "
+         "JSONL; summarize with market_report)\n"
+         "           --postmortem-json <path> (flight-recorder dump on "
+         "stall/breakdown/cancel/budget failures)\n"
+         "           --status-file <path>     (live solve snapshot, "
+         "atomically replaced per check)\n"
          "           --profile-json <path>    (export phase spans as Chrome "
          "trace JSON for Perfetto)\n"
          "           --profile-summary        (print the per-phase profile "
@@ -107,7 +131,9 @@ const std::set<std::string>& ValueFlags() {
       "weights",   "epsilon",    "criterion",    "check-every", "max-iters",
       "slack",     "threads",    "out",          "metrics-json",
       "trace-jsonl", "time-budget", "profile-json",
-      "schedule",  "grain",      "sort",         "backend"};
+      "schedule",  "grain",      "sort",         "backend",
+      "stall-checks", "metrics-prom", "attribution-json",
+      "postmortem-json", "status-file"};
   return flags;
 }
 
@@ -143,6 +169,28 @@ std::size_t ParseSize(const std::string& value, const std::string& context) {
 
 Vector ReadTotals(const std::string& path) { return ReadVectorCsv(path); }
 
+// Exit-path telemetry flush: even when the solve never ran (pre-flight
+// infeasibility cut, input error), a requested --metrics-json still gets a
+// parseable document carrying whatever solver.status.* counters were
+// recorded before the failure (docs/OBSERVABILITY.md, "Exit-path flush").
+void WriteFailureMetrics(const std::string& path, const std::string& mode,
+                         const std::string& error,
+                         const obs::MetricsRegistry& metrics) {
+  std::ofstream f(path);
+  if (!f.good()) {
+    std::cerr << "warning: cannot open metrics file for writing: " << path
+              << '\n';
+    return;
+  }
+  obs::JsonObj doc;
+  doc.Field("schema", obs::kTelemetrySchemaVersion)
+      .Field("tool", "sea_solve")
+      .Field("mode", mode)
+      .Field("error", error)
+      .Raw("metrics", obs::ToJson(metrics.Snapshot()));
+  f << doc.Str() << '\n';
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -166,6 +214,26 @@ int main(int argc, char** argv) {
       (mode != "fixed" && mode != "elastic" && mode != "interval" &&
        mode != "sam" && mode != "check"))
     Usage(argv[0]);
+
+  // CI fault injection (docs/ROBUSTNESS.md): arm any failpoints named in
+  // the SEA_FAILPOINTS environment variable before the solve starts.
+  if (const std::size_t armed = fail::ArmFromEnv(); armed > 0)
+    std::cerr << "note: armed " << armed
+              << " failpoint(s) from SEA_FAILPOINTS\n";
+
+  // The registry outlives the try block so failure paths can still flush
+  // the solver.status.* counters recorded before the exit.
+  obs::MetricsRegistry metrics;
+  const bool want_metrics_json = args.count("metrics-json") > 0;
+  const bool want_metrics_prom = args.count("metrics-prom") > 0;
+  const auto flush_failure_metrics = [&](const std::string& error) {
+    if (want_metrics_json)
+      WriteFailureMetrics(args["metrics-json"], mode, error, metrics);
+    if (want_metrics_prom) {
+      std::ofstream pf(args["metrics-prom"]);
+      if (pf.good()) metrics.WritePrometheus(pf);
+    }
+  };
 
   try {
     const DenseMatrix x0 = ReadMatrixCsv(args["matrix"]);
@@ -231,6 +299,11 @@ int main(int argc, char** argv) {
                     << (preflight.diagnoses.size() == 1 ? "is" : "es")
                     << "):\n"
                     << preflight.Summary() << '\n';
+          metrics
+              .GetCounter(std::string("solver.status.") +
+                          ToString(SolveStatus::kInfeasible))
+              .Add(1);
+          flush_failure_metrics("preflight infeasible");
           return ExitCodeFor(SolveStatus::kInfeasible);
         }
         problem = DiagonalProblem::MakeFixed(x0, gamma, s0, d0);
@@ -282,6 +355,8 @@ int main(int argc, char** argv) {
       opts.max_iterations = ParseSize(args["max-iters"], "--max-iters");
       if (opts.max_iterations == 0) Usage(argv[0], "--max-iters must be >= 1");
     }
+    if (args.count("stall-checks"))
+      opts.stall_checks = ParseSize(args["stall-checks"], "--stall-checks");
     if (args.count("time-budget")) {
       opts.time_budget_seconds =
           ParseDouble(args["time-budget"], "--time-budget");
@@ -348,15 +423,30 @@ int main(int argc, char** argv) {
     }
 
     // Opt-in telemetry: structured trace + metrics registry + pool stats.
-    obs::MetricsRegistry metrics;
     std::unique_ptr<obs::JsonlTraceSink> trace_sink;
     if (args.count("trace-jsonl")) {
       trace_sink = std::make_unique<obs::JsonlTraceSink>(args["trace-jsonl"]);
       opts.trace_sink = trace_sink.get();
     }
-    if (args.count("metrics-json")) {
+    if (want_metrics_json || want_metrics_prom) {
       opts.metrics = &metrics;
       pool.EnableStats(true);
+    }
+
+    // Convergence forensics: per-market attribution table, guardrail flight
+    // recorder, and live status snapshot — pay-for-use, wired on request.
+    obs::MarketAttribution attribution;
+    if (args.count("attribution-json")) opts.attribution = &attribution;
+    obs::FlightRecorder recorder;
+    if (args.count("postmortem-json")) {
+      recorder.SetDumpPath(args["postmortem-json"]);
+      opts.flight_recorder = &recorder;
+    }
+    std::unique_ptr<obs::StatusFileWriter> status_writer;
+    if (args.count("status-file")) {
+      status_writer = std::make_unique<obs::StatusFileWriter>(
+          args["status-file"], opts.epsilon);
+      opts.status_file = status_writer.get();
     }
 
     // Profiler: attached for the solve only, so the trace/summary covers
@@ -413,8 +503,28 @@ int main(int argc, char** argv) {
       std::cout << "trace jsonl:    " << args["trace-jsonl"] << " ("
                 << trace_sink->events_written() << " events)\n";
     }
-    if (args.count("metrics-json")) {
+    if (args.count("attribution-json")) {
+      // Fail-soft like the profile export: a write failure degrades the
+      // forensics output, never the solve or its exit code.
+      if (attribution.WriteJsonl(args["attribution-json"], opts.epsilon,
+                                 ToString(opts.criterion))) {
+        std::cout << "attribution:    " << args["attribution-json"] << " ("
+                  << attribution.checks().size() << " checks, "
+                  << attribution.markets() << " markets)\n";
+      } else {
+        std::cerr << "warning: could not write attribution to "
+                  << args["attribution-json"] << '\n';
+      }
+    }
+    if (status_writer)
+      std::cout << "status file:    " << status_writer->path() << " ("
+                << status_writer->writes() << " writes)\n";
+    if (opts.flight_recorder != nullptr && recorder.dumped())
+      std::cout << "postmortem:     " << args["postmortem-json"] << " ("
+                << recorder.recorded() << " events recorded)\n";
+    if (want_metrics_json || want_metrics_prom)
       obs::RecordPoolMetrics(metrics, pool.Stats());
+    if (want_metrics_json) {
       std::ofstream f(args["metrics-json"]);
       SEA_CHECK_MSG(f.good(), "cannot open metrics file for writing: " +
                                   args["metrics-json"]);
@@ -441,6 +551,13 @@ int main(int argc, char** argv) {
       f << doc.Str() << '\n';
       std::cout << "metrics json:   " << args["metrics-json"] << '\n';
     }
+    if (want_metrics_prom) {
+      std::ofstream pf(args["metrics-prom"]);
+      SEA_CHECK_MSG(pf.good(), "cannot open prometheus file for writing: " +
+                                   args["metrics-prom"]);
+      metrics.WritePrometheus(pf);
+      std::cout << "metrics prom:   " << args["metrics-prom"] << '\n';
+    }
 
     if (args.count("out")) {
       WriteMatrixCsv(args["out"], run.solution.x);
@@ -449,6 +566,7 @@ int main(int argc, char** argv) {
     return ExitCodeFor(run.result.status);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
+    flush_failure_metrics(e.what());
     return 3;
   }
 }

@@ -192,7 +192,10 @@ int main(int argc, char** argv) {
     return 2;
   }
   try {
-    const auto events = sea::obs::ReadTraceJsonl(trace_path);
+    // Tolerant read: a torn tail line (solver killed mid-write) degrades to
+    // a note, not a parse failure on the whole report.
+    std::size_t lines_skipped = 0;
+    const auto events = sea::obs::ReadTraceJsonl(trace_path, &lines_skipped);
     std::vector<const TraceEvent*> checks, outers;
     std::map<std::string, std::size_t> unknown_kinds;
     int schema = 0;
@@ -209,6 +212,9 @@ int main(int argc, char** argv) {
     std::cout << "trace:           " << trace_path << " — " << checks.size()
               << " check events, " << outers.size()
               << " outer events (schema " << schema << ")\n";
+    if (lines_skipped > 0)
+      std::cout << "note: skipped " << lines_skipped
+                << " malformed line(s)\n";
     // Append-only schema: unknown kinds are future additions, not errors.
     for (const auto& [kind, count] : unknown_kinds)
       std::cout << "note: skipped " << count << " event(s) of unknown kind \""
