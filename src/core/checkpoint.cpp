@@ -1,0 +1,251 @@
+#include "core/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "problems/diagonal_problem.hpp"
+#include "support/crc32.hpp"
+#include "support/hash.hpp"
+
+namespace sea {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'E', 'A', 'C', 'K', 'P', 'T', '\0'};
+
+void PutU32(std::string& out, std::uint32_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void PutU64(std::string& out, std::uint64_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void PutF64(std::string& out, double v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void PutDoubles(std::string& out, const std::vector<double>& v) {
+  PutU64(out, v.size());
+  out.append(reinterpret_cast<const char*>(v.data()),
+             v.size() * sizeof(double));
+}
+
+// Bounds-checked sequential reader over the decoded byte range.
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  bool GetU32(std::uint32_t* v) { return GetRaw(v, sizeof(*v)); }
+  bool GetU64(std::uint64_t* v) { return GetRaw(v, sizeof(*v)); }
+  bool GetF64(double* v) { return GetRaw(v, sizeof(*v)); }
+  bool GetU8(std::uint8_t* v) { return GetRaw(v, sizeof(*v)); }
+
+  bool GetDoubles(std::vector<double>* v) {
+    std::uint64_t count = 0;
+    if (!GetU64(&count)) return false;
+    if (count > Remaining() / sizeof(double)) return false;
+    v->resize(static_cast<std::size_t>(count));
+    return GetRaw(v->data(), v->size() * sizeof(double));
+  }
+
+  bool GetBytes(std::vector<std::uint8_t>* v) {
+    std::uint64_t count = 0;
+    if (!GetU64(&count)) return false;
+    if (count > Remaining()) return false;
+    v->resize(static_cast<std::size_t>(count));
+    return GetRaw(v->data(), v->size());
+  }
+
+  std::size_t Remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  bool GetRaw(void* dst, std::size_t len) {
+    if (len > Remaining()) return false;
+    std::memcpy(dst, bytes_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+CheckpointLoadResult Fail(DiagnosisCode code, std::string message) {
+  CheckpointLoadResult r;
+  r.diagnosis = Diagnosis{code, Diagnosis::kNoIndex, Diagnosis::kNoIndex,
+                          std::move(message)};
+  return r;
+}
+
+}  // namespace
+
+std::string EncodeCheckpoint(const CheckpointState& s) {
+  std::string out;
+  out.reserve(128 + sizeof(double) * (s.lambda.size() + s.mu.size() +
+                                      s.snapshot.size()) +
+              s.recovery_rungs.size());
+  out.append(kMagic, sizeof(kMagic));
+  PutU32(out, kCheckpointVersion);
+  PutU32(out, static_cast<std::uint32_t>(s.criterion));
+  PutU64(out, s.fingerprint);
+  PutU64(out, s.m);
+  PutU64(out, s.n);
+  PutU64(out, s.iteration);
+  PutU64(out, s.checks_compared);
+  PutU64(out, s.stall_streak);
+  PutF64(out, s.stall_prev);
+  PutF64(out, s.final_residual);
+  out.push_back(s.have_snapshot ? '\1' : '\0');
+  out.push_back(static_cast<char>(s.rung));
+  PutU64(out, s.rung_attempts);
+  PutU64(out, s.damp_iters_left);
+  PutU64(out, s.recovered_count);
+  PutU64(out, s.recovery_rungs.size());
+  out.append(reinterpret_cast<const char*>(s.recovery_rungs.data()),
+             s.recovery_rungs.size());
+  PutDoubles(out, s.lambda);
+  PutDoubles(out, s.mu);
+  PutDoubles(out, s.snapshot);
+  PutU32(out, support::Crc32(out));
+  return out;
+}
+
+CheckpointLoadResult DecodeCheckpoint(std::string_view bytes) {
+  // Order matters: magic identifies the file family, version decides
+  // whether this build can read it at all, the CRC separates "incompatible
+  // revision" from "corrupt or truncated", and only then are fields parsed.
+  if (bytes.size() < sizeof(kMagic) + 2 * sizeof(std::uint32_t) ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
+    return Fail(DiagnosisCode::kCheckpointMalformed,
+                "not a SEA checkpoint (bad magic or too short)");
+  std::uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + sizeof(kMagic), sizeof(version));
+  if (version != kCheckpointVersion) {
+    std::ostringstream msg;
+    msg << "checkpoint format version " << version << "; this build reads "
+        << kCheckpointVersion;
+    return Fail(DiagnosisCode::kCheckpointVersionSkew, msg.str());
+  }
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, bytes.data() + bytes.size() - sizeof(stored_crc),
+              sizeof(stored_crc));
+  const std::uint32_t computed_crc =
+      support::Crc32(bytes.data(), bytes.size() - sizeof(stored_crc));
+  if (stored_crc != computed_crc)
+    return Fail(DiagnosisCode::kCheckpointMalformed,
+                "CRC mismatch (corrupt or truncated checkpoint)");
+
+  Reader r(bytes.substr(sizeof(kMagic) + sizeof(std::uint32_t),
+                        bytes.size() - sizeof(kMagic) -
+                            2 * sizeof(std::uint32_t)));
+  CheckpointLoadResult out;
+  CheckpointState& s = out.state;
+  std::uint32_t criterion = 0;
+  std::uint8_t have_snapshot = 0;
+  std::uint8_t rung = 0;
+  const bool parsed =
+      r.GetU32(&criterion) && r.GetU64(&s.fingerprint) && r.GetU64(&s.m) &&
+      r.GetU64(&s.n) && r.GetU64(&s.iteration) &&
+      r.GetU64(&s.checks_compared) && r.GetU64(&s.stall_streak) &&
+      r.GetF64(&s.stall_prev) && r.GetF64(&s.final_residual) &&
+      r.GetU8(&have_snapshot) && r.GetU8(&rung) &&
+      r.GetU64(&s.rung_attempts) && r.GetU64(&s.damp_iters_left) &&
+      r.GetU64(&s.recovered_count) && r.GetBytes(&s.recovery_rungs) &&
+      r.GetDoubles(&s.lambda) && r.GetDoubles(&s.mu) &&
+      r.GetDoubles(&s.snapshot);
+  if (!parsed || r.Remaining() != 0)
+    return Fail(DiagnosisCode::kCheckpointMalformed,
+                "inconsistent checkpoint field lengths");
+  if (criterion > static_cast<std::uint32_t>(StopCriterion::kResidualRel))
+    return Fail(DiagnosisCode::kCheckpointMalformed,
+                "checkpoint names an unknown stop criterion");
+  s.criterion = static_cast<StopCriterion>(criterion);
+  s.have_snapshot = have_snapshot != 0;
+  s.rung = rung;
+  return out;
+}
+
+CheckpointLoadResult LoadCheckpoint(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f.is_open())
+    return Fail(DiagnosisCode::kCheckpointMalformed,
+                "cannot open checkpoint file: " + path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  if (f.bad())
+    return Fail(DiagnosisCode::kCheckpointMalformed,
+                "cannot read checkpoint file: " + path);
+  return DecodeCheckpoint(buf.str());
+}
+
+std::optional<Diagnosis> ValidateCheckpointFor(const CheckpointState& state,
+                                               std::uint64_t fingerprint,
+                                               std::size_t m, std::size_t n,
+                                               StopCriterion criterion) {
+  const auto mismatch = [](std::string message) {
+    return Diagnosis{DiagnosisCode::kCheckpointMismatch, Diagnosis::kNoIndex,
+                     Diagnosis::kNoIndex, std::move(message)};
+  };
+  if (state.m != m || state.n != n) {
+    std::ostringstream msg;
+    msg << "checkpoint is for a " << state.m << "x" << state.n
+        << " problem; this problem is " << m << "x" << n;
+    return mismatch(msg.str());
+  }
+  if (state.fingerprint != fingerprint) {
+    std::ostringstream msg;
+    msg << "checkpoint fingerprint " << std::hex << state.fingerprint
+        << " does not match this problem's " << fingerprint
+        << " (different data)";
+    return mismatch(msg.str());
+  }
+  if (state.criterion != criterion) {
+    std::ostringstream msg;
+    msg << "checkpoint was taken under criterion "
+        << ToString(state.criterion) << "; this solve uses "
+        << ToString(criterion);
+    return mismatch(msg.str());
+  }
+  if (state.lambda.size() != m || state.mu.size() != n)
+    return mismatch("checkpoint multiplier lengths disagree with its shape");
+  return std::nullopt;
+}
+
+std::uint64_t FingerprintProblem(const DiagonalProblem& p) {
+  support::Fnv1a h;
+  h.MixU64('D');  // dense-problem tag; sparse uses 'S'
+  h.MixU64(static_cast<std::uint64_t>(p.mode()));
+  h.MixU64(p.m());
+  h.MixU64(p.n());
+  h.MixDoubles(p.x0().Flat());
+  h.MixDoubles(p.gamma().Flat());
+  h.MixDoubles(p.s0());
+  h.MixDoubles(p.alpha());
+  h.MixDoubles(p.d0());
+  h.MixDoubles(p.beta());
+  h.MixDoubles(p.s_lo());
+  h.MixDoubles(p.s_hi());
+  h.MixDoubles(p.d_lo());
+  h.MixDoubles(p.d_hi());
+  return h.value();
+}
+
+bool CheckpointWriter::Write(const CheckpointState& state) {
+  if (last_written_iteration_.has_value() &&
+      *last_written_iteration_ == state.iteration)
+    return true;
+  const std::string bytes = EncodeCheckpoint(state);
+  const bool ok = writer_.Write(
+      path_, [&](std::ostream& f) { f.write(bytes.data(), bytes.size()); });
+  if (ok) {
+    ++writes_;
+    last_written_iteration_ = state.iteration;
+  } else {
+    ++write_failures_;
+  }
+  return ok;
+}
+
+}  // namespace sea

@@ -1,6 +1,7 @@
 #include "core/diagonal_sea.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <optional>
 
@@ -156,6 +157,59 @@ class DenseDiagonalBackend final : public SeaIterationBackend {
       RebalanceMultipliers(p_, lambda_, mu_, opts.multiplier_bound);
   }
 
+  // Durability hooks (core/checkpoint.hpp): the duals are the complete
+  // iterate (the primal recovers from them in closed form); kXChange
+  // additionally needs the previous check's materialized x^T.
+  bool CaptureIterate(CheckpointState& out) override {
+    if (!fingerprint_.has_value()) fingerprint_ = FingerprintProblem(p_);
+    out.fingerprint = *fingerprint_;
+    out.m = p_.m();
+    out.n = p_.n();
+    out.lambda = lambda_;
+    out.mu = mu_;
+    const auto prev = xt_prev_.Flat();
+    out.snapshot.assign(prev.begin(), prev.end());
+    return true;
+  }
+
+  bool RestoreIterate(const CheckpointState& in) override {
+    if (in.lambda.size() != p_.m() || in.mu.size() != p_.n()) return false;
+    if (in.have_snapshot && in.snapshot.size() != p_.m() * p_.n())
+      return false;
+    lambda_ = in.lambda;
+    mu_ = in.mu;
+    if (in.have_snapshot) {
+      xt_prev_ = DenseMatrix(p_.n(), p_.m(), 0.0);
+      std::copy(in.snapshot.begin(), in.snapshot.end(),
+                xt_prev_.Flat().begin());
+    }
+    // The restored duals are by construction the last trustworthy state.
+    lambda_good_ = lambda_;
+    mu_good_ = mu_;
+    return true;
+  }
+
+  // Recovery-ladder hooks (docs/ROBUSTNESS.md "Recovery ladder").
+  bool SupportsRecovery() const override { return true; }
+  void SnapshotRowDuals(std::vector<double>& out) const override {
+    out = lambda_;
+  }
+  void BlendRowDuals(const std::vector<double>& prev, double keep) override {
+    for (std::size_t i = 0; i < lambda_.size(); ++i)
+      lambda_[i] = prev[i] + keep * (lambda_[i] - prev[i]);
+  }
+  void ForceRebalance() override {
+    // Rung 3's re-gauge: shift multipliers across support components
+    // relative to the current dual magnitude, regardless of the
+    // multiplier_bound option (only the gauge-free regimes have this
+    // freedom).
+    if (p_.mode() != TotalsMode::kFixed && p_.mode() != TotalsMode::kSam)
+      return;
+    double max_abs = 0.0;
+    for (double v : lambda_) max_abs = std::max(max_abs, std::abs(v));
+    if (max_abs > 0.0) RebalanceMultipliers(p_, lambda_, mu_, 0.5 * max_abs);
+  }
+
   void RecordDualValue(std::vector<double>& out) override {
     out.push_back(DualValue(p_, lambda_, mu_));
   }
@@ -203,6 +257,9 @@ class DenseDiagonalBackend final : public SeaIterationBackend {
   Vector rowsum_;
   // Duals at the last finite check (empty until one passes).
   Vector lambda_good_, mu_good_;
+  // Problem fingerprint, computed on the first checkpoint capture (one
+  // O(mn) hash per solve, and only when checkpointing is on).
+  std::optional<std::uint64_t> fingerprint_;
 };
 
 }  // namespace

@@ -1,7 +1,10 @@
 #include "core/iteration_engine.hpp"
 
 #include <cmath>
+#include <cstdlib>
 #include <limits>
+#include <optional>
+#include <string>
 #include <string_view>
 #include <utility>
 
@@ -30,6 +33,20 @@ std::vector<double> ResidualBounds() {
 // the final-iteration forced check).
 std::vector<double> CheckIntervalBounds() {
   return {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0};
+}
+
+// Stable names for the recovery-ladder rungs (metrics suffixes, status-file
+// field, docs/ROBUSTNESS.md).
+const char* RungName(std::uint8_t rung) {
+  switch (rung) {
+    case 1:
+      return "restore";
+    case 2:
+      return "damp";
+    case 3:
+      return "restart";
+  }
+  return "unknown";
 }
 
 }  // namespace
@@ -61,6 +78,20 @@ SeaResult RunIterationEngine(SeaIterationBackend& backend,
   double stall_prev = std::numeric_limits<double>::infinity();
   std::size_t stall_streak = 0;
 
+  // Recovery-ladder state (docs/ROBUSTNESS.md "Recovery ladder"). The rung
+  // only escalates — a rescue that later re-trips does not re-earn the
+  // cheaper rungs — so total rescues are bounded by 3 * recovery_retries
+  // and iteration count stays monotone (max_iterations still bounds the
+  // whole run).
+  std::uint8_t rung = 1;
+  std::size_t rung_attempts = 0;
+  std::size_t damp_left = 0;
+  std::vector<double> damp_prev;  // row duals entering a damped sweep
+  // Last checkpoint state successfully captured this run; rung 3 restarts
+  // from it (falling back to the last-good iterate when no checkpoint
+  // writer is attached).
+  std::optional<CheckpointState> last_ckpt;
+
   // Telemetry is pay-for-use: everything below is skipped when no observer
   // is attached (acceptance bar: a plain solve must not slow down).
   const bool observing = opts.progress || opts.trace_sink || opts.metrics ||
@@ -80,7 +111,129 @@ SeaResult RunIterationEngine(SeaIterationBackend& backend,
                                                 CheckIntervalBounds());
   }
 
-  for (std::size_t t = 1; t <= opts.max_iterations; ++t) {
+  // Fills the engine-owned portion of a checkpoint; the backend adds the
+  // iterate, fingerprint, and dimensions via CaptureIterate.
+  const auto fill_engine_state = [&](CheckpointState& ck) {
+    ck.criterion = opts.criterion;
+    ck.iteration = result.iterations;
+    ck.checks_compared = result.checks_compared;
+    ck.final_residual = result.final_residual;
+    ck.stall_streak = stall_streak;
+    ck.stall_prev = stall_prev;
+    ck.have_snapshot = have_snapshot;
+    ck.rung = rung;
+    ck.rung_attempts = rung_attempts;
+    ck.damp_iters_left = damp_left;
+    ck.recovered_count = result.recovered_count;
+    ck.recovery_rungs = result.recovery_rungs;
+  };
+
+  // Captures + writes a checkpoint of the current (post-rebalance) state;
+  // returns whether a checkpoint landed. Live counters, not end-of-run
+  // flushes, so --status-file dashboards and Prometheus scrapes see
+  // durability activity as it happens.
+  const auto write_checkpoint = [&]() {
+    CheckpointState ck;
+    fill_engine_state(ck);
+    if (!backend.CaptureIterate(ck)) return false;
+    const bool ok = opts.checkpoint->Write(ck);
+    if (opts.metrics)
+      opts.metrics
+          ->GetCounter(ok ? "sea.checkpoint.writes"
+                          : "sea.checkpoint.write_failures")
+          .Add(1);
+    if (ok) last_ckpt = std::move(ck);
+    return ok;
+  };
+
+  // One rescue attempt of the ladder. Returns false when recovery is off,
+  // unsupported, or exhausted — the caller then terminates exactly as the
+  // pre-ladder engine did. The caller has already restored the last-good
+  // iterate where that is the remediation's starting point.
+  const auto try_recover = [&](std::size_t t) {
+    if (!opts.recover || !backend.SupportsRecovery()) return false;
+    if (rung_attempts >= opts.recovery_retries) {
+      ++rung;
+      rung_attempts = 0;
+    }
+    if (rung > 3) return false;  // ladder exhausted: give up
+    ++rung_attempts;
+    switch (rung) {
+      case 1:
+        // Restore last-good + reset the detector (below); the cheapest
+        // remediation, sufficient for transient measure poisoning.
+        backend.RestoreGoodIterate();
+        break;
+      case 2:
+        // Safeguarded step: damp the row half-steps for a window of
+        // iterations to break a limit cycle (Aas).
+        backend.RestoreGoodIterate();
+        damp_left = opts.recovery_damp_iters;
+        break;
+      case 3:
+        // Strongest remediation: rewind to the last durable checkpoint
+        // (when one exists), re-gauge the multipliers, and re-approach
+        // damped.
+        if (last_ckpt.has_value()) {
+          backend.RestoreIterate(*last_ckpt);
+        } else {
+          backend.RestoreGoodIterate();
+        }
+        backend.ForceRebalance();
+        damp_left = opts.recovery_damp_iters;
+        break;
+    }
+    stall_prev = std::numeric_limits<double>::infinity();
+    stall_streak = 0;
+    ++result.recovered_count;
+    result.recovery_rungs.push_back(rung);
+    if (recorder)
+      recorder->Record(obs::FlightRecorder::EventKind::kRecovery, t,
+                       static_cast<double>(rung));
+    if (opts.metrics) {
+      opts.metrics->GetCounter("sea.recovery.rescues").Add(1);
+      opts.metrics
+          ->GetCounter(std::string("sea.recovery.rung.") + RungName(rung))
+          .Add(1);
+      opts.metrics->GetGauge("sea.recovery.active_rung")
+          .Set(static_cast<double>(rung));
+    }
+    if (opts.status_file)
+      opts.status_file->OnRecovery(t, RungName(rung), result.recovered_count);
+    return true;
+  };
+
+  // Resume (core/checkpoint.hpp): re-seat engine + backend state and
+  // continue at the checkpoint's next iteration. With unchanged options the
+  // continuation is bit-identical to the uninterrupted run — the captured
+  // state is the complete cross-iteration memory of the loop below.
+  std::size_t t_begin = 1;
+  if (opts.resume != nullptr) {
+    const CheckpointState& ck = *opts.resume;
+    SEA_CHECK_MSG(backend.RestoreIterate(ck),
+                  "resume checkpoint does not fit this problem "
+                  "(run ValidateCheckpointFor first)");
+    t_begin = static_cast<std::size_t>(ck.iteration) + 1;
+    result.iterations = static_cast<std::size_t>(ck.iteration);
+    result.checks_compared = static_cast<std::size_t>(ck.checks_compared);
+    result.final_residual = ck.final_residual;
+    result.recovered_count = ck.recovered_count;
+    result.recovery_rungs = ck.recovery_rungs;
+    stall_prev = ck.stall_prev;
+    stall_streak = static_cast<std::size_t>(ck.stall_streak);
+    have_snapshot = ck.have_snapshot;
+    rung = ck.rung;
+    rung_attempts = static_cast<std::size_t>(ck.rung_attempts);
+    damp_left = static_cast<std::size_t>(ck.damp_iters_left);
+    last_check_iteration = static_cast<std::size_t>(ck.iteration);
+    if (recorder)
+      recorder->Record(obs::FlightRecorder::EventKind::kResume,
+                       static_cast<std::size_t>(ck.iteration),
+                       ck.final_residual);
+    if (opts.metrics) opts.metrics->GetCounter("sea.checkpoint.resumes").Add(1);
+  }
+
+  for (std::size_t t = t_begin; t <= opts.max_iterations; ++t) {
     const bool check_now =
         (t % opts.check_every == 0) || (t == opts.max_iterations);
 
@@ -107,10 +260,21 @@ SeaResult RunIterationEngine(SeaIterationBackend& backend,
     }
 
     // ---- Step 1: row equilibration (parallel across the row markets).
+    // During a rung-2/3 damping window the row duals move only
+    // recovery_damping of the way to the sweep's block-optimal point; the
+    // column sweep then computes its duals (and the check iterate) for the
+    // blended lambda, so the stopping measure still describes a consistent
+    // point.
+    const bool damp_now = damp_left > 0;
+    if (damp_now) {
+      backend.SnapshotRowDuals(damp_prev);
+      --damp_left;
+    }
     {
       obs::ProfScope prof("engine.row_sweep");
       Stopwatch sw;
       SweepStats stats = backend.RowSweep();
+      if (damp_now) backend.BlendRowDuals(damp_prev, opts.recovery_damping);
       result.ops += stats.total_ops;
       result.order_reuses += stats.order_reuses;
       result.kernel_markets += stats.markets;
@@ -181,12 +345,13 @@ SeaResult RunIterationEngine(SeaIterationBackend& backend,
       // Numerical breakdown: the iterate went NaN/Inf. Hand back the last
       // iterate that passed a finite check instead of the garbage; the
       // breakdown check itself is not counted or charged (its measure has
-      // no value).
-      result.status = SolveStatus::kNumericalBreakdown;
-      backend.RestoreGoodIterate();
+      // no value). Under the recovery ladder this becomes a rescue attempt
+      // instead of a terminal status.
       if (recorder)
         recorder->Record(obs::FlightRecorder::EventKind::kBreakdown, t,
                          measure);
+      backend.RestoreGoodIterate();
+      if (!try_recover(t)) result.status = SolveStatus::kNumericalBreakdown;
     } else if (defined) {
       ++result.checks_compared;
       result.final_residual = measure;
@@ -194,6 +359,7 @@ SeaResult RunIterationEngine(SeaIterationBackend& backend,
       if (opts.record_trace)
         result.trace.AddSerialPhase("check",
                                     static_cast<double>(backend.CheckCost()));
+      bool stalled_now = false;
       if (measure <= opts.epsilon) {
         result.status = SolveStatus::kConverged;
       } else if (measure < stall_prev * (1.0 - opts.stall_rtol)) {
@@ -204,7 +370,7 @@ SeaResult RunIterationEngine(SeaIterationBackend& backend,
         stall_streak = 0;
       } else if (opts.stall_checks > 0 &&
                  ++stall_streak >= opts.stall_checks) {
-        result.status = SolveStatus::kStalled;
+        stalled_now = true;
         if (recorder)
           recorder->Record(obs::FlightRecorder::EventKind::kStallTrip, t,
                            measure);
@@ -212,6 +378,11 @@ SeaResult RunIterationEngine(SeaIterationBackend& backend,
       stall_prev = measure;
       backend.SaveGoodIterate();
       if (recorder) recorder->NoteGoodIterate(t, measure);
+      // A stall trip recovers after the good-iterate bookkeeping: the
+      // stalled-but-finite iterate IS the restart point, and the rescue
+      // resets the detector (stall_prev back to +inf).
+      if (stalled_now && !try_recover(t))
+        result.status = SolveStatus::kStalled;
       // Per-market attribution rides the check schedule: the backend fills
       // the scratch row with per-row-market contributions under the
       // residual form of the active criterion (kXChange attributes the
@@ -261,14 +432,41 @@ SeaResult RunIterationEngine(SeaIterationBackend& backend,
     // the default kMaxIterations status by now.
     if (result.status != SolveStatus::kMaxIterations) break;
     backend.RebalanceDuals(opts);
+
+    // Checkpoint at the end of cadence-eligible compared checks — after
+    // the rebalance, so the captured state is exactly what iteration t+1
+    // starts from. Breakdown checks never checkpoint (the measure carried
+    // no value; nothing marks this state as trustworthy).
+    if (opts.checkpoint != nullptr && defined && std::isfinite(measure) &&
+        opts.checkpoint->ShouldWrite()) {
+      const bool wrote = write_checkpoint();
+      // Crash-injection point for the CI crash-resume smoke: die AFTER a
+      // checkpoint landed, so the restart proves the durability story
+      // end-to-end.
+      SEA_FAILPOINT_SITE("sea.engine.crash_after_checkpoint")
+      if (wrote && fail::Triggered("sea.engine.crash_after_checkpoint"))
+        std::abort();
+    }
   }
 
   result.wall_seconds = wall.Seconds();
   result.cpu_seconds = ProcessCpuSeconds() - cpu0;
 
+  // Final checkpoint on the interruptible exits: cancellation (how SIGTERM
+  // arrives), budget expiry, and the iteration cap all leave a resumable
+  // state behind — the interrupted work is not lost. Terminal guardrail
+  // failures do not checkpoint (their iterate is the problem), and
+  // convergence needs no resume.
+  if (opts.checkpoint != nullptr && result.iterations > 0 &&
+      (result.status == SolveStatus::kCancelled ||
+       result.status == SolveStatus::kTimeBudgetExceeded ||
+       result.status == SolveStatus::kMaxIterations))
+    write_checkpoint();
+
   if (recorder)
     recorder->OnTermination(result.status, result.iterations,
-                            result.final_residual, result.wall_seconds);
+                            result.final_residual, result.wall_seconds,
+                            result.recovered_count);
   if (opts.status_file) opts.status_file->OnTermination(result.status);
 
   if (opts.metrics) {

@@ -28,6 +28,7 @@
 #include <span>
 #include <vector>
 
+#include "core/checkpoint.hpp"
 #include "core/options.hpp"
 #include "core/result.hpp"
 #include "equilibration/equilibrator.hpp"
@@ -92,6 +93,46 @@ class SeaIterationBackend {
   // iteration when SeaOptions::record_dual_values is set). Default: the
   // backend records nothing.
   virtual void RecordDualValue(std::vector<double>& out) { (void)out; }
+
+  // --- Durability hooks (core/checkpoint.hpp; docs/ROBUSTNESS.md). ---
+  // Fills the iterate portion of a checkpoint: dual multipliers, the
+  // kXChange previous-check snapshot (in whatever flat layout the backend
+  // uses — RestoreIterate is its only consumer), the problem fingerprint,
+  // and the dimensions. Returning false means the variant does not
+  // checkpoint (the engine then skips writes entirely).
+  virtual bool CaptureIterate(CheckpointState& out) {
+    (void)out;
+    return false;
+  }
+  // Restores exactly what CaptureIterate saved, and re-seats the last-good
+  // iterate to the restored duals. Returns false when the state does not
+  // fit this problem (wrong lengths); the engine treats that as a usage
+  // error.
+  virtual bool RestoreIterate(const CheckpointState& in) {
+    (void)in;
+    return false;
+  }
+
+  // --- Recovery-ladder hooks (docs/ROBUSTNESS.md "Recovery ladder"). ---
+  // Whether the variant supports the ladder at all; when false, guardrail
+  // trips terminate exactly as before even under SeaOptions::recover.
+  virtual bool SupportsRecovery() const { return false; }
+  // Copies the current row duals out / blends them back:
+  // lambda <- prev + keep * (lambda - prev), elementwise. The engine calls
+  // Snapshot before and Blend after RowSweep during a damping window, so
+  // the subsequent ColSweep computes the column duals (and the check
+  // iterate) consistently for the damped lambda.
+  virtual void SnapshotRowDuals(std::vector<double>& out) const {
+    (void)out;
+  }
+  virtual void BlendRowDuals(const std::vector<double>& prev, double keep) {
+    (void)prev;
+    (void)keep;
+  }
+  // Rung-3 remediation: gauge-rebalance the multipliers unconditionally
+  // (no SeaOptions::multiplier_bound gate). No-op where the regime has no
+  // gauge freedom.
+  virtual void ForceRebalance() {}
 
   // Per-market attribution (obs/market_stats.hpp): fills out[i] with ROW
   // market i's residual contribution of the materialized check iterate —

@@ -13,6 +13,8 @@
 namespace sea {
 
 class ThreadPool;
+class CheckpointWriter;
+struct CheckpointState;
 
 namespace obs {
 class TraceSink;
@@ -146,6 +148,36 @@ struct SeaOptions {
   // Live status snapshot (obs/status_file.hpp): rewritten atomically on
   // check iterations and at termination. Null = no status file.
   obs::StatusFileWriter* status_file = nullptr;
+  // Durability + self-healing (core/checkpoint.hpp; docs/ROBUSTNESS.md).
+  // Checkpoint writer: the engine captures the full resume state (dual
+  // iterate, kXChange snapshot, stall-detector + recovery-ladder state) at
+  // the end of every cadence-eligible compared check — after the rebalance,
+  // so resume continues at exactly the next iteration — and also when the
+  // solve ends in kCancelled / kTimeBudgetExceeded / kMaxIterations. Null =
+  // no checkpointing.
+  CheckpointWriter* checkpoint = nullptr;
+  // Resume state: restored into the engine and backend before iteration
+  // resume->iteration + 1 runs; the continued run is bit-identical to the
+  // uninterrupted one. Callers should gate on ValidateCheckpointFor first
+  // (the engine only size-checks). Null = start from scratch.
+  const CheckpointState* resume = nullptr;
+  // Recovery ladder: when true, a stall or breakdown trip walks escalating
+  // remediation — restore last-good iterate, then a damped half-step
+  // window, then multiplier rebalance + restart from the last checkpoint —
+  // instead of terminating, with recovery_retries rescue attempts per rung
+  // before escalating; only after the ladder is exhausted does the solve
+  // end with the historical kStalled / kNumericalBreakdown (and
+  // postmortem). Requires backend support (dense + sparse; the entropy
+  // variants terminate as before). Provenance lands on
+  // SeaResult::recovered_count / recovery_rungs.
+  bool recover = false;
+  std::size_t recovery_retries = 2;
+  // Damped half-step rung: after a rescue, the row duals move only
+  // recovery_damping of the way to each sweep's block-optimal point for
+  // the next recovery_damp_iters iterations — the safeguarded step that
+  // breaks the period-2 limit cycles of pure iterative scaling (Aas).
+  double recovery_damping = 0.5;
+  std::size_t recovery_damp_iters = 8;
 };
 
 struct GeneralSeaOptions {

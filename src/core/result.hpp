@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "core/solve_status.hpp"
@@ -38,6 +39,14 @@ struct SeaResult {
   // solves it performed across all sweeps.
   const char* kernel_backend = "scalar";
   std::uint64_t kernel_markets = 0;
+  // Recovery-ladder provenance (docs/ROBUSTNESS.md "Recovery ladder"):
+  // how many guardrail trips (stall / numerical breakdown) were rescued
+  // instead of terminating the solve, and which rung rescued each, in trip
+  // order (1 = restore last-good, 2 = damped half-step, 3 = rebalance +
+  // restart from checkpoint). Empty unless SeaOptions::recover is set and
+  // at least one rescue happened.
+  std::uint64_t recovered_count = 0;
+  std::vector<std::uint8_t> recovery_rungs;
   // Filled when SeaOptions::record_trace is set.
   ExecutionTrace trace;
   // Filled when SeaOptions::record_dual_values is set: zeta_l(lambda^{t+1},

@@ -1,10 +1,11 @@
 #include "obs/flight_recorder.hpp"
 
-#include <cstdio>
-#include <fstream>
+#include <ios>
+#include <ostream>
 #include <utility>
 
 #include "obs/json_export.hpp"
+#include "support/atomic_file.hpp"
 #include "support/check.hpp"
 #include "support/failpoint.hpp"
 
@@ -18,6 +19,8 @@ const char* FlightRecorder::ToString(EventKind k) {
     case EventKind::kStallTrip: return "stall";
     case EventKind::kCancelPoll: return "cancel";
     case EventKind::kBudgetPoll: return "budget";
+    case EventKind::kRecovery: return "recovery";
+    case EventKind::kResume: return "resume";
     case EventKind::kTermination: return "termination";
   }
   SEA_INTERNAL_CHECK(false);
@@ -38,13 +41,14 @@ void FlightRecorder::Record(EventKind kind, std::size_t iteration,
 }
 
 void FlightRecorder::OnTermination(SolveStatus status, std::size_t iterations,
-                                   double final_residual,
-                                   double wall_seconds) {
+                                   double final_residual, double wall_seconds,
+                                   std::uint64_t recovered) {
   Record(EventKind::kTermination, iterations, final_residual);
   last_status_ = status;
   iterations_ = iterations;
   final_residual_ = final_residual;
   wall_seconds_ = wall_seconds;
+  recovered_ = recovered;
   const bool failure_class = status == SolveStatus::kStalled ||
                              status == SolveStatus::kNumericalBreakdown ||
                              status == SolveStatus::kCancelled ||
@@ -54,57 +58,54 @@ void FlightRecorder::OnTermination(SolveStatus status, std::size_t iterations,
 }
 
 bool FlightRecorder::WritePostmortem(const std::string& path) const {
-  const std::string tmp = path + ".tmp";
-  std::ofstream f(tmp, std::ios::trunc);
-  SEA_FAILPOINT_SITE("sea.obs.postmortem_write")
-  if (fail::Triggered("sea.obs.postmortem_write")) f.setstate(std::ios::badbit);
-  if (!f.good()) return false;
+  // Atomic publication + retry with backoff via the shared writer: readers
+  // polling `path` see the old dump or the new one, never a torn write,
+  // and a transient write failure gets another chance before the dump is
+  // abandoned (the solve result is never at stake either way).
+  support::AtomicFileWriter writer(support::RetryPolicy{3, 0.5, 4.0});
+  return writer.Write(path, [&](std::ostream& f) {
+    SEA_FAILPOINT_SITE("sea.obs.postmortem_write")
+    if (fail::Triggered("sea.obs.postmortem_write"))
+      f.setstate(std::ios::badbit);
+    if (!f.good()) return;
 
-  const std::size_t kept = recorded_ < ring_.size() ? recorded_ : ring_.size();
-  f << JsonObj()
-           .Field("schema", kTelemetrySchemaVersion)
-           .Field("type", "postmortem")
-           .Field("status", sea::ToString(last_status_))
-           .Field("iterations", static_cast<std::uint64_t>(iterations_))
-           .Field("final_residual", final_residual_)
-           .Field("wall_seconds", wall_seconds_)
-           .Field("events_recorded", static_cast<std::uint64_t>(recorded_))
-           .Field("events_dropped",
-                  static_cast<std::uint64_t>(recorded_ - kept))
-           .Field("capacity", static_cast<std::uint64_t>(ring_.size()))
-           .Str()
-    << '\n';
-  if (have_good_) {
+    const std::size_t kept =
+        recorded_ < ring_.size() ? recorded_ : ring_.size();
     f << JsonObj()
-             .Field("type", "last_good")
-             .Field("iter", static_cast<std::uint64_t>(last_good_iteration_))
-             .Field("measure", last_good_measure_)
+             .Field("schema", kTelemetrySchemaVersion)
+             .Field("type", "postmortem")
+             .Field("status", sea::ToString(last_status_))
+             .Field("iterations", static_cast<std::uint64_t>(iterations_))
+             .Field("final_residual", final_residual_)
+             .Field("wall_seconds", wall_seconds_)
+             .Field("recovered", recovered_)
+             .Field("events_recorded", static_cast<std::uint64_t>(recorded_))
+             .Field("events_dropped",
+                    static_cast<std::uint64_t>(recorded_ - kept))
+             .Field("capacity", static_cast<std::uint64_t>(ring_.size()))
              .Str()
       << '\n';
-  }
-  for (std::size_t k = recorded_ - kept; k < recorded_; ++k) {
-    const Event& e = ring_[k % ring_.size()];
-    f << JsonObj()
-             .Field("type", "event")
-             .Field("kind", ToString(e.kind))
-             .Field("t", e.seconds)
-             .Field("iter", static_cast<std::uint64_t>(e.iteration))
-             .Field("value", e.value)
-             .Str()
-      << '\n';
-  }
-  f.close();
-  if (!f.good()) {
-    std::remove(tmp.c_str());
-    return false;
-  }
-  // Atomic publication: readers polling `path` see the old dump or the new
-  // one, never a torn write.
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return false;
-  }
-  return true;
+    if (have_good_) {
+      f << JsonObj()
+               .Field("type", "last_good")
+               .Field("iter",
+                      static_cast<std::uint64_t>(last_good_iteration_))
+               .Field("measure", last_good_measure_)
+               .Str()
+        << '\n';
+    }
+    for (std::size_t k = recorded_ - kept; k < recorded_; ++k) {
+      const Event& e = ring_[k % ring_.size()];
+      f << JsonObj()
+               .Field("type", "event")
+               .Field("kind", ToString(e.kind))
+               .Field("t", e.seconds)
+               .Field("iter", static_cast<std::uint64_t>(e.iteration))
+               .Field("value", e.value)
+               .Str()
+        << '\n';
+    }
+  });
 }
 
 }  // namespace sea::obs

@@ -38,6 +38,8 @@ class FlightRecorder {
     kStallTrip,    // stall detector tripped (value = frozen measure)
     kCancelPoll,   // cancellation observed at a check poll
     kBudgetPoll,   // time budget observed expired at a check poll
+    kRecovery,     // recovery-ladder rescue (value = rung; ROBUSTNESS.md)
+    kResume,       // run resumed from a checkpoint (value = its residual)
     kTermination,  // engine returned (value = final residual)
   };
   static const char* ToString(EventKind k);
@@ -56,9 +58,13 @@ class FlightRecorder {
     have_good_ = true;
   }
   // Records the termination event and, when `status` is one of the four
-  // guardrail failure classes and a dump path is set, writes the postmortem.
+  // guardrail failure classes and a dump path is set, writes the
+  // postmortem. `recovered` is the run's recovery-ladder rescue count
+  // (surfaced in the postmortem header: "the ladder rescued N trips before
+  // this one ended the run").
   void OnTermination(SolveStatus status, std::size_t iterations,
-                     double final_residual, double wall_seconds);
+                     double final_residual, double wall_seconds,
+                     std::uint64_t recovered = 0);
 
   // Writes the postmortem JSONL (header, last-good summary, ring events
   // oldest to newest) atomically. Fail-soft: returns false and leaves any
@@ -86,6 +92,7 @@ class FlightRecorder {
   double wall_seconds_ = 0.0;
   std::size_t iterations_ = 0;
   double final_residual_ = 0.0;
+  std::uint64_t recovered_ = 0;
   std::size_t last_good_iteration_ = 0;
   double last_good_measure_ = 0.0;
   bool have_good_ = false;

@@ -105,6 +105,9 @@ std::string OpsJson(const OpCounts& ops) {
 }  // namespace
 
 std::string ToJson(const SeaResult& r) {
+  JsonArr rungs;
+  for (std::uint8_t rung : r.recovery_rungs)
+    rungs.Add(static_cast<std::uint64_t>(rung));
   return JsonObj()
       .Field("status", ToString(r.status))
       .Field("converged", r.converged())
@@ -120,6 +123,8 @@ std::string ToJson(const SeaResult& r) {
       .Field("order_reuses", r.order_reuses)
       .Field("kernel_backend", r.kernel_backend)
       .Field("kernel_markets", r.kernel_markets)
+      .Field("recovered_count", r.recovered_count)
+      .Raw("recovery_rungs", rungs.Str())
       .Raw("ops", OpsJson(r.ops))
       .Str();
 }

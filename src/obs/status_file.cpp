@@ -1,13 +1,13 @@
 #include "obs/status_file.hpp"
 
 #include <cmath>
-#include <cstdio>
-#include <fstream>
 #include <limits>
+#include <ostream>
 #include <utility>
 
 #include "core/stopping.hpp"
 #include "obs/json_export.hpp"
+#include "support/atomic_file.hpp"
 
 namespace sea::obs {
 
@@ -38,6 +38,17 @@ void StatusFileWriter::OnTermination(SolveStatus status) {
   WriteSnapshot(last_event_, "terminated", sea::ToString(status));
 }
 
+void StatusFileWriter::OnRecovery(std::size_t iteration, const char* rung,
+                                  std::uint64_t recovered_count) {
+  recovered_count_ = recovered_count;
+  last_recovery_rung_ = rung;
+  last_recovery_iteration_ = iteration;
+  // Bypass the throttle: a rescue must be visible live, not a throttle
+  // interval later.
+  if (WriteSnapshot(last_event_, "recovering", ""))
+    last_write_seconds_ = clock_.Seconds();
+}
+
 bool StatusFileWriter::WriteSnapshot(const IterationEvent& ev,
                                      const char* phase, const char* status) {
   const double elapsed = clock_.Seconds();
@@ -66,17 +77,19 @@ bool StatusFileWriter::WriteSnapshot(const IterationEvent& ev,
       .Field("elapsed_seconds", elapsed)
       .Field("row_phase_seconds", ev.row_phase_seconds)
       .Field("col_phase_seconds", ev.col_phase_seconds)
-      .Field("check_phase_seconds", ev.check_phase_seconds);
+      .Field("check_phase_seconds", ev.check_phase_seconds)
+      .Field("recoveries", recovered_count_);
+  if (*last_recovery_rung_ != '\0')
+    obj.Field("last_recovery_rung", last_recovery_rung_)
+        .Field("last_recovery_iter",
+               static_cast<std::uint64_t>(last_recovery_iteration_));
 
-  const std::string tmp = path_ + ".tmp";
-  std::ofstream f(tmp, std::ios::trunc);
-  if (!f.good()) return false;
-  f << obj.Str() << '\n';
-  f.close();
-  if (!f.good() || std::rename(tmp.c_str(), path_.c_str()) != 0) {
-    std::remove(tmp.c_str());
+  // Single attempt, no retry: a lost snapshot is superseded by the next
+  // throttled one (unlike checkpoints/postmortems, which retry — see
+  // support/atomic_file.hpp).
+  support::AtomicFileWriter writer;
+  if (!writer.Write(path_, [&](std::ostream& f) { f << obj.Str() << '\n'; }))
     return false;
-  }
   ++writes_;
   return true;
 }

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "core/options.hpp"
@@ -32,6 +33,11 @@ class StatusFileWriter {
   // Engine hooks (solve thread only).
   void OnCheck(const IterationEvent& ev);
   void OnTermination(SolveStatus status);
+  // Recovery-ladder transition (docs/ROBUSTNESS.md): recorded into every
+  // later snapshot and written through immediately — a rescue is exactly
+  // the moment a dashboard must not be a throttle interval behind.
+  void OnRecovery(std::size_t iteration, const char* rung,
+                  std::uint64_t recovered_count);
 
   const std::string& path() const { return path_; }
   std::size_t writes() const { return writes_; }
@@ -52,6 +58,10 @@ class StatusFileWriter {
   bool have_prev_ = false;
   double eta_iterations_ = 0.0;  // NaN until estimable
   IterationEvent last_event_;
+  // Recovery-ladder surface: cumulative rescues + the latest rung.
+  std::uint64_t recovered_count_ = 0;
+  const char* last_recovery_rung_ = "";  // stable literal from the engine
+  std::size_t last_recovery_iteration_ = 0;
 };
 
 }  // namespace sea::obs

@@ -26,6 +26,12 @@ const char* ToString(DiagnosisCode code) {
       return "zero-support-col";
     case DiagnosisCode::kBackendUnavailable:
       return "backend-unavailable";
+    case DiagnosisCode::kCheckpointMalformed:
+      return "checkpoint-malformed";
+    case DiagnosisCode::kCheckpointVersionSkew:
+      return "checkpoint-version-skew";
+    case DiagnosisCode::kCheckpointMismatch:
+      return "checkpoint-mismatch";
   }
   return "unknown";
 }

@@ -42,6 +42,14 @@ enum class DiagnosisCode {
   // SEA_BACKEND) that this build or CPU cannot run; the solve proceeds on
   // the scalar backend and tools surface this as a warning.
   kBackendUnavailable,
+  // Checkpoint-file defects (src/core/checkpoint.hpp). Malformed covers
+  // bad magic, truncation, and CRC mismatch; version skew is a well-formed
+  // file written by an incompatible format revision; mismatch is a valid
+  // checkpoint whose fingerprint/shape/criterion does not fit the problem
+  // being resumed.
+  kCheckpointMalformed,
+  kCheckpointVersionSkew,
+  kCheckpointMismatch,
 };
 
 const char* ToString(DiagnosisCode code);

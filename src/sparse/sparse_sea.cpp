@@ -14,9 +14,37 @@
 #include "parallel/parallel_for.hpp"
 #include "parallel/schedule.hpp"
 #include "support/check.hpp"
+#include "support/hash.hpp"
 #include "support/stopwatch.hpp"
 
 namespace sea {
+
+namespace {
+
+void MixPattern(support::Fnv1a& h, const SparseMatrix& a) {
+  h.MixU64(a.rows());
+  h.MixU64(a.nnz());
+  for (std::size_t p : a.RowPtr()) h.MixU64(p);
+  for (std::size_t c : a.ColIdx()) h.MixU64(c);
+  h.MixDoubles(a.Values());
+}
+
+}  // namespace
+
+std::uint64_t FingerprintProblem(const SparseDiagonalProblem& p) {
+  support::Fnv1a h;
+  h.MixBytes("S", 1);  // domain-separate from the dense fingerprint
+  h.MixU64(static_cast<std::uint64_t>(p.mode()));
+  h.MixU64(p.m());
+  h.MixU64(p.n());
+  MixPattern(h, p.x0());
+  MixPattern(h, p.gamma());
+  h.MixDoubles(p.s0());
+  h.MixDoubles(p.alpha());
+  h.MixDoubles(p.d0());
+  h.MixDoubles(p.beta());
+  return h.value();
+}
 
 namespace {
 
@@ -219,6 +247,48 @@ class SparseBackend final : public SeaIterationBackend {
     mu_ = mu_good_;
   }
 
+  // Durability hooks (core/checkpoint.hpp): duals + the kXChange snapshot
+  // (pattern values only — the pattern itself is pinned by the fingerprint)
+  // are the whole resumable state.
+  bool CaptureIterate(CheckpointState& out) override {
+    if (!fingerprint_.has_value()) fingerprint_ = FingerprintProblem(p_);
+    out.fingerprint = *fingerprint_;
+    out.m = p_.m();
+    out.n = p_.n();
+    out.lambda = lambda_;
+    out.mu = mu_;
+    out.have_snapshot = !xt_prev_.empty();
+    out.snapshot = xt_prev_;
+    return true;
+  }
+
+  bool RestoreIterate(const CheckpointState& in) override {
+    if (in.lambda.size() != p_.m() || in.mu.size() != p_.n()) return false;
+    if (in.have_snapshot && in.snapshot.size() != p_.nnz()) return false;
+    lambda_ = in.lambda;
+    mu_ = in.mu;
+    xt_prev_ = in.have_snapshot ? in.snapshot : std::vector<double>();
+    // The restored iterate is the best known point: re-seat the good copies
+    // so a later breakdown rolls back here, not to a pre-resume state.
+    lambda_good_ = lambda_;
+    mu_good_ = mu_;
+    return true;
+  }
+
+  bool SupportsRecovery() const override { return true; }
+
+  void SnapshotRowDuals(std::vector<double>& out) const override {
+    out = lambda_;
+  }
+
+  void BlendRowDuals(const std::vector<double>& prev, double keep) override {
+    for (std::size_t i = 0; i < lambda_.size(); ++i)
+      lambda_[i] = prev[i] + keep * (lambda_[i] - prev[i]);
+  }
+
+  // ForceRebalance stays the no-op default: the sparse path has no
+  // multiplier-rebalance transform, so the restart rung restores + damps.
+
  private:
   void AccumulateRowSums() {
     std::fill(rowsum_.begin(), rowsum_.end(), 0.0);
@@ -254,6 +324,8 @@ class SparseBackend final : public SeaIterationBackend {
   Vector rowsum_;
   // Duals at the last finite check (empty until one passes).
   Vector lambda_good_, mu_good_;
+  // Problem fingerprint, computed lazily on the first checkpoint capture.
+  std::optional<std::uint64_t> fingerprint_;
 };
 
 }  // namespace

@@ -6,12 +6,20 @@
 // paper's sparse I/O instances and any application with structural zeros.
 #pragma once
 
+#include <cstdint>
+
 #include "core/options.hpp"
 #include "core/result.hpp"
 #include "problems/feasibility.hpp"
 #include "sparse/sparse_problem.hpp"
 
 namespace sea {
+
+// FNV-1a fingerprint of a sparse problem's data (mode, shape, pattern,
+// centers, weights, targets). Checkpoints record it so --resume refuses to
+// graft an iterate onto different data; disjoint from the dense fingerprint
+// (core/checkpoint.hpp) by a leading tag byte.
+std::uint64_t FingerprintProblem(const SparseDiagonalProblem& p);
 
 struct SparseSolution {
   SparseMatrix x;  // estimate on the pattern

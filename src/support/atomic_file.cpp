@@ -1,0 +1,55 @@
+#include "support/atomic_file.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <ios>
+#include <thread>
+
+#include "support/failpoint.hpp"
+
+namespace sea::support {
+
+namespace {
+
+bool TryWriteOnce(const std::string& path,
+                  FunctionRef<void(std::ostream&)> body) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    SEA_FAILPOINT_SITE("sea.support.atomic_write")
+    if (fail::Triggered("sea.support.atomic_write"))
+      f.setstate(std::ios::badbit);
+    if (f.good()) body(f);
+    if (!f.good()) {
+      f.close();
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool AtomicFileWriter::Write(const std::string& path,
+                             FunctionRef<void(std::ostream&)> body) {
+  double backoff_ms = retry_.initial_backoff_ms;
+  const int max_attempts = retry_.max_attempts < 1 ? 1 : retry_.max_attempts;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (attempt > 1) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff_ms));
+      backoff_ms *= retry_.backoff_multiplier;
+    }
+    ++attempts_;
+    if (TryWriteOnce(path, body)) return true;
+  }
+  return false;
+}
+
+}  // namespace sea::support

@@ -1,0 +1,52 @@
+// Atomic whole-file writes: write to `<path>.tmp`, fsync-free close, then
+// rename over `path`, so a reader (or a crash) sees either the previous
+// complete file or the new complete file — never a torn half-write. This is
+// the one implementation behind every durable artifact the solver leaves on
+// disk: flight-recorder postmortems, --status-file snapshots, and
+// checkpoints (docs/ROBUSTNESS.md).
+//
+// Transient-failure policy: a RetryPolicy retries the whole
+// open/write/rename attempt with exponential backoff. Artifacts pick their
+// own policy — checkpoints and postmortems retry (losing one is losing
+// durability or forensics), status snapshots do not (the next throttled
+// snapshot supersedes a lost one).
+//
+// Failpoint: `sea.support.atomic_write` fails one attempt's stream per
+// armed visit, which is how tests prove both the retry path (finite fire
+// window -> eventual success) and the degradation path (unbounded window ->
+// Write returns false, caller carries on).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "support/function_ref.hpp"
+
+namespace sea::support {
+
+struct RetryPolicy {
+  int max_attempts = 1;             // total attempts, not retries
+  double initial_backoff_ms = 1.0;  // sleep before the 2nd attempt
+  double backoff_multiplier = 4.0;  // growth per subsequent attempt
+};
+
+class AtomicFileWriter {
+ public:
+  AtomicFileWriter() = default;
+  explicit AtomicFileWriter(RetryPolicy retry) : retry_(retry) {}
+
+  // Runs `body` against a fresh `<path>.tmp` stream and renames it over
+  // `path`. Returns false (after exhausting the retry policy) if the
+  // stream fails — including a body that set failbit/badbit — or the
+  // rename fails; the tmp file is removed on every failed attempt.
+  bool Write(const std::string& path, FunctionRef<void(std::ostream&)> body);
+
+  std::uint64_t attempts() const { return attempts_; }
+
+ private:
+  RetryPolicy retry_;
+  std::uint64_t attempts_ = 0;  // cumulative across Write calls
+};
+
+}  // namespace sea::support

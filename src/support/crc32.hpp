@@ -1,0 +1,21 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected), the integrity trailer on the
+// binary checkpoint format (src/core/checkpoint.hpp). Table-driven, one
+// byte per step — checkpoints are O(m + n) doubles, so checksum cost is
+// noise next to the write itself.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace sea::support {
+
+// CRC-32 of `len` bytes at `data`, continuing from `seed` (0 for a fresh
+// checksum). Chainable: Crc32(b, nb, Crc32(a, na)) == Crc32(ab, na + nb).
+std::uint32_t Crc32(const void* data, std::size_t len, std::uint32_t seed = 0);
+
+inline std::uint32_t Crc32(std::string_view bytes, std::uint32_t seed = 0) {
+  return Crc32(bytes.data(), bytes.size(), seed);
+}
+
+}  // namespace sea::support

@@ -14,7 +14,8 @@ std::atomic<int> armed_count{0};
 namespace {
 
 struct Site {
-  std::uint64_t fire_at = 1;  // 1-based visit ordinal
+  std::uint64_t fire_at = 1;     // 1-based visit ordinal
+  std::uint64_t fire_count = 0;  // 0 = fire forever once reached
   std::uint64_t hits = 0;
 };
 
@@ -34,16 +35,20 @@ bool TriggeredSlow(const char* name) {
   std::lock_guard lk(Mutex());
   auto it = Sites().find(name);
   if (it == Sites().end()) return false;
-  ++it->second.hits;
-  return it->second.hits >= it->second.fire_at;
+  Site& site = it->second;
+  ++site.hits;
+  if (site.hits < site.fire_at) return false;
+  return site.fire_count == 0 ||
+         site.hits < site.fire_at + site.fire_count;
 }
 
 }  // namespace internal
 
-void Arm(const std::string& name, std::uint64_t at_hit) {
+void Arm(const std::string& name, std::uint64_t at_hit,
+         std::uint64_t fire_count) {
   std::lock_guard lk(internal::Mutex());
   auto [it, inserted] = internal::Sites().insert_or_assign(
-      name, internal::Site{at_hit == 0 ? 1 : at_hit, 0});
+      name, internal::Site{at_hit == 0 ? 1 : at_hit, fire_count, 0});
   (void)it;
   if (inserted)
     internal::armed_count.fetch_add(1, std::memory_order_relaxed);
@@ -87,15 +92,19 @@ std::size_t ArmFromSpec(const std::string& spec) {
     const std::size_t e = entry.find_last_not_of(" \t");
     entry = entry.substr(b, e - b + 1);
     std::uint64_t at_hit = 1;
+    std::uint64_t fire_count = 0;
     const std::size_t colon = entry.find(':');
     std::string name = entry.substr(0, colon);
     if (colon != std::string::npos) {
+      char* end = nullptr;
       const std::uint64_t parsed =
-          std::strtoull(entry.c_str() + colon + 1, nullptr, 10);
+          std::strtoull(entry.c_str() + colon + 1, &end, 10);
       if (parsed > 0) at_hit = parsed;
+      if (end != nullptr && *end == ':')
+        fire_count = std::strtoull(end + 1, nullptr, 10);
     }
     if (name.empty()) continue;
-    Arm(name, at_hit);
+    Arm(name, at_hit, fire_count);
     ++armed;
   }
   return armed;

@@ -25,11 +25,15 @@
 //   sea.obs.trace_write         JSONL trace sink stream enters a failed state
 //   sea.obs.profile_write       profiler Chrome-trace export stream fails
 //   sea.obs.postmortem_write    flight-recorder postmortem write fails
+//   sea.support.atomic_write    an AtomicFileWriter attempt's stream fails
+//                               (each armed visit fails one write attempt)
+//   sea.engine.crash_after_checkpoint  std::abort() right after a checkpoint
+//                               write lands (the CI crash-resume smoke)
 //
 // CLI fault injection: tools call ArmFromEnv() at startup, so CI smokes can
 // force a failure class on a production binary via the SEA_FAILPOINTS
-// environment variable ("site[:at_hit],site[:at_hit],..."). Library code
-// never reads the environment.
+// environment variable ("site[:at_hit[:count]],..."). Library code never
+// reads the environment.
 #pragma once
 
 #include <atomic>
@@ -46,8 +50,13 @@ bool TriggeredSlow(const char* name);
 }  // namespace internal
 
 // Arm `name` to fire on the at_hit-th visit (1-based) and every visit after,
-// until disarmed. Re-arming resets the hit counter.
-void Arm(const std::string& name, std::uint64_t at_hit = 1);
+// until disarmed. Re-arming resets the hit counter. A finite `fire_count`
+// bounds the window: the site fires on visits [at_hit, at_hit + fire_count)
+// and then goes quiet again — transient-fault injection (a recovery that
+// should eventually *succeed* arms a window, not a permanent failure).
+// fire_count = 0 means unbounded (the default, the historical behavior).
+void Arm(const std::string& name, std::uint64_t at_hit = 1,
+         std::uint64_t fire_count = 0);
 
 // Disarm one site / all sites (hit counters reset).
 void Disarm(const std::string& name);
@@ -66,9 +75,10 @@ inline bool Triggered(const char* name) {
 // Throw-style site: throws std::runtime_error("failpoint <name> fired").
 void MaybeThrow(const char* name);
 
-// Arms every failpoint named in a "site[:at_hit],site[:at_hit],..." spec
+// Arms every failpoint named in a "site[:at_hit[:count]],..." spec
 // (whitespace around separators tolerated; empty entries skipped; a missing
-// or unparsable :at_hit defaults to 1). Returns the number of sites armed.
+// or unparsable :at_hit defaults to 1; a missing :count defaults to
+// unbounded). Returns the number of sites armed.
 std::size_t ArmFromSpec(const std::string& spec);
 
 // ArmFromSpec over the SEA_FAILPOINTS environment variable; unset or empty

@@ -1,0 +1,45 @@
+// FNV-1a 64-bit accumulator, used for problem fingerprints: a checkpoint
+// records the fingerprint of the problem it was captured from, and resume
+// refuses to graft an iterate onto different data
+// (src/core/checkpoint.hpp). Not cryptographic — it guards against
+// operator error, not adversaries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sea::support {
+
+class Fnv1a {
+ public:
+  void MixBytes(const void* data, std::size_t len) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+      h_ ^= p[i];
+      h_ *= 1099511628211ull;
+    }
+  }
+
+  void MixU64(std::uint64_t v) { MixBytes(&v, sizeof(v)); }
+
+  // Length-prefixed, so {1.0} followed by {} hashes differently from {}
+  // followed by {1.0}.
+  void MixDoubles(std::span<const double> v) {
+    MixU64(v.size());
+    MixBytes(v.data(), v.size() * sizeof(double));
+  }
+
+  void MixSizes(const std::vector<std::size_t>& v) {
+    MixU64(v.size());
+    for (std::size_t s : v) MixU64(static_cast<std::uint64_t>(s));
+  }
+
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 14695981039346656037ull;  // FNV offset basis
+};
+
+}  // namespace sea::support

@@ -6,7 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <string>
 
+#include "core/checkpoint.hpp"
 #include "core/diagonal_sea.hpp"
 #include "entropy/entropy_sea.hpp"
 #include "equilibration/kernel_backend.hpp"
@@ -242,6 +245,70 @@ TEST(Fuzz, EntropyRandomInstances) {
     ASSERT_TRUE(run.result.converged()) << trial;
     EXPECT_GE(CheckFeasibility(run.x, p.s0, p.d0).min_x, 0.0);
   }
+}
+
+// The checkpoint loader faces whatever a crash, a partial copy, or a bad
+// disk left behind. Hostile bytes must always come back as either a valid
+// state or a structured Diagnosis — never a crash, hang, or huge
+// allocation (vector lengths are bounds-checked against the remaining
+// payload before any resize).
+TEST(Fuzz, CheckpointDecoderSurvivesHostileBytes) {
+  CheckpointState st;
+  st.fingerprint = 0x5EAC0FFEEull;
+  st.m = 7;
+  st.n = 5;
+  st.criterion = StopCriterion::kResidualAbs;
+  st.iteration = 42;
+  st.checks_compared = 6;
+  st.final_residual = 1e-3;
+  st.stall_prev = 2e-3;
+  st.stall_streak = 1;
+  st.lambda.assign(7, 0.25);
+  st.mu.assign(5, -0.5);
+  st.have_snapshot = true;
+  st.snapshot.assign(35, 1.0);
+  const std::string clean = EncodeCheckpoint(st);
+  ASSERT_TRUE(DecodeCheckpoint(clean).ok());
+
+  Rng rng(0xC4C4);
+  int rejected = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string bytes = clean;
+    switch (rng.NextIndex(4)) {
+      case 0:  // flip one random byte
+        bytes[rng.NextIndex(bytes.size())] ^=
+            static_cast<char>(1 + rng.NextIndex(255));
+        break;
+      case 1:  // truncate to a random prefix
+        bytes.resize(rng.NextIndex(bytes.size()));
+        break;
+      case 2:  // append random garbage
+        for (std::size_t i = 0, add = 1 + rng.NextIndex(16); i < add; ++i)
+          bytes.push_back(static_cast<char>(rng.NextIndex(256)));
+        break;
+      default: {  // splice random bytes over a random window
+        const std::size_t at = rng.NextIndex(bytes.size());
+        const std::size_t len =
+            1 + rng.NextIndex(std::min<std::size_t>(32, bytes.size() - at));
+        for (std::size_t i = 0; i < len; ++i)
+          bytes[at + i] = static_cast<char>(rng.NextIndex(256));
+        break;
+      }
+    }
+    const CheckpointLoadResult out = DecodeCheckpoint(bytes);
+    if (out.ok()) {
+      // Vanishingly unlikely (CRC collision); a clean decode must at least
+      // carry structurally consistent vectors.
+      EXPECT_EQ(out.state.lambda.size(), out.state.m);
+      EXPECT_EQ(out.state.mu.size(), out.state.n);
+    } else {
+      ++rejected;
+      EXPECT_FALSE(out.diagnosis->message.empty());
+    }
+  }
+  // Nearly every mutation must be rejected; a handful of appends can be
+  // absorbed only if the parser ignored trailing bytes, which it must not.
+  EXPECT_GE(rejected, 1990);
 }
 
 }  // namespace

@@ -1,9 +1,16 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <set>
+#include <string>
 
+#include "support/atomic_file.hpp"
 #include "support/check.hpp"
+#include "support/crc32.hpp"
+#include "support/hash.hpp"
 #include "support/op_counter.hpp"
 #include "support/rng.hpp"
 #include "support/stopwatch.hpp"
@@ -146,6 +153,84 @@ TEST(Stopwatch, CpuClockAdvances) {
   volatile double sink = 0.0;
   for (int i = 0; i < 5000000; ++i) sink = sink + 1e-9;
   EXPECT_GE(ProcessCpuSeconds(), c0);
+}
+
+TEST(Crc32, MatchesTheIeeeCheckValue) {
+  // The canonical CRC-32 check value: crc32("123456789") == 0xCBF43926.
+  EXPECT_EQ(support::Crc32("123456789"), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyInputIsZero) { EXPECT_EQ(support::Crc32(""), 0u); }
+
+TEST(Crc32, SeedChainingEqualsOneShot) {
+  const std::string a = "the splitting ";
+  const std::string b = "equilibration algorithm";
+  EXPECT_EQ(support::Crc32(b, support::Crc32(a)), support::Crc32(a + b));
+}
+
+TEST(Crc32, SingleBitFlipChangesTheChecksum) {
+  std::string bytes = "checkpoint payload bytes";
+  const std::uint32_t clean = support::Crc32(bytes);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::string corrupt = bytes;
+    corrupt[i] ^= 0x01;
+    EXPECT_NE(support::Crc32(corrupt), clean) << "flip at byte " << i;
+  }
+}
+
+TEST(Fnv1a, MatchesTheCanonicalTestVector) {
+  // FNV-1a 64 of "a" per the reference implementation.
+  support::Fnv1a h;
+  h.MixBytes("a", 1);
+  EXPECT_EQ(h.value(), 0xaf63dc4c8601ec8cull);
+}
+
+TEST(Fnv1a, DeterministicAcrossInstances) {
+  support::Fnv1a a, b;
+  const std::vector<double> v = {1.0, -2.5, 3.25};
+  a.MixDoubles(v);
+  b.MixDoubles(v);
+  EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(Fnv1a, LengthPrefixSeparatesVectorBoundaries) {
+  // {1.0} then {} must hash differently from {} then {1.0} — without the
+  // length prefix both would mix the same byte stream.
+  support::Fnv1a a, b;
+  a.MixDoubles(std::vector<double>{1.0});
+  a.MixDoubles(std::vector<double>{});
+  b.MixDoubles(std::vector<double>{});
+  b.MixDoubles(std::vector<double>{1.0});
+  EXPECT_NE(a.value(), b.value());
+}
+
+TEST(AtomicFileWriter, HappyPathIsOneAttempt) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "sea_atomic_happy.txt")
+          .string();
+  std::remove(path.c_str());
+  support::AtomicFileWriter writer;
+  ASSERT_TRUE(
+      writer.Write(path, [](std::ostream& out) { out << "payload\n"; }));
+  EXPECT_EQ(writer.attempts(), 1u);
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "payload");
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFileWriter, BodyStreamFailureReportsFalse) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "sea_atomic_fail.txt")
+          .string();
+  std::remove(path.c_str());
+  support::AtomicFileWriter writer;
+  EXPECT_FALSE(writer.Write(
+      path, [](std::ostream& out) { out.setstate(std::ios::badbit); }));
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
 }
 
 }  // namespace

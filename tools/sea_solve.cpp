@@ -34,20 +34,33 @@
 // the flight recorder to dump a JSONL postmortem when the solve ends in a
 // guardrail failure class; --status-file maintains a live, atomically
 // replaced JSON snapshot of the running solve. The SEA_FAILPOINTS
-// environment variable ("site[:at_hit],...") arms fault-injection
+// environment variable ("site[:at_hit[:count]],...") arms fault-injection
 // failpoints for CI smokes (docs/ROBUSTNESS.md).
+//
+// Durability + self-healing (docs/ROBUSTNESS.md): --checkpoint <path> writes
+// a crash-safe resume checkpoint every --checkpoint-every N compared checks
+// (and at cancellation / budget expiry / the iteration cap); --resume <path>
+// restores one and continues bit-identically; --recover walks the automatic
+// recovery ladder on stall/breakdown instead of terminating
+// (--recovery-retries attempts per rung). Inspect any checkpoint with
+// tools/checkpoint_info. SIGINT/SIGTERM trip cooperative cancellation: the
+// solve stops at the next check, flushes telemetry, writes the final
+// checkpoint and postmortem, and exits with code 6.
 //
 // Exit codes (docs/ROBUSTNESS.md) follow sea::ExitCodeFor:
 //   0 converged          5 time budget exceeded   8 numerical breakdown
 //   2 usage error        6 cancelled              9 infeasible input
 //   3 input/IO error     7 stalled                  (pre-flight or check
 //   4 iteration limit                                mode cut)
+#include <csignal>
 #include <iostream>
 #include <fstream>
 #include <map>
 #include <memory>
 #include <set>
 #include <string>
+
+#include "core/checkpoint.hpp"
 
 #include "core/diagonal_sea.hpp"
 #include "core/solve_status.hpp"
@@ -71,6 +84,14 @@
 namespace {
 
 using namespace sea;
+
+// SIGINT/SIGTERM handler: async-signal-safe cancellation. The token's
+// Cancel() is a lock-free atomic store; the engine notices at the next
+// check iteration and unwinds normally (final checkpoint, telemetry flush,
+// exit code 6) — no state is touched from signal context.
+CancelToken g_cancel;
+
+extern "C" void OnTerminationSignal(int /*signum*/) { g_cancel.Cancel(); }
 
 [[noreturn]] void Usage(const char* argv0, const std::string& why = {}) {
   if (!why.empty()) std::cerr << "error: " << why << '\n';
@@ -116,6 +137,16 @@ using namespace sea;
          "stall/breakdown/cancel/budget failures)\n"
          "           --status-file <path>     (live solve snapshot, "
          "atomically replaced per check)\n"
+         "           --checkpoint <path>      (crash-safe resume checkpoint, "
+         "atomically replaced)\n"
+         "           --checkpoint-every <N>   (checkpoint cadence in "
+         "compared checks, default 1)\n"
+         "           --resume <path>          (restore a checkpoint and "
+         "continue bit-identically)\n"
+         "           --recover                (walk the recovery ladder on "
+         "stall/breakdown instead of terminating)\n"
+         "           --recovery-retries <N>   (rescue attempts per ladder "
+         "rung, default 2)\n"
          "           --profile-json <path>    (export phase spans as Chrome "
          "trace JSON for Perfetto)\n"
          "           --profile-summary        (print the per-phase profile "
@@ -133,12 +164,14 @@ const std::set<std::string>& ValueFlags() {
       "trace-jsonl", "time-budget", "profile-json",
       "schedule",  "grain",      "sort",         "backend",
       "stall-checks", "metrics-prom", "attribution-json",
-      "postmortem-json", "status-file"};
+      "postmortem-json", "status-file", "checkpoint", "checkpoint-every",
+      "resume", "recovery-retries"};
   return flags;
 }
 
 const std::set<std::string>& SwitchFlags() {
-  static const std::set<std::string> flags{"progress", "profile-summary"};
+  static const std::set<std::string> flags{"progress", "profile-summary",
+                                           "recover"};
   return flags;
 }
 
@@ -449,6 +482,50 @@ int main(int argc, char** argv) {
       opts.status_file = status_writer.get();
     }
 
+    // Durability + self-healing (docs/ROBUSTNESS.md): checkpoint cadence,
+    // resume restore (validated against the problem before the solve sees
+    // it), and the recovery ladder.
+    std::unique_ptr<CheckpointWriter> checkpoint_writer;
+    if (args.count("checkpoint")) {
+      std::uint64_t every = 1;
+      if (args.count("checkpoint-every")) {
+        every = ParseSize(args["checkpoint-every"], "--checkpoint-every");
+        if (every == 0) Usage(argv[0], "--checkpoint-every must be >= 1");
+      }
+      checkpoint_writer =
+          std::make_unique<CheckpointWriter>(args["checkpoint"], every);
+      opts.checkpoint = checkpoint_writer.get();
+    } else if (args.count("checkpoint-every")) {
+      Usage(argv[0], "--checkpoint-every requires --checkpoint");
+    }
+    CheckpointState resume_state;
+    if (args.count("resume")) {
+      CheckpointLoadResult loaded = LoadCheckpoint(args["resume"]);
+      std::optional<Diagnosis> bad = std::move(loaded.diagnosis);
+      if (!bad.has_value())
+        bad = ValidateCheckpointFor(loaded.state, FingerprintProblem(problem),
+                                    problem.m(), problem.n(), opts.criterion);
+      if (bad.has_value()) {
+        std::cerr << "error: cannot resume from " << args["resume"] << ": "
+                  << ToString(bad->code) << ": " << bad->message << '\n';
+        flush_failure_metrics("resume rejected: " + bad->message);
+        return 3;
+      }
+      resume_state = std::move(loaded.state);
+      opts.resume = &resume_state;
+    }
+    if (args.count("recover")) opts.recover = true;
+    if (args.count("recovery-retries"))
+      opts.recovery_retries =
+          ParseSize(args["recovery-retries"], "--recovery-retries");
+
+    // Ctrl-C / kill become a clean guardrail exit instead of an abort: the
+    // handler trips the cancel token, the engine stops at the next check,
+    // and every flush below (final checkpoint, metrics, postmortem) runs.
+    opts.cancel = &g_cancel;
+    std::signal(SIGINT, OnTerminationSignal);
+    std::signal(SIGTERM, OnTerminationSignal);
+
     // Profiler: attached for the solve only, so the trace/summary covers
     // exactly the algorithm (docs/OBSERVABILITY.md, "Profiling").
     const bool profiling =
@@ -473,6 +550,25 @@ int main(int argc, char** argv) {
               << rep.MaxRel() << " (rel)\n"
               << "kernel backend: " << run.result.kernel_backend << '\n'
               << "cpu seconds:    " << run.result.cpu_seconds << '\n';
+
+    if (opts.resume != nullptr)
+      std::cout << "resumed:        " << args["resume"] << " (from iteration "
+                << resume_state.iteration << ")\n";
+    if (run.result.recovered_count > 0) {
+      std::cout << "recoveries:     " << run.result.recovered_count
+                << " (rungs:";
+      for (std::uint8_t rung : run.result.recovery_rungs)
+        std::cout << ' ' << static_cast<unsigned>(rung);
+      std::cout << ")\n";
+    }
+    if (checkpoint_writer) {
+      std::cout << "checkpoint:     " << checkpoint_writer->path() << " ("
+                << checkpoint_writer->writes() << " writes";
+      if (checkpoint_writer->write_failures() > 0)
+        std::cout << ", " << checkpoint_writer->write_failures()
+                  << " failures";
+      std::cout << ")\n";
+    }
 
     if (profiling) {
       const auto spans = obs::ToRawSpans(profiler.Events());
