@@ -1,7 +1,5 @@
 #include "bench_common.hpp"
 
-#include <sys/resource.h>
-
 #include <cstring>
 #include <ctime>
 #include <fstream>
@@ -12,6 +10,7 @@
 #include "obs/json_export.hpp"
 #include "obs/profiler.hpp"
 #include "support/check.hpp"
+#include "support/rusage.hpp"
 #include "support/stopwatch.hpp"
 
 #ifndef SEA_GIT_SHA
@@ -42,13 +41,6 @@ std::string IsoTimestampUtc() {
   char buf[32];
   std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
   return buf;
-}
-
-double PeakRssBytes() {
-  struct rusage ru{};
-  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
-  // Linux reports ru_maxrss in KiB.
-  return static_cast<double>(ru.ru_maxrss) * 1024.0;
 }
 
 }  // namespace
@@ -146,7 +138,7 @@ std::string BenchJson(const ExperimentLog& log, const BenchOptions& opts,
     doc.Field("wall_seconds", g_run->wall.Seconds())
         .Field("cpu_seconds", ProcessCpuSeconds() - g_run->cpu0);
   }
-  doc.Field("peak_rss_bytes", PeakRssBytes());
+  doc.Field("peak_rss_bytes", support::PeakRssBytes());
   doc.Raw("records", records.Str());
 
   if (g_run != nullptr) {

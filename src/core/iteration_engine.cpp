@@ -104,12 +104,32 @@ SeaResult RunIterationEngine(SeaIterationBackend& backend,
   std::size_t last_check_iteration = 0;
   obs::Histogram* residual_hist = nullptr;
   obs::Histogram* interval_hist = nullptr;
+  // Progress counters commit check-to-check deltas DURING the solve — a
+  // /metrics scrape or the sampler's rate rings must see a running solve
+  // move, not a burst at termination. The terminal block commits whatever
+  // accrued after the last check, so the totals match the old end-only
+  // flush exactly. Resolved once here: Get*() takes the registry lock.
+  obs::Counter* iter_counter = nullptr;
+  obs::Counter* checks_counter = nullptr;
+  obs::Counter* flops_counter = nullptr;
+  obs::Counter* comparisons_counter = nullptr;
+  obs::Counter* breakpoints_counter = nullptr;
+  obs::Counter* inversions_counter = nullptr;
   if (opts.metrics) {
     residual_hist =
         &opts.metrics->GetHistogram("sea.check.residual", ResidualBounds());
     interval_hist = &opts.metrics->GetHistogram("sea.check.interval_iters",
                                                 CheckIntervalBounds());
+    iter_counter = &opts.metrics->GetCounter("sea.iterations");
+    checks_counter = &opts.metrics->GetCounter("sea.checks_compared");
+    flops_counter = &opts.metrics->GetCounter("sea.ops.flops");
+    comparisons_counter = &opts.metrics->GetCounter("sea.ops.comparisons");
+    breakpoints_counter = &opts.metrics->GetCounter("sea.ops.breakpoints");
+    inversions_counter = &opts.metrics->GetCounter("sea.ops.inversions");
   }
+  std::size_t iters_committed = 0;
+  std::size_t checks_committed = 0;
+  OpCounts ops_committed;
 
   // Fills the engine-owned portion of a checkpoint; the backend adds the
   // iterate, fingerprint, and dimensions via CaptureIterate.
@@ -416,6 +436,16 @@ SeaResult RunIterationEngine(SeaIterationBackend& backend,
         if (defined && std::isfinite(measure))
           residual_hist->Observe(measure);
         interval_hist->Observe(static_cast<double>(t - last_check_iteration));
+        iter_counter->Add(t - iters_committed);
+        iters_committed = t;
+        checks_counter->Add(result.checks_compared - checks_committed);
+        checks_committed = result.checks_compared;
+        const OpCounts ops_delta = result.ops - ops_committed;
+        flops_counter->Add(ops_delta.flops);
+        comparisons_counter->Add(ops_delta.comparisons);
+        breakpoints_counter->Add(ops_delta.breakpoints);
+        inversions_counter->Add(ops_delta.inversions);
+        ops_committed = result.ops;
       }
       last_check_iteration = t;
 
@@ -471,12 +501,16 @@ SeaResult RunIterationEngine(SeaIterationBackend& backend,
 
   if (opts.metrics) {
     obs::MetricsRegistry& m = *opts.metrics;
-    m.GetCounter("sea.iterations").Add(result.iterations);
-    m.GetCounter("sea.checks_compared").Add(result.checks_compared);
-    m.GetCounter("sea.ops.flops").Add(result.ops.flops);
-    m.GetCounter("sea.ops.comparisons").Add(result.ops.comparisons);
-    m.GetCounter("sea.ops.breakpoints").Add(result.ops.breakpoints);
-    m.GetCounter("sea.ops.inversions").Add(result.ops.inversions);
+    // The check loop already committed deltas up to the last check (live
+    // progress); only the post-last-check remainder lands here.
+    m.GetCounter("sea.iterations").Add(result.iterations - iters_committed);
+    m.GetCounter("sea.checks_compared")
+        .Add(result.checks_compared - checks_committed);
+    const OpCounts ops_rest = result.ops - ops_committed;
+    m.GetCounter("sea.ops.flops").Add(ops_rest.flops);
+    m.GetCounter("sea.ops.comparisons").Add(ops_rest.comparisons);
+    m.GetCounter("sea.ops.breakpoints").Add(ops_rest.breakpoints);
+    m.GetCounter("sea.ops.inversions").Add(ops_rest.inversions);
     m.GetCounter("sea.sweep.order_reuses").Add(result.order_reuses);
     // Per-backend market-solve counters plus a which-backend gauge
     // (docs/OBSERVABILITY.md): 0 = scalar, 1 = simd.

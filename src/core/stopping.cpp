@@ -53,7 +53,13 @@ double EstimateItersToEpsilon(std::size_t it0, double m0, std::size_t it1,
   const double rho =
       std::pow(m1 / m0, 1.0 / static_cast<double>(it1 - it0));
   if (!(rho < 1.0)) return nan;  // no contraction: extrapolation is undefined
-  return std::log(epsilon / m1) / std::log(rho);
+  const double eta = std::log(epsilon / m1) / std::log(rho);
+  // rho can sit so close to 1 that log(rho) underflows to -0.0 and the
+  // division yields +Inf (or epsilon<=0 makes the numerator -Inf). Callers
+  // render estimates as JSON, where Inf/NaN must become null — keep the
+  // contract "finite estimate or NaN" here rather than at every caller.
+  if (!std::isfinite(eta) || eta < 0.0) return nan;
+  return eta;
 }
 
 }  // namespace sea

@@ -1,0 +1,103 @@
+#include "net/http_client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+
+namespace sea::net {
+
+namespace {
+
+FetchResult Fail(const std::string& why) {
+  FetchResult r;
+  r.error = why + ": " + std::strerror(errno);
+  return r;
+}
+
+// One connected socket with send/receive deadlines, or -1.
+int Connect(const std::string& host, std::uint16_t port,
+            double timeout_seconds) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_seconds);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (timeout_seconds - std::floor(timeout_seconds)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+          0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+FetchResult Exchange(const std::string& host, std::uint16_t port,
+                     const std::string& request, double timeout_seconds) {
+  const int fd = Connect(host, port, timeout_seconds);
+  if (fd < 0) return Fail("connect " + host + ":" + std::to_string(port));
+  std::size_t off = 0;
+  while (off < request.size()) {
+    const ssize_t n = ::write(fd, request.data() + off, request.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Fail("write");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  std::string raw;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // server closed (normal end) or timed out
+    raw.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  FetchResult r;
+  // Status line: "HTTP/1.1 NNN Reason".
+  if (raw.compare(0, 5, "HTTP/") != 0 || raw.size() < 12) {
+    r.error = "no HTTP status line in response";
+    return r;
+  }
+  const std::size_t sp = raw.find(' ');
+  if (sp == std::string::npos || sp + 4 > raw.size()) {
+    r.error = "malformed status line";
+    return r;
+  }
+  r.status = std::atoi(raw.c_str() + sp + 1);
+  const std::size_t head_end = raw.find("\r\n\r\n");
+  r.body = head_end == std::string::npos ? "" : raw.substr(head_end + 4);
+  r.ok = r.status > 0;
+  return r;
+}
+
+}  // namespace
+
+FetchResult HttpGet(const std::string& host, std::uint16_t port,
+                    const std::string& target, double timeout_seconds) {
+  const std::string request = "GET " + target + " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  return Exchange(host, port, request, timeout_seconds);
+}
+
+FetchResult HttpRaw(const std::string& host, std::uint16_t port,
+                    const std::string& raw, double timeout_seconds) {
+  return Exchange(host, port, raw, timeout_seconds);
+}
+
+}  // namespace sea::net

@@ -1,0 +1,299 @@
+#include "net/http_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "parallel/task_queue.hpp"
+
+namespace sea::net {
+
+namespace {
+
+// One hex digit -> value, -1 on a non-hex byte.
+int HexVal(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+// %XX and '+' decoding for query components; malformed escapes pass
+// through literally (a scrape URL is operator input, not hostile — but it
+// must never crash the exchange).
+std::string UrlDecode(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out.push_back(' ');
+    } else if (s[i] == '%' && i + 2 < s.size() && HexVal(s[i + 1]) >= 0 &&
+               HexVal(s[i + 2]) >= 0) {
+      out.push_back(
+          static_cast<char>(HexVal(s[i + 1]) * 16 + HexVal(s[i + 2])));
+      i += 2;
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+void ParseQuery(const std::string& query,
+                std::map<std::string, std::string>& params) {
+  std::size_t start = 0;
+  while (start <= query.size()) {
+    std::size_t end = query.find('&', start);
+    if (end == std::string::npos) end = query.size();
+    const std::string pair = query.substr(start, end - start);
+    if (!pair.empty()) {
+      const std::size_t eq = pair.find('=');
+      if (eq == std::string::npos) {
+        params[UrlDecode(pair)] = "";
+      } else {
+        params[UrlDecode(pair.substr(0, eq))] = UrlDecode(pair.substr(eq + 1));
+      }
+    }
+    start = end + 1;
+  }
+}
+
+// Writes the whole buffer, retrying short writes; false on a socket error
+// (client went away — the exchange is abandoned, never the server).
+bool WriteAll(int fd, const char* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::write(fd, data + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool SendResponse(int fd, const HttpResponse& resp,
+                  const char* extra_header = nullptr) {
+  std::string head = "HTTP/1.1 " + std::to_string(resp.status) + " " +
+                     StatusReason(resp.status) + "\r\n";
+  head += "Content-Type: " + resp.content_type + "\r\n";
+  head += "Content-Length: " + std::to_string(resp.body.size()) + "\r\n";
+  if (extra_header != nullptr) {
+    head += extra_header;
+    head += "\r\n";
+  }
+  head += "Connection: close\r\n\r\n";
+  return WriteAll(fd, head.data(), head.size()) &&
+         WriteAll(fd, resp.body.data(), resp.body.size());
+}
+
+HttpResponse ErrorResponse(int status, const std::string& detail) {
+  HttpResponse resp;
+  resp.status = status;
+  resp.body = std::to_string(status) + " " + StatusReason(status) + ": " +
+              detail + "\n";
+  return resp;
+}
+
+}  // namespace
+
+const char* StatusReason(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 500:
+      return "Internal Server Error";
+    default:
+      return "Unknown";
+  }
+}
+
+std::string HttpRequest::Param(const std::string& key,
+                               const std::string& fallback) const {
+  const auto it = params.find(key);
+  return it == params.end() ? fallback : it->second;
+}
+
+HttpServer::HttpServer(std::size_t handler_threads, CancelToken* cancel)
+    : cancel_(cancel),
+      handler_threads_(handler_threads == 0 ? 1 : handler_threads) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Handle(std::string path, Handler handler) {
+  handlers_[std::move(path)] = std::move(handler);
+}
+
+bool HttpServer::Start(std::uint16_t port, std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why + ": " + std::strerror(errno);
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return false;
+  };
+  if (running_) {
+    if (error != nullptr) *error = "server already running";
+    return false;
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  // Loopback only: the telemetry plane is a local scrape/debug surface,
+  // never an internet listener.
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0)
+    return fail("bind 127.0.0.1:" + std::to_string(port));
+  if (::listen(listen_fd_, 64) != 0) return fail("listen");
+  // Recover the kernel-assigned port for the port-0 ephemeral bind.
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0)
+    return fail("getsockname");
+  port_ = ntohs(bound.sin_port);
+
+  stop_.store(false, std::memory_order_release);
+  queue_ = std::make_unique<TaskQueue>(handler_threads_);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  running_ = true;
+  return true;
+}
+
+void HttpServer::Stop() {
+  if (!running_) return;
+  stop_.store(true, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (queue_) queue_->Stop();  // drain in-flight exchanges, join workers
+  queue_.reset();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_ = false;
+}
+
+void HttpServer::AcceptLoop() {
+  // Poll with a short timeout instead of a blocking accept, so Stop() and
+  // a tripped CancelToken are noticed within one poll interval without
+  // any cross-thread socket shutdown games.
+  pollfd pfd{};
+  pfd.fd = listen_fd_;
+  pfd.events = POLLIN;
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (cancel_ != nullptr && cancel_->cancelled()) break;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/200);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener broken; nothing to serve on
+    }
+    if (ready == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    // A full read of a request line is small and bounded; a stuck client
+    // is cut off by the socket timeout rather than pinning a worker.
+    timeval tv{};
+    tv.tv_sec = 5;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    if (!queue_->Submit([this, fd] { ServeConnection(fd); })) ::close(fd);
+  }
+}
+
+void HttpServer::ServeConnection(int fd) {
+  // Read until the end of the request head (blank line) or the size cap.
+  // GET carries no body, so nothing after the head is needed.
+  std::string buf;
+  bool oversized = false;
+  char chunk[1024];
+  while (buf.find("\r\n") == std::string::npos) {
+    if (buf.size() > kMaxRequestBytes) {
+      oversized = true;
+      break;
+    }
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) break;  // client closed or timed out mid-request
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+
+  HttpResponse resp;
+  const char* extra_header = nullptr;
+  HttpRequest req;
+  const std::size_t line_end = buf.find("\r\n");
+  if (oversized) {
+    resp = ErrorResponse(431, "request line exceeds " +
+                                  std::to_string(kMaxRequestBytes) + " bytes");
+  } else if (line_end == std::string::npos) {
+    resp = ErrorResponse(400, "no request line");
+  } else {
+    // Request line: METHOD SP TARGET SP VERSION.
+    const std::string line = buf.substr(0, line_end);
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos ||
+        line.compare(sp2 + 1, 5, "HTTP/") != 0) {
+      resp = ErrorResponse(400, "malformed request line");
+    } else {
+      req.method = line.substr(0, sp1);
+      std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      const std::size_t qmark = target.find('?');
+      if (qmark != std::string::npos) {
+        req.query = target.substr(qmark + 1);
+        target.resize(qmark);
+      }
+      req.path = target;
+      ParseQuery(req.query, req.params);
+      if (req.method != "GET" && req.method != "HEAD") {
+        resp = ErrorResponse(405, "only GET is served here");
+        extra_header = "Allow: GET, HEAD";
+      } else {
+        const auto it = handlers_.find(req.path);
+        if (it == handlers_.end()) {
+          resp = ErrorResponse(404, "no handler for " + req.path);
+        } else {
+          resp = it->second(req);
+        }
+      }
+    }
+  }
+  if (req.method == "HEAD") resp.body.clear();
+  SendResponse(fd, resp, extra_header);
+  if (resp.status < 300) {
+    requests_ok_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    requests_error_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ::close(fd);
+}
+
+std::uint64_t HttpServer::requests_ok() const {
+  return requests_ok_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t HttpServer::requests_error() const {
+  return requests_error_.load(std::memory_order_relaxed);
+}
+
+}  // namespace sea::net

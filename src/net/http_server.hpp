@@ -1,0 +1,127 @@
+// Minimal embedded HTTP/1.1 GET server — the live telemetry plane's wire
+// seam (docs/OBSERVABILITY.md, "Live endpoints").
+//
+// Scope is deliberately tiny and dependency-free: loopback-only
+// (127.0.0.1), GET-only, one request per connection (`Connection: close`),
+// handlers registered by exact path before Start. That is all a metrics
+// scraper, a dashboard poll, or a CI curl needs — and it is the seam the
+// future sea_serve daemon grows request multiplexing on (ROADMAP
+// "Solver-as-a-service"): the accept loop and parsing stay, only the
+// handler set changes.
+//
+// Threading: Start() spawns one accept thread; each accepted connection is
+// dispatched onto a TaskQueue (parallel/task_queue.hpp) of handler workers,
+// so a slow client never blocks accept and concurrent GETs are served
+// concurrently — without touching the solver's ParallelFor region pool,
+// which a running solve owns. Handlers run on queue workers and must be
+// thread-safe against the solve thread (the telemetry sources already are:
+// MetricsRegistry snapshots, sampler rings, and the status writer's latest
+// snapshot are all internally synchronized).
+//
+// Shutdown: Stop() — or a tripped CancelToken, polled by the accept loop —
+// stops accepting, drains in-flight handlers, and joins both the accept
+// thread and the handler queue, so process exit is clean under TSan. The
+// sea_solve SIGINT/SIGTERM path reuses the solver's token
+// (docs/ROBUSTNESS.md, "Signals").
+//
+// Protocol limits (tested in tests/test_net.cpp): request line capped at
+// kMaxRequestBytes (431 on overflow), unknown path -> 404, non-GET -> 405
+// with an Allow header, unparsable request -> 400, 5s socket read timeout.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "support/cancel.hpp"
+
+namespace sea {
+class TaskQueue;
+}  // namespace sea
+
+namespace sea::net {
+
+// Parsed request line of one GET exchange. `params` holds the query string
+// split on '&'/'=' with %XX sequences decoded; duplicate keys keep the
+// last value.
+struct HttpRequest {
+  std::string method;
+  std::string path;   // before '?'
+  std::string query;  // after '?', raw
+  std::map<std::string, std::string> params;
+
+  // Lookup helper: decoded query parameter or `fallback` when absent.
+  std::string Param(const std::string& key,
+                    const std::string& fallback = "") const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  // Request line (method + target + version) size cap; longer lines are
+  // answered 431 without reading the rest.
+  static constexpr std::size_t kMaxRequestBytes = 4096;
+
+  // `handler_threads` sizes the TaskQueue the exchanges run on; `cancel`
+  // (optional) lets the solver's signal machinery stop the server without
+  // a Stop() call — the accept loop polls it a few times per second.
+  explicit HttpServer(std::size_t handler_threads = 2,
+                      CancelToken* cancel = nullptr);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Register `handler` for exact-match `path` (e.g. "/metrics"). Must be
+  // called before Start; handlers run concurrently on queue workers.
+  void Handle(std::string path, Handler handler);
+
+  // Bind 127.0.0.1:`port` (0 = kernel-assigned ephemeral port, readable
+  // via port() after Start returns) and start serving. Returns false with
+  // `*error` filled on bind/listen failure; never throws.
+  bool Start(std::uint16_t port, std::string* error = nullptr);
+
+  // Stop accepting, drain in-flight exchanges, join all threads.
+  // Idempotent; called by the destructor.
+  void Stop();
+
+  bool running() const { return running_; }
+  std::uint16_t port() const { return port_; }
+  // Exchanges fully answered so far, by outcome (monotone; any thread).
+  std::uint64_t requests_ok() const;
+  std::uint64_t requests_error() const;  // every non-2xx answer
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  std::map<std::string, Handler> handlers_;
+  std::unique_ptr<TaskQueue> queue_;
+  CancelToken* cancel_ = nullptr;
+  std::size_t handler_threads_;
+  std::thread accept_thread_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  bool running_ = false;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> requests_ok_{0};
+  std::atomic<std::uint64_t> requests_error_{0};
+};
+
+// Reason-phrase for the status codes the server emits ("OK", "Not Found",
+// ...); "Unknown" otherwise. Exposed for tests.
+const char* StatusReason(int status);
+
+}  // namespace sea::net

@@ -16,7 +16,9 @@
 // profiler breakdown. Version 3 added the forensics documents: per-market
 // attribution JSONL, flight-recorder postmortems, and the --status-file
 // snapshot (obs/market_stats.hpp, obs/flight_recorder.hpp,
-// obs/status_file.hpp).
+// obs/status_file.hpp). Version 4 added the telemetry-plane documents:
+// /timeseries and its index (obs/sampler.hpp), /varz, and the wide-event
+// solve log (obs/solve_log.hpp).
 #pragma once
 
 #include <cstdint>
@@ -34,7 +36,7 @@ struct PoolStats;
 namespace obs {
 
 // Current version stamped into every exported document and trace event.
-inline constexpr int kTelemetrySchemaVersion = 3;
+inline constexpr int kTelemetrySchemaVersion = 4;
 
 std::string JsonEscape(const std::string& s);
 // Shortest decimal that round-trips to the same double; "null" for

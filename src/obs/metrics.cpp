@@ -148,8 +148,10 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 
 namespace {
 
-// Metric-name charset per the exposition format: [a-zA-Z0-9_:], with dots
-// (our canonical separator) and anything else mapped to '_'.
+// Metric-name charset per the exposition format: [a-zA-Z_:][a-zA-Z0-9_:]*.
+// Dots (our canonical separator) and anything else map to '_'; a leading
+// digit gets a '_' prefix and an empty name becomes "_" — a scraper must
+// never see a name its parser rejects, whatever a caller registered.
 std::string PromName(const std::string& name) {
   std::string out = name;
   for (char& c : out) {
@@ -157,6 +159,7 @@ std::string PromName(const std::string& name) {
                     (c >= '0' && c <= '9') || c == '_' || c == ':';
     if (!ok) c = '_';
   }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, 1, '_');
   return out;
 }
 
@@ -168,27 +171,116 @@ std::string PromNumber(double v) {
   return JsonNumber(v);
 }
 
+// HELP text escaping per the text format: backslash and line feed. Label
+// VALUES additionally escape the double quote that delimits them.
+std::string PromEscape(const std::string& s, bool label_value) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\')
+      out += "\\\\";
+    else if (c == '\n')
+      out += "\\n";
+    else if (c == '"' && label_value)
+      out += "\\\"";
+    else
+      out += c;
+  }
+  return out;
+}
+
+// Catalogue of HELP strings for the metric families the solver emits
+// (core/iteration_engine.cpp, RecordPoolMetrics). Unknown names — tests,
+// embedders — simply get no HELP line; the format makes it optional.
+const char* PromHelp(const std::string& name) {
+  struct Entry {
+    const char* name;
+    const char* help;
+  };
+  static constexpr Entry kCatalogue[] = {
+      {"sea.iterations", "Completed row+column iteration pairs."},
+      {"sea.checks_compared",
+       "Convergence checks whose stopping measure was defined."},
+      {"sea.solves", "Solver invocations recorded into this registry."},
+      {"sea.solves_converged", "Solver invocations that converged."},
+      {"sea.ops.flops", "Floating-point operations in market solves."},
+      {"sea.ops.comparisons", "Breakpoint comparisons in market solves."},
+      {"sea.ops.breakpoints", "Breakpoints generated across market solves."},
+      {"sea.ops.inversions",
+       "Adjacent-pair inversions repaired by order reuse."},
+      {"sea.sweep.order_reuses",
+       "Market solves answered by repairing a persisted breakpoint order."},
+      {"sea.recovery.rescues",
+       "Guardrail trips rescued by the recovery ladder."},
+      {"sea.recovery.active_rung",
+       "Rung of the most recent recovery (0 = none)."},
+      {"sea.checkpoint.resumes", "Solves resumed from a checkpoint."},
+      {"sea.check.residual", "Stopping-measure values at convergence checks."},
+      {"sea.check.interval_iters",
+       "Iterations elapsed between consecutive checks."},
+      {"sea.kernel.backend",
+       "Kernel backend in use (0 = scalar, 1 = simd)."},
+      {"sea.row_phase_seconds", "Wall seconds in parallel row phases."},
+      {"sea.col_phase_seconds", "Wall seconds in parallel column phases."},
+      {"sea.check_phase_seconds",
+       "Wall seconds in serial convergence checks."},
+      {"sea.wall_seconds", "Wall seconds across recorded solves."},
+      {"sea.cpu_seconds", "Process CPU seconds across recorded solves."},
+      {"sea.final_residual", "Stopping measure of the latest solve."},
+      {"sea.converged", "Whether the latest solve converged (0/1)."},
+      {"sea.market.tracked", "Markets tracked by attribution."},
+      {"sea.market.checks", "Attribution check rows recorded."},
+      {"sea.market.solves", "Per-market solves recorded by attribution."},
+      {"sea.market.churn", "Breakpoint-order churn recorded by attribution."},
+      {"pool.threads", "Worker threads in the parallel pool."},
+      {"pool.regions", "ParallelFor regions executed."},
+      {"pool.region_wall_seconds", "Wall seconds inside ParallelFor regions."},
+      {"pool.chunk_imbalance.max",
+       "Max relative chunk imbalance across regions."},
+      {"pool.chunk_imbalance.mean",
+       "Mean relative chunk imbalance across regions."},
+      {"pool.chunks", "Work chunks executed by the pool."},
+      {"pool.claims", "Dynamic chunk claims by pool workers."},
+      {"pool.busy_seconds_total", "Busy seconds summed over pool workers."},
+      {"pool.utilization",
+       "Busy worker seconds over region wall x threads."},
+  };
+  for (const auto& e : kCatalogue)
+    if (name == e.name) return e.help;
+  return nullptr;
+}
+
+void WriteHeader(std::ostream& os, const std::string& raw_name,
+                 const std::string& prom_name, const char* type) {
+  if (const char* help = PromHelp(raw_name))
+    os << "# HELP " << prom_name << ' '
+       << PromEscape(help, /*label_value=*/false) << '\n';
+  os << "# TYPE " << prom_name << ' ' << type << '\n';
+}
+
 }  // namespace
 
 void WritePrometheus(std::ostream& os, const MetricsSnapshot& snapshot) {
   for (const auto& [name, value] : snapshot.counters) {
     const std::string n = PromName(name) + "_total";
-    os << "# TYPE " << n << " counter\n" << n << ' ' << value << '\n';
+    WriteHeader(os, name, n, "counter");
+    os << n << ' ' << value << '\n';
   }
   for (const auto& [name, value] : snapshot.gauges) {
     const std::string n = PromName(name);
-    os << "# TYPE " << n << " gauge\n" << n << ' ' << PromNumber(value)
-       << '\n';
+    WriteHeader(os, name, n, "gauge");
+    os << n << ' ' << PromNumber(value) << '\n';
   }
   for (const auto& [name, h] : snapshot.histograms) {
     const std::string n = PromName(name);
-    os << "# TYPE " << n << " histogram\n";
+    WriteHeader(os, name, n, "histogram");
     // Buckets are cumulative in the exposition format; ours are disjoint.
     std::uint64_t cum = 0;
     for (std::size_t b = 0; b < h.bounds.size(); ++b) {
       cum += h.counts[b];
-      os << n << "_bucket{le=\"" << PromNumber(h.bounds[b]) << "\"} " << cum
-         << '\n';
+      os << n << "_bucket{le=\""
+         << PromEscape(PromNumber(h.bounds[b]), /*label_value=*/true)
+         << "\"} " << cum << '\n';
     }
     os << n << "_bucket{le=\"+Inf\"} " << h.total_count << '\n';
     os << n << "_sum " << PromNumber(h.sum) << '\n';

@@ -1,0 +1,225 @@
+#include "obs/sampler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "obs/json_export.hpp"
+
+namespace sea::obs {
+
+const char* ToString(MetricsSampler::SeriesKind kind) {
+  switch (kind) {
+    case MetricsSampler::SeriesKind::kRate:
+      return "rate";
+    case MetricsSampler::SeriesKind::kGauge:
+      return "gauge";
+    case MetricsSampler::SeriesKind::kQuantile:
+      return "quantile";
+  }
+  return "?";
+}
+
+void MetricsSampler::Ring::Push(double ts, double val, std::size_t capacity) {
+  if (t.size() < capacity) {
+    t.push_back(ts);
+    v.push_back(val);
+    head = t.size() % capacity;
+    size = t.size();
+    return;
+  }
+  // Full: overwrite the oldest slot — bounded memory is the contract.
+  t[head] = ts;
+  v[head] = val;
+  head = (head + 1) % capacity;
+  size = capacity;
+}
+
+MetricsSampler::MetricsSampler(const MetricsRegistry* registry,
+                               SamplerOptions opts)
+    : registry_(registry), opts_(std::move(opts)) {
+  if (opts_.ring_capacity == 0) opts_.ring_capacity = 1;
+  if (!(opts_.interval_ms > 0.0)) opts_.interval_ms = 250.0;
+}
+
+MetricsSampler::~MetricsSampler() { Stop(); }
+
+void MetricsSampler::Start() {
+  std::lock_guard lk(thread_mu_);
+  if (running_) return;
+  stop_requested_ = false;
+  thread_ = std::thread([this] { ThreadLoop(); });
+  running_ = true;
+}
+
+void MetricsSampler::Stop() {
+  {
+    std::lock_guard lk(thread_mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  {
+    std::lock_guard lk(thread_mu_);
+    running_ = false;
+  }
+  // Terminal sample: the series always end at the final registry state,
+  // even when the solve finished between two cadence ticks.
+  SampleOnce();
+}
+
+bool MetricsSampler::running() const {
+  std::lock_guard lk(thread_mu_);
+  return running_;
+}
+
+void MetricsSampler::ThreadLoop() {
+  const auto interval = std::chrono::duration<double, std::milli>(
+      opts_.interval_ms);
+  std::unique_lock lk(thread_mu_);
+  for (;;) {
+    // Wait first: the t=0 state is all zeros and the first interesting
+    // sample exists one cadence in.
+    if (stop_cv_.wait_for(lk, interval, [this] { return stop_requested_; }))
+      return;
+    lk.unlock();
+    SampleOnce();
+    lk.lock();
+  }
+}
+
+void MetricsSampler::SampleOnce() {
+  if (registry_ == nullptr) return;
+  // Snapshot outside the ring lock: merging the registry shards is the
+  // slow part and must not block /timeseries readers.
+  const MetricsSnapshot snap = registry_->Snapshot();
+  Ingest(snap, clock_.Seconds());
+}
+
+MetricsSampler::Ring& MetricsSampler::FindOrCreate(const std::string& name,
+                                                   SeriesKind kind,
+                                                   double quantile) {
+  for (auto& r : rings_)
+    if (r.name == name) return r;
+  Ring r;
+  r.name = name;
+  r.kind = kind;
+  r.quantile = quantile;
+  r.t.reserve(opts_.ring_capacity);
+  r.v.reserve(opts_.ring_capacity);
+  rings_.push_back(std::move(r));
+  return rings_.back();
+}
+
+const MetricsSampler::Ring* MetricsSampler::Find(
+    const std::string& name) const {
+  for (const auto& r : rings_)
+    if (r.name == name) return &r;
+  return nullptr;
+}
+
+void MetricsSampler::Ingest(const MetricsSnapshot& snapshot,
+                            double t_seconds) {
+  std::lock_guard lk(mu_);
+  const double dt = prev_t_ >= 0.0 ? t_seconds - prev_t_ : -1.0;
+  for (const auto& [name, value] : snapshot.counters) {
+    Ring& r = FindOrCreate(name, SeriesKind::kRate, 0.0);
+    if (r.have_prev && dt > 0.0) {
+      // Reset clamp: a counter that went backwards (registry swapped out
+      // under the sampler) samples as 0, never as a negative rate.
+      const std::uint64_t delta =
+          value >= r.prev_count ? value - r.prev_count : 0;
+      r.Push(t_seconds, static_cast<double>(delta) / dt,
+             opts_.ring_capacity);
+    }
+    r.prev_count = value;
+    r.have_prev = true;
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    Ring& r = FindOrCreate(name, SeriesKind::kGauge, 0.0);
+    r.Push(t_seconds, value, opts_.ring_capacity);
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    for (double q : opts_.quantiles) {
+      const int pct = static_cast<int>(std::lround(q * 100.0));
+      const std::string series = name + ".p" + std::to_string(pct);
+      Ring& r = FindOrCreate(series, SeriesKind::kQuantile, q);
+      r.Push(t_seconds, HistogramQuantile(hist, q), opts_.ring_capacity);
+    }
+  }
+  prev_t_ = t_seconds;
+  ++samples_taken_;
+}
+
+std::string MetricsSampler::TimeSeriesJson(const std::string& metric,
+                                           std::size_t last) const {
+  std::lock_guard lk(mu_);
+  const Ring* r = Find(metric);
+  if (r == nullptr) {
+    JsonArr names;
+    for (const auto& ring : rings_) names.Add(ring.name);
+    return JsonObj()
+        .Field("error", "unknown metric")
+        .Raw("metrics", names.Str())
+        .Str();
+  }
+  std::size_t count = r->size;
+  if (last > 0) count = std::min(count, last);
+  JsonArr samples;
+  // Oldest-first of the requested window. While the ring is filling, slot
+  // i holds the i-th sample; once full, the oldest live sample sits at
+  // `head` and the buffer wraps.
+  const bool full = r->size >= opts_.ring_capacity;
+  const std::size_t cap = r->t.size();
+  const std::size_t start_logical = r->size - count;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t logical = start_logical + i;
+    const std::size_t slot = full ? (r->head + logical) % cap : logical;
+    samples.Raw(
+        JsonObj().Field("t", r->t[slot]).Field("v", r->v[slot]).Str());
+  }
+  return JsonObj()
+      .Field("schema", kTelemetrySchemaVersion)
+      .Field("type", "timeseries")
+      .Field("metric", metric)
+      .Field("kind", ToString(r->kind))
+      .Field("interval_ms", opts_.interval_ms)
+      .Field("samples_kept", static_cast<std::uint64_t>(r->size))
+      .Raw("samples", samples.Str())
+      .Str();
+}
+
+std::string MetricsSampler::SeriesIndexJson() const {
+  std::lock_guard lk(mu_);
+  JsonArr arr;
+  for (const auto& r : rings_)
+    arr.Raw(JsonObj()
+                .Field("metric", r.name)
+                .Field("kind", ToString(r.kind))
+                .Field("samples", static_cast<std::uint64_t>(r.size))
+                .Str());
+  return JsonObj()
+      .Field("schema", kTelemetrySchemaVersion)
+      .Field("type", "timeseries_index")
+      .Field("interval_ms", opts_.interval_ms)
+      .Field("series_count", static_cast<std::uint64_t>(rings_.size()))
+      .Raw("series", arr.Str())
+      .Str();
+}
+
+std::vector<std::string> MetricsSampler::SeriesNames() const {
+  std::lock_guard lk(mu_);
+  std::vector<std::string> names;
+  names.reserve(rings_.size());
+  for (const auto& r : rings_) names.push_back(r.name);
+  return names;
+}
+
+std::uint64_t MetricsSampler::samples_taken() const {
+  std::lock_guard lk(mu_);
+  return samples_taken_;
+}
+
+}  // namespace sea::obs

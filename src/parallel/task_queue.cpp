@@ -1,0 +1,63 @@
+#include "parallel/task_queue.hpp"
+
+#include <utility>
+
+namespace sea {
+
+TaskQueue::TaskQueue(std::size_t n_threads) {
+  if (n_threads == 0) n_threads = 1;
+  workers_.reserve(n_threads);
+  for (std::size_t i = 0; i < n_threads; ++i)
+    workers_.emplace_back([this] { WorkerLoop(); });
+}
+
+TaskQueue::~TaskQueue() { Stop(); }
+
+bool TaskQueue::Submit(std::function<void()> task) {
+  {
+    std::lock_guard lk(mu_);
+    if (stopping_) return false;
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void TaskQueue::Stop() {
+  {
+    std::lock_guard lk(mu_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_)
+    if (w.joinable()) w.join();
+  workers_.clear();
+}
+
+std::uint64_t TaskQueue::executed() const {
+  std::lock_guard lk(mu_);
+  return executed_;
+}
+
+void TaskQueue::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lk(mu_);
+      cv_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
+      // Drain-then-exit: queued work still runs after Stop() flips the
+      // flag, so an accepted request is never dropped half-served.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard lk(mu_);
+      ++executed_;
+    }
+  }
+}
+
+}  // namespace sea

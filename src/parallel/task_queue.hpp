@@ -1,0 +1,66 @@
+// Background task execution for the serving side of the system.
+//
+// ThreadPool (parallel/thread_pool.hpp) is a data-parallel *region* pool:
+// one caller at a time publishes a blocking ParallelFor and the workers are
+// otherwise parked. That contract is exactly right for the solver's sweeps
+// and exactly wrong for request multiplexing — an HTTP exchange must not
+// wait for (or race) a half-finished sweep region, and the pool's
+// single-region protocol cannot accept work from a second thread while a
+// solve is inside it. TaskQueue is the other half of the parallel layer: a
+// small set of dedicated workers draining a FIFO of independent tasks,
+// submitted from any thread, with a join-on-destruction shutdown. The
+// embedded telemetry server (net/http_server.hpp) dispatches request
+// handling onto one, and the future sea_serve daemon multiplexes whole
+// solve requests the same way (ROADMAP "Solver-as-a-service").
+//
+// Shutdown: Stop() (or the destructor) lets already-queued tasks drain,
+// then joins the workers. Tasks submitted after Stop() are rejected
+// (Submit returns false) instead of being silently dropped mid-queue.
+// Tasks must not throw; a throwing task is a programming error and
+// terminates (same stance as detached threads).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sea {
+
+class TaskQueue {
+ public:
+  // n_threads == 0 selects a single worker.
+  explicit TaskQueue(std::size_t n_threads = 1);
+  ~TaskQueue();
+
+  TaskQueue(const TaskQueue&) = delete;
+  TaskQueue& operator=(const TaskQueue&) = delete;
+
+  // Enqueue a task for some worker. Returns false (task not queued) after
+  // Stop() has begun. Safe from any thread, including a worker's own task.
+  bool Submit(std::function<void()> task);
+
+  // Stop accepting work, drain the queue, join the workers. Idempotent;
+  // safe to call from any thread except a worker's own task.
+  void Stop();
+
+  std::size_t num_threads() const { return workers_.size(); }
+  // Tasks fully executed so far (monotone; readable from any thread).
+  std::uint64_t executed() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace sea

@@ -34,6 +34,17 @@ bool TryWriteOnce(const std::string& path,
   return true;
 }
 
+bool TryAppendOnce(const std::string& path,
+                   FunctionRef<void(std::ostream&)> body) {
+  std::ofstream f(path, std::ios::binary | std::ios::app);
+  SEA_FAILPOINT_SITE("sea.support.atomic_append")
+  if (fail::Triggered("sea.support.atomic_append"))
+    f.setstate(std::ios::badbit);
+  if (f.good()) body(f);
+  if (f.good()) f.flush();
+  return f.good();
+}
+
 }  // namespace
 
 bool AtomicFileWriter::Write(const std::string& path,
@@ -48,6 +59,22 @@ bool AtomicFileWriter::Write(const std::string& path,
     }
     ++attempts_;
     if (TryWriteOnce(path, body)) return true;
+  }
+  return false;
+}
+
+bool AtomicFileWriter::Append(const std::string& path,
+                              FunctionRef<void(std::ostream&)> body) {
+  double backoff_ms = retry_.initial_backoff_ms;
+  const int max_attempts = retry_.max_attempts < 1 ? 1 : retry_.max_attempts;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (attempt > 1) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff_ms));
+      backoff_ms *= retry_.backoff_multiplier;
+    }
+    ++attempts_;
+    if (TryAppendOnce(path, body)) return true;
   }
   return false;
 }

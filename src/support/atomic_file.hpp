@@ -15,6 +15,14 @@
 // armed visit, which is how tests prove both the retry path (finite fire
 // window -> eventual success) and the degradation path (unbounded window ->
 // Write returns false, caller carries on).
+//
+// Append(path, body) is the log-structured sibling: open `path` in append
+// mode, run `body`, flush, and report stream health. POSIX O_APPEND makes a
+// single sub-PIPE_BUF write atomic against concurrent appenders, and a
+// crash can only lose the tail line — the right trade for JSONL artifacts
+// (the wide-event solve log) where rewriting the whole file per event would
+// be O(n^2). Failpoint: `sea.support.atomic_append`. Same RetryPolicy;
+// `body` runs once per attempt, so it must render the same bytes each time.
 #pragma once
 
 #include <cstdint>
@@ -41,6 +49,12 @@ class AtomicFileWriter {
   // stream fails — including a body that set failbit/badbit — or the
   // rename fails; the tmp file is removed on every failed attempt.
   bool Write(const std::string& path, FunctionRef<void(std::ostream&)> body);
+
+  // Appends `body`'s output to `path` (creating it if absent) and flushes.
+  // Returns false after exhausting the retry policy if the open, the body,
+  // or the flush fails. Unlike Write there is no tmp/rename dance: appends
+  // never rewrite existing bytes.
+  bool Append(const std::string& path, FunctionRef<void(std::ostream&)> body);
 
   std::uint64_t attempts() const { return attempts_; }
 

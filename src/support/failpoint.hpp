@@ -27,6 +27,8 @@
 //   sea.obs.postmortem_write    flight-recorder postmortem write fails
 //   sea.support.atomic_write    an AtomicFileWriter attempt's stream fails
 //                               (each armed visit fails one write attempt)
+//   sea.support.atomic_append   an AtomicFileWriter::Append attempt's
+//                               stream fails (wide-event solve log path)
 //   sea.engine.crash_after_checkpoint  std::abort() right after a checkpoint
 //                               write lands (the CI crash-resume smoke)
 //

@@ -1,0 +1,15 @@
+#include "support/rusage.hpp"
+
+#include <sys/resource.h>
+
+namespace sea::support {
+
+std::uint64_t PeakRssBytes() {
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  if (ru.ru_maxrss < 0) return 0;
+  // Linux reports ru_maxrss in KiB.
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
+}
+
+}  // namespace sea::support

@@ -1,0 +1,15 @@
+// Process resource accounting, thin and queryable from anywhere: the bench
+// provenance header and the wide-event solve log both stamp peak RSS, and
+// they must agree on the unit conversion. Linux getrusage reports
+// ru_maxrss in KiB; this is the one place that knows that.
+#pragma once
+
+#include <cstdint>
+
+namespace sea::support {
+
+// High-water-mark resident set size of this process, in bytes; 0 when the
+// kernel query fails.
+std::uint64_t PeakRssBytes();
+
+}  // namespace sea::support

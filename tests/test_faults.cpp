@@ -22,6 +22,7 @@
 #include "entropy/entropy_sea.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/solve_log.hpp"
 #include "obs/status_file.hpp"
 #include "obs/trace_reader.hpp"
 #include "obs/trace_sink.hpp"
@@ -545,6 +546,42 @@ TEST_F(FaultTest, AtomicWriterGivesUpAfterTheRetryBudget) {
   EXPECT_EQ(writer.attempts(), 3u);
   std::ifstream check(path);
   EXPECT_FALSE(check.good());
+}
+
+TEST_F(FaultTest, AtomicAppendRetriesTransientFailures) {
+  const std::string path = ::testing::TempDir() + "/append_retry.jsonl";
+  std::remove(path.c_str());
+  support::AtomicFileWriter writer(support::RetryPolicy{3, 0.01, 2.0});
+  EXPECT_TRUE(writer.Append(path, [](std::ostream& f) { f << "one\n"; }));
+  // Exactly one failing attempt on the second append: the retry lands it,
+  // and the first line is still intact (append never truncates).
+  fail::Arm("sea.support.atomic_append", 1, 1);
+  EXPECT_TRUE(writer.Append(path, [](std::ostream& f) { f << "two\n"; }));
+  EXPECT_EQ(writer.attempts(), 3u);
+  std::ifstream check(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(check, line));
+  EXPECT_EQ(line, "one");
+  ASSERT_TRUE(std::getline(check, line));
+  EXPECT_EQ(line, "two");
+}
+
+TEST_F(FaultTest, SolveLogEmitDegradesWhenEveryAppendFails) {
+  const std::string path = ::testing::TempDir() + "/solve_log_fail.jsonl";
+  std::remove(path.c_str());
+  obs::SolveLogWriter writer(path);
+  obs::SolveWideEvent event;
+  event.status = "converged";
+  fail::Arm("sea.support.atomic_append");  // every attempt fails
+  EXPECT_FALSE(writer.Emit(event));  // degrade: caller warns and continues
+  EXPECT_EQ(writer.emitted(), 0u);
+  fail::DisarmAll();
+  // The log recovers on the next invocation: exactly one line lands.
+  EXPECT_TRUE(writer.Emit(event));
+  EXPECT_EQ(writer.emitted(), 1u);
+  const auto events = obs::ReadTraceJsonl(path);  // strict: no torn lines
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].strings.at("status"), "converged");
 }
 
 TEST_F(FaultTest, CrashAfterCheckpointFailpointIsArmable) {

@@ -1,0 +1,407 @@
+// Telemetry-plane end-to-end suite: the embedded HTTP server
+// (net/http_server.hpp), its protocol limits, and the background metrics
+// sampler (obs/sampler.hpp) — including concurrent scrapes against a LIVE
+// solve, which is the configuration the whole plane exists for. The suite
+// runs under TSan in CI (.github/workflows/ci.yml): handler threads, the
+// accept loop, the sampler thread, and the solve thread all overlap here.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/diagonal_sea.hpp"
+#include "net/http_client.hpp"
+#include "net/http_server.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+#include "obs/status_file.hpp"
+#include "obs/trace_reader.hpp"
+#include "support/cancel.hpp"
+
+namespace sea {
+namespace {
+
+constexpr const char* kLoopback = "127.0.0.1";
+
+net::HttpResponse Text(std::string body) {
+  net::HttpResponse resp;
+  resp.body = std::move(body);
+  return resp;
+}
+
+// ---------------------------------------------------------------- server
+
+TEST(HttpServer, PortZeroBindsEphemeralAndServes) {
+  net::HttpServer server;
+  server.Handle("/healthz", [](const net::HttpRequest&) {
+    return Text("ok\n");
+  });
+  std::string error;
+  ASSERT_TRUE(server.Start(0, &error)) << error;
+  ASSERT_NE(server.port(), 0);  // kernel-assigned, recovered by getsockname
+  const auto r = net::HttpGet(kLoopback, server.port(), "/healthz");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.body, "ok\n");
+  server.Stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(HttpServer, QueryParametersAreDecoded) {
+  net::HttpServer server;
+  server.Handle("/echo", [](const net::HttpRequest& req) {
+    return Text(req.Param("a") + "|" + req.Param("b") + "|" +
+                req.Param("missing", "fallback"));
+  });
+  ASSERT_TRUE(server.Start(0));
+  const auto r =
+      net::HttpGet(kLoopback, server.port(), "/echo?a=1&b=hello%20world");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.body, "1|hello world|fallback");
+  server.Stop();
+}
+
+TEST(HttpServer, UnknownPathIs404) {
+  net::HttpServer server;
+  server.Handle("/known", [](const net::HttpRequest&) { return Text("y"); });
+  ASSERT_TRUE(server.Start(0));
+  const auto r = net::HttpGet(kLoopback, server.port(), "/unknown");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.status, 404);
+  EXPECT_EQ(server.requests_error(), 1u);
+  server.Stop();
+}
+
+TEST(HttpServer, NonGetIs405WithAllowHeader) {
+  net::HttpServer server;
+  server.Handle("/x", [](const net::HttpRequest&) { return Text("y"); });
+  ASSERT_TRUE(server.Start(0));
+  const auto r = net::HttpRaw(kLoopback, server.port(),
+                              "POST /x HTTP/1.1\r\nHost: t\r\n\r\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.status, 405);
+  server.Stop();
+}
+
+TEST(HttpServer, MalformedRequestLineIs400) {
+  net::HttpServer server;
+  ASSERT_TRUE(server.Start(0));
+  const auto r =
+      net::HttpRaw(kLoopback, server.port(), "complete nonsense\r\n\r\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.status, 400);
+  server.Stop();
+}
+
+TEST(HttpServer, OversizedRequestLineIs431) {
+  net::HttpServer server;
+  ASSERT_TRUE(server.Start(0));
+  // The cap trips when no line end appears within kMaxRequestBytes, so the
+  // target must overshoot the cap by more than one read chunk.
+  const std::string huge =
+      "GET /" + std::string(2 * net::HttpServer::kMaxRequestBytes, 'a') +
+      " HTTP/1.1\r\n\r\n";
+  const auto r = net::HttpRaw(kLoopback, server.port(), huge);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.status, 431);
+  server.Stop();
+}
+
+TEST(HttpServer, HeadStripsBodyButKeepsStatus) {
+  net::HttpServer server;
+  server.Handle("/x", [](const net::HttpRequest&) { return Text("body"); });
+  ASSERT_TRUE(server.Start(0));
+  const auto r = net::HttpRaw(kLoopback, server.port(),
+                              "HEAD /x HTTP/1.1\r\nHost: t\r\n\r\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.status, 200);
+  EXPECT_TRUE(r.body.empty());
+  server.Stop();
+}
+
+TEST(HttpServer, StopIsIdempotentAndRestartable) {
+  net::HttpServer server;
+  server.Handle("/x", [](const net::HttpRequest&) { return Text("y"); });
+  ASSERT_TRUE(server.Start(0));
+  server.Stop();
+  server.Stop();  // second Stop is a no-op, not a crash
+  // A stopped server can Start again (fresh ephemeral port).
+  ASSERT_TRUE(server.Start(0));
+  const auto r = net::HttpGet(kLoopback, server.port(), "/x");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.status, 200);
+  server.Stop();
+}
+
+TEST(HttpServer, CancelTokenStopsTheAcceptLoop) {
+  CancelToken cancel;
+  net::HttpServer server(/*handler_threads=*/1, &cancel);
+  server.Handle("/x", [](const net::HttpRequest&) { return Text("y"); });
+  ASSERT_TRUE(server.Start(0));
+  cancel.Cancel();
+  // The accept loop polls the token a few times per second; Stop() then
+  // joins whatever is left. The real assertion is that this returns (no
+  // hang) and TSan sees a clean join.
+  server.Stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(HttpServer, ConcurrentClientsAllGetAnswers) {
+  net::HttpServer server(/*handler_threads=*/3);
+  std::atomic<int> calls{0};
+  server.Handle("/work", [&calls](const net::HttpRequest&) {
+    calls.fetch_add(1);
+    return Text("done");
+  });
+  ASSERT_TRUE(server.Start(0));
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 8;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    clients.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const auto r = net::HttpGet(kLoopback, server.port(), "/work");
+        if (r.ok && r.status == 200 && r.body == "done") ok.fetch_add(1);
+      }
+    });
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(ok.load(), kThreads * kPerThread);
+  EXPECT_EQ(calls.load(), kThreads * kPerThread);
+  EXPECT_EQ(server.requests_ok(), static_cast<std::uint64_t>(ok.load()));
+  server.Stop();
+}
+
+// ------------------------------------------------------- live-solve e2e
+
+DiagonalProblem ScrapeProblem() {
+  // Big enough that the solve spans many checks while clients scrape.
+  const std::size_t m = 60, n = 50;
+  DenseMatrix x0(m, n), gamma(m, n);
+  std::size_t k = 0;
+  for (double& c : x0.Flat()) c = 1.0 + 0.01 * static_cast<double>(k++ % 13);
+  k = 0;
+  for (double& c : gamma.Flat())
+    c = 0.5 + 0.37 * static_cast<double>(k++ % 11) / 11.0;
+  // Scaling both total vectors keeps sum(s0) == sum(d0) (feasibility).
+  Vector s0 = x0.RowSums(), d0 = x0.ColSums();
+  for (double& t : s0) t *= 1.25;
+  for (double& t : d0) t *= 1.25;
+  return DiagonalProblem::MakeFixed(std::move(x0), std::move(gamma),
+                                    std::move(s0), std::move(d0));
+}
+
+TEST(TelemetryPlane, ConcurrentScrapesDuringLiveSolve) {
+  const auto problem = ScrapeProblem();
+  obs::MetricsRegistry metrics;
+  obs::StatusFileWriter status("", /*epsilon=*/1e-12);
+  obs::SamplerOptions sampler_opts;
+  sampler_opts.interval_ms = 5.0;  // aggressive cadence: more overlap
+  obs::MetricsSampler sampler(&metrics, sampler_opts);
+  sampler.Start();
+
+  net::HttpServer server(/*handler_threads=*/2);
+  server.Handle("/metrics", [&metrics](const net::HttpRequest&) {
+    net::HttpResponse resp;
+    std::ostringstream out;
+    metrics.WritePrometheus(out);
+    resp.body = out.str();
+    return resp;
+  });
+  server.Handle("/statusz", [&status](const net::HttpRequest&) {
+    return Text(status.LatestJson());
+  });
+  server.Handle("/timeseries", [&sampler](const net::HttpRequest& req) {
+    const std::string metric = req.Param("metric");
+    return Text(metric.empty() ? sampler.SeriesIndexJson()
+                               : sampler.TimeSeriesJson(metric, 16));
+  });
+  ASSERT_TRUE(server.Start(0));
+
+  SeaOptions opts;
+  opts.epsilon = 1e-12;  // unreachable fast: the solve outlives the scrapes
+  opts.criterion = StopCriterion::kResidualAbs;
+  opts.max_iterations = 20000;
+  opts.stall_checks = 0;  // run the full iteration budget
+  opts.metrics = &metrics;
+  opts.status_file = &status;
+
+  std::atomic<bool> solving{true};
+  DiagonalSeaRun run;
+  std::thread solve_thread([&] {
+    run = SolveDiagonal(problem, opts);
+    solving.store(false);
+  });
+
+  std::atomic<int> scrapes_ok{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 3; ++t)
+    clients.emplace_back([&, t] {
+      const char* target = t == 0   ? "/metrics"
+                           : t == 1 ? "/statusz"
+                                    : "/timeseries";
+      while (solving.load()) {
+        const auto r = net::HttpGet(kLoopback, server.port(), target);
+        if (r.ok && r.status == 200 && !r.body.empty())
+          scrapes_ok.fetch_add(1);
+      }
+    });
+  for (auto& c : clients) c.join();
+  solve_thread.join();
+  sampler.Stop();
+  server.Stop();
+
+  EXPECT_GT(scrapes_ok.load(), 0);
+  EXPECT_GT(sampler.samples_taken(), 0u);
+  EXPECT_GT(run.result.iterations, 0u);
+  // /statusz is flat JSON at every point in time — parse the final state.
+  const auto snap = obs::ParseTraceLine(status.LatestJson());
+  EXPECT_EQ(snap.Type(), "status");
+  EXPECT_EQ(snap.strings.at("phase"), "terminated");
+}
+
+TEST(TelemetryPlane, SamplerDoesNotPerturbSolverResults) {
+  const auto problem = ScrapeProblem();
+  SeaOptions opts;
+  opts.epsilon = 1e-8;
+  opts.max_iterations = 20000;
+
+  obs::MetricsRegistry m1;
+  SeaOptions o1 = opts;
+  o1.metrics = &m1;
+  const auto without = SolveDiagonal(problem, o1);
+
+  obs::MetricsRegistry m2;
+  SeaOptions o2 = opts;
+  o2.metrics = &m2;
+  obs::SamplerOptions fast;
+  fast.interval_ms = 1.0;
+  obs::MetricsSampler sampler(&m2, fast);
+  sampler.Start();
+  const auto with = SolveDiagonal(problem, o2);
+  sampler.Stop();
+
+  // Bit-identical: the sampler only READS registry atomics; it never
+  // touches solve state (the CI telemetry smoke re-asserts this through
+  // the sea_solve binary).
+  ASSERT_EQ(without.result.iterations, with.result.iterations);
+  ASSERT_EQ(without.solution.x.rows(), with.solution.x.rows());
+  const auto& a = without.solution.x.Flat();
+  const auto& b = with.solution.x.Flat();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]) << i;
+}
+
+// ---------------------------------------------------------------- sampler
+
+obs::MetricsSnapshot SnapWithCounter(const std::string& name,
+                                     std::uint64_t value) {
+  obs::MetricsSnapshot snap;
+  snap.counters.emplace_back(name, value);
+  return snap;
+}
+
+TEST(MetricsSampler, CounterDeltasBecomeRates) {
+  obs::MetricsSampler sampler(nullptr);
+  sampler.Ingest(SnapWithCounter("c", 0), 0.0);
+  sampler.Ingest(SnapWithCounter("c", 50), 2.0);   // 25/s
+  sampler.Ingest(SnapWithCounter("c", 150), 4.0);  // 50/s
+  const std::string json = sampler.TimeSeriesJson("c");
+  EXPECT_NE(json.find("\"kind\":\"rate\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"v\":25"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"v\":50"), std::string::npos) << json;
+}
+
+TEST(MetricsSampler, CounterResetClampsToZeroRate) {
+  obs::MetricsSampler sampler(nullptr);
+  sampler.Ingest(SnapWithCounter("c", 100), 0.0);
+  sampler.Ingest(SnapWithCounter("c", 7), 1.0);  // went backwards: clamp
+  const std::string json = sampler.TimeSeriesJson("c");
+  EXPECT_NE(json.find("\"v\":0"), std::string::npos) << json;
+  EXPECT_EQ(json.find("\"v\":-"), std::string::npos) << json;
+}
+
+TEST(MetricsSampler, RingWrapsKeepingNewestSamples) {
+  obs::SamplerOptions opts;
+  opts.ring_capacity = 4;
+  obs::MetricsSampler sampler(nullptr, opts);
+  for (int i = 0; i <= 10; ++i) {
+    obs::MetricsSnapshot snap;
+    snap.gauges.emplace_back("g", static_cast<double>(i));
+    sampler.Ingest(snap, static_cast<double>(i));
+  }
+  const std::string json = sampler.TimeSeriesJson("g");
+  // 11 ingests into capacity 4: only values 7..10 survive, oldest first.
+  EXPECT_NE(json.find("\"samples_kept\":4"), std::string::npos) << json;
+  const std::size_t p7 = json.find("\"v\":7");
+  const std::size_t p10 = json.find("\"v\":10");
+  ASSERT_NE(p7, std::string::npos) << json;
+  ASSERT_NE(p10, std::string::npos) << json;
+  EXPECT_LT(p7, p10) << json;
+  EXPECT_EQ(json.find("\"v\":6"), std::string::npos) << json;
+}
+
+TEST(MetricsSampler, LastParameterTrimsToNewest) {
+  obs::MetricsSampler sampler(nullptr);
+  for (int i = 0; i < 6; ++i) {
+    obs::MetricsSnapshot snap;
+    snap.gauges.emplace_back("g", static_cast<double>(i));
+    sampler.Ingest(snap, static_cast<double>(i));
+  }
+  const std::string json = sampler.TimeSeriesJson("g", 2);
+  EXPECT_NE(json.find("\"v\":4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"v\":5"), std::string::npos) << json;
+  EXPECT_EQ(json.find("\"v\":3"), std::string::npos) << json;
+}
+
+TEST(MetricsSampler, HistogramsBecomeQuantileSeries) {
+  obs::MetricsRegistry reg;
+  auto& h = reg.GetHistogram("sea.check.residual", {0.1, 1.0, 10.0});
+  for (int i = 0; i < 100; ++i) h.Observe(0.05 + 0.01 * (i % 10));
+  obs::MetricsSampler sampler(&reg);
+  sampler.SampleOnce();
+  const auto names = sampler.SeriesNames();
+  EXPECT_NE(std::find(names.begin(), names.end(),
+                      std::string("sea.check.residual.p50")),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(),
+                      std::string("sea.check.residual.p99")),
+            names.end());
+}
+
+TEST(MetricsSampler, UnknownMetricReturnsErrorWithIndex) {
+  obs::MetricsSampler sampler(nullptr);
+  obs::MetricsSnapshot snap;
+  snap.gauges.emplace_back("known", 1.0);
+  sampler.Ingest(snap, 0.0);
+  const std::string json = sampler.TimeSeriesJson("nope");
+  EXPECT_NE(json.find("\"error\":\"unknown metric\""), std::string::npos);
+  EXPECT_NE(json.find("known"), std::string::npos);
+}
+
+TEST(MetricsSampler, StopTakesATerminalSample) {
+  obs::MetricsRegistry reg;
+  reg.GetCounter("c").Add(5);
+  obs::SamplerOptions slow;
+  slow.interval_ms = 60000.0;  // the thread alone would never sample
+  obs::MetricsSampler sampler(&reg, slow);
+  sampler.Start();
+  sampler.Stop();
+  // Stop()'s terminal sample registered the series set even though no
+  // cadence tick ever fired.
+  EXPECT_GE(sampler.samples_taken(), 1u);
+  const auto names = sampler.SeriesNames();
+  EXPECT_NE(std::find(names.begin(), names.end(), std::string("c")),
+            names.end());
+}
+
+}  // namespace
+}  // namespace sea

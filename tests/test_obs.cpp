@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <thread>
@@ -25,6 +26,7 @@
 #include "obs/market_stats.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
+#include "obs/solve_log.hpp"
 #include "obs/status_file.hpp"
 #include "obs/trace_reader.hpp"
 #include "obs/trace_sink.hpp"
@@ -1097,6 +1099,214 @@ TEST(Metrics, PrometheusAndJsonSeeTheSameRegistry) {
   EXPECT_NE(text.find("sea_market_solves_total"), std::string::npos);
   EXPECT_NE(text.find("solver_status_converged_total 1\n"),
             std::string::npos);
+}
+
+// ----------------------------------------------------------------------
+// Telemetry-plane units: ETA guards, hostile Prometheus names, the wide
+// solve event, and the pathless status writer backing /statusz.
+
+TEST(Stopping, EtaEstimateIsAlwaysFiniteNonNegativeOrNan) {
+  // Converging geometric regime: a finite, non-negative count.
+  const double eta = EstimateItersToEpsilon(10, 1e-2, 20, 1e-3, 1e-6);
+  ASSERT_TRUE(std::isfinite(eta));
+  EXPECT_GE(eta, 0.0);
+  // Already at tolerance.
+  EXPECT_EQ(EstimateItersToEpsilon(10, 1e-2, 20, 1e-7, 1e-6), 0.0);
+  // Flat and diverging measures: no contraction, NaN — never +Inf.
+  EXPECT_TRUE(std::isnan(EstimateItersToEpsilon(10, 1e-3, 20, 1e-3, 1e-6)));
+  EXPECT_TRUE(std::isnan(EstimateItersToEpsilon(10, 1e-3, 20, 1e-2, 1e-6)));
+  // Degenerate inputs: reversed iterations, zero / non-finite measures,
+  // and epsilon <= 0 (the numerator's -Inf must not escape).
+  EXPECT_TRUE(std::isnan(EstimateItersToEpsilon(20, 1e-2, 10, 1e-3, 1e-6)));
+  EXPECT_TRUE(std::isnan(EstimateItersToEpsilon(10, 0.0, 20, 0.0, 1e-6)));
+  EXPECT_TRUE(std::isnan(EstimateItersToEpsilon(10, 1e-2, 20, 0.0, 1e-6)));
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_TRUE(std::isnan(EstimateItersToEpsilon(10, inf, 20, 1e-3, 1e-6)));
+  EXPECT_TRUE(std::isnan(EstimateItersToEpsilon(10, 1e-2, 20, 1e-3, 0.0)));
+  // Rate estimate collapsing toward 1: the division blows up, the guard
+  // catches it.
+  EXPECT_FALSE(std::isinf(
+      EstimateItersToEpsilon(10, 1e-3, 20, 1e-3 * (1.0 - 1e-16), 1e-9)));
+}
+
+TEST(StatusFile, SanitizeEtaMapsBadValuesToNan) {
+  EXPECT_DOUBLE_EQ(obs::SanitizeEta(12.5), 12.5);
+  EXPECT_DOUBLE_EQ(obs::SanitizeEta(0.0), 0.0);
+  EXPECT_TRUE(std::isnan(obs::SanitizeEta(-1.0)));
+  EXPECT_TRUE(
+      std::isnan(obs::SanitizeEta(std::numeric_limits<double>::infinity())));
+  EXPECT_TRUE(
+      std::isnan(obs::SanitizeEta(-std::numeric_limits<double>::infinity())));
+  EXPECT_TRUE(std::isnan(
+      obs::SanitizeEta(std::numeric_limits<double>::quiet_NaN())));
+}
+
+TEST(StatusFile, EtaRendersAsNullNeverInfOrNan) {
+  obs::StatusSnapshot snap;
+  snap.eta_iterations = std::numeric_limits<double>::quiet_NaN();
+  snap.eta_seconds = std::numeric_limits<double>::quiet_NaN();
+  const std::string json = obs::RenderStatusJson(snap);
+  EXPECT_NE(json.find("\"eta_iterations\":null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"eta_seconds\":null"), std::string::npos) << json;
+  EXPECT_EQ(json.find("inf"), std::string::npos) << json;
+  EXPECT_EQ(json.find("nan"), std::string::npos) << json;
+  // And the rendered line honors the flat-JSON contract.
+  EXPECT_EQ(obs::ParseTraceLine(json).Type(), "status");
+}
+
+TEST(StatusFile, PathlessWriterServesLatestJsonWithoutFileWrites) {
+  obs::StatusFileWriter writer("", /*epsilon=*/1e-6,
+                               /*min_interval_seconds=*/0.0);
+  // Valid from t=0, before any check fires.
+  auto ev0 = obs::ParseTraceLine(writer.LatestJson());
+  EXPECT_EQ(ev0.strings.at("phase"), "starting");
+
+  IterationEvent ev;
+  ev.iteration = 4;
+  ev.measure_defined = true;
+  ev.measure = 1e-3;
+  ev.checks_compared = 1;
+  writer.OnCheck(ev);
+  auto ev1 = obs::ParseTraceLine(writer.LatestJson());
+  EXPECT_EQ(ev1.strings.at("phase"), "iterating");
+  EXPECT_EQ(ev1.Number("iter"), 4.0);
+
+  writer.OnTermination(SolveStatus::kConverged);
+  auto ev2 = obs::ParseTraceLine(writer.LatestJson());
+  EXPECT_EQ(ev2.strings.at("phase"), "terminated");
+  EXPECT_EQ(ev2.strings.at("status"), "converged");
+  EXPECT_EQ(writer.writes(), 0u);  // endpoint-only: no file ever written
+}
+
+TEST(StatusFile, EtaFromDivergingMeasuresIsNullInSnapshot) {
+  obs::StatusFileWriter writer("", /*epsilon=*/1e-9,
+                               /*min_interval_seconds=*/0.0);
+  IterationEvent ev;
+  ev.measure_defined = true;
+  ev.iteration = 1;
+  ev.measure = 1e-3;
+  writer.OnCheck(ev);
+  ev.iteration = 2;
+  ev.measure = 1e-2;  // diverging: no contraction, ETA must be null
+  writer.OnCheck(ev);
+  const std::string json = writer.LatestJson();
+  EXPECT_NE(json.find("\"eta_iterations\":null"), std::string::npos) << json;
+  EXPECT_EQ(json.find("inf"), std::string::npos) << json;
+}
+
+TEST(Metrics, PrometheusSanitizesHostileNames) {
+  obs::MetricsRegistry reg;
+  reg.GetCounter("9starts.with-digit").Add(1);
+  reg.GetGauge("weird name{with}\"quotes\"").Set(2.0);
+  std::ostringstream out;
+  obs::WritePrometheus(out, reg.Snapshot());
+  const std::string text = out.str();
+  // Leading digit gains a '_' prefix; every hostile byte maps to '_'.
+  EXPECT_NE(text.find("_9starts_with_digit_total 1\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("weird_name_with__quotes_ 2\n"), std::string::npos)
+      << text;
+  // Conformance: every non-comment line is "name[{labels}] value".
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const char c = line[0];
+    EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                c == '_' || c == ':')
+        << "bad leading char in: " << line;
+  }
+}
+
+TEST(Metrics, PrometheusEmitsHelpForCataloguedMetrics) {
+  obs::MetricsRegistry reg;
+  reg.GetCounter("sea.iterations").Add(3);
+  std::ostringstream out;
+  obs::WritePrometheus(out, reg.Snapshot());
+  const std::string text = out.str();
+  const std::size_t help = text.find("# HELP sea_iterations_total ");
+  const std::size_t type = text.find("# TYPE sea_iterations_total counter");
+  ASSERT_NE(help, std::string::npos) << text;
+  ASSERT_NE(type, std::string::npos) << text;
+  EXPECT_LT(help, type);  // HELP precedes TYPE per the exposition format
+}
+
+TEST(SolveLog, WideEventRoundTripsThroughTheTraceReader) {
+  obs::SolveWideEvent event;
+  event.mode = "fixed";
+  event.rows = 40;
+  event.cols = 30;
+  event.epsilon = 1e-4;
+  event.criterion = "residual_rel";
+  event.backend = "scalar";
+  event.options_fingerprint = 0xDEADBEEFCAFEF00Dull;
+  event.status = "converged";
+  event.exit_code = 0;
+  event.iterations = 123;
+  event.final_residual = 3.5e-5;
+  event.wall_seconds = 0.25;
+  event.recoveries = 2;
+  event.recovery_rungs = {1, 3};
+  event.peak_rss_bytes = 1 << 20;
+
+  const std::string line = obs::RenderWideEvent(event);
+  // Strict parse: the wide event honors the flat-JSON contract, including
+  // the rung list (a comma string, not a nested array).
+  const auto ev = obs::ParseTraceLine(line);
+  EXPECT_EQ(ev.Type(), "solve");
+  EXPECT_EQ(ev.Number("schema"), obs::kTelemetrySchemaVersion);
+  EXPECT_EQ(ev.strings.at("status"), "converged");
+  EXPECT_EQ(ev.strings.at("mode"), "fixed");
+  EXPECT_EQ(ev.strings.at("options_fingerprint"), "deadbeefcafef00d");
+  EXPECT_EQ(ev.strings.at("recovery_rungs"), "1,3");
+  EXPECT_EQ(ev.Number("rows"), 40.0);
+  EXPECT_EQ(ev.Number("iterations"), 123.0);
+  EXPECT_EQ(ev.Number("exit_code"), 0.0);
+  EXPECT_DOUBLE_EQ(ev.Number("final_residual"), 3.5e-5);
+  EXPECT_FALSE(ev.Has("error"));  // only present on failed invocations
+
+  event.error = "resume rejected";
+  EXPECT_EQ(obs::ParseTraceLine(obs::RenderWideEvent(event))
+                .strings.at("error"),
+            "resume rejected");
+}
+
+TEST(SolveLog, NonFiniteResultFieldsRenderAsNull) {
+  obs::SolveWideEvent event;
+  event.status = "stalled";
+  event.final_residual = std::numeric_limits<double>::quiet_NaN();
+  event.objective = std::numeric_limits<double>::infinity();
+  const std::string line = obs::RenderWideEvent(event);
+  EXPECT_NE(line.find("\"final_residual\":null"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"objective\":null"), std::string::npos) << line;
+  EXPECT_EQ(obs::ParseTraceLine(line).Type(), "solve");
+}
+
+TEST(SolveLog, WriterAppendsOneLinePerEmit) {
+  const std::string path = TempPath("solve_log_append.jsonl");
+  std::filesystem::remove(path);
+  obs::SolveLogWriter writer(path);
+  obs::SolveWideEvent event;
+  event.status = "converged";
+  ASSERT_TRUE(writer.Emit(event));
+  event.status = "cancelled";
+  event.exit_code = 6;
+  ASSERT_TRUE(writer.Emit(event));
+  EXPECT_EQ(writer.emitted(), 2u);
+
+  const auto events = obs::ReadTraceJsonl(path);  // strict mode
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].strings.at("status"), "converged");
+  EXPECT_EQ(events[1].strings.at("status"), "cancelled");
+  EXPECT_EQ(events[1].Number("exit_code"), 6.0);
+  std::filesystem::remove(path);
+}
+
+TEST(SolveLog, EmptyPathDisablesTheWriter) {
+  obs::SolveLogWriter writer("");
+  obs::SolveWideEvent event;
+  EXPECT_TRUE(writer.Emit(event));
+  EXPECT_EQ(writer.emitted(), 0u);
 }
 
 }  // namespace

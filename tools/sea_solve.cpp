@@ -37,6 +37,18 @@
 // environment variable ("site[:at_hit[:count]],...") arms fault-injection
 // failpoints for CI smokes (docs/ROBUSTNESS.md).
 //
+// Live telemetry plane (docs/OBSERVABILITY.md, "Live endpoints"):
+// --listen <port> starts an embedded loopback HTTP server (port 0 picks an
+// ephemeral port; --listen-port-file publishes the bound port) exposing
+// /healthz, /metrics (Prometheus text exposition), /statusz (the live
+// status snapshot), /timeseries (sampler rings; ?metric=...&last=K), and
+// /varz (build/config identity). A background sampler
+// (--sample-interval-ms, default 250) turns the metrics registry into
+// bounded time series while the solve runs. --solve-log <path> appends one
+// flat JSON wide event per invocation — success, infeasible, cancelled, or
+// error — for fleet-level forensics (docs/OBSERVABILITY.md, "Wide-event
+// solve log").
+//
 // Durability + self-healing (docs/ROBUSTNESS.md): --checkpoint <path> writes
 // a crash-safe resume checkpoint every --checkpoint-every N compared checks
 // (and at cancellation / budget expiry / the iteration cap); --resume <path>
@@ -58,6 +70,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <sstream>
 #include <string>
 
 #include "core/checkpoint.hpp"
@@ -67,19 +80,33 @@
 #include "datasets/weights.hpp"
 #include "equilibration/kernel_backend.hpp"
 #include "io/csv.hpp"
+#include "net/http_server.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/json_export.hpp"
 #include "obs/market_stats.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
+#include "obs/sampler.hpp"
+#include "obs/solve_log.hpp"
 #include "obs/status_file.hpp"
 #include "obs/trace_sink.hpp"
 #include "parallel/thread_pool.hpp"
 #include "problems/feasibility.hpp"
 #include "problems/validate.hpp"
 #include "sparse/feasibility_flow.hpp"
+#include "support/atomic_file.hpp"
 #include "support/check.hpp"
 #include "support/failpoint.hpp"
+#include "support/hash.hpp"
+#include "support/rusage.hpp"
+#include "support/stopwatch.hpp"
+
+#ifndef SEA_GIT_SHA
+#define SEA_GIT_SHA "unknown"
+#endif
+#ifndef SEA_BUILD_TYPE
+#define SEA_BUILD_TYPE "unknown"
+#endif
 
 namespace {
 
@@ -137,6 +164,14 @@ extern "C" void OnTerminationSignal(int /*signum*/) { g_cancel.Cancel(); }
          "stall/breakdown/cancel/budget failures)\n"
          "           --status-file <path>     (live solve snapshot, "
          "atomically replaced per check)\n"
+         "           --listen <port>          (serve /healthz /metrics "
+         "/statusz /timeseries /varz on 127.0.0.1; 0 = ephemeral port)\n"
+         "           --listen-port-file <path> (write the bound port, "
+         "atomically)\n"
+         "           --sample-interval-ms <ms> (metrics sampler cadence, "
+         "default 250)\n"
+         "           --solve-log <path>       (append one JSON wide event "
+         "per invocation)\n"
          "           --checkpoint <path>      (crash-safe resume checkpoint, "
          "atomically replaced)\n"
          "           --checkpoint-every <N>   (checkpoint cadence in "
@@ -165,7 +200,8 @@ const std::set<std::string>& ValueFlags() {
       "schedule",  "grain",      "sort",         "backend",
       "stall-checks", "metrics-prom", "attribution-json",
       "postmortem-json", "status-file", "checkpoint", "checkpoint-every",
-      "resume", "recovery-retries"};
+      "resume", "recovery-retries", "listen", "listen-port-file",
+      "sample-interval-ms", "solve-log"};
   return flags;
 }
 
@@ -257,6 +293,33 @@ int main(int argc, char** argv) {
   // The registry outlives the try block so failure paths can still flush
   // the solver.status.* counters recorded before the exit.
   obs::MetricsRegistry metrics;
+
+  // Wide-event solve log (docs/OBSERVABILITY.md): exactly one line per
+  // invocation, whatever the exit path. The event accumulates fields as
+  // they become known; EmitWideEvent stamps wall/cpu/RSS and appends once.
+  Stopwatch invocation_clock;
+  obs::SolveLogWriter solve_log(
+      args.count("solve-log") ? args["solve-log"] : "");
+  obs::SolveWideEvent wide;
+  wide.mode = mode;
+  bool wide_emitted = false;
+  const auto emit_wide_event = [&](const std::string& status, int exit_code,
+                                   const std::string& error) {
+    if (wide_emitted) return;
+    wide_emitted = true;
+    wide.status = status;
+    wide.exit_code = exit_code;
+    wide.error = error;
+    // The engine stamps solve-only timings; invocation totals cover IO and
+    // failure paths that never reached the engine.
+    if (wide.wall_seconds == 0.0)
+      wide.wall_seconds = invocation_clock.Seconds();
+    if (wide.cpu_seconds == 0.0) wide.cpu_seconds = ProcessCpuSeconds();
+    wide.peak_rss_bytes = support::PeakRssBytes();
+    if (!solve_log.Emit(wide))
+      std::cerr << "warning: could not append solve log to "
+                << solve_log.path() << '\n';
+  };
   const bool want_metrics_json = args.count("metrics-json") > 0;
   const bool want_metrics_prom = args.count("metrics-prom") > 0;
   const auto flush_failure_metrics = [&](const std::string& error) {
@@ -270,6 +333,8 @@ int main(int argc, char** argv) {
 
   try {
     const DenseMatrix x0 = ReadMatrixCsv(args["matrix"]);
+    wide.rows = static_cast<std::uint64_t>(x0.rows());
+    wide.cols = static_cast<std::uint64_t>(x0.cols());
 
     if (mode == "check") {
       if (!args.count("row-totals") || !args.count("col-totals"))
@@ -290,7 +355,9 @@ int main(int argc, char** argv) {
         for (std::size_t j : rep.reachable_cols) std::cout << ' ' << j;
         std::cout << " }\n";
       }
-      return rep.feasible ? 0 : ExitCodeFor(SolveStatus::kInfeasible);
+      const int code = rep.feasible ? 0 : ExitCodeFor(SolveStatus::kInfeasible);
+      emit_wide_event(rep.feasible ? "feasible" : "infeasible", code, "");
+      return code;
     }
 
     const std::string scheme =
@@ -337,6 +404,9 @@ int main(int argc, char** argv) {
                           ToString(SolveStatus::kInfeasible))
               .Add(1);
           flush_failure_metrics("preflight infeasible");
+          emit_wide_event(ToString(SolveStatus::kInfeasible),
+                          ExitCodeFor(SolveStatus::kInfeasible),
+                          "preflight infeasible");
           return ExitCodeFor(SolveStatus::kInfeasible);
         }
         problem = DiagonalProblem::MakeFixed(x0, gamma, s0, d0);
@@ -475,10 +545,13 @@ int main(int argc, char** argv) {
       recorder.SetDumpPath(args["postmortem-json"]);
       opts.flight_recorder = &recorder;
     }
+    // --listen implies a (possibly path-less) status writer: /statusz
+    // serves its latest snapshot without requiring --status-file.
     std::unique_ptr<obs::StatusFileWriter> status_writer;
-    if (args.count("status-file")) {
+    if (args.count("status-file") || args.count("listen")) {
       status_writer = std::make_unique<obs::StatusFileWriter>(
-          args["status-file"], opts.epsilon);
+          args.count("status-file") ? args["status-file"] : std::string(),
+          opts.epsilon);
       opts.status_file = status_writer.get();
     }
 
@@ -509,6 +582,7 @@ int main(int argc, char** argv) {
         std::cerr << "error: cannot resume from " << args["resume"] << ": "
                   << ToString(bad->code) << ": " << bad->message << '\n';
         flush_failure_metrics("resume rejected: " + bad->message);
+        emit_wide_event("error", 3, "resume rejected: " + bad->message);
         return 3;
       }
       resume_state = std::move(loaded.state);
@@ -526,6 +600,143 @@ int main(int argc, char** argv) {
     std::signal(SIGINT, OnTerminationSignal);
     std::signal(SIGTERM, OnTerminationSignal);
 
+    // Wide-event identity: the configuration fields plus an FNV-1a
+    // fingerprint over everything that affects the numerics — equal
+    // fingerprints mean comparable rows in fleet-level queries.
+    wide.epsilon = opts.epsilon;
+    wide.criterion = ToString(opts.criterion);
+    wide.threads = static_cast<std::uint64_t>(threads);
+    wide.schedule = schedule;
+    wide.sort = sort;
+    wide.resumed = opts.resume != nullptr;
+    {
+      support::Fnv1a fp;
+      const auto mix_str = [&fp](const std::string& s) {
+        fp.MixU64(s.size());
+        fp.MixBytes(s.data(), s.size());
+      };
+      mix_str(mode);
+      mix_str(scheme);
+      mix_str(ToString(opts.criterion));
+      mix_str(schedule);
+      mix_str(sort);
+      mix_str(backend);
+      fp.MixBytes(&opts.epsilon, sizeof(opts.epsilon));
+      fp.MixU64(static_cast<std::uint64_t>(opts.check_every));
+      fp.MixU64(static_cast<std::uint64_t>(opts.max_iterations));
+      fp.MixU64(static_cast<std::uint64_t>(opts.stall_checks));
+      fp.MixU64(static_cast<std::uint64_t>(threads));
+      fp.MixU64(static_cast<std::uint64_t>(opts.sweep_grain));
+      fp.MixU64(opts.recover ? 1 : 0);
+      fp.MixU64(static_cast<std::uint64_t>(opts.recovery_retries));
+      wide.options_fingerprint = fp.value();
+    }
+
+    // Live telemetry plane: background sampler feeding ring time series +
+    // embedded loopback HTTP server. The handlers only touch internally
+    // synchronized telemetry (registry snapshots, sampler rings, the
+    // status writer's latest snapshot) — never the solve state — which is
+    // why sampler on/off cannot change solver results.
+    std::unique_ptr<obs::MetricsSampler> sampler;
+    std::unique_ptr<net::HttpServer> server;
+    if (args.count("listen")) {
+      opts.metrics = &metrics;  // rates need a populated registry
+      pool.EnableStats(true);
+      obs::SamplerOptions sampler_opts;
+      if (args.count("sample-interval-ms")) {
+        sampler_opts.interval_ms =
+            ParseDouble(args["sample-interval-ms"], "--sample-interval-ms");
+        if (!(sampler_opts.interval_ms > 0.0))
+          Usage(argv[0], "--sample-interval-ms must be positive");
+      }
+      sampler = std::make_unique<obs::MetricsSampler>(&metrics, sampler_opts);
+      sampler->Start();
+
+      const std::size_t port = ParseSize(args["listen"], "--listen");
+      if (port > 65535) Usage(argv[0], "--listen port must be <= 65535");
+      server =
+          std::make_unique<net::HttpServer>(/*handler_threads=*/2, &g_cancel);
+      server->Handle("/healthz", [](const net::HttpRequest&) {
+        net::HttpResponse resp;
+        resp.body = "ok\n";
+        return resp;
+      });
+      server->Handle("/metrics", [&metrics](const net::HttpRequest&) {
+        net::HttpResponse resp;
+        resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+        std::ostringstream out;
+        metrics.WritePrometheus(out);
+        resp.body = out.str();
+        return resp;
+      });
+      server->Handle("/statusz",
+                     [status = status_writer.get()](const net::HttpRequest&) {
+                       net::HttpResponse resp;
+                       resp.content_type = "application/json";
+                       resp.body = status->LatestJson() + "\n";
+                       return resp;
+                     });
+      server->Handle(
+          "/timeseries",
+          [rings = sampler.get()](const net::HttpRequest& req) {
+            net::HttpResponse resp;
+            resp.content_type = "application/json";
+            const std::string metric = req.Param("metric");
+            if (metric.empty()) {
+              resp.body = rings->SeriesIndexJson() + "\n";
+              return resp;
+            }
+            std::size_t last = 0;
+            try {
+              last = ParseSize(req.Param("last", "0"), "last");
+            } catch (const std::exception&) {
+              resp.status = 400;
+              resp.body = "{\"error\":\"malformed 'last' parameter\"}\n";
+              return resp;
+            }
+            resp.body = rings->TimeSeriesJson(metric, last) + "\n";
+            return resp;
+          });
+      // /varz is immutable for the process lifetime: render once.
+      const std::string varz =
+          obs::JsonObj()
+              .Field("schema", obs::kTelemetrySchemaVersion)
+              .Field("type", "varz")
+              .Field("tool", "sea_solve")
+              .Field("git_sha", SEA_GIT_SHA)
+              .Field("build_type", SEA_BUILD_TYPE)
+              .Field("mode", mode)
+              .Field("weights", scheme)
+              .Field("epsilon", opts.epsilon)
+              .Field("criterion", ToString(opts.criterion))
+              .Field("threads", static_cast<std::uint64_t>(threads))
+              .Field("schedule", schedule)
+              .Field("sort", sort)
+              .Field("backend", backend)
+              .Field("sample_interval_ms", sampler_opts.interval_ms)
+              .Str();
+      server->Handle("/varz", [varz](const net::HttpRequest&) {
+        net::HttpResponse resp;
+        resp.content_type = "application/json";
+        resp.body = varz + "\n";
+        return resp;
+      });
+      std::string bind_error;
+      if (!server->Start(static_cast<std::uint16_t>(port), &bind_error))
+        throw InvalidArgument("cannot start telemetry server: " + bind_error);
+      wide.listen_port = server->port();
+      std::cerr << "telemetry: listening on http://127.0.0.1:"
+                << server->port() << '\n';
+      if (args.count("listen-port-file")) {
+        support::AtomicFileWriter port_writer;
+        const std::uint16_t bound = server->port();
+        if (!port_writer.Write(args["listen-port-file"],
+                               [bound](std::ostream& f) { f << bound << '\n'; }))
+          std::cerr << "warning: could not write port file "
+                    << args["listen-port-file"] << '\n';
+      }
+    }
+
     // Profiler: attached for the solve only, so the trace/summary covers
     // exactly the algorithm (docs/OBSERVABILITY.md, "Profiling").
     const bool profiling =
@@ -536,7 +747,30 @@ int main(int argc, char** argv) {
     const auto run = SolveDiagonal(problem, opts);
 
     if (profiling) profiler.Detach();
+    // Telemetry-plane shutdown, in dependency order: the engine has just
+    // recorded its result metrics, so the sampler's terminal sample (taken
+    // by Stop) captures them; the server stops after, once the final
+    // /statusz and /timeseries states exist. Exceptional exits run the
+    // same joins via the destructors.
+    if (sampler) sampler->Stop();
+    if (server) server->Stop();
     const auto rep = CheckFeasibility(problem, run.solution);
+
+    wide.backend = run.result.kernel_backend;
+    wide.iterations = static_cast<std::uint64_t>(run.result.iterations);
+    wide.checks_compared =
+        static_cast<std::uint64_t>(run.result.checks_compared);
+    wide.final_residual = run.result.final_residual;
+    wide.objective = run.result.objective;
+    wide.feasibility_max_abs = rep.MaxAbs();
+    wide.feasibility_max_rel = rep.MaxRel();
+    wide.wall_seconds = run.result.wall_seconds;
+    wide.cpu_seconds = run.result.cpu_seconds;
+    wide.row_phase_seconds = run.result.row_phase_seconds;
+    wide.col_phase_seconds = run.result.col_phase_seconds;
+    wide.check_phase_seconds = run.result.check_phase_seconds;
+    wide.recoveries = run.result.recovered_count;
+    wide.recovery_rungs = run.result.recovery_rungs;
 
     std::cout << "mode:           " << mode << " (" << x0.rows() << " x "
               << x0.cols() << ", weights: " << scheme << ")\n"
@@ -612,9 +846,16 @@ int main(int argc, char** argv) {
                   << args["attribution-json"] << '\n';
       }
     }
-    if (status_writer)
+    if (status_writer && !status_writer->path().empty())
       std::cout << "status file:    " << status_writer->path() << " ("
                 << status_writer->writes() << " writes)\n";
+    if (server)
+      std::cout << "telemetry:      http://127.0.0.1:" << server->port()
+                << " (" << server->requests_ok() << " ok, "
+                << server->requests_error() << " error, "
+                << sampler->samples_taken() << " samples)\n";
+    if (!solve_log.path().empty())
+      std::cout << "solve log:      " << solve_log.path() << '\n';
     if (opts.flight_recorder != nullptr && recorder.dumped())
       std::cout << "postmortem:     " << args["postmortem-json"] << " ("
                 << recorder.recorded() << " events recorded)\n";
@@ -659,10 +900,13 @@ int main(int argc, char** argv) {
       WriteMatrixCsv(args["out"], run.solution.x);
       std::cout << "estimate:       " << args["out"] << '\n';
     }
+    emit_wide_event(ToString(run.result.status),
+                    ExitCodeFor(run.result.status), "");
     return ExitCodeFor(run.result.status);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     flush_failure_metrics(e.what());
+    emit_wide_event("error", 3, e.what());
     return 3;
   }
 }

@@ -1,0 +1,131 @@
+// solve_log_check — validate a wide-event solve log (obs/solve_log.hpp).
+//
+// The "exactly one well-formed line per invocation" contract is what makes
+// the solve log trustworthy for fleet queries, and it is exactly the kind
+// of contract that silently rots without an auditor. This tool re-reads a
+// log in STRICT mode (any malformed line is a failure, unlike the
+// tolerant trace tooling) and checks the invariants:
+//
+//   * every line is flat JSON with type == "solve" and the current
+//     append-only schema's required fields;
+//   * --expect-lines N: the log holds exactly N events (a CI run that
+//     invoked sea_solve N times must find N lines — no more, no fewer);
+//   * --expect-status S: the LAST event terminated with status S
+//     ("converged", "cancelled", "infeasible", "stalled", "error", ...);
+//   * --expect-exit-code C: the last event recorded exit code C;
+//   * --expect-min-recoveries N: the last event rescued at least N
+//     guardrail trips (the stall-recovered CI leg; the exact count is a
+//     ladder implementation detail, >= 1 is the contract).
+//
+// Exit codes: 0 all checks pass, 1 a check failed, 2 usage, 3 unreadable
+// log. Prints one summary line per event so failures are debuggable from
+// CI output alone.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace_reader.hpp"
+
+namespace {
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " <solve_log.jsonl> [--expect-lines N]"
+               " [--expect-status S] [--expect-exit-code C]"
+               " [--expect-min-recoveries N]\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  long expect_lines = -1;
+  long expect_exit_code = -1;
+  long expect_recoveries = -1;
+  std::string expect_status;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) Usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--expect-lines") {
+      expect_lines = std::stol(next());
+    } else if (arg == "--expect-status") {
+      expect_status = next();
+    } else if (arg == "--expect-exit-code") {
+      expect_exit_code = std::stol(next());
+    } else if (arg == "--expect-min-recoveries") {
+      expect_recoveries = std::stol(next());
+    } else if (!arg.empty() && arg[0] != '-' && path.empty()) {
+      path = arg;
+    } else {
+      Usage(argv[0]);
+    }
+  }
+  if (path.empty()) Usage(argv[0]);
+
+  std::vector<sea::obs::TraceEvent> events;
+  try {
+    // Strict mode: a torn or malformed line in a solve log is itself a
+    // finding, not something to skip past.
+    events = sea::obs::ReadTraceJsonl(path);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 3;
+  }
+
+  bool ok = true;
+  const auto fail = [&ok](const std::string& why) {
+    std::cerr << "FAIL: " << why << '\n';
+    ok = false;
+  };
+
+  static const char* kRequired[] = {
+      "status",     "mode",        "iterations",      "wall_seconds",
+      "recoveries", "exit_code",   "peak_rss_bytes",  "options_fingerprint"};
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto& ev = events[i];
+    const std::string line = "line " + std::to_string(i + 1);
+    if (ev.Type() != "solve") fail(line + ": type != \"solve\"");
+    if (ev.Number("schema", -1.0) < 4.0)
+      fail(line + ": schema missing or predates the solve-log document");
+    for (const char* key : kRequired)
+      if (!ev.Has(key)) fail(line + ": missing field '" + key + "'");
+    std::cout << line << ": status="
+              << (ev.strings.count("status") ? ev.strings.at("status")
+                                             : std::string("?"))
+              << " exit_code=" << ev.Number("exit_code", -1.0)
+              << " iterations=" << ev.Number("iterations", 0.0)
+              << " recoveries=" << ev.Number("recoveries", 0.0) << '\n';
+  }
+
+  if (expect_lines >= 0 &&
+      events.size() != static_cast<std::size_t>(expect_lines))
+    fail("expected " + std::to_string(expect_lines) + " events, found " +
+         std::to_string(events.size()));
+  if (!events.empty()) {
+    const auto& last = events.back();
+    const std::string status =
+        last.strings.count("status") ? last.strings.at("status") : "";
+    if (!expect_status.empty() && status != expect_status)
+      fail("last event status '" + status + "' != expected '" +
+           expect_status + "'");
+    if (expect_exit_code >= 0 &&
+        last.Number("exit_code", -1.0) !=
+            static_cast<double>(expect_exit_code))
+      fail("last event exit_code != " + std::to_string(expect_exit_code));
+    if (expect_recoveries >= 0 &&
+        last.Number("recoveries", -1.0) <
+            static_cast<double>(expect_recoveries))
+      fail("last event recoveries < " + std::to_string(expect_recoveries));
+  } else if (!expect_status.empty() || expect_exit_code >= 0 ||
+             expect_recoveries >= 0) {
+    fail("log is empty but expectations were given");
+  }
+
+  std::cout << "solve log: " << events.size() << " event(s), "
+            << (ok ? "all checks passed" : "CHECKS FAILED") << '\n';
+  return ok ? 0 : 1;
+}
