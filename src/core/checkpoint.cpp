@@ -232,6 +232,19 @@ std::uint64_t FingerprintProblem(const DiagonalProblem& p) {
   return h.value();
 }
 
+std::uint64_t FingerprintProblemStructure(const DiagonalProblem& p) {
+  support::Fnv1a h;
+  h.MixU64('d');  // lowercase: disjoint from the full dense fingerprint
+  h.MixU64(static_cast<std::uint64_t>(p.mode()));
+  h.MixU64(p.m());
+  h.MixU64(p.n());
+  h.MixDoubles(p.x0().Flat());
+  h.MixDoubles(p.gamma().Flat());
+  h.MixDoubles(p.alpha());
+  h.MixDoubles(p.beta());
+  return h.value();
+}
+
 bool CheckpointWriter::Write(const CheckpointState& state) {
   if (last_written_iteration_.has_value() &&
       *last_written_iteration_ == state.iteration)

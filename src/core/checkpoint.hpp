@@ -120,6 +120,16 @@ std::optional<Diagnosis> ValidateCheckpointFor(const CheckpointState& state,
 // vector. The sparse overload lives in sparse/sparse_sea.hpp.
 std::uint64_t FingerprintProblem(const DiagonalProblem& p);
 
+// Structure fingerprint: like FingerprintProblem but EXCLUDING the target
+// totals s0/d0 (and their interval bounds). Two problems share it exactly
+// when they pose the same constrained-matrix structure — mode, shape,
+// centers, weights — with possibly different totals, which is the
+// "perturbed repeat request" the sea_serve warm cache's nearby tier
+// matches: such problems re-converge along nearby dual trajectories, so
+// the cached multipliers are a profitable warm start. Domain-separated
+// from FingerprintProblem by the leading tag.
+std::uint64_t FingerprintProblemStructure(const DiagonalProblem& p);
+
 // Owns the checkpoint path + cadence for one solve. The engine calls
 // ShouldWrite() once per compared check and Write() when it returns true;
 // a final checkpoint on cancellation / budget expiry / iteration cap goes

@@ -45,7 +45,8 @@ int Connect(const std::string& host, std::uint16_t port,
 }
 
 FetchResult Exchange(const std::string& host, std::uint16_t port,
-                     const std::string& request, double timeout_seconds) {
+                     const std::string& request, double timeout_seconds,
+                     bool half_close = false) {
   const int fd = Connect(host, port, timeout_seconds);
   if (fd < 0) return Fail("connect " + host + ":" + std::to_string(port));
   std::size_t off = 0;
@@ -58,6 +59,7 @@ FetchResult Exchange(const std::string& host, std::uint16_t port,
     }
     off += static_cast<std::size_t>(n);
   }
+  if (half_close) ::shutdown(fd, SHUT_WR);
   std::string raw;
   char chunk[4096];
   for (;;) {
@@ -81,7 +83,12 @@ FetchResult Exchange(const std::string& host, std::uint16_t port,
   }
   r.status = std::atoi(raw.c_str() + sp + 1);
   const std::size_t head_end = raw.find("\r\n\r\n");
-  r.body = head_end == std::string::npos ? "" : raw.substr(head_end + 4);
+  if (head_end == std::string::npos) {
+    r.head = raw;
+  } else {
+    r.head = raw.substr(0, head_end);
+    r.body = raw.substr(head_end + 4);
+  }
   r.ok = r.status > 0;
   return r;
 }
@@ -95,9 +102,27 @@ FetchResult HttpGet(const std::string& host, std::uint16_t port,
   return Exchange(host, port, request, timeout_seconds);
 }
 
+FetchResult HttpPost(const std::string& host, std::uint16_t port,
+                     const std::string& target, const std::string& body,
+                     const std::string& content_type,
+                     double timeout_seconds) {
+  const std::string request =
+      "POST " + target + " HTTP/1.1\r\nHost: " + host +
+      "\r\nContent-Type: " + content_type +
+      "\r\nContent-Length: " + std::to_string(body.size()) +
+      "\r\nConnection: close\r\n\r\n" + body;
+  return Exchange(host, port, request, timeout_seconds);
+}
+
 FetchResult HttpRaw(const std::string& host, std::uint16_t port,
                     const std::string& raw, double timeout_seconds) {
   return Exchange(host, port, raw, timeout_seconds);
+}
+
+FetchResult HttpRawHalfClose(const std::string& host, std::uint16_t port,
+                             const std::string& raw,
+                             double timeout_seconds) {
+  return Exchange(host, port, raw, timeout_seconds, /*half_close=*/true);
 }
 
 }  // namespace sea::net

@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -65,6 +66,33 @@ void ParseQuery(const std::string& query,
   }
 }
 
+// Header field lines between the request line and the blank line, names
+// lowercased, surrounding whitespace trimmed from values. Malformed lines
+// (no ':') are skipped rather than failing the exchange.
+void ParseHeaders(const std::string& head, std::size_t first_line_end,
+                  std::map<std::string, std::string>& headers) {
+  std::size_t pos = first_line_end + 2;
+  while (pos < head.size()) {
+    std::size_t eol = head.find("\r\n", pos);
+    if (eol == std::string::npos) eol = head.size();
+    const std::string line = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    if (line.empty()) break;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::string name = line.substr(0, colon);
+    for (char& c : name) c = static_cast<char>(std::tolower(
+        static_cast<unsigned char>(c)));
+    std::size_t vb = colon + 1;
+    while (vb < line.size() && (line[vb] == ' ' || line[vb] == '\t')) ++vb;
+    std::size_t ve = line.size();
+    while (ve > vb && (line[ve - 1] == ' ' || line[ve - 1] == '\t' ||
+                       line[ve - 1] == '\r'))
+      --ve;
+    headers[std::move(name)] = line.substr(vb, ve - vb);
+  }
+}
+
 // Writes the whole buffer, retrying short writes; false on a socket error
 // (client went away — the exchange is abandoned, never the server).
 bool WriteAll(int fd, const char* data, std::size_t len) {
@@ -80,14 +108,13 @@ bool WriteAll(int fd, const char* data, std::size_t len) {
   return true;
 }
 
-bool SendResponse(int fd, const HttpResponse& resp,
-                  const char* extra_header = nullptr) {
+bool SendResponse(int fd, const HttpResponse& resp) {
   std::string head = "HTTP/1.1 " + std::to_string(resp.status) + " " +
                      StatusReason(resp.status) + "\r\n";
   head += "Content-Type: " + resp.content_type + "\r\n";
   head += "Content-Length: " + std::to_string(resp.body.size()) + "\r\n";
-  if (extra_header != nullptr) {
-    head += extra_header;
+  for (const std::string& h : resp.headers) {
+    head += h;
     head += "\r\n";
   }
   head += "Connection: close\r\n\r\n";
@@ -103,6 +130,28 @@ HttpResponse ErrorResponse(int status, const std::string& detail) {
   return resp;
 }
 
+// Strict non-negative decimal parse for Content-Length; false on empty,
+// non-digit bytes, or overflow past `max_reasonable`. Hostile values like
+// "1e9", "-1", or 70-digit numbers must all land in the 411 path rather
+// than wrap around the body read.
+bool ParseContentLength(const std::string& s, std::size_t max_reasonable,
+                        std::size_t* out) {
+  if (s.empty()) return false;
+  std::size_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+    // Cap the accumulator well above any legal body so overflow cannot
+    // wrap; anything past this is "too large", handled by the caller.
+    if (value > max_reasonable * 2 + 1024) {
+      *out = value;
+      return true;
+    }
+  }
+  *out = value;
+  return true;
+}
+
 }  // namespace
 
 const char* StatusReason(int status) {
@@ -115,10 +164,20 @@ const char* StatusReason(int status) {
       return "Not Found";
     case 405:
       return "Method Not Allowed";
+    case 411:
+      return "Length Required";
+    case 413:
+      return "Content Too Large";
+    case 422:
+      return "Unprocessable Content";
+    case 429:
+      return "Too Many Requests";
     case 431:
       return "Request Header Fields Too Large";
     case 500:
       return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
     default:
       return "Unknown";
   }
@@ -130,6 +189,12 @@ std::string HttpRequest::Param(const std::string& key,
   return it == params.end() ? fallback : it->second;
 }
 
+std::string HttpRequest::Header(const std::string& name,
+                                const std::string& fallback) const {
+  const auto it = headers.find(name);
+  return it == headers.end() ? fallback : it->second;
+}
+
 HttpServer::HttpServer(std::size_t handler_threads, CancelToken* cancel)
     : cancel_(cancel),
       handler_threads_(handler_threads == 0 ? 1 : handler_threads) {}
@@ -138,6 +203,10 @@ HttpServer::~HttpServer() { Stop(); }
 
 void HttpServer::Handle(std::string path, Handler handler) {
   handlers_[std::move(path)] = std::move(handler);
+}
+
+void HttpServer::HandlePost(std::string path, Handler handler) {
+  post_handlers_[std::move(path)] = std::move(handler);
 }
 
 bool HttpServer::Start(std::uint16_t port, std::string* error) {
@@ -212,8 +281,8 @@ void HttpServer::AcceptLoop() {
     if (ready == 0) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
-    // A full read of a request line is small and bounded; a stuck client
-    // is cut off by the socket timeout rather than pinning a worker.
+    // A request head is small and bounded, and a body is capped; a stuck
+    // client is cut off by the socket timeout rather than pinning a worker.
     timeval tv{};
     tv.tv_sec = 5;
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
@@ -222,12 +291,14 @@ void HttpServer::AcceptLoop() {
 }
 
 void HttpServer::ServeConnection(int fd) {
-  // Read until the end of the request head (blank line) or the size cap.
-  // GET carries no body, so nothing after the head is needed.
+  // Read until the end of the request head (blank line after the header
+  // fields) or the head size cap. Whatever arrived past the blank line is
+  // the start of the body and is kept.
   std::string buf;
   bool oversized = false;
-  char chunk[1024];
-  while (buf.find("\r\n") == std::string::npos) {
+  std::size_t head_end = std::string::npos;
+  char chunk[4096];
+  while ((head_end = buf.find("\r\n\r\n")) == std::string::npos) {
     if (buf.size() > kMaxRequestBytes) {
       oversized = true;
       break;
@@ -238,14 +309,14 @@ void HttpServer::ServeConnection(int fd) {
   }
 
   HttpResponse resp;
-  const char* extra_header = nullptr;
   HttpRequest req;
   const std::size_t line_end = buf.find("\r\n");
   if (oversized) {
-    resp = ErrorResponse(431, "request line exceeds " +
+    resp = ErrorResponse(431, "request head exceeds " +
                                   std::to_string(kMaxRequestBytes) + " bytes");
-  } else if (line_end == std::string::npos) {
-    resp = ErrorResponse(400, "no request line");
+  } else if (line_end == std::string::npos ||
+             head_end == std::string::npos) {
+    resp = ErrorResponse(400, "truncated request head");
   } else {
     // Request line: METHOD SP TARGET SP VERSION.
     const std::string line = buf.substr(0, line_end);
@@ -265,21 +336,66 @@ void HttpServer::ServeConnection(int fd) {
       }
       req.path = target;
       ParseQuery(req.query, req.params);
-      if (req.method != "GET" && req.method != "HEAD") {
-        resp = ErrorResponse(405, "only GET is served here");
-        extra_header = "Allow: GET, HEAD";
-      } else {
-        const auto it = handlers_.find(req.path);
-        if (it == handlers_.end()) {
-          resp = ErrorResponse(404, "no handler for " + req.path);
+      ParseHeaders(buf.substr(0, head_end + 2), line_end, req.headers);
+
+      const bool is_get = req.method == "GET" || req.method == "HEAD";
+      const bool is_post = req.method == "POST";
+      const bool get_route = handlers_.count(req.path) != 0;
+      const bool post_route = post_handlers_.count(req.path) != 0;
+      if (!is_get && !is_post) {
+        resp = ErrorResponse(405, "method not served here");
+        resp.headers.push_back("Allow: GET, HEAD, POST");
+      } else if (!get_route && !post_route) {
+        resp = ErrorResponse(404, "no handler for " + req.path);
+      } else if (is_get && !get_route) {
+        resp = ErrorResponse(405, req.path + " accepts only POST");
+        resp.headers.push_back("Allow: POST");
+      } else if (is_post && !post_route) {
+        resp = ErrorResponse(405, req.path + " accepts only GET");
+        resp.headers.push_back("Allow: GET, HEAD");
+      } else if (is_post) {
+        // Bounded body read: Content-Length is mandatory (no chunked
+        // decoding in this tiny server), checked against the cap before a
+        // single body byte is read, then the remainder is pulled off the
+        // socket. A body shorter than declared ends in a read timeout and
+        // a 400 — the handler never sees a truncated payload.
+        std::size_t content_length = 0;
+        if (!ParseContentLength(req.Header("content-length"),
+                                max_body_bytes_, &content_length)) {
+          resp = ErrorResponse(411, "POST requires a valid Content-Length");
+        } else if (content_length > max_body_bytes_) {
+          resp = ErrorResponse(
+              413, "body of " + std::to_string(content_length) +
+                       " bytes exceeds cap of " +
+                       std::to_string(max_body_bytes_) + " bytes");
         } else {
-          resp = it->second(req);
+          req.body = buf.substr(head_end + 4);
+          bool truncated = false;
+          while (req.body.size() < content_length) {
+            const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+            if (n <= 0) {
+              truncated = true;
+              break;
+            }
+            req.body.append(chunk, static_cast<std::size_t>(n));
+          }
+          if (truncated) {
+            resp = ErrorResponse(
+                400, "body truncated: declared " +
+                         std::to_string(content_length) + " bytes, received " +
+                         std::to_string(req.body.size()));
+          } else {
+            req.body.resize(content_length);  // drop any pipelined excess
+            resp = post_handlers_.at(req.path)(req);
+          }
         }
+      } else {
+        resp = handlers_.at(req.path)(req);
       }
     }
   }
   if (req.method == "HEAD") resp.body.clear();
-  SendResponse(fd, resp, extra_header);
+  SendResponse(fd, resp);
   if (resp.status < 300) {
     requests_ok_.fetch_add(1, std::memory_order_relaxed);
   } else {

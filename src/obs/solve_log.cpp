@@ -73,6 +73,10 @@ std::string RenderWideEvent(const SolveWideEvent& event) {
       .Field("resumed", event.resumed)
       .Field("peak_rss_bytes", event.peak_rss_bytes)
       .Field("listen_port", event.listen_port);
+  if (!event.cache_tier.empty()) {
+    doc.Field("cache_tier", event.cache_tier)
+        .Field("queue_seconds", event.queue_seconds);
+  }
   if (!event.error.empty()) doc.Field("error", event.error);
   return doc.Str();
 }

@@ -65,6 +65,12 @@ struct SolveWideEvent {
   bool resumed = false;
   std::uint64_t peak_rss_bytes = 0;
   std::uint64_t listen_port = 0;  // 0 = telemetry server not enabled
+  // Serving-plane fields (sea_serve emits one event per request; empty /
+  // zero for CLI invocations). cache_tier names the warm-cache outcome:
+  // "cold", "exact" (replayed multipliers), or "warm" (nearby-tier warm
+  // start); queue_seconds is time spent waiting in the admission queue.
+  std::string cache_tier;
+  double queue_seconds = 0.0;
   // Failure detail for invocations that never reached a normal engine
   // exit (usage/IO errors, rejected resume, pre-flight infeasibility).
   std::string error;

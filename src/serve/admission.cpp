@@ -1,0 +1,82 @@
+#include "serve/admission.hpp"
+
+namespace sea::serve {
+
+AdmissionQueue::AdmissionQueue(std::size_t max_concurrent,
+                               std::size_t max_queued)
+    : max_concurrent_(max_concurrent == 0 ? 1 : max_concurrent),
+      max_queued_(max_queued) {}
+
+AdmissionQueue::Outcome AdmissionQueue::Acquire() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (draining_) return Outcome::kDraining;
+  if (in_flight_ < max_concurrent_) {
+    ++in_flight_;
+    ++admitted_count_;
+    return Outcome::kAdmitted;
+  }
+  if (queued_ >= max_queued_) {
+    ++shed_count_;
+    return Outcome::kShed;
+  }
+  ++queued_;
+  if (queued_ > peak_queued_) peak_queued_ = queued_;
+  slot_free_.wait(lock, [this] {
+    return draining_ || in_flight_ < max_concurrent_;
+  });
+  --queued_;
+  if (draining_) return Outcome::kDraining;
+  ++in_flight_;
+  ++admitted_count_;
+  return Outcome::kAdmitted;
+}
+
+void AdmissionQueue::Release() {
+  std::lock_guard<std::mutex> lock(mu_);
+  --in_flight_;
+  slot_free_.notify_one();
+  if (in_flight_ == 0) idle_.notify_all();
+}
+
+void AdmissionQueue::BeginDrain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  draining_ = true;
+  slot_free_.notify_all();
+}
+
+void AdmissionQueue::AwaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+std::uint64_t AdmissionQueue::admitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitted_count_;
+}
+
+std::uint64_t AdmissionQueue::shed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_count_;
+}
+
+std::size_t AdmissionQueue::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+std::size_t AdmissionQueue::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_;
+}
+
+std::size_t AdmissionQueue::peak_queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_queued_;
+}
+
+bool AdmissionQueue::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+}  // namespace sea::serve

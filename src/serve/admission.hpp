@@ -1,0 +1,73 @@
+// Bounded admission gate for the sea_serve daemon (docs/SERVING.md,
+// "Admission and shedding").
+//
+// The HTTP layer's TaskQueue is an unbounded FIFO by design (a telemetry
+// scrape must never be dropped), so the solve plane bounds itself HERE, at
+// the start of each /solve handler: at most `max_concurrent` solves run at
+// once, at most `max_queued` handlers block waiting for a slot, and
+// everything beyond that is shed immediately with 503 + Retry-After —
+// sheds are cheap (no decode, no solve), so an overloaded daemon degrades
+// to fast rejections instead of an unbounded memory backlog.
+//
+// Drain (SIGTERM): BeginDrain() makes every subsequent — and every
+// currently waiting — Acquire() return kDraining (another 503 to the
+// client), while in-flight solves run to completion; AwaitIdle() blocks
+// until the last one releases. That is the daemon's clean-shutdown
+// sequence: stop admitting, finish what was admitted, then stop the
+// server.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace sea::serve {
+
+class AdmissionQueue {
+ public:
+  enum class Outcome {
+    kAdmitted,  // caller owns a slot; must Release() when done
+    kShed,      // queue full — answer 503 + Retry-After
+    kDraining,  // shutting down — answer 503
+  };
+
+  // max_concurrent is clamped to >= 1; max_queued may be 0 (no waiting:
+  // every request beyond the concurrent slots is shed).
+  AdmissionQueue(std::size_t max_concurrent, std::size_t max_queued);
+
+  // Blocks while all slots are busy and the waiter bound has room;
+  // otherwise returns immediately with kShed / kDraining.
+  Outcome Acquire();
+
+  // Returns the slot taken by a successful Acquire.
+  void Release();
+
+  // Stop admitting: wakes all waiters (they return kDraining) and makes
+  // future Acquires fail fast. Idempotent.
+  void BeginDrain();
+
+  // Blocks until no solve holds a slot. Call after BeginDrain.
+  void AwaitIdle();
+
+  std::uint64_t admitted() const;
+  std::uint64_t shed() const;
+  std::size_t in_flight() const;
+  std::size_t queued() const;
+  std::size_t peak_queued() const;
+  bool draining() const;
+
+ private:
+  const std::size_t max_concurrent_;
+  const std::size_t max_queued_;
+  mutable std::mutex mu_;
+  std::condition_variable slot_free_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  std::size_t queued_ = 0;
+  std::size_t peak_queued_ = 0;
+  std::uint64_t admitted_count_ = 0;
+  std::uint64_t shed_count_ = 0;
+  bool draining_ = false;
+};
+
+}  // namespace sea::serve

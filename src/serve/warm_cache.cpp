@@ -1,0 +1,96 @@
+#include "serve/warm_cache.hpp"
+
+#include <utility>
+
+namespace sea::serve {
+
+WarmStartCache::WarmStartCache(std::size_t capacity, std::size_t shards)
+    : shards_(shards == 0 ? 1 : shards) {
+  const std::size_t s = shards_.size();
+  per_shard_capacity_ = capacity == 0 ? 0 : (capacity + s - 1) / s;
+}
+
+std::optional<WarmHit> WarmStartCache::Lookup(std::uint64_t exact_key,
+                                              std::uint64_t structure_key) {
+  Shard& shard = ShardFor(structure_key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+
+  const auto touch = [&shard](std::list<Entry>::iterator it) {
+    shard.lru.splice(shard.lru.begin(), shard.lru, it);
+    // The refreshed entry is again the structure's most recent.
+    shard.by_structure[it->structure_key] = it->exact_key;
+  };
+
+  if (const auto it = shard.by_exact.find(exact_key);
+      it != shard.by_exact.end()) {
+    touch(it->second);
+    hits_exact_.fetch_add(1, std::memory_order_relaxed);
+    WarmHit hit;
+    hit.tier = WarmHit::Tier::kExact;
+    hit.entry = it->second->value;
+    return hit;
+  }
+
+  if (const auto sit = shard.by_structure.find(structure_key);
+      sit != shard.by_structure.end()) {
+    const auto it = shard.by_exact.find(sit->second);
+    if (it != shard.by_exact.end()) {
+      touch(it->second);
+      hits_nearby_.fetch_add(1, std::memory_order_relaxed);
+      WarmHit hit;
+      hit.tier = WarmHit::Tier::kNearby;
+      hit.entry = it->second->value;
+      return hit;
+    }
+  }
+
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
+}
+
+void WarmStartCache::Insert(std::uint64_t exact_key,
+                            std::uint64_t structure_key,
+                            CachedMultipliers entry) {
+  if (per_shard_capacity_ == 0) return;
+  Shard& shard = ShardFor(structure_key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+
+  if (const auto it = shard.by_exact.find(exact_key);
+      it != shard.by_exact.end()) {
+    it->second->value = std::move(entry);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    shard.by_structure[structure_key] = exact_key;
+    return;
+  }
+
+  while (shard.lru.size() >= per_shard_capacity_) {
+    const Entry& victim = shard.lru.back();
+    shard.by_exact.erase(victim.exact_key);
+    if (const auto sit = shard.by_structure.find(victim.structure_key);
+        sit != shard.by_structure.end() && sit->second == victim.exact_key)
+      shard.by_structure.erase(sit);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    size_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  shard.lru.push_front(
+      Entry{exact_key, structure_key, std::move(entry)});
+  shard.by_exact[exact_key] = shard.lru.begin();
+  shard.by_structure[structure_key] = exact_key;
+  size_.fetch_add(1, std::memory_order_relaxed);
+}
+
+WarmCacheStats WarmStartCache::Stats() const {
+  WarmCacheStats s;
+  s.hits_exact = hits_exact_.load(std::memory_order_relaxed);
+  s.hits_nearby = hits_nearby_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.inserts = inserts_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.size = size_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace sea::serve

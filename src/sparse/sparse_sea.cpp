@@ -330,15 +330,36 @@ class SparseBackend final : public SeaIterationBackend {
 
 }  // namespace
 
-SparseSeaRun SolveSparse(const SparseDiagonalProblem& p,
-                         const SeaOptions& opts) {
-  p.Validate();
+SparseSea::SparseSea(const SparseDiagonalProblem& problem) {
+  problem.Validate();
+  problem_ = &problem;
+  x0_t_ = problem.x0().Transposed();
+  gamma_t_ = problem.gamma().Transposed();
+}
+
+void SparseSea::ResetProblem(const SparseDiagonalProblem& problem) {
+  SEA_CHECK(problem.m() == problem_->m() && problem.n() == problem_->n());
+  SEA_CHECK(problem.mode() == problem_->mode());
+  problem.Validate();
+  problem_ = &problem;
+  x0_t_ = problem.x0().Transposed();
+  gamma_t_ = problem.gamma().Transposed();
+}
+
+SparseSeaRun SparseSea::Solve(const SeaOptions& opts) {
+  return SolveWarm(opts, Vector(problem_->n(), 0.0));  // paper Step 0: mu = 0
+}
+
+SparseSeaRun SparseSea::SolveWarm(const SeaOptions& opts, const Vector& mu0) {
+  const SparseDiagonalProblem& p = *problem_;
   const std::size_t m = p.m(), n = p.n();
+  SEA_CHECK(mu0.size() == n);
 
-  const SparseMatrix x0_t = p.x0().Transposed();
-  const SparseMatrix gamma_t = p.gamma().Transposed();
+  const SparseMatrix& x0_t = x0_t_;
+  const SparseMatrix& gamma_t = gamma_t_;
 
-  Vector lambda(m, 0.0), mu(n, 0.0);
+  Vector lambda(m, 0.0);
+  Vector mu = mu0;
   SparseBackend backend(p, x0_t, gamma_t, opts, lambda, mu);
 
   SparseSeaRun run;
@@ -382,6 +403,12 @@ SparseSeaRun SolveSparse(const SparseDiagonalProblem& p,
   result.objective =
       p.Objective(run.solution.x, run.solution.s, run.solution.d);
   return run;
+}
+
+SparseSeaRun SolveSparse(const SparseDiagonalProblem& p,
+                         const SeaOptions& opts) {
+  SparseSea solver(p);
+  return solver.Solve(opts);
 }
 
 FeasibilityReport CheckFeasibility(const SparseDiagonalProblem& p,

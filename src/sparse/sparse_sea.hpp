@@ -32,6 +32,37 @@ struct SparseSeaRun {
   SeaResult result;
 };
 
+// Solver object mirroring core/diagonal_sea.hpp's DiagonalSea, so callers
+// that chain related solves (the general algorithm, the sea_serve warm
+// cache) program one warm-start API across the dense and sparse paths.
+// Construction builds the transposed pattern copies; ResetProblem swaps in
+// refreshed data of the same shape and mode without reallocating the
+// solver.
+class SparseSea {
+ public:
+  explicit SparseSea(const SparseDiagonalProblem& problem);
+
+  // Replaces the problem while keeping this solver object. Requires
+  // identical dimensions and mode (the pattern may differ — the transposed
+  // copies are rebuilt).
+  void ResetProblem(const SparseDiagonalProblem& problem);
+
+  const SparseDiagonalProblem& problem() const { return *problem_; }
+
+  // Runs SEA from mu = 0 (paper Step 0).
+  SparseSeaRun Solve(const SeaOptions& opts);
+
+  // Runs SEA warm-started from the given column multipliers; lambda is
+  // recomputed by the first row sweep, so mu is the whole warm state.
+  SparseSeaRun SolveWarm(const SeaOptions& opts, const Vector& mu0);
+
+ private:
+  const SparseDiagonalProblem* problem_ = nullptr;
+  SparseMatrix x0_t_;
+  SparseMatrix gamma_t_;
+};
+
+// One-shot convenience wrapper.
 SparseSeaRun SolveSparse(const SparseDiagonalProblem& problem,
                          const SeaOptions& opts);
 

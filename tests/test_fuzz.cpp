@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <string>
 
 #include "core/checkpoint.hpp"
@@ -14,6 +15,7 @@
 #include "entropy/entropy_sea.hpp"
 #include "equilibration/kernel_backend.hpp"
 #include "problems/feasibility.hpp"
+#include "serve/protocol.hpp"
 #include "support/rng.hpp"
 
 namespace sea {
@@ -309,6 +311,71 @@ TEST(Fuzz, CheckpointDecoderSurvivesHostileBytes) {
   // Nearly every mutation must be rejected; a handful of appends can be
   // absorbed only if the parser ignored trailing bytes, which it must not.
   EXPECT_GE(rejected, 1990);
+}
+
+// The serve wire codec faces the open network side of the daemon, so it
+// gets the same hostile-bytes treatment as the checkpoint decoder: mutate
+// a clean frame 2000 ways and demand a graceful, thrown-exception-free
+// rejection for essentially all of them (the trailing CRC-32 makes clean
+// decodes of mutants vanishingly unlikely).
+TEST(Fuzz, ServeFrameDecoderSurvivesHostileBytes) {
+  Rng gen(0x5E21);
+  DenseMatrix x0(6, 4), gamma(6, 4);
+  for (double& v : x0.Flat()) v = gen.Uniform(1.0, 10.0);
+  for (double& v : gamma.Flat()) v = gen.Uniform(0.5, 2.0);
+  serve::SolveRequest req;
+  req.problem =
+      DiagonalProblem::MakeFixed(x0, gamma, x0.RowSums(), x0.ColSums());
+  req.epsilon = 1e-7;
+  req.want_multipliers = true;
+  const std::string clean = serve::EncodeRequestFrame(req);
+  ASSERT_TRUE(serve::DecodeRequestFrame(clean).ok());
+
+  Rng rng(0xF8A3E);
+  int rejected = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string bytes = clean;
+    switch (rng.NextIndex(4)) {
+      case 0:  // flip one random byte
+        bytes[rng.NextIndex(bytes.size())] ^=
+            static_cast<char>(1 + rng.NextIndex(255));
+        break;
+      case 1:  // truncate to a random prefix
+        bytes.resize(rng.NextIndex(bytes.size()));
+        break;
+      case 2:  // append random garbage
+        for (std::size_t i = 0, add = 1 + rng.NextIndex(16); i < add; ++i)
+          bytes.push_back(static_cast<char>(rng.NextIndex(256)));
+        break;
+      default: {  // splice random bytes over a random window
+        const std::size_t at = rng.NextIndex(bytes.size());
+        const std::size_t len =
+            1 + rng.NextIndex(std::min<std::size_t>(32, bytes.size() - at));
+        for (std::size_t i = 0; i < len; ++i)
+          bytes[at + i] = static_cast<char>(rng.NextIndex(256));
+        break;
+      }
+    }
+    const serve::DecodedRequest out = serve::DecodeRequestFrame(bytes);
+    if (out.ok()) {
+      // CRC collision territory: a surviving decode must still be a
+      // validated problem of consistent shape.
+      EXPECT_GT(out.request.problem.m(), 0u);
+      EXPECT_GT(out.request.problem.n(), 0u);
+    } else {
+      ++rejected;
+      EXPECT_FALSE(out.error.empty());
+    }
+  }
+  EXPECT_GE(rejected, 1990);
+
+  // Oversized-dimension frames must be refused by the length sanity
+  // checks, not by an attempted multi-terabyte allocation: claim a huge
+  // m*n in the header of an otherwise short frame.
+  std::string hostile = clean;
+  const std::uint64_t huge = 1ull << 40;
+  std::memcpy(&hostile[24], &huge, sizeof(huge));  // m field
+  EXPECT_FALSE(serve::DecodeRequestFrame(hostile).ok());
 }
 
 }  // namespace

@@ -126,6 +126,98 @@ TEST(HttpServer, HeadStripsBodyButKeepsStatus) {
   server.Stop();
 }
 
+// ------------------------------------------------------------- POST body
+
+TEST(HttpServer, PostBodyReachesTheHandler) {
+  net::HttpServer server;
+  server.HandlePost("/solve", [](const net::HttpRequest& req) {
+    return Text(req.Header("content-type") + "|" +
+                std::to_string(req.body.size()) + "|" + req.body);
+  });
+  ASSERT_TRUE(server.Start(0));
+  constexpr char kBytes[] = "binary\0payload with \xff bytes";
+  const std::string body(kBytes, sizeof(kBytes) - 1);  // keeps the NUL
+  const auto r = net::HttpPost(kLoopback, server.port(), "/solve", body,
+                               "application/octet-stream");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.body, "application/octet-stream|" +
+                        std::to_string(body.size()) + "|" + body);
+  server.Stop();
+}
+
+TEST(HttpServer, GetOnPostOnlyRouteIs405WithAllowPost) {
+  net::HttpServer server;
+  server.HandlePost("/solve", [](const net::HttpRequest&) {
+    return Text("y");
+  });
+  ASSERT_TRUE(server.Start(0));
+  const auto r = net::HttpGet(kLoopback, server.port(), "/solve");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.status, 405);
+  EXPECT_NE(r.head.find("Allow: POST"), std::string::npos);
+  server.Stop();
+}
+
+TEST(HttpServer, PostWithoutContentLengthIs411) {
+  net::HttpServer server;
+  server.HandlePost("/solve", [](const net::HttpRequest&) {
+    return Text("y");
+  });
+  ASSERT_TRUE(server.Start(0));
+  const auto r = net::HttpRaw(kLoopback, server.port(),
+                              "POST /solve HTTP/1.1\r\nHost: t\r\n\r\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.status, 411);
+  const auto bad = net::HttpRaw(
+      kLoopback, server.port(),
+      "POST /solve HTTP/1.1\r\nHost: t\r\nContent-Length: banana\r\n\r\n");
+  ASSERT_TRUE(bad.ok) << bad.error;
+  EXPECT_EQ(bad.status, 411);
+  server.Stop();
+}
+
+TEST(HttpServer, OversizedPostBodyIs413BeforeTheBodyIsRead) {
+  net::HttpServer server;
+  std::atomic<int> calls{0};
+  server.HandlePost("/solve", [&calls](const net::HttpRequest&) {
+    calls.fetch_add(1);
+    return Text("y");
+  });
+  server.set_max_body_bytes(64);
+  ASSERT_TRUE(server.Start(0));
+  const auto r = net::HttpPost(kLoopback, server.port(), "/solve",
+                               std::string(65, 'x'));
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.status, 413);
+  EXPECT_EQ(calls.load(), 0);  // rejected before dispatch
+  // A body exactly at the cap passes.
+  const auto fit = net::HttpPost(kLoopback, server.port(), "/solve",
+                                 std::string(64, 'x'));
+  ASSERT_TRUE(fit.ok) << fit.error;
+  EXPECT_EQ(fit.status, 200);
+  server.Stop();
+}
+
+TEST(HttpServer, TruncatedPostBodyIs400) {
+  net::HttpServer server;
+  std::atomic<int> calls{0};
+  server.HandlePost("/solve", [&calls](const net::HttpRequest&) {
+    calls.fetch_add(1);
+    return Text("y");
+  });
+  ASSERT_TRUE(server.Start(0));
+  // Declare 100 bytes, deliver 5, then half-close so the server sees EOF
+  // instead of waiting out the socket timeout.
+  const auto r = net::HttpRawHalfClose(
+      kLoopback, server.port(),
+      "POST /solve HTTP/1.1\r\nHost: t\r\nContent-Length: 100\r\n\r\nhello");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.status, 400);
+  EXPECT_EQ(calls.load(), 0);  // the handler never sees a short payload
+  server.Stop();
+}
+
 TEST(HttpServer, StopIsIdempotentAndRestartable) {
   net::HttpServer server;
   server.Handle("/x", [](const net::HttpRequest&) { return Text("y"); });

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Forensics smoke (docs/ROBUSTNESS.md): force a deterministic stall
+# through the failpoint registry and prove the flight recorder publishes a
+# parseable postmortem on the guardrail path — exit code must be 7
+# (stalled) and the dump must carry the stalled header plus a termination
+# event.
+#
+#   tools/ci/forensics_smoke.sh [build-dir]
+set -euo pipefail
+BUILD_DIR="${1:-build}"
+
+set +e
+SEA_FAILPOINTS=sea.engine.freeze_measure:2 "$BUILD_DIR"/tools/sea_solve \
+  --mode fixed --matrix data/example_base.csv \
+  --row-totals data/example_row_totals.csv \
+  --col-totals data/example_col_totals.csv \
+  --stall-checks 3 --postmortem-json postmortem.json
+code=$?
+set -e
+[ "$code" -eq 7 ] || { echo "expected stalled exit 7, got $code"; exit 1; }
+[ -s postmortem.json ] || { echo "postmortem.json missing"; exit 1; }
+python3 -c "
+import json
+lines = [json.loads(l) for l in open('postmortem.json')]
+head = lines[0]
+assert head['type'] == 'postmortem', head
+assert head['status'] == 'stalled', head
+assert any(e.get('kind') == 'termination'
+           for e in lines if e.get('type') == 'event'), lines
+print('postmortem ok:', len(lines), 'lines, status', head['status'])
+"

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Live telemetry smoke (docs/OBSERVABILITY.md, "Live endpoints"): start a
+# deliberately long solve with the embedded HTTP server on an ephemeral
+# port, scrape every endpoint MID-SOLVE and validate the payloads, then
+# SIGINT the process and require a clean cancelled exit (6) plus exactly
+# one well-formed wide event in the solve log.
+#
+#   tools/ci/live_telemetry_smoke.sh [build-dir]
+set -euo pipefail
+BUILD_DIR="${1:-build}"
+
+python3 - <<'EOF'
+import random
+random.seed(7)
+m, n = 400, 300
+rows = [[random.uniform(1.0, 10.0) for _ in range(n)]
+        for _ in range(m)]
+open('live_base.csv', 'w').write('\n'.join(
+    ','.join('%.6f' % v for v in r) for r in rows) + '\n')
+rs = [sum(r) * 1.2 for r in rows]
+cs = [sum(rows[i][j] for i in range(m)) * 1.2 for j in range(n)]
+open('live_rows.csv', 'w').write(
+    '\n'.join(repr(v) for v in rs) + '\n')
+open('live_cols.csv', 'w').write(
+    '\n'.join(repr(v) for v in cs) + '\n')
+EOF
+rm -f live_port.txt solve_log.jsonl
+"$BUILD_DIR"/tools/sea_solve --mode fixed --matrix live_base.csv \
+  --row-totals live_rows.csv --col-totals live_cols.csv \
+  --epsilon 1e-14 --criterion abs --stall-checks 0 \
+  --time-budget 60 --threads 2 \
+  --listen 0 --listen-port-file live_port.txt \
+  --solve-log solve_log.jsonl > live_solve.out 2>&1 &
+pid=$!
+for i in $(seq 1 100); do
+  [ -s live_port.txt ] && break
+  sleep 0.2
+done
+[ -s live_port.txt ] || { cat live_solve.out; exit 1; }
+port=$(cat live_port.txt)
+echo "scraping live solve on 127.0.0.1:$port"
+curl -fsS "http://127.0.0.1:$port/healthz" | grep -q ok
+curl -fsS "http://127.0.0.1:$port/statusz" | python3 -m json.tool
+curl -fsS "http://127.0.0.1:$port/varz" | python3 -m json.tool
+sleep 1.5  # a few sampler cadences, so the rate rings have data
+curl -fsS "http://127.0.0.1:$port/metrics" | grep '_total '
+curl -fsS "http://127.0.0.1:$port/metrics" \
+  | grep -q 'sea_iterations_total [1-9]'
+curl -fsS "http://127.0.0.1:$port/timeseries" \
+  | python3 -m json.tool > /dev/null
+curl -fsS \
+  "http://127.0.0.1:$port/timeseries?metric=sea.iterations&last=8" \
+  | python3 -c "
+import json, sys
+d = json.load(sys.stdin)
+assert d['type'] == 'timeseries' and d['kind'] == 'rate', d
+assert d['samples'], 'no rate samples mid-solve'
+print('iteration rate samples:', d['samples'])
+"
+kill -INT "$pid"
+set +e
+wait "$pid"
+code=$?
+set -e
+[ "$code" -eq 6 ] || {
+  echo "expected cancelled exit 6, got $code"
+  cat live_solve.out
+  exit 1
+}
+grep -E 'telemetry:|solve log:' live_solve.out
+"$BUILD_DIR"/tools/solve_log_check solve_log.jsonl --expect-lines 1 \
+  --expect-status cancelled --expect-exit-code 6
